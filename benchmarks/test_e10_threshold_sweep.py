@@ -1,0 +1,22 @@
+"""E10 — ablation: the co-allocation compatibility threshold."""
+
+from repro.analysis.experiments import e10_threshold_sweep
+
+
+def test_e10_threshold_sweep(benchmark, record_artifact):
+    out = benchmark.pedantic(
+        e10_threshold_sweep,
+        kwargs={"thresholds": (1.0, 1.1, 1.2, 1.3, 1.4)},
+        rounds=1,
+        iterations=1,
+    )
+    record_artifact("e10_threshold_sweep", out.text)
+    coverage = [row["shared_nodes"] for row in out.rows]
+    dilation = [row["mean_shared_dilation"] for row in out.rows]
+    # Stricter thresholds admit fewer pairs (coverage shrinks) ...
+    assert coverage[-1] <= coverage[0] + 1e-9
+    # ... but the admitted pairs interfere less.
+    assert dilation[-1] <= dilation[0] + 0.02
+    # The default (1.1) keeps double-digit efficiency gains.
+    default_row = next(row for row in out.rows if row["threshold"] == 1.1)
+    assert default_row["comp_eff_gain_%"] > 8.0

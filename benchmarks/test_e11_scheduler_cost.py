@@ -1,0 +1,54 @@
+"""E11 — scheduler cost: simulation throughput and pass latency.
+
+Supports the "no overhead" claim on the scheduling side: the sharing
+strategies' decision cost stays in the same order of magnitude as
+plain EASY backfill, and the simulator sustains a high event rate
+(guarding the engine against performance regressions).
+"""
+
+from repro.metrics.report import format_table
+from repro.slurm.manager import run_simulation
+
+
+def _run(campaign, nodes, strategy):
+    return run_simulation(
+        campaign, num_nodes=nodes, strategy=strategy, collect_metrics=False
+    )
+
+
+def test_e11_simulation_throughput(benchmark, campaign, eval_nodes,
+                                   record_artifact):
+    result = benchmark.pedantic(
+        _run,
+        args=(campaign, eval_nodes, "shared_backfill"),
+        rounds=3,
+        iterations=1,
+    )
+    rows = []
+    for strategy in ("easy_backfill", "shared_backfill"):
+        r = _run(campaign, eval_nodes, strategy)
+        rows.append(
+            {
+                "strategy": strategy,
+                "events": r.events_dispatched,
+                "sched_passes": r.scheduler_passes,
+                "wallclock_s": r.wallclock_seconds,
+                "events_per_s": r.events_dispatched / r.wallclock_seconds,
+                "passes_per_s": r.scheduler_passes / r.wallclock_seconds,
+                "us_per_pass": 1e6 * r.wallclock_seconds / r.scheduler_passes,
+            }
+        )
+    text = format_table(
+        rows,
+        title="E11: scheduler cost (simulation throughput and pass latency)",
+    )
+    record_artifact("e11_scheduler_cost", text)
+
+    base, shared = rows
+    # Sharing decisions cost at most ~8x a plain backfill pass (pairing
+    # lookups + group fills) — same order of magnitude, i.e. no
+    # scheduler-side blow-up.
+    assert shared["us_per_pass"] < 8 * base["us_per_pass"]
+    # And the engine sustains a usable simulation rate.
+    assert shared["events_per_s"] > 1_000
+    assert result.completed_jobs == len(campaign)

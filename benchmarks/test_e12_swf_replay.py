@@ -1,0 +1,13 @@
+"""E12 — strategy deltas on an SWF-replayed trace."""
+
+from repro.analysis.experiments import e12_swf_replay
+
+
+def test_e12_swf_replay(benchmark, record_artifact):
+    out = benchmark.pedantic(e12_swf_replay, rounds=1, iterations=1)
+    record_artifact("e12_swf_replay", out.text)
+    rows = {row["strategy"]: row for row in out.rows}
+    # The SWF round trip must preserve the headline shape: sharing
+    # still wins after 1-second quantisation and queue-flag encoding.
+    assert rows["shared_backfill"]["comp_eff"] > 1.05
+    assert rows["shared_backfill"]["makespan_h"] < rows["easy_backfill"]["makespan_h"]

@@ -1,0 +1,17 @@
+"""E13 — scaling: do sharing gains survive across machine sizes?"""
+
+from repro.analysis.experiments import e13_cluster_scaling
+
+
+def test_e13_cluster_scaling(benchmark, record_artifact):
+    out = benchmark.pedantic(
+        e13_cluster_scaling,
+        kwargs={"sizes": (32, 64, 128)},
+        rounds=1,
+        iterations=1,
+    )
+    record_artifact("e13_cluster_scaling", out.text)
+    # Double-digit computational-efficiency gain at every scale.
+    for row in out.rows:
+        assert row["comp_eff_gain_%"] > 8.0, row["nodes"]
+        assert row["shared_nodes"] > 0.3, row["nodes"]

@@ -1,0 +1,19 @@
+"""E14 — sensitivity to user walltime-estimate accuracy."""
+
+from repro.analysis.experiments import e14_walltime_accuracy
+
+
+def test_e14_walltime_accuracy(benchmark, record_artifact):
+    out = benchmark.pedantic(
+        e14_walltime_accuracy,
+        kwargs={"overestimates": (1.05, 2.0, 3.0)},
+        rounds=1,
+        iterations=1,
+    )
+    record_artifact("e14_walltime_accuracy", out.text)
+    # Sharing keeps a material advantage at every estimate quality —
+    # the join path never consults the backfill window, so bad
+    # estimates cannot take the gain away.
+    for row in out.rows:
+        assert row["comp_eff_gain_%"] > 5.0, row["overestimate"]
+        assert row["sched_eff_gain_%"] > 0.0, row["overestimate"]

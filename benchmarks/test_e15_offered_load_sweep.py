@@ -1,0 +1,21 @@
+"""E15 — sensitivity to offered load (queue pressure)."""
+
+from repro.analysis.experiments import e15_offered_load_sweep
+
+
+def test_e15_offered_load_sweep(benchmark, record_artifact):
+    out = benchmark.pedantic(
+        e15_offered_load_sweep,
+        kwargs={"loads": (0.7, 1.0, 1.3, 1.6)},
+        rounds=1,
+        iterations=1,
+    )
+    record_artifact("e15_offered_load_sweep", out.text)
+    gains = [row["comp_eff_gain_%"] for row in out.rows]
+    # Gains grow with queue pressure: the saturated points beat the
+    # under-subscribed one, and the heaviest load gains double digits.
+    assert max(gains[2:]) > gains[0]
+    assert gains[-1] > 10.0
+    # Sharing never makes things worse, even on an idle-ish machine.
+    for row in out.rows:
+        assert row["sched_eff_gain_%"] > -2.0

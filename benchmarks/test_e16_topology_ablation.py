@@ -1,0 +1,28 @@
+"""E16 — ablation: topology-aware node selection under rack penalty."""
+
+from repro.analysis.experiments import e16_topology_ablation
+
+
+def test_e16_topology_ablation(benchmark, record_artifact):
+    out = benchmark.pedantic(
+        e16_topology_ablation,
+        kwargs={"num_jobs": 200, "num_nodes": 128, "nodes_per_rack": 16},
+        rounds=1,
+        iterations=1,
+    )
+    record_artifact("e16_topology_ablation", out.text)
+    rows = {(r["strategy"], r["selector"]): r for r in out.rows}
+    # Rack packing reduces the racks an allocation spans where the
+    # selector has full control (exclusive placements).  Under sharing
+    # a joiner inherits its resident's node set, so mean racks may
+    # wiggle — only efficiency must not regress.
+    exclusive_linear = rows[("easy_backfill", "linear")]
+    exclusive_topo = rows[("easy_backfill", "topology")]
+    assert exclusive_topo["mean_racks"] < exclusive_linear["mean_racks"]
+    for strategy in ("easy_backfill", "shared_backfill"):
+        linear = rows[(strategy, "linear")]
+        topo = rows[(strategy, "topology")]
+        assert topo["comp_eff"] >= linear["comp_eff"] - 0.01
+    # Sharing still wins under locality penalties.
+    assert (rows[("shared_backfill", "topology")]["comp_eff"]
+            > rows[("easy_backfill", "topology")]["comp_eff"] * 1.05)

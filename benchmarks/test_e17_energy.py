@@ -1,0 +1,18 @@
+"""E17 — energy-to-solution per strategy."""
+
+from repro.analysis.experiments import e17_energy
+
+
+def test_e17_energy(benchmark, campaign, eval_nodes, record_artifact):
+    out = benchmark.pedantic(
+        e17_energy,
+        kwargs={"trace": campaign, "num_nodes": eval_nodes},
+        rounds=1,
+        iterations=1,
+    )
+    record_artifact("e17_energy", out.text)
+    rows = {row["strategy"]: row for row in out.rows}
+    # Sharing saves energy and delivers more science per joule.
+    for name in ("shared_first_fit", "shared_backfill"):
+        assert rows[name]["energy_saving_%"] > 3.0, name
+        assert rows[name]["work_per_kJ"] > rows["easy_backfill"]["work_per_kJ"]

@@ -1,0 +1,22 @@
+"""E19 — replicated headline gains with confidence intervals."""
+
+from repro.analysis.experiments import e19_replicated_headline
+
+
+def test_e19_replicated_headline(benchmark, record_artifact):
+    out = benchmark.pedantic(
+        e19_replicated_headline,
+        kwargs={"seeds": (11, 23, 37, 59, 71), "num_jobs": 150,
+                "num_nodes": 64},
+        rounds=1,
+        iterations=1,
+    )
+    record_artifact("e19_replication", out.text)
+    estimates = out.extras["estimates"]
+    for strategy, bundle in estimates.items():
+        # The computational-efficiency gain is statistically solid:
+        # its 95 % interval excludes zero for both sharing strategies.
+        assert bundle["comp_eff_gain"].excludes_zero(), strategy
+        assert bundle["comp_eff_gain"].mean > 0.08, strategy
+        # Wait-time gains are large and positive on average.
+        assert bundle["wait_gain"].mean > 0.2, strategy

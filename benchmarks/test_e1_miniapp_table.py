@@ -1,0 +1,12 @@
+"""E1 — Table I: mini-app characterisation."""
+
+from repro.analysis.experiments import e1_miniapp_table
+
+
+def test_e1_miniapp_table(benchmark, record_artifact):
+    out = benchmark(e1_miniapp_table)
+    record_artifact("e1_miniapp_table", out.text)
+    assert len(out.rows) == 8
+    # The table must show the resource diversity sharing exploits.
+    dominants = {row["dominant"] for row in out.rows}
+    assert {"core", "membw"} <= dominants

@@ -1,0 +1,33 @@
+"""E20 — resilience: node failures and the sharing blast radius.
+
+Finding (documented in EXPERIMENTS.md): sharing gains survive
+realistic failure rates, erode as failures intensify — a shared node's
+failure discards *two* jobs' progress — and can flip negative under
+extreme rates (per-node MTBF of a few hundred hours, i.e. a failure
+every few simulated hours on the whole machine).
+"""
+
+from repro.analysis.experiments import e20_failure_resilience
+
+
+def test_e20_failure_resilience(benchmark, record_artifact):
+    out = benchmark.pedantic(
+        e20_failure_resilience,
+        kwargs={"mtbf_hours": (float("inf"), 1000.0, 300.0),
+                "num_jobs": 200, "num_nodes": 64},
+        rounds=1,
+        iterations=1,
+    )
+    record_artifact("e20_failure_resilience", out.text)
+    clean, moderate, harsh = out.rows
+    # No failures: the familiar headline gain.
+    assert clean["failures"] == 0
+    assert clean["comp_eff_gain_%"] > 10.0
+    # Moderate failure rates: the gain persists.
+    assert moderate["failures"] > 0
+    assert moderate["comp_eff_gain_%"] > 5.0
+    # Extreme failure rates: the two-job blast radius costs more lost
+    # work under sharing and erodes (possibly inverts) the gain.
+    assert harsh["failures"] > moderate["failures"]
+    assert harsh["lost_h_shared"] > moderate["lost_h_shared"]
+    assert harsh["comp_eff_gain_%"] < clean["comp_eff_gain_%"] - 5.0

@@ -1,0 +1,35 @@
+"""E21 — online walltime prediction under heavy over-estimation."""
+
+from repro.analysis.experiments import e21_walltime_prediction
+
+
+def test_e21_walltime_prediction(benchmark, record_artifact):
+    out = benchmark.pedantic(
+        e21_walltime_prediction,
+        kwargs={"num_jobs": 250, "num_nodes": 64},
+        rounds=1,
+        iterations=1,
+    )
+    record_artifact("e21_walltime_prediction", out.text)
+    rows = {(r["strategy"], r["prediction"]): r for r in out.rows}
+    # Safety first: predictions never walltime-kill anything (kill
+    # timers stay at the requested limit).
+    for row in out.rows:
+        assert row["timeouts"] == 0
+    # Prediction's effect is modest: makespan within a few percent of
+    # the uncorrected run either way (the documented mixed result).
+    for strategy in ("easy_backfill", "shared_backfill"):
+        off = rows[(strategy, "off")]["makespan_h"]
+        on = rows[(strategy, "on")]["makespan_h"]
+        assert abs(on - off) / off < 0.05, strategy
+    # Sharing dominates prediction: the worst shared cell beats the
+    # best exclusive cell.
+    best_exclusive = min(
+        rows[("easy_backfill", "off")]["makespan_h"],
+        rows[("easy_backfill", "on")]["makespan_h"],
+    )
+    worst_shared = max(
+        rows[("shared_backfill", "off")]["makespan_h"],
+        rows[("shared_backfill", "on")]["makespan_h"],
+    )
+    assert worst_shared < best_exclusive

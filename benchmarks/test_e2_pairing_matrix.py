@@ -1,0 +1,14 @@
+"""E2 — Table II: pairwise co-run matrix."""
+
+from repro.analysis.experiments import e2_pairing_matrix
+
+
+def test_e2_pairing_matrix(benchmark, record_artifact):
+    out = benchmark(e2_pairing_matrix)
+    record_artifact("e2_pairing_matrix", out.text)
+    matrix = out.extras["matrix"]
+    # Paper-shape assertions: complementary pairs gain, bandwidth
+    # saturating pairs lose.
+    assert matrix.throughput_of("GTC", "SNAP") > 1.3
+    assert matrix.throughput_of("AMG", "MILC") < 1.1
+    assert 1.2 <= matrix.mean_pair_gain() <= 1.6

@@ -1,0 +1,19 @@
+"""E4 — Fig. 1: cluster utilisation over time."""
+
+from repro.analysis.experiments import e4_utilization_timeline
+
+
+def test_e4_utilization_timeline(benchmark, campaign, eval_nodes, record_artifact):
+    out = benchmark.pedantic(
+        e4_utilization_timeline,
+        kwargs={"trace": campaign, "num_nodes": eval_nodes, "points": 20},
+        rounds=1,
+        iterations=1,
+    )
+    record_artifact("e4_utilization_timeline", out.text)
+    series = out.extras["series"]
+    # The shared schedule finishes earlier: its utilisation curve ends
+    # before the exclusive baseline's.
+    assert series["shared_backfill"][0][-1] < series["easy_backfill"][0][-1]
+    for grid, values in series.values():
+        assert ((0.0 <= values) & (values <= 1.0)).all()

@@ -1,0 +1,27 @@
+"""E5 — Fig. 2: cumulative completed jobs over time."""
+
+import numpy as np
+
+from repro.analysis.experiments import e5_throughput_curves
+
+
+def test_e5_throughput_curves(benchmark, campaign, eval_nodes, record_artifact):
+    out = benchmark.pedantic(
+        e5_throughput_curves,
+        kwargs={"trace": campaign, "num_nodes": eval_nodes, "points": 20},
+        rounds=1,
+        iterations=1,
+    )
+    record_artifact("e5_throughput_curves", out.text)
+    ends = out.extras["ends"]
+    # All strategies complete the whole campaign ...
+    for strategy, sorted_ends in ends.items():
+        assert len(sorted_ends) == len(campaign), strategy
+    # ... but the sharing strategies complete it sooner.
+    assert ends["shared_backfill"][-1] < ends["easy_backfill"][-1]
+    # And they dominate the baseline curve over most of the horizon:
+    # at the baseline's 80 %-completion time, shared has completed more.
+    t80 = float(np.quantile(ends["easy_backfill"], 0.8))
+    done_base = int(np.searchsorted(ends["easy_backfill"], t80, side="right"))
+    done_shared = int(np.searchsorted(ends["shared_backfill"], t80, side="right"))
+    assert done_shared >= done_base

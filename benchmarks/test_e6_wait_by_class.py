@@ -1,0 +1,22 @@
+"""E6 — Fig. 3: mean wait time by job-size class."""
+
+from repro.analysis.experiments import e6_wait_by_class
+
+
+def test_e6_wait_by_class(benchmark, campaign, eval_nodes, record_artifact):
+    out = benchmark.pedantic(
+        e6_wait_by_class,
+        kwargs={"trace": campaign, "num_nodes": eval_nodes},
+        rounds=1,
+        iterations=1,
+    )
+    record_artifact("e6_wait_by_class", out.text)
+    rows = {row["strategy"]: row for row in out.rows}
+    base = rows["easy_backfill"]
+    shared = rows["shared_backfill"]
+    wait_columns = [key for key in base if key.startswith("wait_h")]
+    assert wait_columns
+    # Sharing reduces the average wait across size classes overall.
+    total_base = sum(base[c] for c in wait_columns)
+    total_shared = sum(shared[c] for c in wait_columns)
+    assert total_shared < total_base

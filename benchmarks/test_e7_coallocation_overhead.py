@@ -1,0 +1,15 @@
+"""E7 — Fig. 4: overhead of the co-allocation mechanism.
+
+Paper claim: "no overhead when using co-allocation".  A lone job on
+shared-opened nodes must run exactly as fast as on exclusive nodes.
+"""
+
+from repro.analysis.experiments import e7_coallocation_overhead
+
+
+def test_e7_coallocation_overhead(benchmark, record_artifact):
+    out = benchmark(e7_coallocation_overhead)
+    record_artifact("e7_coallocation_overhead", out.text)
+    assert len(out.rows) == 8
+    for row in out.rows:
+        assert abs(row["overhead_%"]) < 1e-9, row["app"]

@@ -1,0 +1,22 @@
+"""E8 — Fig. 5: sensitivity to the shareable-job fraction."""
+
+from repro.analysis.experiments import e8_share_fraction_sweep
+
+
+def test_e8_share_fraction_sweep(benchmark, record_artifact):
+    out = benchmark.pedantic(
+        e8_share_fraction_sweep,
+        kwargs={"fractions": (0.0, 0.25, 0.5, 0.75, 1.0)},
+        rounds=1,
+        iterations=1,
+    )
+    record_artifact("e8_share_fraction_sweep", out.text)
+    gains = [row["comp_eff_gain_%"] for row in out.rows]
+    coverage = [row["shared_nodes"] for row in out.rows]
+    # Zero shareable jobs -> no gain; full opt-in -> the largest gain.
+    assert abs(gains[0]) < 1.0
+    assert gains[-1] == max(gains)
+    assert gains[-1] > 8.0
+    # Sharing coverage grows with the shareable fraction.
+    assert coverage[0] == 0.0
+    assert coverage[-1] == max(coverage)

@@ -1,0 +1,17 @@
+"""E9 — ablation: pairing-aware vs pairing-oblivious co-allocation."""
+
+from repro.analysis.experiments import e9_pairing_ablation
+
+
+def test_e9_pairing_ablation(benchmark, record_artifact):
+    out = benchmark.pedantic(e9_pairing_ablation, rounds=1, iterations=1)
+    record_artifact("e9_pairing_ablation", out.text)
+    rows = {row["variant"]: row for row in out.rows}
+    aware = rows["pairing-aware"]
+    oblivious = rows["pairing-oblivious"]
+    # Both beat exclusive, but interference knowledge adds value:
+    # better computational efficiency and less dilation.
+    assert aware["comp_eff_gain_%"] > 0.0
+    assert oblivious["comp_eff_gain_%"] > 0.0
+    assert aware["comp_eff"] >= oblivious["comp_eff"] - 1e-9
+    assert aware["mean_shared_dilation"] <= oblivious["mean_shared_dilation"] + 0.02

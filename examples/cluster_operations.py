@@ -1,0 +1,61 @@
+"""Operator's view: reservations, cancellations and CLI-style output.
+
+Demonstrates the SLURM-substrate features beyond pure scheduling:
+a maintenance reservation (best-effort drain window), an ``scancel``
+of a queued job, and the squeue/sinfo/sacct-style views, on a small
+shared-backfill cluster.
+
+Run:  python examples/cluster_operations.py
+"""
+
+import numpy as np
+
+from repro import Cluster, Reservation, SchedulerConfig, WorkloadManager
+from repro.slurm.formats import sacct, sinfo, squeue
+from repro.workload.trinity import TrinityWorkloadGenerator
+
+NODES = 16
+
+
+def main() -> None:
+    rng = np.random.default_rng(21)
+    trace = TrinityWorkloadGenerator(
+        share_obeys_app=False, share_fraction=0.9, offered_load=1.6
+    ).generate(num_jobs=40, cluster_nodes=NODES, rng=rng)
+
+    cluster = Cluster.homogeneous(NODES)
+    manager = WorkloadManager(
+        cluster, config=SchedulerConfig(strategy="shared_backfill")
+    )
+    manager.load(trace)
+
+    # Maintenance on a quarter of the machine, one simulated hour in.
+    maintenance = Reservation(
+        name="fw-update", start=3600.0, end=3 * 3600.0, num_nodes=NODES // 4
+    )
+    manager.add_reservation(maintenance)
+
+    # A user cancels their queued job after two hours.
+    victim = trace[len(trace) // 2]
+    manager.cancel_job(victim.job_id, at=2 * 3600.0)
+
+    # Pause mid-campaign and inspect state the way an operator would.
+    manager.run(until=2 * 3600.0 + 1.0)
+    print(f"--- t = {manager.sim.now / 3600:.2f} h ---")
+    print(sinfo(manager))
+    print()
+    print(squeue(manager, max_rows=15))
+    print()
+    print(f"{maintenance}: granted {maintenance.active_granted} nodes, "
+          f"shortfall {maintenance.shortfall}")
+
+    # Run to completion and show the accounting tail.
+    result = manager.run()
+    print(f"\n--- done at t = {result.makespan / 3600:.2f} h ---")
+    print(sacct(result.accounting, max_rows=12))
+    cancelled = [r for r in result.accounting if r.state.name == "CANCELLED"]
+    print(f"\ncancelled jobs: {[r.job_id for r in cancelled]}")
+
+
+if __name__ == "__main__":
+    main()

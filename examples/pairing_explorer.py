@@ -1,0 +1,53 @@
+"""Explore the mini-app co-run pairing structure.
+
+Prints the pairwise throughput matrix, each app's best partner, the
+compatibility list at the default threshold, and a what-if: how the
+compatible-pair landscape shifts when the SMT headroom calibration
+changes — the knob DESIGN.md calls out for ablation.
+
+Run:  python examples/pairing_explorer.py
+"""
+
+from repro import InterferenceModel, ModelParams, PairingMatrix
+from repro.miniapps.suite import suite_profiles
+
+
+def describe(matrix: PairingMatrix, threshold: float = 1.1) -> None:
+    print(matrix.format_table("throughput"))
+    print()
+    print(f"{'app':>8}  best partner      combined")
+    for name in matrix.names:
+        partner, throughput = matrix.best_partner(name)
+        print(f"{name:>8}  {partner:<16} {throughput:8.3f}")
+    compatible = [
+        (a, b, matrix.throughput_of(a, b))
+        for i, a in enumerate(matrix.names)
+        for b in matrix.names[i:]
+        if matrix.compatible(a, b, threshold)
+    ]
+    incompatible = [
+        (a, b, matrix.throughput_of(a, b))
+        for i, a in enumerate(matrix.names)
+        for b in matrix.names[i:]
+        if not matrix.compatible(a, b, threshold)
+    ]
+    print(f"\ncompatible pairs at threshold {threshold}: {len(compatible)}")
+    print("rejected pairs:")
+    for a, b, t in sorted(incompatible, key=lambda x: x[2]):
+        print(f"  {a:>8} + {b:<8} {t:6.3f}")
+
+
+def main() -> None:
+    print("=== calibrated model (defaults) ===")
+    describe(PairingMatrix(suite_profiles()))
+
+    print("\n=== what-if: no SMT headroom (eps = 0) ===")
+    params = ModelParams(smt_headroom=0.0)
+    matrix = PairingMatrix(suite_profiles(), InterferenceModel(params))
+    print(f"mean compatible-pair gain: {matrix.mean_pair_gain():.3f} "
+          f"(defaults: {PairingMatrix(suite_profiles()).mean_pair_gain():.3f})")
+    describe(matrix)
+
+
+if __name__ == "__main__":
+    main()

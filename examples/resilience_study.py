@@ -1,0 +1,68 @@
+"""Resilience study: node failures and the sharing blast radius.
+
+Runs the same campaign under exclusive EASY backfill and shared
+backfill while injecting node failures at increasing rates, and shows
+the trade-off experiment E20 quantifies: a shared node's failure
+discards two jobs' progress, so sharing's efficiency edge narrows —
+and at extreme failure rates inverts.
+
+Run:  python examples/resilience_study.py
+"""
+
+import numpy as np
+
+from repro import (
+    Cluster,
+    FailureModel,
+    MetricsCollector,
+    SchedulerConfig,
+    WorkloadManager,
+    summarize,
+)
+from repro.workload.trinity import TrinityWorkloadGenerator
+
+NODES = 48
+
+
+def run(trace, strategy: str, mtbf_hours: float):
+    cluster = Cluster.homogeneous(NODES)
+    manager = WorkloadManager(
+        cluster,
+        config=SchedulerConfig(strategy=strategy),
+        collector=MetricsCollector(cluster),
+    )
+    manager.load(trace)
+    if mtbf_hours != float("inf"):
+        manager.enable_failures(
+            FailureModel(mtbf_node_hours=mtbf_hours, repair_hours=3.0),
+            seed=99,
+        )
+    result = manager.run()
+    lost = sum(r.lost_work * r.num_nodes for r in result.accounting) / 3600.0
+    return result, summarize(result), manager, lost
+
+
+def main() -> None:
+    rng = np.random.default_rng(17)
+    trace = TrinityWorkloadGenerator(
+        share_obeys_app=False, share_fraction=0.85, offered_load=1.4
+    ).generate(num_jobs=150, cluster_nodes=NODES, rng=rng)
+
+    print(f"{'MTBF/node':>10} {'strategy':>16} {'makespan':>9} "
+          f"{'comp_eff':>8} {'fails':>5} {'requeues':>8} {'lost nh':>8}")
+    for mtbf in (float("inf"), 2000.0, 500.0):
+        for strategy in ("easy_backfill", "shared_backfill"):
+            _, summary, manager, lost = run(trace, strategy, mtbf)
+            label = "none" if mtbf == float("inf") else f"{mtbf:.0f}h"
+            print(f"{label:>10} {strategy:>16} "
+                  f"{summary.makespan / 3600:8.1f}h "
+                  f"{summary.computational_efficiency:8.3f} "
+                  f"{manager.failures_injected:5d} "
+                  f"{manager.jobs_requeued:8d} {lost:8.1f}")
+    print("\nNote how the shared strategy loses more work per failure "
+          "(two jobs per node), narrowing its efficiency lead as "
+          "failures intensify — experiment E20 sweeps this properly.")
+
+
+if __name__ == "__main__":
+    main()

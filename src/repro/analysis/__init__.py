@@ -1,0 +1,76 @@
+"""Experiment drivers (substrate S10).
+
+One function per reproduced table/figure — see DESIGN.md §2 for the
+experiment index and EXPERIMENTS.md for paper-vs-measured results.
+Benchmarks under ``benchmarks/`` are thin wrappers that time and print
+these drivers.
+"""
+
+from repro.analysis.calibration import (
+    calibration_summary,
+    calibration_table,
+    pair_breakdown,
+)
+from repro.analysis.experiments import (
+    default_campaign,
+    e1_miniapp_table,
+    e2_pairing_matrix,
+    e3_headline,
+    e4_utilization_timeline,
+    e5_throughput_curves,
+    e6_wait_by_class,
+    e7_coallocation_overhead,
+    e8_share_fraction_sweep,
+    e9_pairing_ablation,
+    e10_threshold_sweep,
+    e12_swf_replay,
+    e13_cluster_scaling,
+    e14_walltime_accuracy,
+    e15_offered_load_sweep,
+    e16_topology_ablation,
+    e17_energy,
+    e18_diurnal_workload,
+    e19_replicated_headline,
+    e20_failure_resilience,
+    e21_walltime_prediction,
+    e22_sharing_mode_comparison,
+)
+from repro.analysis.stats import (
+    IntervalEstimate,
+    confidence_interval,
+    replicate_gains,
+)
+from repro.analysis.sweep import compare_strategies, run_one
+
+__all__ = [
+    "IntervalEstimate",
+    "calibration_summary",
+    "calibration_table",
+    "compare_strategies",
+    "default_campaign",
+    "e1_miniapp_table",
+    "e2_pairing_matrix",
+    "e3_headline",
+    "e4_utilization_timeline",
+    "e5_throughput_curves",
+    "e6_wait_by_class",
+    "e7_coallocation_overhead",
+    "e8_share_fraction_sweep",
+    "e9_pairing_ablation",
+    "e10_threshold_sweep",
+    "e12_swf_replay",
+    "e13_cluster_scaling",
+    "e14_walltime_accuracy",
+    "e15_offered_load_sweep",
+    "e16_topology_ablation",
+    "e17_energy",
+    "e18_diurnal_workload",
+    "e19_replicated_headline",
+    "e20_failure_resilience",
+    "e21_walltime_prediction",
+    "e22_sharing_mode_comparison",
+    "confidence_interval",
+    "pair_breakdown",
+    "replicate_gains",
+    "run_one",
+]

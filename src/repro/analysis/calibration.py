@@ -1,0 +1,115 @@
+"""Interference-model calibration summary.
+
+DESIGN.md §0 records that mini-app profiles are calibrated rather than
+measured.  This module makes the calibration inspectable: it
+decomposes each pair's co-run speed into the three mechanism factors
+(SMT issue slots, memory bandwidth, cache) and summarises the pairing
+landscape, so changes to the model parameters are reviewable as a
+table instead of a diff of magic numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.interference.contention import cache_factor, membw_factor
+from repro.interference.matrix import PairingMatrix
+from repro.interference.model import InterferenceModel, ModelParams
+from repro.interference.profile import ResourceProfile
+from repro.interference.smt import smt_core_factor
+from repro.metrics.report import format_table
+from repro.miniapps.suite import suite_profiles
+
+
+@dataclass(frozen=True)
+class PairBreakdown:
+    """Mechanism decomposition of one ordered co-run pair."""
+
+    app: str
+    co_runner: str
+    core_factor: float
+    membw_factor: float
+    cache_factor: float
+    speed: float
+
+    @property
+    def binding_mechanism(self) -> str:
+        factors = {
+            "smt": self.core_factor,
+            "membw": self.membw_factor,
+            "cache": self.cache_factor,
+        }
+        return min(factors, key=factors.__getitem__)
+
+
+def pair_breakdown(
+    a: ResourceProfile, b: ResourceProfile, params: ModelParams | None = None
+) -> PairBreakdown:
+    """Decompose the speed of *a* against co-runner *b*."""
+    p = params or ModelParams()
+    core = smt_core_factor(
+        a.core_demand, b.core_demand,
+        smt_headroom=p.smt_headroom, corun_ceiling=p.corun_ceiling,
+    )
+    membw = membw_factor(a.membw_demand, b.membw_demand, capacity=p.membw_capacity)
+    cache = cache_factor(a.cache_footprint, b.cache_footprint, penalty=p.cache_penalty)
+    return PairBreakdown(
+        app=a.name,
+        co_runner=b.name,
+        core_factor=core,
+        membw_factor=membw,
+        cache_factor=cache,
+        speed=max(p.min_speed, core * membw * cache),
+    )
+
+
+def calibration_summary(
+    params: ModelParams | None = None, threshold: float = 1.1
+) -> dict[str, float]:
+    """One-number-per-property summary of the pairing landscape."""
+    profiles = suite_profiles()
+    matrix = PairingMatrix(profiles, InterferenceModel(params))
+    n = len(matrix.names)
+    pair_values = [
+        matrix.throughput[i, j] for i in range(n) for j in range(i, n)
+    ]
+    compatible = [v for v in pair_values if v >= threshold]
+    return {
+        "pairs": float(len(pair_values)),
+        "compatible_pairs": float(len(compatible)),
+        "compatible_fraction": len(compatible) / len(pair_values),
+        "mean_compatible_gain": float(np.mean(compatible)) if compatible else 0.0,
+        "best_pair_gain": float(np.max(pair_values)),
+        "worst_pair_gain": float(np.min(pair_values)),
+    }
+
+
+def calibration_table(params: ModelParams | None = None) -> str:
+    """Mechanism-decomposition table over all ordered suite pairs that
+    are limited by different mechanisms (one exemplar per binding
+    mechanism, plus the best and worst pairs)."""
+    profiles = {p.name: p for p in suite_profiles()}
+    rows = []
+    for a in profiles.values():
+        for b in profiles.values():
+            breakdown = pair_breakdown(a, b, params)
+            rows.append(
+                {
+                    "app": breakdown.app,
+                    "vs": breakdown.co_runner,
+                    "smt": breakdown.core_factor,
+                    "membw": breakdown.membw_factor,
+                    "cache": breakdown.cache_factor,
+                    "speed": breakdown.speed,
+                    "binding": breakdown.binding_mechanism,
+                }
+            )
+    rows.sort(key=lambda r: r["speed"])
+    shown = rows[:5] + rows[-5:]
+    return format_table(
+        shown,
+        title="calibration: per-mechanism co-run speed decomposition "
+              "(5 worst + 5 best ordered pairs)",
+    )

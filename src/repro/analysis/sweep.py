@@ -1,0 +1,39 @@
+"""Generic strategy-comparison and parameter-sweep helpers."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence
+
+from repro.metrics.summary import ScheduleSummary, summarize
+from repro.slurm.config import SchedulerConfig
+from repro.slurm.manager import SimulationResult, run_simulation
+from repro.workload.trace import WorkloadTrace
+
+
+def run_one(
+    trace: WorkloadTrace,
+    strategy: str,
+    num_nodes: int,
+    config: SchedulerConfig | None = None,
+) -> SimulationResult:
+    """Simulate *trace* under one strategy with metrics collection."""
+    if config is None:
+        config = SchedulerConfig(strategy=strategy)
+    elif config.strategy != strategy:
+        config = replace(config, strategy=strategy)
+    return run_simulation(
+        trace, num_nodes=num_nodes, strategy=strategy, config=config
+    )
+
+
+def compare_strategies(
+    trace: WorkloadTrace,
+    strategies: Sequence[str],
+    num_nodes: int,
+    config: SchedulerConfig | None = None,
+) -> tuple[list[SimulationResult], list[ScheduleSummary]]:
+    """Run the same trace under each strategy; returns results and
+    summaries in the given strategy order."""
+    results = [run_one(trace, s, num_nodes, config) for s in strategies]
+    return results, [summarize(r) for r in results]

@@ -1,0 +1,212 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``
+    Generate a Trinity campaign (or read an SWF trace) and simulate it
+    under one strategy; prints the schedule summary and final
+    ``sacct``-style accounting.
+``compare``
+    Run the same workload under several strategies and print the
+    headline comparison table.
+``experiment``
+    Regenerate one of the paper's tables/figures by id (e1..e10, e12).
+``matrix``
+    Print the mini-app pairwise co-run matrix.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis import experiments as exp
+from repro.core.strategy import all_strategy_names
+from repro.metrics.report import format_comparison, format_table
+from repro.metrics.summary import summarize
+from repro.slurm.config import SchedulerConfig
+from repro.slurm.formats import sacct
+from repro.slurm.manager import run_simulation
+from repro.workload.swf import read_swf, read_swf_header_apps
+from repro.workload.trace import WorkloadTrace
+from repro.workload.trinity import TrinityWorkloadGenerator
+
+
+def _build_trace(args: argparse.Namespace) -> WorkloadTrace:
+    if args.swf:
+        apps = read_swf_header_apps(args.swf)
+        return read_swf(args.swf, cores_per_node=args.cores, app_names=apps)
+    rng = np.random.default_rng(args.seed)
+    generator = TrinityWorkloadGenerator(
+        share_obeys_app=False,
+        share_fraction=args.share_fraction,
+        offered_load=args.load,
+    )
+    return generator.generate(args.jobs, args.nodes, rng)
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=300, help="jobs to generate")
+    parser.add_argument("--nodes", type=int, default=128, help="cluster size")
+    parser.add_argument("--seed", type=int, default=7, help="workload RNG seed")
+    parser.add_argument(
+        "--load", type=float, default=1.5, help="offered load (>=1 keeps a queue)"
+    )
+    parser.add_argument(
+        "--share-fraction", type=float, default=0.85,
+        help="probability a job permits node sharing",
+    )
+    parser.add_argument("--swf", type=str, default="",
+                        help="replay this SWF trace instead of generating")
+    parser.add_argument("--cores", type=int, default=32,
+                        help="cores per node (SWF processor conversion)")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    trace = _build_trace(args)
+    config = SchedulerConfig(
+        strategy=args.strategy, share_threshold=args.threshold
+    )
+    result = run_simulation(
+        trace, num_nodes=args.nodes, strategy=args.strategy, config=config
+    )
+    summary = summarize(result)
+    print(format_table([summary.as_dict()], title=f"strategy: {args.strategy}"))
+    if args.sacct:
+        print()
+        print(sacct(result.accounting, max_rows=args.sacct))
+    if args.gantt:
+        from repro.metrics.gantt import render_gantt, render_sparkline
+
+        print()
+        print(render_gantt(result, max_nodes=args.gantt))
+        if result.collector is not None:
+            print()
+            print(render_sparkline(result.collector.timeline(),
+                                   peak=args.nodes))
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    trace = _build_trace(args)
+    summary = trace.summary()
+    print(format_table([summary], title=f"workload: {trace.name}"))
+    mix = trace.app_mix()
+    if mix:
+        rows = [{"app": app or "(unknown)", "jobs": count}
+                for app, count in sorted(mix.items())]
+        print()
+        print(format_table(rows, title="application mix"))
+    sizes: dict[int, int] = {}
+    for job in trace:
+        sizes[job.num_nodes] = sizes.get(job.num_nodes, 0) + 1
+    print()
+    print(format_table(
+        [{"nodes": n, "jobs": c} for n, c in sorted(sizes.items())],
+        title="size histogram",
+    ))
+    print(f"\noffered load on {args.nodes} nodes: "
+          f"{trace.offered_load(args.nodes):.3f}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    trace = _build_trace(args)
+    strategies = args.strategies or list(all_strategy_names())
+    summaries = []
+    for strategy in strategies:
+        result = run_simulation(trace, num_nodes=args.nodes, strategy=strategy)
+        summaries.append(summarize(result))
+    print(format_comparison(summaries, baseline=args.baseline))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    drivers = {
+        "e1": exp.e1_miniapp_table,
+        "e2": exp.e2_pairing_matrix,
+        "e3": exp.e3_headline,
+        "e4": exp.e4_utilization_timeline,
+        "e5": exp.e5_throughput_curves,
+        "e6": exp.e6_wait_by_class,
+        "e7": exp.e7_coallocation_overhead,
+        "e8": exp.e8_share_fraction_sweep,
+        "e9": exp.e9_pairing_ablation,
+        "e10": exp.e10_threshold_sweep,
+        "e12": exp.e12_swf_replay,
+        "e13": exp.e13_cluster_scaling,
+        "e14": exp.e14_walltime_accuracy,
+        "e15": exp.e15_offered_load_sweep,
+        "e16": exp.e16_topology_ablation,
+        "e17": exp.e17_energy,
+        "e18": exp.e18_diurnal_workload,
+        "e19": exp.e19_replicated_headline,
+        "e20": exp.e20_failure_resilience,
+        "e21": exp.e21_walltime_prediction,
+        "e22": exp.e22_sharing_mode_comparison,
+    }
+    driver = drivers.get(args.id.lower())
+    if driver is None:
+        print(f"unknown experiment {args.id!r}; choose from {sorted(drivers)}",
+              file=sys.stderr)
+        return 2
+    print(driver().text)
+    return 0
+
+
+def _cmd_matrix(args: argparse.Namespace) -> int:
+    print(exp.e2_pairing_matrix().text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Node-sharing batch-scheduling reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="simulate one strategy")
+    _add_workload_args(p_run)
+    p_run.add_argument(
+        "--strategy", choices=all_strategy_names(), default="shared_backfill"
+    )
+    p_run.add_argument("--threshold", type=float, default=1.1,
+                       help="pairing compatibility threshold")
+    p_run.add_argument("--sacct", type=int, default=0, metavar="N",
+                       help="print the first N accounting rows")
+    p_run.add_argument("--gantt", type=int, default=0, metavar="ROWS",
+                       help="render an ASCII gantt chart over ROWS nodes")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_inspect = sub.add_parser(
+        "inspect", help="characterise a workload without simulating it"
+    )
+    _add_workload_args(p_inspect)
+    p_inspect.set_defaults(func=_cmd_inspect)
+
+    p_cmp = sub.add_parser("compare", help="compare strategies on one trace")
+    _add_workload_args(p_cmp)
+    p_cmp.add_argument("--strategies", nargs="*", choices=all_strategy_names())
+    p_cmp.add_argument("--baseline", default="easy_backfill")
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper artefact")
+    p_exp.add_argument("id", help="experiment id, e.g. e3")
+    p_exp.set_defaults(func=_cmd_experiment)
+
+    p_mat = sub.add_parser("matrix", help="print the pairing matrix")
+    p_mat.set_defaults(func=_cmd_matrix)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,27 @@
+"""Cluster machine model (substrate S2).
+
+Models nodes with physical cores and 2-way SMT hardware-thread lanes,
+plus the allocation bookkeeping the node-sharing strategies need:
+
+* ``EXCLUSIVE`` — one job owns every core of the node (classic HPC
+  allocation); the second hardware-thread lane idles.
+* ``SHARED`` — up to two jobs co-allocated, each pinned to one
+  hardware-thread lane of every physical core (the paper's
+  hyper-threading oversubscription model).
+"""
+
+from repro.cluster.allocation import Allocation, AllocationKind
+from repro.cluster.machine import Cluster
+from repro.cluster.node import Node, NodeMode
+from repro.cluster.partition import Partition
+from repro.cluster.topology import Topology
+
+__all__ = [
+    "Allocation",
+    "AllocationKind",
+    "Cluster",
+    "Node",
+    "NodeMode",
+    "Partition",
+    "Topology",
+]

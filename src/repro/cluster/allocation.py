@@ -1,0 +1,64 @@
+"""Allocation records binding jobs to sets of nodes."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class AllocationKind(enum.Enum):
+    """How a job occupies its nodes."""
+
+    #: The job owns all cores of each node; no co-runner possible.
+    EXCLUSIVE = "exclusive"
+    #: The job is pinned to one SMT lane per core; a second job may
+    #: occupy the other lane of the same node.
+    SHARED = "shared"
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """An immutable record of one job's node assignment.
+
+    Attributes
+    ----------
+    job_id:
+        Identifier of the owning job.
+    node_ids:
+        The nodes granted, in cluster order.
+    kind:
+        Exclusive or shared occupancy.
+    lanes:
+        For shared allocations, the SMT lane index occupied on each
+        node (parallel to ``node_ids``).  Empty for exclusive.
+    """
+
+    job_id: int
+    node_ids: tuple[int, ...]
+    kind: AllocationKind
+    lanes: tuple[int, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.kind is AllocationKind.SHARED and len(self.lanes) != len(
+            self.node_ids
+        ):
+            raise ValueError(
+                "shared allocation must record one lane per node "
+                f"(got {len(self.lanes)} lanes for {len(self.node_ids)} nodes)"
+            )
+        if self.kind is AllocationKind.EXCLUSIVE and self.lanes:
+            raise ValueError("exclusive allocations carry no lane assignment")
+        if len(set(self.node_ids)) != len(self.node_ids):
+            raise ValueError(f"duplicate node ids in allocation: {self.node_ids}")
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.node_ids)
+
+    @property
+    def is_shared(self) -> bool:
+        return self.kind is AllocationKind.SHARED
+
+    def __str__(self) -> str:
+        nodes = ",".join(map(str, self.node_ids))
+        return f"job {self.job_id}: {self.kind.value} nodes[{nodes}]"

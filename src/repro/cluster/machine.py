@@ -1,0 +1,210 @@
+"""The cluster: a collection of nodes plus allocation bookkeeping.
+
+The cluster validates and applies :class:`~repro.cluster.allocation.
+Allocation` records and answers the occupancy queries strategies need
+(free nodes, joinable shared lanes, a job's node set).  It deliberately
+knows nothing about jobs beyond their integer ids.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.cluster.allocation import Allocation, AllocationKind
+from repro.cluster.node import Node, NodeMode
+from repro.cluster.topology import Topology
+from repro.errors import AllocationError
+
+
+class Cluster:
+    """A fixed set of compute nodes.
+
+    Parameters
+    ----------
+    nodes:
+        The node objects, whose ``node_id`` must equal their index.
+    name:
+        Cosmetic label used in reports.
+    """
+
+    def __init__(self, nodes: Iterable[Node], name: str = "cluster"):
+        self.nodes: list[Node] = list(nodes)
+        self.name = name
+        for index, node in enumerate(self.nodes):
+            if node.node_id != index:
+                raise AllocationError(
+                    f"node at position {index} has node_id={node.node_id}; "
+                    f"ids must be dense indices"
+                )
+        self._allocations: dict[int, Allocation] = {}
+        self.topology = Topology.from_nodes(self.nodes)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def homogeneous(
+        cls,
+        num_nodes: int,
+        cores: int = 32,
+        memory_mb: int = 128_000,
+        nodes_per_rack: int = 16,
+        name: str = "cluster",
+    ) -> "Cluster":
+        """Build a uniform cluster (the evaluation configuration)."""
+        if num_nodes <= 0:
+            raise AllocationError(f"cluster needs at least one node, got {num_nodes}")
+        nodes = [
+            Node(
+                node_id=i,
+                cores=cores,
+                memory_mb=memory_mb,
+                rack=i // max(1, nodes_per_rack),
+            )
+            for i in range(num_nodes)
+        ]
+        return cls(nodes, name=name)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self.nodes)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    def node(self, node_id: int) -> Node:
+        return self.nodes[node_id]
+
+    def idle_nodes(self) -> list[Node]:
+        """Nodes with no occupants, in id order."""
+        return [n for n in self.nodes if n.is_idle]
+
+    def num_idle(self) -> int:
+        return sum(1 for n in self.nodes if n.is_idle)
+
+    def joinable_nodes(self) -> list[Node]:
+        """Shared nodes with a free SMT lane, in id order."""
+        return [n for n in self.nodes if n.has_free_lane]
+
+    def allocation_of(self, job_id: int) -> Allocation:
+        alloc = self._allocations.get(job_id)
+        if alloc is None:
+            raise AllocationError(f"job {job_id} holds no allocation")
+        return alloc
+
+    def has_allocation(self, job_id: int) -> bool:
+        return job_id in self._allocations
+
+    def running_job_ids(self) -> list[int]:
+        return sorted(self._allocations)
+
+    def nodes_of(self, job_id: int) -> list[Node]:
+        return [self.nodes[i] for i in self.allocation_of(job_id).node_ids]
+
+    def co_runners_of(self, job_id: int) -> dict[int, int | None]:
+        """Map ``node_id -> co-runner job id (or None)`` for a job."""
+        return {
+            node.node_id: node.co_runner_of(job_id)
+            for node in self.nodes_of(job_id)
+        }
+
+    def jobs_sharing_with(self, job_id: int) -> set[int]:
+        """Distinct co-runner job ids across all of a job's nodes."""
+        return {
+            other
+            for other in self.co_runners_of(job_id).values()
+            if other is not None
+        }
+
+    def utilization_cores(self) -> float:
+        """Fraction of physical cores currently claimed by any job.
+
+        Exclusive and shared occupancy both claim every core of a node
+        (sharing packs two jobs onto the same cores, which is exactly
+        the point); an idle second lane of a shared node does not add
+        capacity, so a shared node with one occupant counts like an
+        exclusive node.
+        """
+        total = sum(n.cores for n in self.nodes)
+        busy = sum(n.cores for n in self.nodes if not n.is_idle)
+        return busy / total if total else 0.0
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def allocate(self, allocation: Allocation) -> Allocation:
+        """Apply *allocation*, enforcing occupancy invariants.
+
+        For shared allocations the recorded ``lanes`` are assigned by
+        the nodes, so callers build the record with
+        :meth:`build_shared` / :meth:`build_exclusive` instead of
+        hand-rolling lane indices.
+        """
+        if allocation.job_id in self._allocations:
+            raise AllocationError(f"job {allocation.job_id} is already allocated")
+        granted: list[int] = []
+        try:
+            if allocation.kind is AllocationKind.EXCLUSIVE:
+                for node_id in allocation.node_ids:
+                    self.nodes[node_id].allocate_exclusive(allocation.job_id)
+                    granted.append(node_id)
+                final = allocation
+            else:
+                lanes: list[int] = []
+                for node_id in allocation.node_ids:
+                    lanes.append(self.nodes[node_id].allocate_shared(allocation.job_id))
+                    granted.append(node_id)
+                final = Allocation(
+                    job_id=allocation.job_id,
+                    node_ids=allocation.node_ids,
+                    kind=AllocationKind.SHARED,
+                    lanes=tuple(lanes),
+                )
+        except AllocationError:
+            # Roll back partial grants so a failed allocation leaves the
+            # cluster untouched.
+            for node_id in granted:
+                self.nodes[node_id].release(allocation.job_id)
+            raise
+        self._allocations[final.job_id] = final
+        return final
+
+    def build_exclusive(self, job_id: int, node_ids: Iterable[int]) -> Allocation:
+        return Allocation(
+            job_id=job_id, node_ids=tuple(node_ids), kind=AllocationKind.EXCLUSIVE
+        )
+
+    def build_shared(self, job_id: int, node_ids: Iterable[int]) -> Allocation:
+        ids = tuple(node_ids)
+        # Placeholder lanes; Cluster.allocate() records the real ones.
+        return Allocation(
+            job_id=job_id,
+            node_ids=ids,
+            kind=AllocationKind.SHARED,
+            lanes=tuple(0 for _ in ids),
+        )
+
+    def release(self, job_id: int) -> Allocation:
+        """Free every node held by *job_id*; returns the old record."""
+        allocation = self.allocation_of(job_id)
+        for node_id in allocation.node_ids:
+            self.nodes[node_id].release(job_id)
+        del self._allocations[job_id]
+        return allocation
+
+    def reset(self) -> None:
+        """Release everything (used between simulation runs)."""
+        for job_id in list(self._allocations):
+            self.release(job_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Cluster({self.name!r}, nodes={self.num_nodes}, "
+            f"idle={self.num_idle()}, jobs={len(self._allocations)})"
+        )

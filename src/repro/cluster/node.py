@@ -1,0 +1,172 @@
+"""A single compute node with 2-way SMT occupancy semantics.
+
+Invariants enforced here (and property-tested in the suite):
+
+* An ``EXCLUSIVE`` node hosts exactly one job.
+* A ``SHARED`` node hosts one or two jobs, on distinct SMT lanes.
+* A job never occupies the same node twice.
+* Releasing the last occupant returns the node to ``IDLE`` and clears
+  its sharing mode — a node's mode is a property of its *current*
+  occupancy, not sticky state.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import AllocationError
+
+#: Number of SMT hardware-thread lanes per physical core.  The paper's
+#: mechanism is specifically two-way hyper-threading.
+SMT_LANES = 2
+
+
+class NodeMode(enum.Enum):
+    """Current occupancy regime of a node."""
+
+    IDLE = "idle"
+    EXCLUSIVE = "exclusive"
+    SHARED = "shared"
+
+
+@dataclass
+class Node:
+    """One compute node.
+
+    Parameters
+    ----------
+    node_id:
+        Dense integer identifier (index into the cluster).
+    cores:
+        Physical cores; each exposes :data:`SMT_LANES` hardware threads.
+    memory_mb:
+        Installed memory.  Shared occupants split it evenly, which the
+        admission check in the manager enforces.
+    rack:
+        Topology group used by locality-aware node selection.
+    """
+
+    node_id: int
+    cores: int = 32
+    memory_mb: int = 128_000
+    rack: int = 0
+    #: lane index -> job id, for occupied lanes.  Exclusive occupancy is
+    #: recorded as lane 0 with mode EXCLUSIVE.
+    _occupants: dict[int, int] = field(default_factory=dict, repr=False)
+    mode: NodeMode = NodeMode.IDLE
+    #: Hardware-failure flag: a down node is neither allocatable nor
+    #: idle; occupants must be evicted before marking a node down.
+    down: bool = False
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def is_idle(self) -> bool:
+        """Allocatable: unoccupied and not failed."""
+        return self.mode is NodeMode.IDLE and not self.down
+
+    @property
+    def occupant_ids(self) -> tuple[int, ...]:
+        """Ids of jobs currently on the node (lane order)."""
+        return tuple(self._occupants[lane] for lane in sorted(self._occupants))
+
+    @property
+    def has_free_lane(self) -> bool:
+        """True if a shared co-runner could be placed here."""
+        return self.mode is NodeMode.SHARED and len(self._occupants) < SMT_LANES
+
+    def free_lane(self) -> int:
+        """The lowest unoccupied SMT lane index.
+
+        Raises
+        ------
+        AllocationError
+            If the node is not shared-with-a-free-lane.
+        """
+        if not self.has_free_lane:
+            raise AllocationError(f"node {self.node_id} has no free SMT lane")
+        for lane in range(SMT_LANES):
+            if lane not in self._occupants:
+                return lane
+        raise AllocationError(f"node {self.node_id} lanes inconsistent")
+
+    def hosts(self, job_id: int) -> bool:
+        return job_id in self._occupants.values()
+
+    def co_runner_of(self, job_id: int) -> int | None:
+        """The other occupant sharing the node with *job_id*, if any."""
+        if not self.hosts(job_id):
+            raise AllocationError(f"job {job_id} is not on node {self.node_id}")
+        for occupant in self._occupants.values():
+            if occupant != job_id:
+                return occupant
+        return None
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def mark_down(self) -> None:
+        """Take the node out of service (must be unoccupied)."""
+        if self._occupants:
+            raise AllocationError(
+                f"node {self.node_id} still hosts {self.occupant_ids}; "
+                f"evict occupants before marking it down"
+            )
+        self.down = True
+
+    def mark_up(self) -> None:
+        """Return a repaired node to service."""
+        self.down = False
+
+    def allocate_exclusive(self, job_id: int) -> None:
+        """Grant the whole node to *job_id*."""
+        if self.down:
+            raise AllocationError(f"node {self.node_id} is down")
+        if self.mode is not NodeMode.IDLE:
+            raise AllocationError(
+                f"node {self.node_id} is {self.mode.value}; "
+                f"exclusive allocation requires an idle node"
+            )
+        self._occupants[0] = job_id
+        self.mode = NodeMode.EXCLUSIVE
+
+    def allocate_shared(self, job_id: int) -> int:
+        """Place *job_id* on a free SMT lane; returns the lane index.
+
+        Opening an idle node as shared and joining an existing shared
+        node are both valid; joining an exclusive node is not.
+        """
+        if self.down:
+            raise AllocationError(f"node {self.node_id} is down")
+        if self.mode is NodeMode.EXCLUSIVE:
+            raise AllocationError(
+                f"node {self.node_id} is exclusively allocated; cannot share"
+            )
+        if self.hosts(job_id):
+            raise AllocationError(
+                f"job {job_id} already occupies node {self.node_id}"
+            )
+        if self.mode is NodeMode.SHARED and len(self._occupants) >= SMT_LANES:
+            raise AllocationError(f"node {self.node_id} shared lanes are full")
+        lane = 0
+        while lane in self._occupants:
+            lane += 1
+        self._occupants[lane] = job_id
+        self.mode = NodeMode.SHARED
+        return lane
+
+    def release(self, job_id: int) -> None:
+        """Remove *job_id* from the node."""
+        for lane, occupant in list(self._occupants.items()):
+            if occupant == job_id:
+                del self._occupants[lane]
+                if not self._occupants:
+                    self.mode = NodeMode.IDLE
+                return
+        raise AllocationError(f"job {job_id} is not on node {self.node_id}")
+
+    def __str__(self) -> str:
+        occ = ",".join(map(str, self.occupant_ids)) or "-"
+        return f"node{self.node_id}[{self.mode.value}:{occ}]"

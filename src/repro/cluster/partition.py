@@ -1,0 +1,78 @@
+"""SLURM-style partitions: named subsets of nodes with limits.
+
+The evaluation uses a single partition, but the substrate supports the
+usual multi-partition setup (e.g. ``regular`` + ``debug``) so admission
+limits and per-partition sharing policy can be tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A named node range with admission limits.
+
+    Parameters
+    ----------
+    name:
+        Partition name jobs target (cf. ``sbatch -p``).
+    node_ids:
+        Member nodes.
+    max_nodes_per_job:
+        Upper bound on a single job's node request (0 = unlimited).
+    max_walltime:
+        Upper bound on requested walltime in seconds (0 = unlimited).
+    allow_sharing:
+        Whether node-sharing placements are permitted here.  Mirrors
+        SLURM's per-partition ``OverSubscribe`` setting.
+    """
+
+    name: str
+    node_ids: tuple[int, ...]
+    max_nodes_per_job: int = 0
+    max_walltime: float = 0.0
+    allow_sharing: bool = True
+    default: bool = False
+    _members: frozenset[int] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.node_ids:
+            raise ConfigError(f"partition {self.name!r} has no nodes")
+        if len(set(self.node_ids)) != len(self.node_ids):
+            raise ConfigError(f"partition {self.name!r} lists duplicate nodes")
+        object.__setattr__(self, "_members", frozenset(self.node_ids))
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.node_ids)
+
+    def contains(self, node_id: int) -> bool:
+        return node_id in self._members
+
+    def admits(self, num_nodes: int, walltime: float) -> tuple[bool, str]:
+        """Check a request against this partition's limits.
+
+        Returns ``(ok, reason)`` where *reason* explains a rejection.
+        """
+        if num_nodes <= 0:
+            return False, "request must ask for at least one node"
+        if num_nodes > self.num_nodes:
+            return False, (
+                f"request for {num_nodes} nodes exceeds partition size "
+                f"{self.num_nodes}"
+            )
+        if self.max_nodes_per_job and num_nodes > self.max_nodes_per_job:
+            return False, (
+                f"request for {num_nodes} nodes exceeds per-job limit "
+                f"{self.max_nodes_per_job}"
+            )
+        if self.max_walltime and walltime > self.max_walltime:
+            return False, (
+                f"walltime {walltime:.0f}s exceeds partition limit "
+                f"{self.max_walltime:.0f}s"
+            )
+        return True, ""

@@ -1,0 +1,51 @@
+"""Scheduling strategies — the paper's contribution plus baselines.
+
+Baselines (exclusive node allocation):
+
+* :class:`~repro.core.fcfs.FcfsStrategy` — strict priority order,
+  blocks at the first job that does not fit.
+* :class:`~repro.core.first_fit.FirstFitStrategy` — scans the whole
+  queue, starting anything that fits.
+* :class:`~repro.core.easy_backfill.EasyBackfillStrategy` — EASY:
+  reservation for the head job, aggressive backfilling behind it.
+* :class:`~repro.core.conservative.ConservativeBackfillStrategy` —
+  reservations for every queued job.
+
+Node-sharing extensions (the contribution):
+
+* :class:`~repro.core.shared_first_fit.SharedFirstFitStrategy`
+* :class:`~repro.core.shared_backfill.SharedBackfillStrategy`
+* :class:`~repro.core.shared_conservative.SharedConservativeStrategy`
+
+each of which may co-allocate a shareable job into the free SMT lanes
+of *compatible* running jobs (pairing decided by
+:class:`~repro.core.pairing.PairingPolicy`), or open idle nodes in
+shared mode so later jobs can join.
+"""
+
+from repro.core.conservative import ConservativeBackfillStrategy
+from repro.core.easy_backfill import EasyBackfillStrategy
+from repro.core.fcfs import FcfsStrategy
+from repro.core.first_fit import FirstFitStrategy
+from repro.core.pairing import PairingPolicy
+from repro.core.selector import AvailabilityView
+from repro.core.shared_backfill import SharedBackfillStrategy
+from repro.core.shared_conservative import SharedConservativeStrategy
+from repro.core.shared_first_fit import SharedFirstFitStrategy
+from repro.core.strategy import Placement, ScheduleContext, Strategy, make_strategy
+
+__all__ = [
+    "AvailabilityView",
+    "ConservativeBackfillStrategy",
+    "EasyBackfillStrategy",
+    "FcfsStrategy",
+    "FirstFitStrategy",
+    "PairingPolicy",
+    "Placement",
+    "ScheduleContext",
+    "SharedBackfillStrategy",
+    "SharedConservativeStrategy",
+    "SharedFirstFitStrategy",
+    "Strategy",
+    "make_strategy",
+]

@@ -1,0 +1,28 @@
+"""First-come-first-served (strict priority order) baseline.
+
+The simplest policy a batch system can run: walk the queue in priority
+order and stop at the first job that does not fit.  No backfilling, no
+sharing — the floor every other strategy is measured against.
+"""
+
+from __future__ import annotations
+
+from repro.core.placement import place_exclusive
+from repro.core.selector import AvailabilityView
+from repro.core.strategy import Placement, ScheduleContext, Strategy
+
+
+class FcfsStrategy(Strategy):
+    """Exclusive FCFS."""
+
+    name = "fcfs"
+
+    def schedule(self, ctx: ScheduleContext) -> list[Placement]:
+        view = ctx.view = AvailabilityView(ctx)
+        placements: list[Placement] = []
+        for job in ctx.pending:
+            placement = place_exclusive(job, view)
+            if placement is None:
+                break  # head-of-line blocking: FCFS never skips
+            placements.append(placement)
+        return placements

@@ -1,0 +1,32 @@
+"""First-fit baseline.
+
+Walks the whole queue in priority order and starts *any* job that
+fits on the currently idle nodes — the classic first-fit list
+scheduler.  Improves utilisation over FCFS at the price of possible
+starvation of wide jobs (no reservation protects the queue head);
+the age priority factor is the only mitigation, exactly the trade-off
+the backfill literature documents.
+"""
+
+from __future__ import annotations
+
+from repro.core.placement import place_exclusive
+from repro.core.selector import AvailabilityView
+from repro.core.strategy import Placement, ScheduleContext, Strategy
+
+
+class FirstFitStrategy(Strategy):
+    """Exclusive first-fit over the whole queue."""
+
+    name = "first_fit"
+
+    def schedule(self, ctx: ScheduleContext) -> list[Placement]:
+        view = ctx.view = AvailabilityView(ctx)
+        placements: list[Placement] = []
+        for job in ctx.pending:
+            placement = place_exclusive(job, view)
+            if placement is not None:
+                placements.append(placement)
+            if view.idle_count == 0:
+                break
+        return placements

@@ -1,0 +1,84 @@
+"""Co-allocation pairing policy.
+
+Decides whether two applications should share a node, and ranks
+candidate partners.  The *aware* policy consults the interference
+model: a pair qualifies when the combined throughput clears a
+threshold **and** neither side dilates beyond the walltime grace —
+the second condition is what lets the shared strategies promise that
+sharing never walltime-kills a job the scheduler itself slowed down.
+
+The *oblivious* variant accepts every pair (subject only to the
+dilation bound being ignored as well); it exists for ablation E9,
+quantifying how much of the gain comes from pairing knowledge rather
+than from sharing as such.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.interference.model import InterferenceModel
+from repro.interference.profile import ResourceProfile
+
+
+@dataclass
+class PairingPolicy:
+    """Compatibility predicate + partner ranking.
+
+    Parameters
+    ----------
+    model:
+        The interference model used for predictions.
+    threshold:
+        Minimum combined throughput (job-units per node-second) for a
+        pair to be worth co-allocating; 1.0 would accept anything not
+        strictly worse than an exclusive node, the default 1.1 demands
+        a 10 % gain (leaving margin for model error, as the paper's
+        offline-measured pairing lists do).
+    max_dilation:
+        Upper bound on either job's predicted dilation; must not
+        exceed the manager's walltime grace.
+    oblivious:
+        Accept all pairs regardless of predictions (ablation mode).
+    """
+
+    model: InterferenceModel
+    threshold: float = 1.1
+    max_dilation: float = 2.0
+    oblivious: bool = False
+
+    def __post_init__(self) -> None:
+        if self.threshold < 0:
+            raise ConfigError(f"threshold must be >= 0, got {self.threshold}")
+        if self.max_dilation < 1.0:
+            raise ConfigError(
+                f"max_dilation must be >= 1.0, got {self.max_dilation}"
+            )
+
+    def compatible(self, a: ResourceProfile, b: ResourceProfile) -> bool:
+        """Should applications *a* and *b* share a node?"""
+        if self.oblivious:
+            return True
+        speed_a = self.model.speed(a, b)
+        speed_b = self.model.speed(b, a)
+        if speed_a + speed_b < self.threshold:
+            return False
+        min_speed = 1.0 / self.max_dilation
+        return speed_a >= min_speed and speed_b >= min_speed
+
+    def score(self, a: ResourceProfile, b: ResourceProfile) -> float:
+        """Ranking key for candidate partners (higher is better).
+
+        Oblivious mode still needs a deterministic order, so it scores
+        everything equally.
+        """
+        if self.oblivious:
+            return 1.0
+        return self.model.pair_throughput(a, b)
+
+    def predicted_speed(
+        self, a: ResourceProfile, b: ResourceProfile | None
+    ) -> float:
+        """Predicted speed of *a* against co-runner *b* (None = alone)."""
+        return self.model.speed(a, b)

@@ -1,0 +1,146 @@
+"""Availability tracking and node selection within one scheduler pass.
+
+Strategies place several jobs per pass; each placement consumes idle
+nodes or sharing capacity.  :class:`AvailabilityView` mirrors cluster
+availability at pass start and is updated as the strategy commits
+placements, so the resulting placement list applies cleanly.
+
+Sharing capacity is exposed as **resident groups**, not individual
+lanes.  Because jobs are bulk-synchronous (a job runs at the speed of
+its slowest node), partially sharing a resident's nodes slows the
+resident on *all* of its nodes while adding capacity on only some —
+a net loss.  Profitable co-allocation therefore requires the joiner
+to cover each joined resident's node set completely (the paper pairs
+jobs over coinciding node sets).  A group is a running shared job all
+of whose nodes still have a free SMT lane; joiners take whole groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import SchedulingError
+from repro.interference.profile import ResourceProfile
+from repro.slurm.job import Job
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.strategy import ScheduleContext
+
+
+@dataclass(frozen=True)
+class ResidentGroup:
+    """A joinable running job: its identity, profile and node set."""
+
+    job: Job
+    profile: ResourceProfile
+    node_ids: tuple[int, ...]
+
+    @property
+    def size(self) -> int:
+        return len(self.node_ids)
+
+
+class AvailabilityView:
+    """Mutable availability snapshot for one scheduling pass."""
+
+    def __init__(self, ctx: "ScheduleContext") -> None:
+        self._ctx = ctx
+        cluster = ctx.cluster
+        #: Idle node ids, ascending (first-fit order == node order,
+        #: which is also what SLURM's linear selector does).
+        self.idle: list[int] = [n.node_id for n in cluster.idle_nodes()]
+        #: Joinable resident groups keyed by resident job id.
+        self.groups: dict[int, ResidentGroup] = {}
+        for job in ctx.running.values():
+            allocation = job.allocation
+            if allocation is None or not allocation.is_shared:
+                continue
+            if all(
+                cluster.node(node_id).has_free_lane
+                for node_id in allocation.node_ids
+            ):
+                self.groups[job.job_id] = ResidentGroup(
+                    job=job,
+                    profile=ctx.profile_of(job),
+                    node_ids=allocation.node_ids,
+                )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def idle_count(self) -> int:
+        return len(self.idle)
+
+    @property
+    def has_groups(self) -> bool:
+        return bool(self.groups)
+
+    def joinable_groups(self, profile: ResourceProfile) -> list[ResidentGroup]:
+        """Groups whose resident is compatible with *profile*, best
+        predicted pair throughput first (stable on resident id)."""
+        pairing = self._ctx.pairing
+        candidates = [
+            group
+            for group in self.groups.values()
+            if pairing.compatible(profile, group.profile)
+        ]
+        candidates.sort(
+            key=lambda g: (-pairing.score(profile, g.profile), g.job.job_id)
+        )
+        return candidates
+
+    # ------------------------------------------------------------------
+    # Consumption
+    # ------------------------------------------------------------------
+    def take_idle(self, count: int) -> list[int]:
+        """Remove and return *count* idle nodes.
+
+        Linear mode (default) takes the lowest ids — SLURM's linear
+        selector.  Topology-aware mode greedily packs the request into
+        the racks holding the most idle nodes, minimising the racks
+        spanned (SLURM's topology plugin behaviour).
+        """
+        if count > len(self.idle):
+            raise SchedulingError(
+                f"requested {count} idle nodes, only {len(self.idle)} available"
+            )
+        if not self._ctx.topology_aware:
+            taken, self.idle = self.idle[:count], self.idle[count:]
+            return taken
+        rack_of = self._ctx.cluster.topology.rack_of
+        by_rack: dict[int, list[int]] = {}
+        for node_id in self.idle:
+            by_rack.setdefault(rack_of[node_id], []).append(node_id)
+        # Fullest racks first (ties: lowest rack id) packs the request
+        # into as few racks as a greedy pass can.
+        ordered_racks = sorted(by_rack, key=lambda r: (-len(by_rack[r]), r))
+        taken: list[int] = []
+        for rack in ordered_racks:
+            need = count - len(taken)
+            if need == 0:
+                break
+            taken.extend(by_rack[rack][:need])
+        taken_set = set(taken)
+        self.idle = [n for n in self.idle if n not in taken_set]
+        return taken
+
+    def take_group(self, group: ResidentGroup) -> None:
+        """Consume a resident group (its lanes are now committed)."""
+        if group.job.job_id not in self.groups:
+            raise SchedulingError(
+                f"group of job {group.job.job_id} is not available"
+            )
+        del self.groups[group.job.job_id]
+
+    def open_shared(
+        self, node_ids: list[int], job: Job, profile: ResourceProfile
+    ) -> None:
+        """Record that *job* opened these (formerly idle) nodes in
+        shared mode; the new group is joinable later this pass."""
+        if job.job_id in self.groups:
+            raise SchedulingError(f"job {job.job_id} already owns a group")
+        self.groups[job.job_id] = ResidentGroup(
+            job=job, profile=profile, node_ids=tuple(node_ids)
+        )

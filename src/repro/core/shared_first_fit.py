@@ -1,0 +1,37 @@
+"""Shared First-Fit — the paper's first-fit extension (contribution).
+
+Scans the whole queue in priority order, like first-fit, but a
+shareable job may additionally be placed into the free SMT lanes of
+*compatible* running jobs (co-allocation), or open idle nodes in
+shared mode so later jobs can join it.  Lanes are preferred over idle
+nodes: joining a lane consumes no idle capacity, leaving whole nodes
+for the jobs that cannot share.
+
+Non-shareable jobs are placed exclusively, exactly as in first-fit,
+so the strategy degenerates to first-fit on a workload with no
+shareable jobs — one of the "no overhead/no regression" properties
+the evaluation checks.
+"""
+
+from __future__ import annotations
+
+from repro.core.placement import place_best
+from repro.core.selector import AvailabilityView
+from repro.core.strategy import Placement, ScheduleContext, Strategy
+
+
+class SharedFirstFitStrategy(Strategy):
+    """Co-allocation-aware first-fit."""
+
+    name = "shared_first_fit"
+
+    def schedule(self, ctx: ScheduleContext) -> list[Placement]:
+        view = ctx.view = AvailabilityView(ctx)
+        placements: list[Placement] = []
+        for job in ctx.pending:
+            placement = place_best(job, ctx, view)
+            if placement is not None:
+                placements.append(placement)
+            if view.idle_count == 0 and not view.has_groups:
+                break
+        return placements

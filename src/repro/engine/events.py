@@ -1,0 +1,79 @@
+"""Event objects for the discrete-event engine.
+
+Events are ordered by ``(time, priority, seq)``.  ``seq`` is a global
+monotone counter assigned by the heap, which gives deterministic FIFO
+ordering among simultaneous events.  ``priority`` lets the workload
+manager order same-timestamp events semantically (e.g. process job
+completions before scheduler passes so freed nodes are visible).
+
+Cancellation is O(1): callers keep a reference to the event and set
+:attr:`Event.cancelled`; the heap skips cancelled entries on pop.  This
+is the standard lazy-deletion idiom and avoids O(n) heap surgery, which
+matters because every co-runner arrival/departure reschedules finish
+events.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class EventKind(enum.IntEnum):
+    """Kinds of events understood by the workload-manager layer.
+
+    The integer values double as same-timestamp tie-break priorities:
+    lower values are processed first.  Finishing jobs before starting
+    new ones (and both before a scheduler pass) reproduces the order in
+    which a real batch system observes state changes.
+    """
+
+    JOB_FINISH = 0
+    JOB_TIMEOUT = 1
+    JOB_CANCEL = 2
+    #: Reservation edges and other state checkpoints apply before new
+    #: submissions and scheduling decisions at the same instant.
+    CHECKPOINT = 3
+    JOB_SUBMIT = 4
+    SCHEDULER_PASS = 5
+    BACKFILL_PASS = 6
+    SIM_END = 7
+
+
+@dataclass(eq=False)
+class Event:
+    """A scheduled occurrence in simulated time.
+
+    Parameters
+    ----------
+    time:
+        Simulated timestamp (seconds) at which the event fires.
+    kind:
+        The :class:`EventKind` dispatched to the registered handler.
+    payload:
+        Opaque object forwarded to the handler (typically a job).
+    """
+
+    time: float
+    kind: EventKind
+    payload: Any = None
+    cancelled: bool = field(default=False, compare=False)
+    seq: int = field(default=-1, compare=False)
+    #: Set by the heap when the event is popped for dispatch; a
+    #: dispatched event can no longer be cancelled (cancelling it is a
+    #: harmless no-op, so handlers may clean up unconditionally).
+    dispatched: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; the heap will skip it on pop."""
+        self.cancelled = True
+
+    @property
+    def sort_key(self) -> tuple[float, int, int]:
+        """Ordering key: time, then kind priority, then insertion order."""
+        return (self.time, int(self.kind), self.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"Event(t={self.time:.3f}, {self.kind.name}{state}, seq={self.seq})"

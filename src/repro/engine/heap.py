@@ -1,0 +1,88 @@
+"""A binary event heap with lazy deletion.
+
+Wraps :mod:`heapq` with the engine's ordering rules and transparently
+skips cancelled events.  The heap assigns the global ``seq`` counter so
+events inserted earlier win ties — deterministic, reproducible runs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator
+
+from repro.engine.events import Event
+from repro.errors import SimulationError
+
+
+class EventHeap:
+    """Priority queue of :class:`~repro.engine.events.Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, event: Event) -> Event:
+        """Queue *event*, assigning its insertion sequence number."""
+        if event.seq != -1:
+            raise SimulationError(
+                f"event {event!r} was already pushed; events are single-use"
+            )
+        event.seq = self._seq
+        self._seq += 1
+        heapq.heappush(self._heap, (event.time, int(event.kind), event.seq, event))
+        self._live += 1
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Lazily remove *event*; it will be skipped when popped.
+
+        Cancelling an event that was already dispatched (or already
+        cancelled) is a no-op, so cleanup code need not track whether
+        the event it holds has fired.
+        """
+        if not event.cancelled and not event.dispatched:
+            event.cancel()
+            self._live -= 1
+
+    def pop(self) -> Event:
+        """Remove and return the earliest live event.
+
+        Raises
+        ------
+        SimulationError
+            If the heap holds no live events.
+        """
+        while self._heap:
+            _, _, _, event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            event.dispatched = True
+            return event
+        raise SimulationError("pop() from an empty event heap")
+
+    def peek_time(self) -> float | None:
+        """Timestamp of the next live event, or ``None`` if empty."""
+        while self._heap and self._heap[0][3].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def drain(self) -> Iterator[Event]:
+        """Yield and remove all remaining live events in order."""
+        while self:
+            yield self.pop()
+
+    def clear(self) -> None:
+        """Drop every queued event (used when resetting a simulator)."""
+        self._heap.clear()
+        self._live = 0

@@ -1,0 +1,56 @@
+"""Deterministic random-number streams.
+
+Every stochastic component of the simulator (arrival process, runtime
+noise, workload mix, ...) draws from its *own* named stream, all spawned
+from one root seed.  Adding a consumer therefore never perturbs the
+draws seen by existing consumers — a property the reproduction relies on
+when comparing strategies on the *same* generated trace.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class RngStreams:
+    """A family of independent, named :class:`numpy.random.Generator` s.
+
+    Examples
+    --------
+    >>> streams = RngStreams(seed=42)
+    >>> arrivals = streams.get("arrivals")
+    >>> runtimes = streams.get("runtimes")
+    >>> float(arrivals.random()) != float(runtimes.random())
+    True
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._root = np.random.SeedSequence(self.seed)
+        self._streams: dict[str, np.random.Generator] = {}
+
+    def get(self, name: str) -> np.random.Generator:
+        """Return the generator for *name*, creating it on first use.
+
+        The stream is derived from the root seed and a stable hash of
+        the name, so ``RngStreams(s).get(n)`` is reproducible across
+        processes and insertion orders.
+        """
+        gen = self._streams.get(name)
+        if gen is None:
+            # Derive a child seed from the root entropy plus the name's
+            # bytes: stable across runs, independent across names.
+            name_key = [b for b in name.encode("utf-8")]
+            child = np.random.SeedSequence(
+                entropy=self._root.entropy, spawn_key=tuple(name_key)
+            )
+            gen = np.random.default_rng(child)
+            self._streams[name] = gen
+        return gen
+
+    def reset(self) -> None:
+        """Forget all streams; the next :meth:`get` re-derives them."""
+        self._streams.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RngStreams(seed={self.seed}, streams={sorted(self._streams)})"

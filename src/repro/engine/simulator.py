@@ -1,0 +1,127 @@
+"""The discrete-event simulation loop.
+
+:class:`Simulator` owns the clock and the event heap and dispatches
+events to handlers registered per :class:`~repro.engine.events.EventKind`.
+It is intentionally minimal — all batch-system semantics live in
+:mod:`repro.slurm.manager`, which is just another handler client.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.engine.events import Event, EventKind
+from repro.engine.heap import EventHeap
+from repro.engine.trace import EventTrace
+from repro.errors import SimulationError
+
+Handler = Callable[["Simulator", Event], None]
+
+
+class Simulator:
+    """Single-threaded discrete-event simulator.
+
+    Parameters
+    ----------
+    trace:
+        Optional :class:`~repro.engine.trace.EventTrace` that records
+        every dispatched event for post-mortem inspection.
+    max_events:
+        Safety valve: raise :class:`~repro.errors.SimulationError` after
+        this many dispatches (guards against livelock in faulty
+        strategies).
+    """
+
+    def __init__(self, trace: EventTrace | None = None, max_events: int = 50_000_000):
+        self.now: float = 0.0
+        self.heap = EventHeap()
+        self.trace = trace
+        self.max_events = int(max_events)
+        self.events_dispatched = 0
+        self._handlers: dict[EventKind, list[Handler]] = {}
+        self._running = False
+        self._stop_requested = False
+
+    # ------------------------------------------------------------------
+    # Registration and scheduling
+    # ------------------------------------------------------------------
+    def on(self, kind: EventKind, handler: Handler) -> None:
+        """Register *handler* for events of *kind* (append order kept)."""
+        self._handlers.setdefault(kind, []).append(handler)
+
+    def schedule(self, time: float, kind: EventKind, payload: Any = None) -> Event:
+        """Queue a new event at absolute simulated *time*.
+
+        Scheduling in the past is an error: it indicates a bookkeeping
+        bug (e.g. a stale remaining-work update), never a valid policy.
+        """
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule {kind.name} at t={time:.6f} < now={self.now:.6f}"
+            )
+        return self.heap.push(Event(time=time, kind=kind, payload=payload))
+
+    def schedule_in(self, delay: float, kind: EventKind, payload: Any = None) -> Event:
+        """Queue a new event *delay* seconds from now."""
+        return self.schedule(self.now + delay, kind, payload)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event (lazy deletion)."""
+        self.heap.cancel(event)
+
+    def stop(self) -> None:
+        """Request the run loop to stop after the current event."""
+        self._stop_requested = True
+
+    # ------------------------------------------------------------------
+    # Run loop
+    # ------------------------------------------------------------------
+    def step(self) -> Event:
+        """Dispatch exactly one event and return it."""
+        event = self.heap.pop()
+        if event.time < self.now:
+            raise SimulationError(
+                f"time moved backwards: {event!r} while now={self.now:.6f}"
+            )
+        self.now = event.time
+        self.events_dispatched += 1
+        if self.events_dispatched > self.max_events:
+            raise SimulationError(
+                f"exceeded max_events={self.max_events}; likely a scheduling livelock"
+            )
+        if self.trace is not None:
+            self.trace.record(event)
+        for handler in self._handlers.get(event.kind, ()):
+            handler(self, event)
+        return event
+
+    def run(self, until: float | None = None) -> float:
+        """Run until the heap drains, *until* is reached, or stop().
+
+        Returns the simulation time at which the loop ended.
+        """
+        if self._running:
+            raise SimulationError("run() re-entered; the simulator is not reentrant")
+        self._running = True
+        self._stop_requested = False
+        try:
+            while self.heap:
+                next_time = self.heap.peek_time()
+                if until is not None and next_time is not None and next_time > until:
+                    self.now = until
+                    break
+                self.step()
+                if self._stop_requested:
+                    break
+            else:
+                if until is not None and self.now < until:
+                    self.now = until
+        finally:
+            self._running = False
+        return self.now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Simulator(now={self.now:.3f}, queued={len(self.heap)}, "
+            f"dispatched={self.events_dispatched})"
+        )

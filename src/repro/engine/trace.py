@@ -1,0 +1,98 @@
+"""Event-trace recording for debugging and validation.
+
+The trace stores lightweight immutable records (not the live event
+objects) so retaining a trace never pins simulator state, and tests can
+assert on the exact dispatch order of a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.engine.events import Event, EventKind
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One dispatched event, as recorded."""
+
+    time: float
+    kind: EventKind
+    seq: int
+    label: str
+
+    def __str__(self) -> str:
+        return f"[{self.time:12.3f}] {self.kind.name:<14} {self.label}"
+
+
+def _default_label(event: Event) -> str:
+    payload = event.payload
+    if payload is None:
+        return ""
+    # Jobs and most payloads expose a short identifier.
+    for attr in ("job_id", "name", "id"):
+        value = getattr(payload, attr, None)
+        if value is not None:
+            return str(value)
+    return type(payload).__name__
+
+
+class EventTrace:
+    """Append-only record of dispatched events.
+
+    Parameters
+    ----------
+    keep:
+        Optional predicate on :class:`~repro.engine.events.Event`; only
+        matching events are recorded (e.g. drop high-frequency
+        scheduler passes from long runs).
+    limit:
+        Maximum records retained; the oldest are discarded first so the
+        tail of a long run is always available.
+    """
+
+    def __init__(
+        self,
+        keep: Callable[[Event], bool] | None = None,
+        limit: int = 1_000_000,
+    ) -> None:
+        self._keep = keep
+        self._limit = int(limit)
+        self._records: list[TraceRecord] = []
+        self.dropped = 0
+
+    def record(self, event: Event) -> None:
+        """Record *event* if the filter admits it."""
+        if self._keep is not None and not self._keep(event):
+            return
+        self._records.append(
+            TraceRecord(
+                time=event.time,
+                kind=event.kind,
+                seq=event.seq,
+                label=_default_label(event),
+            )
+        )
+        if len(self._records) > self._limit:
+            overflow = len(self._records) - self._limit
+            del self._records[:overflow]
+            self.dropped += overflow
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> TraceRecord:
+        return self._records[index]
+
+    def of_kind(self, kind: EventKind) -> list[TraceRecord]:
+        """All records of one event kind, in dispatch order."""
+        return [r for r in self._records if r.kind == kind]
+
+    def format(self, last: int | None = None) -> str:
+        """Human-readable dump of the (tail of the) trace."""
+        records = self._records if last is None else self._records[-last:]
+        return "\n".join(str(r) for r in records)

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is missing, malformed, or inconsistent."""
+
+
+class AllocationError(ReproError):
+    """An allocation request violates cluster occupancy invariants."""
+
+
+class SchedulingError(ReproError):
+    """A scheduling strategy produced an inconsistent decision."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine reached an inconsistent state."""
+
+
+class WorkloadError(ReproError):
+    """A workload trace or job specification is invalid."""
+
+
+class TraceFormatError(WorkloadError):
+    """A Standard Workload Format (SWF) file could not be parsed."""
+
+
+class JobStateError(ReproError):
+    """A job-lifecycle transition was attempted from an illegal state."""

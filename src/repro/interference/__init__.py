@@ -1,0 +1,35 @@
+"""Co-run interference model (substrate S6).
+
+Replaces the paper's measurements of real NERSC Trinity mini-apps
+sharing nodes via hyper-threading.  Given two application resource
+profiles, the model predicts each job's speed relative to running
+alone — the quantity the node-sharing strategies consult and the
+simulator applies to job progress.
+
+The model composes three standard contention mechanisms:
+
+* SMT issue-slot sharing (:mod:`repro.interference.smt`),
+* memory-bandwidth saturation (:mod:`repro.interference.contention`),
+* last-level-cache footprint overflow (same module).
+
+A job alone on a node — exclusive, or shared with an idle second
+lane — always runs at speed 1.0, reproducing the paper's "no overhead"
+property of the co-allocation mechanism.
+"""
+
+from repro.interference.contention import cache_factor, membw_factor
+from repro.interference.matrix import PairingMatrix
+from repro.interference.model import InterferenceModel, ModelParams
+from repro.interference.profile import ResourceProfile
+from repro.interference.smt import smt_capacity, smt_core_factor
+
+__all__ = [
+    "InterferenceModel",
+    "ModelParams",
+    "PairingMatrix",
+    "ResourceProfile",
+    "cache_factor",
+    "membw_factor",
+    "smt_capacity",
+    "smt_core_factor",
+]

@@ -1,0 +1,55 @@
+"""Memory-bandwidth and last-level-cache contention factors.
+
+Bandwidth follows the standard saturation model: as long as the
+co-runners' combined demand fits the node's bandwidth, neither slows
+down; beyond saturation, achieved bandwidth is shared proportionally to
+demand, so both scale by ``capacity / total_demand``.
+
+Cache contention penalises only footprint *overflow*: when the
+co-runners' working sets jointly exceed the LLC, each job suffers in
+proportion to its own share of the combined footprint (the job with
+the larger working set takes more misses).
+"""
+
+from __future__ import annotations
+
+
+def membw_factor(
+    own_bw: float,
+    other_bw: float | None,
+    capacity: float = 1.0,
+) -> float:
+    """Speed factor from memory-bandwidth sharing (1.0 = no penalty)."""
+    if other_bw is None:
+        return 1.0
+    total = own_bw + other_bw
+    if total <= capacity or total <= 0.0:
+        return 1.0
+    return capacity / total
+
+
+def cache_factor(
+    own_footprint: float,
+    other_footprint: float | None,
+    penalty: float = 0.5,
+    floor: float = 0.1,
+) -> float:
+    """Speed factor from LLC footprint overflow (1.0 = fits).
+
+    Parameters
+    ----------
+    penalty:
+        Slowdown per unit of overflow attributed to this job; 0.5 means
+        a job whose share of a 100 %-overflowing pair is 1.0 runs at
+        50 % speed from cache thrash alone.
+    floor:
+        Lower bound so pathological profiles cannot stall a job.
+    """
+    if other_footprint is None:
+        return 1.0
+    combined = own_footprint + other_footprint
+    overflow = max(0.0, combined - 1.0)
+    if overflow == 0.0 or combined <= 0.0:
+        return 1.0
+    own_share = own_footprint / combined
+    return max(floor, 1.0 - penalty * overflow * own_share)

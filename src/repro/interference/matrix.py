@@ -1,0 +1,129 @@
+"""Pairwise co-run matrices over a set of application profiles.
+
+The pairing matrix is what the co-allocation-aware strategies consult:
+for every ordered pair (a, b) it records the speed of *a* when sharing
+a node with *b*, and derived quantities (combined throughput,
+compatibility under a threshold).  In the paper this knowledge comes
+from offline co-run measurements of the mini-apps; here it comes from
+the interference model, so the matrix module is also how experiment E2
+regenerates "Table II".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.interference.model import InterferenceModel
+from repro.interference.profile import ResourceProfile
+
+
+class PairingMatrix:
+    """Dense pairwise speed/throughput tables for named profiles.
+
+    Parameters
+    ----------
+    profiles:
+        The application profiles, order defining matrix indices.
+    model:
+        Interference model used to fill the tables.
+    """
+
+    def __init__(
+        self,
+        profiles: Sequence[ResourceProfile],
+        model: InterferenceModel | None = None,
+    ) -> None:
+        if not profiles:
+            raise ConfigError("pairing matrix needs at least one profile")
+        names = [p.name for p in profiles]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"duplicate profile names: {names}")
+        self.profiles: tuple[ResourceProfile, ...] = tuple(profiles)
+        self.model = model or InterferenceModel()
+        self.names: tuple[str, ...] = tuple(names)
+        self._index = {name: i for i, name in enumerate(names)}
+        n = len(profiles)
+        #: speed[i, j] = speed of app i when co-running with app j.
+        self.speed = np.ones((n, n), dtype=np.float64)
+        for i, a in enumerate(self.profiles):
+            for j, b in enumerate(self.profiles):
+                self.speed[i, j] = self.model.speed(a, b)
+        #: throughput[i, j] = speed[i, j] + speed[j, i]  (symmetric).
+        self.throughput = self.speed + self.speed.T
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def index_of(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise ConfigError(
+                f"unknown application {name!r}; known: {sorted(self._index)}"
+            ) from None
+
+    def speed_of(self, name: str, co_name: str | None) -> float:
+        """Speed of *name* given co-runner *co_name* (None = alone)."""
+        if co_name is None:
+            return 1.0
+        return float(self.speed[self.index_of(name), self.index_of(co_name)])
+
+    def throughput_of(self, name_a: str, name_b: str) -> float:
+        return float(self.throughput[self.index_of(name_a), self.index_of(name_b)])
+
+    def compatible(self, name_a: str, name_b: str, threshold: float = 1.1) -> bool:
+        """True if co-allocating the pair beats an exclusive node by
+        at least *threshold* combined throughput."""
+        return self.throughput_of(name_a, name_b) >= threshold
+
+    def best_partner(
+        self, name: str, candidates: Iterable[str] | None = None
+    ) -> tuple[str, float]:
+        """The candidate maximising combined throughput with *name*."""
+        pool = list(candidates) if candidates is not None else list(self.names)
+        if not pool:
+            raise ConfigError("no candidate partners supplied")
+        i = self.index_of(name)
+        best = max(pool, key=lambda other: self.throughput[i, self.index_of(other)])
+        return best, self.throughput_of(name, best)
+
+    def mean_pair_gain(self, threshold: float = 1.1) -> float:
+        """Average combined throughput over all *compatible* unordered
+        pairs — a one-number summary of how much the suite can gain."""
+        n = len(self.names)
+        gains = [
+            self.throughput[i, j]
+            for i in range(n)
+            for j in range(i, n)
+            if self.throughput[i, j] >= threshold
+        ]
+        return float(np.mean(gains)) if gains else 0.0
+
+    # ------------------------------------------------------------------
+    # Rendering (used by E2)
+    # ------------------------------------------------------------------
+    def format_table(self, kind: str = "throughput") -> str:
+        """ASCII table of the pairwise matrix.
+
+        Parameters
+        ----------
+        kind:
+            ``"throughput"`` (combined, symmetric) or ``"speed"``
+            (row app's speed against column co-runner).
+        """
+        if kind == "throughput":
+            data = self.throughput
+        elif kind == "speed":
+            data = self.speed
+        else:
+            raise ConfigError(f"unknown matrix kind {kind!r}")
+        width = max(8, max(len(n) for n in self.names) + 1)
+        header = " " * width + "".join(f"{n:>{width}}" for n in self.names)
+        rows = [header]
+        for i, name in enumerate(self.names):
+            cells = "".join(f"{data[i, j]:>{width}.3f}" for j in range(len(self.names)))
+            rows.append(f"{name:<{width}}" + cells)
+        return "\n".join(rows)

@@ -1,0 +1,67 @@
+"""Two-way SMT (hyper-threading) issue-slot model.
+
+When two hardware threads share a physical core, the core's effective
+issue capacity exceeds 1.0 solo-thread-equivalents only to the extent
+the threads leave slack for each other: a pair of fully compute-bound
+threads gains almost nothing, while complementary threads overlap well.
+We capture this with a demand-dependent capacity
+
+``C(D) = 1 + eps * min(1, 2 - D)``
+
+where ``D = alpha_1 + alpha_2`` is the combined core demand and ``eps``
+is the micro-architectural SMT headroom.  Each thread then runs at
+
+``min(sigma, C(D) / D)``
+
+relative to running alone — proportional sharing of satisfied demand,
+bounded by a per-thread ceiling ``sigma`` that models shared
+fetch/decode/ROB resources whenever the sibling lane is active.
+
+A lone thread on an SMT core (sibling lane idle) receives the whole
+core and runs at exactly 1.0 — the mechanism itself has no overhead,
+which experiment E7 verifies against this function.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+def smt_capacity(demand_sum: float, smt_headroom: float) -> float:
+    """Effective issue capacity for combined demand ``demand_sum``.
+
+    Capacity rises above 1.0 only when the threads jointly leave slack
+    (``demand_sum < 2``), saturating at ``1 + smt_headroom``.
+    """
+    if demand_sum < 0:
+        raise ConfigError(f"negative combined core demand: {demand_sum}")
+    slack = max(0.0, 2.0 - demand_sum)
+    return 1.0 + smt_headroom * min(1.0, slack)
+
+
+def smt_core_factor(
+    own_demand: float,
+    other_demand: float | None,
+    smt_headroom: float = 0.35,
+    corun_ceiling: float = 0.9,
+) -> float:
+    """Per-thread core speed factor relative to running alone.
+
+    Parameters
+    ----------
+    own_demand:
+        This thread's solo core demand (alpha).
+    other_demand:
+        Sibling thread's demand, or ``None`` if the sibling lane idles.
+    smt_headroom:
+        Extra issue capacity SMT exposes at full complementarity (eps).
+    corun_ceiling:
+        Upper bound on per-thread speed while the sibling is active
+        (sigma); shared front-end resources prevent full solo speed.
+    """
+    if other_demand is None:
+        return 1.0
+    demand_sum = own_demand + other_demand
+    capacity = smt_capacity(demand_sum, smt_headroom)
+    proportional = capacity / demand_sum if demand_sum > 0 else 1.0
+    return min(corun_ceiling, proportional, 1.0)

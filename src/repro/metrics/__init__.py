@@ -1,0 +1,37 @@
+"""Metrics: timelines, summaries and the paper's efficiency measures
+(substrate S9)."""
+
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.efficiency import (
+    computational_efficiency,
+    scheduling_efficiency,
+    utilization,
+)
+from repro.metrics.energy import (
+    NodePowerModel,
+    energy_efficiency,
+    energy_to_solution,
+)
+from repro.metrics.gantt import render_gantt, render_sparkline
+from repro.metrics.report import format_comparison, format_table
+from repro.metrics.summary import ScheduleSummary, summarize
+from repro.metrics.timeline import Timeline
+from repro.metrics.validation import ValidatingCollector
+
+__all__ = [
+    "MetricsCollector",
+    "NodePowerModel",
+    "ValidatingCollector",
+    "energy_efficiency",
+    "energy_to_solution",
+    "render_gantt",
+    "render_sparkline",
+    "ScheduleSummary",
+    "Timeline",
+    "computational_efficiency",
+    "format_comparison",
+    "format_table",
+    "scheduling_efficiency",
+    "summarize",
+    "utilization",
+]

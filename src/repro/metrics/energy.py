@@ -1,0 +1,81 @@
+"""Energy accounting.
+
+Node-sharing studies usually close with an energy argument: packing
+two jobs onto one node's SMT lanes powers fewer nodes for less total
+time, and the second hardware thread adds only marginal draw.  This
+module integrates a simple three-level node power model over the
+recorded occupancy timeline:
+
+* ``idle_w``   — powered-on but unallocated node;
+* ``busy_w``   — node running one job (all cores active);
+* ``shared_w`` — node running two jobs (both SMT lanes active);
+  typically only slightly above ``busy_w``.
+
+Energy-to-solution is then ``∫ power dt`` over the schedule's
+makespan, and efficiency is useful work per joule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError, SimulationError
+from repro.slurm.manager import SimulationResult
+
+
+@dataclass(frozen=True)
+class NodePowerModel:
+    """Per-node power draw by occupancy level (watts).
+
+    Defaults approximate a dual-socket Haswell-era compute node (the
+    Trinity generation): ~40 % of peak at idle, and a two-thread SMT
+    load drawing a few percent over a one-job load.
+    """
+
+    idle_w: float = 140.0
+    busy_w: float = 350.0
+    shared_w: float = 375.0
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.idle_w <= self.busy_w <= self.shared_w):
+            raise ConfigError(
+                "power model must satisfy 0 <= idle_w <= busy_w <= shared_w, "
+                f"got {self.idle_w}/{self.busy_w}/{self.shared_w}"
+            )
+
+
+def energy_to_solution(
+    result: SimulationResult, power: NodePowerModel | None = None
+) -> float:
+    """Total energy (joules) consumed over the schedule's makespan.
+
+    Idle nodes draw idle power for the whole makespan — switching
+    nodes off between jobs is a different policy question and out of
+    scope, as in the paper.
+    """
+    if result.collector is None:
+        raise SimulationError("energy accounting requires a metrics collector")
+    power = power or NodePowerModel()
+    timeline = result.collector.timeline()
+    span = timeline.end - timeline.start
+    busy_seconds = timeline.integrate("busy_nodes")
+    shared_seconds = timeline.integrate("shared_nodes")
+    single_seconds = busy_seconds - shared_seconds
+    idle_seconds = result.cluster_nodes * span - busy_seconds
+    if idle_seconds < -1e-6:
+        raise SimulationError("busy node-seconds exceed cluster capacity")
+    return (
+        max(0.0, idle_seconds) * power.idle_w
+        + single_seconds * power.busy_w
+        + shared_seconds * power.shared_w
+    )
+
+
+def energy_efficiency(
+    result: SimulationResult, power: NodePowerModel | None = None
+) -> float:
+    """Useful node-seconds of work delivered per kilojoule."""
+    joules = energy_to_solution(result, power)
+    if joules <= 0:
+        return 0.0
+    return result.accounting.total_useful_node_seconds() / (joules / 1000.0)

@@ -1,0 +1,94 @@
+"""ASCII schedule visualisation.
+
+Terminal-friendly renderings of a finished simulation:
+
+* :func:`render_gantt` — a node×time occupancy chart.  Each row is a
+  node, each column a time bin; single occupancy prints the job's
+  lowercase glyph, double (shared) occupancy prints it uppercase, idle
+  prints ``.``.  Shared allocations are immediately visible as columns
+  of capitals.
+* :func:`render_sparkline` — a one-line utilisation profile using a
+  density ramp, for quick CLI feedback.
+
+Pure text; no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+import string
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.metrics.timeline import Timeline
+from repro.slurm.manager import SimulationResult
+
+_GLYPHS = string.ascii_lowercase + string.digits
+_RAMP = " .:-=+*#%@"
+
+
+def render_gantt(
+    result: SimulationResult,
+    width: int = 72,
+    max_nodes: int = 32,
+) -> str:
+    """Node-by-time occupancy chart of a finished schedule.
+
+    Parameters
+    ----------
+    width:
+        Time bins (columns).
+    max_nodes:
+        Rows; clusters larger than this show only the first nodes.
+    """
+    records = [r for r in result.accounting if r.node_ids]
+    if not records:
+        return "(empty schedule)"
+    t0 = min(r.start_time for r in records)
+    t1 = max(r.end_time for r in records)
+    span = max(t1 - t0, 1e-9)
+    num_nodes = min(result.cluster_nodes, max_nodes)
+    # occupancy[node][bin] -> list of job ids.
+    counts = np.zeros((num_nodes, width), dtype=np.int32)
+    glyphs = np.full((num_nodes, width), ".", dtype="<U1")
+    for record in records:
+        glyph = _GLYPHS[record.job_id % len(_GLYPHS)]
+        lo = int((record.start_time - t0) / span * width)
+        hi = int(np.ceil((record.end_time - t0) / span * width))
+        lo, hi = max(0, lo), min(width, max(hi, lo + 1))
+        for node_id in record.node_ids:
+            if node_id >= num_nodes:
+                continue
+            glyphs[node_id, lo:hi] = glyph
+            counts[node_id, lo:hi] += 1
+
+    lines = [
+        f"gantt: {result.strategy}, t=[{t0:.0f}s, {t1:.0f}s], "
+        f"{width} bins x {num_nodes} nodes "
+        f"(lowercase=exclusive lane use, UPPERCASE=shared pair, .=idle)"
+    ]
+    for node_id in range(num_nodes):
+        row_chars = []
+        for b in range(width):
+            ch = glyphs[node_id, b]
+            row_chars.append(ch.upper() if counts[node_id, b] >= 2 else ch)
+        lines.append(f"node{node_id:>4} |{''.join(row_chars)}|")
+    if result.cluster_nodes > num_nodes:
+        lines.append(f"... {result.cluster_nodes - num_nodes} more nodes")
+    return "\n".join(lines)
+
+
+def render_sparkline(
+    timeline: Timeline, name: str = "busy_nodes", width: int = 72,
+    peak: float | None = None,
+) -> str:
+    """One-line density ramp of a timeline series."""
+    grid, values = timeline.resample(name, num_points=width)
+    if grid.size == 0:
+        return "(empty timeline)"
+    top = peak if peak is not None else (float(values.max()) or 1.0)
+    if top <= 0:
+        raise SimulationError(f"series {name!r} peak must be positive")
+    levels = np.clip(values / top * (len(_RAMP) - 1), 0, len(_RAMP) - 1)
+    chars = "".join(_RAMP[int(round(level))] for level in levels)
+    return f"{name} [peak {top:g}] |{chars}|"

@@ -1,0 +1,82 @@
+"""ASCII table rendering for experiment output.
+
+The benchmarks print their tables through these helpers so every
+experiment's output reads uniformly (and EXPERIMENTS.md can quote them
+verbatim).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.metrics.summary import ScheduleSummary
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    floatfmt: str = ".3f",
+    title: str | None = None,
+) -> str:
+    """Render dict rows as a fixed-width ASCII table."""
+    if not rows:
+        return "(no rows)"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return format(value, floatfmt)
+        return str(value)
+
+    rendered = [[cell(row.get(col, "")) for col in cols] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(cols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.rjust(w) for col, w in zip(cols, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_comparison(
+    summaries: Sequence[ScheduleSummary],
+    baseline: str = "easy_backfill",
+    title: str | None = None,
+) -> str:
+    """The headline comparison table (experiment E3): one row per
+    strategy, with computational- and scheduling-efficiency gains
+    relative to *baseline*."""
+    base = next((s for s in summaries if s.strategy == baseline), None)
+    rows = []
+    for summary in summaries:
+        row = summary.as_dict()
+        if base is not None and base.makespan > 0:
+            row["sched_eff_gain_%"] = (
+                100.0 * (base.makespan - summary.makespan) / base.makespan
+            )
+            if base.computational_efficiency > 0:
+                row["comp_eff_gain_%"] = 100.0 * (
+                    summary.computational_efficiency
+                    / base.computational_efficiency
+                    - 1.0
+                )
+        rows.append(row)
+    columns = [
+        "strategy",
+        "completed",
+        "timeouts",
+        "makespan_h",
+        "utilization",
+        "mean_wait_h",
+        "bounded_slowdown",
+        "comp_eff",
+        "shared_nodes",
+        "comp_eff_gain_%",
+        "sched_eff_gain_%",
+    ]
+    return format_table(rows, columns=columns, title=title)

@@ -1,0 +1,108 @@
+"""Per-run schedule summaries — the rows of the headline table."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.metrics.efficiency import (
+    computational_efficiency,
+    mean_shared_occupancy,
+    utilization,
+)
+from repro.slurm.job import JobState
+from repro.slurm.manager import SimulationResult
+
+
+@dataclass(frozen=True)
+class ScheduleSummary:
+    """Aggregate metrics of one simulated schedule."""
+
+    strategy: str
+    jobs: int
+    completed: int
+    timeouts: int
+    makespan: float
+    utilization: float
+    mean_wait: float
+    median_wait: float
+    p95_wait: float
+    mean_bounded_slowdown: float
+    computational_efficiency: float
+    shared_node_fraction: float
+    shared_job_fraction: float
+    mean_shared_dilation: float
+
+    def as_dict(self) -> dict[str, float | str | int]:
+        return {
+            "strategy": self.strategy,
+            "jobs": self.jobs,
+            "completed": self.completed,
+            "timeouts": self.timeouts,
+            "makespan_h": self.makespan / 3600.0,
+            "utilization": self.utilization,
+            "mean_wait_h": self.mean_wait / 3600.0,
+            "median_wait_h": self.median_wait / 3600.0,
+            "p95_wait_h": self.p95_wait / 3600.0,
+            "bounded_slowdown": self.mean_bounded_slowdown,
+            "comp_eff": self.computational_efficiency,
+            "shared_nodes": self.shared_node_fraction,
+            "shared_jobs": self.shared_job_fraction,
+            "shared_dilation": self.mean_shared_dilation,
+        }
+
+
+def summarize(result: SimulationResult) -> ScheduleSummary:
+    """Condense a finished simulation into a summary row."""
+    accounting = result.accounting
+    waits = accounting.array(lambda r: r.wait_time)
+    shared_dilations = [
+        r.dilation
+        for r in accounting
+        if r.was_shared and r.state is JobState.COMPLETED
+    ]
+    return ScheduleSummary(
+        strategy=result.strategy,
+        jobs=len(accounting),
+        completed=result.completed_jobs,
+        timeouts=result.timeout_jobs,
+        makespan=result.makespan,
+        utilization=utilization(result) if result.collector else float("nan"),
+        mean_wait=float(waits.mean()) if waits.size else 0.0,
+        median_wait=float(np.median(waits)) if waits.size else 0.0,
+        p95_wait=float(np.percentile(waits, 95)) if waits.size else 0.0,
+        mean_bounded_slowdown=accounting.mean_bounded_slowdown(),
+        computational_efficiency=computational_efficiency(result),
+        shared_node_fraction=mean_shared_occupancy(result),
+        shared_job_fraction=accounting.shared_job_fraction(),
+        mean_shared_dilation=(
+            float(np.mean(shared_dilations)) if shared_dilations else 1.0
+        ),
+    )
+
+
+def wait_by_size_class(
+    result: SimulationResult,
+    boundaries: tuple[int, ...] = (2, 8),
+) -> dict[str, float]:
+    """Mean wait per job-size class (figure E6).
+
+    ``boundaries=(2, 8)`` yields classes 1–2, 3–8, and 9+ nodes.
+    """
+    edges = (0,) + tuple(boundaries) + (10**9,)
+    labels = []
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        labels.append(f"{lo + 1}-{hi}" if hi < 10**9 else f"{lo + 1}+")
+    sums = {label: [0.0, 0] for label in labels}
+    for record in result.accounting:
+        for label, lo, hi in zip(labels, edges[:-1], edges[1:]):
+            if lo < record.num_nodes <= hi:
+                entry = sums[label]
+                entry[0] += record.wait_time
+                entry[1] += 1
+                break
+    return {
+        label: (total / count if count else 0.0)
+        for label, (total, count) in sums.items()
+    }

@@ -1,0 +1,125 @@
+"""Step-function timelines with vectorised numpy post-processing.
+
+A :class:`Timeline` holds several named series sampled at the same
+(event) timestamps.  Values hold from their timestamp until the next
+one (right-continuous step functions), which matches how the collector
+samples *after* applying each state change.
+
+Duplicate timestamps are legal in the raw samples (several events at
+one instant); construction keeps only the last sample per timestamp,
+i.e. the state after the instant's last change — intermediate
+zero-width states carry no measure and would only distort plots.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+class Timeline:
+    """Immutable bundle of aligned step-function series."""
+
+    def __init__(self, times: np.ndarray, series: dict[str, np.ndarray]):
+        self.times = times
+        self.series = series
+
+    @classmethod
+    def from_samples(
+        cls,
+        times: Sequence[float],
+        series: Mapping[str, Sequence[float]],
+    ) -> "Timeline":
+        t = np.asarray(times, dtype=np.float64)
+        if t.size and np.any(np.diff(t) < 0):
+            raise SimulationError("timeline timestamps must be non-decreasing")
+        arrays = {}
+        for name, values in series.items():
+            v = np.asarray(values, dtype=np.float64)
+            if v.shape != t.shape:
+                raise SimulationError(
+                    f"series {name!r} length {v.size} != times length {t.size}"
+                )
+            arrays[name] = v
+        if t.size:
+            # Keep the last sample of each timestamp (post-instant state).
+            keep = np.append(np.diff(t) > 0, True)
+            t = t[keep]
+            arrays = {name: v[keep] for name, v in arrays.items()}
+        return cls(t, arrays)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.times.size)
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(self.series)
+
+    def get(self, name: str) -> np.ndarray:
+        try:
+            return self.series[name]
+        except KeyError:
+            raise SimulationError(
+                f"no series {name!r}; available: {sorted(self.series)}"
+            ) from None
+
+    @property
+    def start(self) -> float:
+        return float(self.times[0]) if len(self) else 0.0
+
+    @property
+    def end(self) -> float:
+        return float(self.times[-1]) if len(self) else 0.0
+
+    # ------------------------------------------------------------------
+    # Integrals and means (vectorised)
+    # ------------------------------------------------------------------
+    def integrate(self, name: str, t0: float | None = None, t1: float | None = None) -> float:
+        """∫ series dt over [t0, t1] (defaults: whole record)."""
+        if len(self) < 2:
+            return 0.0
+        lo = self.start if t0 is None else t0
+        hi = self.end if t1 is None else t1
+        if hi <= lo:
+            return 0.0
+        t = self.times
+        v = self.get(name)
+        # Clip the step function to [lo, hi].
+        edges = np.clip(t, lo, hi)
+        widths = np.diff(edges)
+        return float(np.sum(widths * v[:-1]))
+        # v[i] holds over [t[i], t[i+1]); the final value has zero
+        # measure inside the record, consistent with the last sample
+        # being the simulation-end snapshot.
+
+    def time_weighted_mean(
+        self, name: str, t0: float | None = None, t1: float | None = None
+    ) -> float:
+        lo = self.start if t0 is None else t0
+        hi = self.end if t1 is None else t1
+        span = hi - lo
+        if span <= 0:
+            return 0.0
+        return self.integrate(name, lo, hi) / span
+
+    def maximum(self, name: str) -> float:
+        v = self.get(name)
+        return float(v.max()) if v.size else 0.0
+
+    # ------------------------------------------------------------------
+    # Resampling (for figures)
+    # ------------------------------------------------------------------
+    def resample(self, name: str, num_points: int = 200) -> tuple[np.ndarray, np.ndarray]:
+        """Evaluate a series on a uniform grid (step interpolation)."""
+        if len(self) == 0:
+            return np.array([]), np.array([])
+        grid = np.linspace(self.start, self.end, num_points)
+        v = self.get(name)
+        indices = np.searchsorted(self.times, grid, side="right") - 1
+        indices = np.clip(indices, 0, len(self) - 1)
+        return grid, v[indices]

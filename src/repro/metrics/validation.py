@@ -1,0 +1,132 @@
+"""A metrics collector that doubles as a runtime invariant checker.
+
+:class:`ValidatingCollector` verifies, at every sampled state change,
+the structural invariants the whole study rests on.  It is used by the
+randomised property tests (any workload × any strategy must satisfy
+them) and is handy when developing new strategies: plug it into a
+:class:`~repro.slurm.manager.WorkloadManager` and violations surface
+at the moment they happen instead of as corrupted end-state metrics.
+
+Checked invariants
+------------------
+* node accounting: busy + idle node counts equal the cluster size;
+* occupancy: exclusive nodes host exactly one job, shared nodes at
+  most two distinct jobs;
+* allocation consistency: every node occupant holds a cluster
+  allocation covering that node, and vice versa;
+* execution sanity: every running job has state RUNNING, a rate in
+  (0, 1], and non-negative remaining work; a job's rate is 1.0
+  exactly when it has no co-runner on any node;
+* queue sanity: queued jobs are PENDING and hold no allocation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.cluster.node import SMT_LANES, NodeMode
+from repro.errors import SimulationError
+from repro.metrics.collector import MetricsCollector
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.slurm.manager import WorkloadManager
+
+
+class ValidatingCollector(MetricsCollector):
+    """MetricsCollector that asserts system invariants on every sample."""
+
+    def __init__(self, cluster):
+        super().__init__(cluster)
+        self.checks = 0
+
+    def _sample(self, now: float, manager: "WorkloadManager") -> None:
+        self._check(now, manager)
+        super()._sample(now, manager)
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+    def _fail(self, now: float, message: str) -> None:
+        raise SimulationError(f"invariant violated at t={now:.3f}: {message}")
+
+    def _check(self, now: float, manager: "WorkloadManager") -> None:
+        self.checks += 1
+        cluster = self.cluster
+        busy = 0
+        down = 0
+        occupants_by_job: dict[int, set[int]] = {}
+        for node in cluster.nodes:
+            occupants = node.occupant_ids
+            if occupants:
+                busy += 1
+            if node.down:
+                down += 1
+                if occupants:
+                    self._fail(now, f"down node {node.node_id} has occupants")
+            if node.mode is NodeMode.IDLE and occupants:
+                self._fail(now, f"idle node {node.node_id} has occupants")
+            if node.mode is NodeMode.EXCLUSIVE and len(occupants) != 1:
+                self._fail(
+                    now, f"exclusive node {node.node_id} hosts {len(occupants)} jobs"
+                )
+            if len(occupants) > SMT_LANES:
+                self._fail(now, f"node {node.node_id} oversubscribed: {occupants}")
+            if len(set(occupants)) != len(occupants):
+                self._fail(now, f"node {node.node_id} hosts a job twice")
+            for job_id in occupants:
+                occupants_by_job.setdefault(job_id, set()).add(node.node_id)
+            if len(occupants) == 2:
+                known = [
+                    manager.jobs[j].spec.memory_mb_per_node
+                    for j in occupants
+                    if j in manager.jobs
+                ]
+                if (
+                    len(known) == 2
+                    and all(m > 0 for m in known)
+                    and sum(known) > node.memory_mb + 1e-6
+                ):
+                    self._fail(
+                        now,
+                        f"node {node.node_id} memory oversubscribed: "
+                        f"{known} MB on a {node.memory_mb} MB node",
+                    )
+
+        if busy + down + cluster.num_idle() != cluster.num_nodes:
+            self._fail(now, "busy + down + idle != total nodes")
+
+        for job_id, node_set in occupants_by_job.items():
+            if not cluster.has_allocation(job_id):
+                self._fail(now, f"job {job_id} occupies nodes without allocation")
+            allocation = cluster.allocation_of(job_id)
+            if set(allocation.node_ids) != node_set:
+                self._fail(
+                    now,
+                    f"job {job_id} allocation {allocation.node_ids} does not "
+                    f"match node occupancy {sorted(node_set)}",
+                )
+
+        for job_id in cluster.running_job_ids():
+            job = manager.jobs.get(job_id)
+            if job is None:
+                continue  # reservation phantom
+            if not job.is_running:
+                self._fail(now, f"allocated job {job_id} is {job.state.value}")
+            if not (0.0 < job.rate <= 1.0):
+                self._fail(now, f"job {job_id} rate {job.rate} out of (0, 1]")
+            if job.remaining_work < -1e-9:
+                self._fail(now, f"job {job_id} negative remaining work")
+            has_corunner = bool(cluster.jobs_sharing_with(job_id))
+            if not has_corunner and abs(job.rate - job.locality_factor) > 1e-12:
+                self._fail(
+                    now,
+                    f"job {job_id} alone on its nodes but rate={job.rate} != "
+                    f"locality factor {job.locality_factor} (the zero-overhead "
+                    f"property of sharing itself)",
+                )
+
+        for job in manager.queue:
+            if not job.is_pending:
+                self._fail(now, f"queued job {job.job_id} is {job.state.value}")
+            if cluster.has_allocation(job.job_id):
+                self._fail(now, f"queued job {job.job_id} holds an allocation")

@@ -1,0 +1,27 @@
+"""NERSC Trinity-inspired mini-application models (substrate S7).
+
+The paper evaluates with real executions of the NERSC Trinity
+procurement mini-apps.  Offline, those runs contribute two things to
+the scheduling study: (1) per-app resource profiles that determine
+co-run compatibility, and (2) realistic runtimes at various node
+counts.  This package supplies both analytically: calibrated
+:class:`~repro.interference.profile.ResourceProfile` s and a
+weak-scaling runtime model.
+"""
+
+from repro.miniapps.base import MiniApp
+from repro.miniapps.nas import NAS_SUITE, get_nas_app, nas_profiles
+from repro.miniapps.scaling import strong_scaling_efficiency, weak_scaling_runtime
+from repro.miniapps.suite import TRINITY_SUITE, get_miniapp, suite_names
+
+__all__ = [
+    "MiniApp",
+    "NAS_SUITE",
+    "TRINITY_SUITE",
+    "get_miniapp",
+    "get_nas_app",
+    "nas_profiles",
+    "suite_names",
+    "strong_scaling_efficiency",
+    "weak_scaling_runtime",
+]

@@ -1,0 +1,74 @@
+"""The mini-application abstraction."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.interference.profile import ResourceProfile
+from repro.miniapps.scaling import weak_scaling_runtime
+
+
+@dataclass(frozen=True)
+class MiniApp:
+    """A parameterised analytic model of one scientific mini-app.
+
+    Attributes
+    ----------
+    name:
+        Suite name (e.g. ``"miniFE"``).
+    profile:
+        Node-local resource profile driving co-run interference.
+    base_runtime:
+        Reference single-node runtime of the canonical problem size,
+        in seconds.
+    shareable:
+        Whether users of this app typically submit with sharing
+        enabled (cf. ``--oversubscribe``).  Compute-bound codes whose
+        owners fear interference default to ``False``.
+    memory_mb_per_node:
+        Typical per-node resident-set size at the canonical problem
+        scale; the workload generator scales it with problem size.
+        0 means "small enough to ignore".
+    typical_nodes:
+        Node counts at which campaigns usually run this app; the
+        workload generator samples from these.
+    description:
+        One-line science description for reports.
+    """
+
+    name: str
+    profile: ResourceProfile
+    base_runtime: float
+    shareable: bool = True
+    typical_nodes: tuple[int, ...] = (1, 2, 4, 8)
+    description: str = ""
+    memory_mb_per_node: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.base_runtime <= 0:
+            raise ConfigError(f"{self.name}: base_runtime must be positive")
+        if not self.typical_nodes or any(n <= 0 for n in self.typical_nodes):
+            raise ConfigError(f"{self.name}: typical_nodes must be positive")
+        if self.profile.name != self.name:
+            raise ConfigError(
+                f"mini-app {self.name!r} wraps profile named "
+                f"{self.profile.name!r}; names must match"
+            )
+
+    def runtime(self, num_nodes: int, work_scale: float = 1.0) -> float:
+        """Predicted exclusive-allocation runtime on *num_nodes* nodes.
+
+        The suite weak-scales: per-node work is constant, so runtime is
+        flat in node count apart from a communication term that grows
+        logarithmically with scale.  ``work_scale`` varies the problem
+        size between submissions of the same app.
+        """
+        return weak_scaling_runtime(
+            base_runtime=self.base_runtime * work_scale,
+            num_nodes=num_nodes,
+            comm_fraction=self.profile.comm_fraction,
+        )
+
+    def __str__(self) -> str:
+        return f"{self.name} [{self.profile.dominant_resource}-dominant]"

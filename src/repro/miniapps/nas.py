@@ -1,0 +1,131 @@
+"""NAS Parallel Benchmarks-inspired application models.
+
+An alternative suite to the Trinity set, with the NPB kernels'
+well-known resource characters: EP is purely compute-bound, CG and MG
+hammer the memory system, FT and IS mix memory with heavy
+communication, BT/SP/LU are balanced pseudo-applications.  Useful for
+checking that the node-sharing results are a property of *workload
+diversity*, not of one particular suite — and as a second ready-made
+app set for library users.
+
+Usage::
+
+    from repro.miniapps.nas import NAS_SUITE
+    from repro.workload.trinity import TrinityWorkloadGenerator
+
+    gen = TrinityWorkloadGenerator(apps=tuple(NAS_SUITE.values()))
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.interference.profile import ResourceProfile
+from repro.miniapps.base import MiniApp
+
+
+def _app(
+    name: str,
+    core: float,
+    membw: float,
+    cache: float,
+    comm: float,
+    serial: float,
+    base_runtime: float,
+    shareable: bool,
+    typical_nodes: tuple[int, ...],
+    description: str,
+) -> MiniApp:
+    return MiniApp(
+        name=name,
+        profile=ResourceProfile(
+            name=name,
+            core_demand=core,
+            membw_demand=membw,
+            cache_footprint=cache,
+            comm_fraction=comm,
+            serial_fraction=serial,
+        ),
+        base_runtime=base_runtime,
+        shareable=shareable,
+        typical_nodes=typical_nodes,
+        description=description,
+    )
+
+
+#: NPB-inspired suite, keyed by kernel name.
+NAS_SUITE: dict[str, MiniApp] = {
+    app.name: app
+    for app in (
+        _app(
+            "BT",
+            core=0.70, membw=0.60, cache=0.50, comm=0.20, serial=0.02,
+            base_runtime=3000.0, shareable=True,
+            typical_nodes=(4, 9, 16, 25),  # BT wants square counts
+            description="block-tridiagonal CFD pseudo-application",
+        ),
+        _app(
+            "CG",
+            core=0.40, membw=0.90, cache=0.60, comm=0.25, serial=0.01,
+            base_runtime=1200.0, shareable=True,
+            typical_nodes=(2, 4, 8, 16),
+            description="conjugate gradient, irregular memory access",
+        ),
+        _app(
+            "EP",
+            core=0.95, membw=0.10, cache=0.10, comm=0.02, serial=0.0,
+            base_runtime=900.0, shareable=True,
+            typical_nodes=(1, 2, 4, 8, 16),
+            description="embarrassingly parallel random-number kernel",
+        ),
+        _app(
+            "FT",
+            core=0.60, membw=0.75, cache=0.45, comm=0.40, serial=0.02,
+            base_runtime=1800.0, shareable=True,
+            typical_nodes=(2, 4, 8, 16),
+            description="3-D FFT spectral kernel, all-to-all heavy",
+        ),
+        _app(
+            "IS",
+            core=0.35, membw=0.85, cache=0.40, comm=0.35, serial=0.01,
+            base_runtime=600.0, shareable=True,
+            typical_nodes=(1, 2, 4, 8),
+            description="integer bucket sort, bandwidth and all-to-all",
+        ),
+        _app(
+            "LU",
+            core=0.75, membw=0.55, cache=0.50, comm=0.15, serial=0.03,
+            base_runtime=2700.0, shareable=True,
+            typical_nodes=(4, 8, 16, 32),
+            description="SSOR solver pseudo-application, wavefront sweeps",
+        ),
+        _app(
+            "MG",
+            core=0.45, membw=0.88, cache=0.55, comm=0.25, serial=0.02,
+            base_runtime=1500.0, shareable=True,
+            typical_nodes=(2, 4, 8, 16),
+            description="V-cycle multigrid, bandwidth bound",
+        ),
+        _app(
+            "SP",
+            core=0.65, membw=0.65, cache=0.50, comm=0.20, serial=0.02,
+            base_runtime=3300.0, shareable=True,
+            typical_nodes=(4, 9, 16, 25),
+            description="scalar-pentadiagonal CFD pseudo-application",
+        ),
+    )
+}
+
+
+def nas_profiles() -> tuple[ResourceProfile, ...]:
+    """All NPB-inspired profiles, in canonical order."""
+    return tuple(app.profile for app in NAS_SUITE.values())
+
+
+def get_nas_app(name: str) -> MiniApp:
+    """Look up an NPB-inspired app by kernel name."""
+    try:
+        return NAS_SUITE[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown NAS kernel {name!r}; suite: {', '.join(NAS_SUITE)}"
+        ) from None

@@ -1,0 +1,62 @@
+"""Analytic scaling models for the mini-app suite.
+
+Two textbook models, enough to give the workload generator realistic
+runtimes and the characterisation table (E1) meaningful content:
+
+* **Weak scaling** (the Trinity suite's regime): per-node work fixed,
+  runtime grows only with communication, modelled as a log2 term —
+  nearest-neighbour + reduction patterns on fat-tree networks.
+* **Strong scaling** (Amdahl + communication): used in the
+  characterisation table to show why these codes leave node resources
+  idle long before they stop scaling *across* nodes.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigError
+
+
+def weak_scaling_runtime(
+    base_runtime: float,
+    num_nodes: int,
+    comm_fraction: float,
+    comm_growth: float = 0.12,
+) -> float:
+    """Runtime of a weak-scaled run on *num_nodes* nodes.
+
+    ``base_runtime`` is the single-node runtime; the communication
+    share of it grows by ``comm_growth`` per doubling of node count.
+    """
+    if base_runtime <= 0:
+        raise ConfigError(f"base_runtime must be positive, got {base_runtime}")
+    if num_nodes < 1:
+        raise ConfigError(f"num_nodes must be >= 1, got {num_nodes}")
+    compute = base_runtime * (1.0 - comm_fraction)
+    comm = base_runtime * comm_fraction * (1.0 + comm_growth * math.log2(num_nodes))
+    return compute + comm
+
+
+def strong_scaling_efficiency(
+    num_nodes: int,
+    serial_fraction: float,
+    comm_fraction: float,
+    comm_growth: float = 0.12,
+) -> float:
+    """Parallel efficiency of a strong-scaled run (1.0 at one node).
+
+    Amdahl's law with a communication overhead term:
+    ``T(n) = T1 * (s + (1 - s)/n) + T1 * c * growth * log2(n)``,
+    efficiency = ``T1 / (n * T(n))`` normalised to 1.0 at ``n = 1``.
+    """
+    if num_nodes < 1:
+        raise ConfigError(f"num_nodes must be >= 1, got {num_nodes}")
+    if not (0.0 <= serial_fraction < 1.0):
+        raise ConfigError(f"serial_fraction={serial_fraction} outside [0, 1)")
+    t1 = 1.0
+    tn = (
+        t1 * (serial_fraction + (1.0 - serial_fraction) / num_nodes)
+        + t1 * comm_fraction * comm_growth * math.log2(num_nodes)
+    )
+    return t1 / (num_nodes * tn)

@@ -1,0 +1,192 @@
+"""Accounting: per-job completion records, as ``sacct`` would show.
+
+Records are immutable and written exactly once, when a job reaches a
+terminal state.  The log offers the aggregations the metrics layer and
+the report tables consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.errors import JobStateError
+from repro.slurm.job import Job, JobState
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """Final accounting entry for one job."""
+
+    job_id: int
+    app: str
+    user: str
+    partition: str
+    num_nodes: int
+    submit_time: float
+    start_time: float
+    end_time: float
+    state: JobState
+    was_shared: bool
+    shared_seconds: float
+    dilation: float
+    runtime_exclusive: float
+    walltime_req: float
+    #: Exclusive-equivalent seconds of work actually completed (equals
+    #: ``runtime_exclusive`` for COMPLETED jobs, less for TIMEOUT).
+    work_done: float
+    #: Racks the allocation spanned (1 when never started).
+    racks_spanned: int = 1
+    #: Nodes the job ran on (empty when never started).
+    node_ids: tuple[int, ...] = ()
+    #: Node-failure requeues the job suffered before finishing.
+    requeues: int = 0
+    #: Work-seconds discarded by those failures.
+    lost_work: float = 0.0
+
+    @property
+    def wait_time(self) -> float:
+        return self.start_time - self.submit_time
+
+    @property
+    def run_time(self) -> float:
+        return self.end_time - self.start_time
+
+    @property
+    def response_time(self) -> float:
+        return self.end_time - self.submit_time
+
+    def bounded_slowdown(self, tau: float = 10.0) -> float:
+        """Feitelson's bounded slowdown with threshold *tau* seconds."""
+        return max(
+            1.0, (self.wait_time + self.run_time) / max(self.run_time, tau)
+        )
+
+    @property
+    def node_seconds_allocated(self) -> float:
+        return self.num_nodes * self.run_time
+
+    @property
+    def useful_node_seconds(self) -> float:
+        """Exclusive-equivalent work delivered.
+
+        COMPLETED jobs delivered their whole job; a TIMEOUT job only
+        the progress it reached before the kill.
+        """
+        return self.num_nodes * self.work_done
+
+    @classmethod
+    def from_job(cls, job: Job) -> "JobRecord":
+        if not job.state.is_terminal:
+            raise JobStateError(
+                f"job {job.job_id} in state {job.state.value} has no final record"
+            )
+        if job.start_time is None:
+            # Cancelled while pending: zero-length "run" at the cancel
+            # instant, so wait_time reflects the time spent queued.
+            end = job.end_time if job.end_time is not None else job.spec.submit_time
+            return cls(
+                job_id=job.job_id,
+                app=job.spec.app,
+                user=job.spec.user,
+                partition=job.spec.partition,
+                num_nodes=job.num_nodes,
+                submit_time=job.spec.submit_time,
+                start_time=end,
+                end_time=end,
+                state=job.state,
+                was_shared=False,
+                shared_seconds=0.0,
+                dilation=0.0,
+                runtime_exclusive=job.spec.runtime_exclusive,
+                walltime_req=job.spec.walltime_req,
+                work_done=0.0,
+            )
+        return cls(
+            job_id=job.job_id,
+            app=job.spec.app,
+            user=job.spec.user,
+            partition=job.spec.partition,
+            num_nodes=job.num_nodes,
+            submit_time=job.spec.submit_time,
+            start_time=job.start_time,
+            end_time=job.end_time if job.end_time is not None else job.start_time,
+            state=job.state,
+            was_shared=job.shared_seconds > 0.0,
+            shared_seconds=job.shared_seconds,
+            dilation=job.dilation,
+            runtime_exclusive=job.spec.runtime_exclusive,
+            walltime_req=job.spec.walltime_req,
+            work_done=max(
+                0.0, job.spec.runtime_exclusive - job.remaining_work
+            ),
+            racks_spanned=job.racks_spanned,
+            node_ids=(
+                job.allocation.node_ids if job.allocation is not None else ()
+            ),
+            requeues=job.requeues,
+            lost_work=job.lost_work,
+        )
+
+
+class AccountingLog:
+    """Append-only store of :class:`JobRecord` s plus aggregations."""
+
+    def __init__(self) -> None:
+        self._records: list[JobRecord] = []
+        self._by_id: dict[int, JobRecord] = {}
+
+    def append(self, record: JobRecord) -> None:
+        if record.job_id in self._by_id:
+            raise JobStateError(f"job {record.job_id} already has a final record")
+        self._records.append(record)
+        self._by_id[record.job_id] = record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[JobRecord]:
+        return iter(self._records)
+
+    def get(self, job_id: int) -> JobRecord:
+        try:
+            return self._by_id[job_id]
+        except KeyError:
+            raise JobStateError(f"no accounting record for job {job_id}") from None
+
+    def completed(self) -> list[JobRecord]:
+        return [r for r in self._records if r.state is JobState.COMPLETED]
+
+    def select(self, predicate: Callable[[JobRecord], bool]) -> list[JobRecord]:
+        return [r for r in self._records if predicate(r)]
+
+    # ------------------------------------------------------------------
+    # Aggregations
+    # ------------------------------------------------------------------
+    def array(self, field: Callable[[JobRecord], float]) -> np.ndarray:
+        return np.array([field(r) for r in self._records], dtype=np.float64)
+
+    def mean_wait(self) -> float:
+        if not self._records:
+            return 0.0
+        return float(self.array(lambda r: r.wait_time).mean())
+
+    def median_wait(self) -> float:
+        if not self._records:
+            return 0.0
+        return float(np.median(self.array(lambda r: r.wait_time)))
+
+    def mean_bounded_slowdown(self, tau: float = 10.0) -> float:
+        if not self._records:
+            return 0.0
+        return float(self.array(lambda r: r.bounded_slowdown(tau)).mean())
+
+    def shared_job_fraction(self) -> float:
+        if not self._records:
+            return 0.0
+        return float(self.array(lambda r: 1.0 if r.was_shared else 0.0).mean())
+
+    def total_useful_node_seconds(self) -> float:
+        return float(self.array(lambda r: r.useful_node_seconds).sum()) if self._records else 0.0

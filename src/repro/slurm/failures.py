@@ -1,0 +1,51 @@
+"""Node-failure injection.
+
+Models independent exponential node failures (per-node MTBF) with a
+fixed repair time.  A failure evicts every job on the node — without
+checkpointing their progress is lost and they are requeued from
+scratch — and takes the node out of service until repaired.
+
+Failure injection is how the test suite exercises the requeue path,
+and experiment E20 uses it to ask the sharing-specific question: a
+shared node's failure kills *two* jobs, so does node sharing amplify
+failure damage enough to erode its efficiency gains?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class FailureModel:
+    """Failure process parameters.
+
+    Attributes
+    ----------
+    mtbf_node_hours:
+        Mean time between failures of a *single* node.  The cluster's
+        aggregate failure rate is ``num_nodes / mtbf``.
+    repair_hours:
+        Time a failed node stays out of service.
+    """
+
+    mtbf_node_hours: float = 50_000.0
+    repair_hours: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.mtbf_node_hours <= 0:
+            raise ConfigError("mtbf_node_hours must be positive")
+        if self.repair_hours < 0:
+            raise ConfigError("repair_hours must be >= 0")
+
+    def cluster_interarrival_seconds(self, num_nodes: int) -> float:
+        """Mean seconds between failures anywhere in the cluster."""
+        if num_nodes < 1:
+            raise ConfigError("num_nodes must be >= 1")
+        return self.mtbf_node_hours * 3600.0 / num_nodes
+
+    @property
+    def repair_seconds(self) -> float:
+        return self.repair_hours * 3600.0

@@ -1,0 +1,241 @@
+"""Runtime job objects and their lifecycle state machine.
+
+A :class:`Job` wraps an immutable :class:`~repro.workload.spec.JobSpec`
+with the mutable execution state the simulator evolves: the
+remaining-work integrator, the current progress rate (set by the
+interference model from the job's node co-runners), and references to
+the pending finish/timeout events so they can be rescheduled when the
+rate changes.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING
+
+from repro.cluster.allocation import Allocation
+from repro.errors import JobStateError
+from repro.workload.spec import JobSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.events import Event
+
+
+class JobState(enum.Enum):
+    """SLURM-style job states (the subset the study needs)."""
+
+    PENDING = "PENDING"
+    RUNNING = "RUNNING"
+    COMPLETED = "COMPLETED"
+    TIMEOUT = "TIMEOUT"
+    CANCELLED = "CANCELLED"
+
+    @property
+    def is_terminal(self) -> bool:
+        return self in (JobState.COMPLETED, JobState.TIMEOUT, JobState.CANCELLED)
+
+
+_ALLOWED_TRANSITIONS: dict[JobState, frozenset[JobState]] = {
+    JobState.PENDING: frozenset({JobState.RUNNING, JobState.CANCELLED}),
+    JobState.RUNNING: frozenset(
+        # PENDING re-entry is the requeue path after a node failure.
+        {JobState.COMPLETED, JobState.TIMEOUT, JobState.CANCELLED,
+         JobState.PENDING}
+    ),
+    JobState.COMPLETED: frozenset(),
+    JobState.TIMEOUT: frozenset(),
+    JobState.CANCELLED: frozenset(),
+}
+
+
+class Job:
+    """Mutable execution state of one submitted job."""
+
+    __slots__ = (
+        "spec",
+        "state",
+        "start_time",
+        "end_time",
+        "allocation",
+        "remaining_work",
+        "rate",
+        "last_progress_at",
+        "finish_event",
+        "timeout_event",
+        "effective_limit",
+        "shared_seconds",
+        "corun_job_ids",
+        "priority",
+        "sharing_now",
+        "locality_factor",
+        "racks_spanned",
+        "requeues",
+        "lost_work",
+    )
+
+    def __init__(self, spec: JobSpec):
+        self.spec = spec
+        self.state = JobState.PENDING
+        self.start_time: float | None = None
+        self.end_time: float | None = None
+        self.allocation: Allocation | None = None
+        #: Work left, in exclusive-execution seconds.
+        self.remaining_work: float = spec.runtime_exclusive
+        #: Current progress rate in work-seconds per wall-second.
+        self.rate: float = 0.0
+        #: Wall time at which remaining_work was last integrated.
+        self.last_progress_at: float = 0.0
+        self.finish_event: "Event | None" = None
+        self.timeout_event: "Event | None" = None
+        #: Walltime limit after dilation grace (set at start).
+        self.effective_limit: float = spec.walltime_req
+        #: Accumulated wall-seconds during which this job had at least
+        #: one co-runner (for accounting/reports).
+        self.shared_seconds: float = 0.0
+        #: Distinct jobs ever co-allocated with this one.
+        self.corun_job_ids: set[int] = set()
+        #: Last computed queue priority (refreshed each pass).
+        self.priority: float = 0.0
+        #: Whether the job currently has a co-runner on any of its
+        #: nodes (maintained by the manager at every rate update).
+        self.sharing_now: bool = False
+        #: Speed factor from the allocation's rack locality (1.0 when
+        #: the rack-communication penalty is disabled or the job fits
+        #: one rack); fixed at start, multiplies the co-run rate.
+        self.locality_factor: float = 1.0
+        #: Racks the allocation spans (set at start).
+        self.racks_spanned: int = 1
+        #: Times the job was requeued after a node failure.
+        self.requeues: int = 0
+        #: Work-seconds discarded by failures (no checkpointing).
+        self.lost_work: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Identity and convenience
+    # ------------------------------------------------------------------
+    @property
+    def job_id(self) -> int:
+        return self.spec.job_id
+
+    @property
+    def num_nodes(self) -> int:
+        return self.spec.num_nodes
+
+    @property
+    def is_pending(self) -> bool:
+        return self.state is JobState.PENDING
+
+    @property
+    def is_running(self) -> bool:
+        return self.state is JobState.RUNNING
+
+    @property
+    def is_shared(self) -> bool:
+        return self.allocation is not None and self.allocation.is_shared
+
+    @property
+    def wait_time(self) -> float:
+        if self.start_time is None:
+            raise JobStateError(f"job {self.job_id} never started")
+        return self.start_time - self.spec.submit_time
+
+    @property
+    def run_time(self) -> float:
+        if self.start_time is None or self.end_time is None:
+            raise JobStateError(f"job {self.job_id} did not run to an end state")
+        return self.end_time - self.start_time
+
+    @property
+    def dilation(self) -> float:
+        """Realised runtime over exclusive runtime (1.0 = undilated).
+
+        For TIMEOUT jobs this understates true dilation (the run was
+        cut short), which accounting reports flag separately.
+        """
+        return self.run_time / self.spec.runtime_exclusive
+
+    # ------------------------------------------------------------------
+    # State machine
+    # ------------------------------------------------------------------
+    def _transition(self, new_state: JobState) -> None:
+        if new_state not in _ALLOWED_TRANSITIONS[self.state]:
+            raise JobStateError(
+                f"job {self.job_id}: illegal transition "
+                f"{self.state.value} -> {new_state.value}"
+            )
+        self.state = new_state
+
+    def mark_started(self, now: float, allocation: Allocation) -> None:
+        self._transition(JobState.RUNNING)
+        self.start_time = now
+        self.allocation = allocation
+        self.last_progress_at = now
+
+    def mark_completed(self, now: float) -> None:
+        self._transition(JobState.COMPLETED)
+        self.end_time = now
+
+    def mark_timeout(self, now: float) -> None:
+        self._transition(JobState.TIMEOUT)
+        self.end_time = now
+
+    def mark_cancelled(self, now: float) -> None:
+        self._transition(JobState.CANCELLED)
+        self.end_time = now
+
+    def mark_requeued(self, now: float) -> None:
+        """Return a running job to the queue after a node failure.
+
+        Without checkpointing, all progress is discarded: the job
+        restarts from scratch when next scheduled.
+        """
+        self._transition(JobState.PENDING)
+        self.lost_work += self.spec.runtime_exclusive - self.remaining_work
+        self.requeues += 1
+        self.start_time = None
+        self.end_time = None
+        self.allocation = None
+        self.remaining_work = self.spec.runtime_exclusive
+        self.rate = 0.0
+        self.sharing_now = False
+        self.shared_seconds = 0.0
+        self.corun_job_ids.clear()
+        self.locality_factor = 1.0
+        self.racks_spanned = 1
+        self.finish_event = None
+        self.timeout_event = None
+
+    # ------------------------------------------------------------------
+    # Progress integration
+    # ------------------------------------------------------------------
+    def integrate_progress(self, now: float, shared_now: bool) -> None:
+        """Account work done at the current rate since the last update.
+
+        Must be called *before* changing :attr:`rate`.
+        """
+        if not self.is_running:
+            raise JobStateError(
+                f"job {self.job_id} is {self.state.value}; cannot integrate progress"
+            )
+        elapsed = now - self.last_progress_at
+        if elapsed < 0:
+            raise JobStateError(
+                f"job {self.job_id}: progress time moved backwards "
+                f"({self.last_progress_at} -> {now})"
+            )
+        self.remaining_work = max(0.0, self.remaining_work - self.rate * elapsed)
+        if shared_now:
+            self.shared_seconds += elapsed
+        self.last_progress_at = now
+
+    def eta(self, now: float) -> float:
+        """Wall time at which the job finishes at the current rate."""
+        if self.rate <= 0:
+            raise JobStateError(f"job {self.job_id} has rate {self.rate}; no ETA")
+        return now + self.remaining_work / self.rate
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Job({self.job_id}, {self.state.value}, app={self.spec.app!r}, "
+            f"n={self.num_nodes}, remaining={self.remaining_work:.1f})"
+        )

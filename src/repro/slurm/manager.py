@@ -1,0 +1,711 @@
+"""The workload manager: ties engine, cluster, strategy and model.
+
+This is the simulated counterpart of ``slurmctld``: it owns the
+pending queue, invokes the scheduling strategy at the same decision
+points the real daemon does (job submission, job completion, optional
+timer), applies placements to the cluster, enforces walltime limits,
+and writes accounting records.
+
+It also owns the *execution* semantics the strategies are evaluated
+under: every job progresses at the rate the interference model
+assigns given its current co-runners, with exact remaining-work
+updates at every allocation change (see DESIGN.md, "execution model").
+"""
+
+from __future__ import annotations
+
+import time as _wallclock
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.cluster.allocation import Allocation, AllocationKind
+from repro.cluster.machine import Cluster
+from repro.cluster.partition import Partition
+from repro.core.pairing import PairingPolicy
+from repro.core.strategy import Placement, ScheduleContext, Strategy, make_strategy
+from repro.engine.events import Event, EventKind
+from repro.engine.simulator import Simulator
+from repro.errors import (
+    ConfigError,
+    SchedulingError,
+    SimulationError,
+    WorkloadError,
+)
+from repro.interference.model import InterferenceModel
+from repro.interference.profile import ResourceProfile
+from repro.miniapps.suite import TRINITY_SUITE
+from repro.slurm.accounting import AccountingLog, JobRecord
+from repro.slurm.config import SchedulerConfig
+from repro.slurm.job import Job, JobState
+from repro.slurm.priority import MultifactorPriority
+from repro.slurm.failures import FailureModel
+from repro.slurm.predictor import WalltimePredictor
+from repro.slurm.queue import PendingQueue
+from repro.slurm.reservations import Reservation
+from repro.workload.trace import WorkloadTrace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.metrics.collector import MetricsCollector
+
+#: Relative tolerance for "the job's work is done" at a finish event.
+_FINISH_TOLERANCE = 1e-6
+
+
+@dataclass
+class SimulationResult:
+    """Everything a finished simulation exposes to analysis."""
+
+    strategy: str
+    cluster_nodes: int
+    accounting: AccountingLog
+    makespan: float
+    first_submit: float
+    events_dispatched: int
+    scheduler_passes: int
+    placements_applied: int
+    wallclock_seconds: float
+    collector: "MetricsCollector | None" = None
+    notes: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def completed_jobs(self) -> int:
+        return sum(1 for r in self.accounting if r.state is JobState.COMPLETED)
+
+    @property
+    def timeout_jobs(self) -> int:
+        return sum(1 for r in self.accounting if r.state is JobState.TIMEOUT)
+
+
+class WorkloadManager:
+    """Simulated batch-system control daemon."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        config: SchedulerConfig | None = None,
+        strategy: Strategy | None = None,
+        collector: "MetricsCollector | None" = None,
+        profiles: dict[str, ResourceProfile] | None = None,
+        partitions: list[Partition] | None = None,
+    ) -> None:
+        self.cluster = cluster
+        self.config = config or SchedulerConfig()
+        self.strategy = strategy or make_strategy(self.config.strategy)
+        self.collector = collector
+        if self.config.sharing_mode == "time_sliced":
+            from repro.interference.timeslice import TimeSlicedModel
+
+            self.model: InterferenceModel = TimeSlicedModel(
+                self.config.switch_overhead
+            )
+        else:
+            self.model = InterferenceModel(self.config.model_params)
+        self.pairing = PairingPolicy(
+            model=self.model,
+            threshold=self.config.share_threshold,
+            max_dilation=self.config.walltime_grace,
+            oblivious=self.config.pairing_oblivious,
+        )
+        if profiles is None:
+            # Both bundled suites resolve out of the box; unknown apps
+            # fall back to config.default_profile.
+            from repro.miniapps.nas import NAS_SUITE
+
+            profiles = {name: app.profile for name, app in TRINITY_SUITE.items()}
+            profiles.update(
+                {name: app.profile for name, app in NAS_SUITE.items()}
+            )
+        self.profiles = profiles
+        self.priority = MultifactorPriority(
+            self.config.priority_weights, num_nodes=cluster.num_nodes
+        )
+        self.queue = PendingQueue(self.priority)
+        self.jobs: dict[int, Job] = {}
+        self.accounting = AccountingLog()
+        self.sim = Simulator()
+        self.scheduler_passes = 0
+        self.placements_applied = 0
+        self._terminal_jobs = 0
+        self._pass_requested_at: float | None = None
+        if partitions is None:
+            partitions = [
+                Partition(
+                    name="regular",
+                    node_ids=tuple(range(cluster.num_nodes)),
+                    default=True,
+                )
+            ]
+        self.partitions: dict[str, Partition] = {p.name: p for p in partitions}
+        self.reservations: list[Reservation] = []
+        self._phantom_seq = 0
+        self.failure_model: FailureModel | None = None
+        self._failure_rng: "object | None" = None
+        self._next_failure_event: Event | None = None
+        self.failures_injected = 0
+        self.jobs_requeued = 0
+        #: Jobs held on an unfinished afterok dependency, keyed by the
+        #: dependency's job id.
+        self._dependents: dict[int, list[Job]] = {}
+        self.predictor: WalltimePredictor | None = (
+            WalltimePredictor() if self.config.use_walltime_prediction else None
+        )
+        self.sim.on(EventKind.JOB_SUBMIT, self._on_submit)
+        self.sim.on(EventKind.JOB_FINISH, self._on_finish)
+        self.sim.on(EventKind.JOB_TIMEOUT, self._on_timeout)
+        self.sim.on(EventKind.JOB_CANCEL, self._on_cancel)
+        self.sim.on(EventKind.SCHEDULER_PASS, self._on_scheduler_pass)
+        self.sim.on(EventKind.BACKFILL_PASS, self._on_backfill_tick)
+        self.sim.on(EventKind.CHECKPOINT, self._on_reservation_edge)
+
+    # ------------------------------------------------------------------
+    # Loading work
+    # ------------------------------------------------------------------
+    def load(self, trace: WorkloadTrace) -> None:
+        """Register a workload trace; submissions become events."""
+        for spec in trace:
+            if spec.job_id in self.jobs:
+                raise WorkloadError(f"job id {spec.job_id} already loaded")
+            if spec.num_nodes > self.cluster.num_nodes:
+                if not self.config.reject_oversized:
+                    raise WorkloadError(
+                        f"job {spec.job_id} requests {spec.num_nodes} nodes; "
+                        f"cluster has {self.cluster.num_nodes} "
+                        f"(set reject_oversized to drop such jobs)"
+                    )
+                continue
+            partition = self.partitions.get(spec.partition)
+            if partition is not None and not partition.allow_sharing and spec.shareable:
+                # Per-partition OverSubscribe=NO overrides the flag.
+                spec = spec.with_(shareable=False)
+            job = Job(spec)
+            self.jobs[spec.job_id] = job
+            self.sim.schedule(spec.submit_time, EventKind.JOB_SUBMIT, job)
+        self._check_dependency_cycles()
+        if (
+            self.config.backfill_interval > 0
+            and self.strategy.wants_periodic_pass
+            and self.jobs
+        ):
+            self.sim.schedule(
+                self.config.backfill_interval, EventKind.BACKFILL_PASS, None
+            )
+
+    def _check_dependency_cycles(self) -> None:
+        """Reject dependency cycles, which could never be satisfied."""
+        state: dict[int, int] = {}  # 0 = visiting, 1 = done
+
+        for start in self.jobs:
+            if start in state:
+                continue
+            chain: list[int] = []
+            current = start
+            while True:
+                if state.get(current) == 1:
+                    break
+                if state.get(current) == 0:
+                    raise WorkloadError(
+                        f"dependency cycle involving job {current}"
+                    )
+                state[current] = 0
+                chain.append(current)
+                dep = self.jobs[current].spec.depends_on
+                if dep < 0 or dep not in self.jobs:
+                    break
+                current = dep
+            for job_id in chain:
+                state[job_id] = 1
+
+    # ------------------------------------------------------------------
+    # Profiles and predictions
+    # ------------------------------------------------------------------
+    def profile_of(self, job: Job) -> ResourceProfile:
+        return self.profiles.get(job.spec.app, self.config.default_profile)
+
+    def predicted_end(self, job: Job) -> float:
+        """End estimate for a running job, scheduler-legal information.
+
+        Without prediction this is the walltime-based upper bound;
+        with the predictor enabled it is the corrected estimate,
+        clamped to the present (a job that outlives its prediction is
+        simply expected to finish "any moment now") and never beyond
+        the enforced limit.
+        """
+        if job.start_time is None:
+            raise SchedulingError(f"job {job.job_id} has not started")
+        bound = job.start_time + job.effective_limit
+        if self.predictor is None:
+            return bound
+        grace = (
+            self.config.walltime_grace
+            if job.allocation is not None and job.allocation.is_shared
+            else 1.0
+        )
+        predicted = job.start_time + self.predictor.predict(job) * grace
+        return min(bound, max(predicted, self.sim.now))
+
+    # ------------------------------------------------------------------
+    # Execution model
+    # ------------------------------------------------------------------
+    def _job_rate(self, job: Job) -> float:
+        """Current speed: bulk-synchronous jobs run at the rate of
+        their slowest node, scaled by the allocation's rack-locality
+        factor (fixed at start)."""
+        assert job.allocation is not None
+        profile = self.profile_of(job)
+        rate = 1.0
+        for node_id in job.allocation.node_ids:
+            co_id = self.cluster.node(node_id).co_runner_of(job.job_id)
+            if co_id is None:
+                continue
+            co_profile = self.profile_of(self.jobs[co_id])
+            rate = min(rate, self.model.speed(profile, co_profile))
+        return rate * job.locality_factor
+
+    def _locality_factor(self, job: Job, node_ids: tuple[int, ...]) -> float:
+        """Speed factor from rack spread (1.0 with the penalty off)."""
+        racks = self.cluster.topology.racks_spanned(node_ids)
+        job.racks_spanned = racks
+        penalty = self.config.rack_comm_penalty
+        if penalty <= 0.0 or racks <= 1:
+            return 1.0
+        comm = self.profile_of(job).comm_fraction
+        return 1.0 / (1.0 + penalty * comm * (racks - 1))
+
+    def _refresh_rate(self, job: Job) -> None:
+        """Integrate progress, recompute the rate, reschedule finish."""
+        now = self.sim.now
+        job.integrate_progress(now, job.sharing_now)
+        co_runners = self.cluster.jobs_sharing_with(job.job_id)
+        job.sharing_now = bool(co_runners)
+        job.corun_job_ids |= co_runners
+        new_rate = self._job_rate(job)
+        if job.finish_event is not None and not job.finish_event.cancelled:
+            if abs(new_rate - job.rate) < 1e-12:
+                return
+            self.sim.cancel(job.finish_event)
+        job.rate = new_rate
+        job.finish_event = self.sim.schedule(
+            job.eta(now), EventKind.JOB_FINISH, job
+        )
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def _on_submit(self, sim: Simulator, event: Event) -> None:
+        job: Job = event.payload
+        if job.state.is_terminal:
+            return  # cancelled before submission took effect
+        denial = self._admission_denial(job)
+        if denial is not None:
+            # SLURM rejects at submission; we record the job CANCELLED
+            # so every loaded job still has an accounting record.
+            self._cancel_terminal(job)
+            return
+        dep_id = job.spec.depends_on
+        if dep_id >= 0 and dep_id in self.jobs:
+            dependency = self.jobs[dep_id]
+            if dependency.state is JobState.COMPLETED:
+                pass  # satisfied; fall through to queueing
+            elif dependency.state.is_terminal:
+                # afterok on a failed job can never be satisfied.
+                self._cancel_terminal(job)
+                return
+            else:
+                self._dependents.setdefault(dep_id, []).append(job)
+                return
+        self.queue.add(job)
+        if self.collector is not None:
+            self.collector.on_submit(sim.now, job, self)
+        self._request_pass()
+
+    def _cancel_terminal(self, job: Job) -> None:
+        """Cancel a never-queued job and write its record."""
+        job.mark_cancelled(self.sim.now)
+        self._terminal_jobs += 1
+        self._maybe_disarm_failures()
+        self.accounting.append(JobRecord.from_job(job))
+        self._release_dependents(job)
+
+    def _release_dependents(self, job: Job) -> None:
+        """Resolve jobs held on *job*'s afterok dependency."""
+        held = self._dependents.pop(job.job_id, None)
+        if not held:
+            return
+        satisfied = job.state is JobState.COMPLETED
+        for dependent in held:
+            if dependent.state.is_terminal:
+                continue  # e.g. scancelled while held
+            if satisfied:
+                self.queue.add(dependent)
+                if self.collector is not None:
+                    self.collector.on_submit(self.sim.now, dependent, self)
+            else:
+                self._cancel_terminal(dependent)
+        if satisfied:
+            self._request_pass()
+
+    def _admission_denial(self, job: Job) -> str | None:
+        """Reason the job cannot be accepted, or None if admitted."""
+        partition = self.partitions.get(job.spec.partition)
+        if partition is None:
+            return f"unknown partition {job.spec.partition!r}"
+        ok, reason = partition.admits(job.num_nodes, job.spec.walltime_req)
+        if not ok:
+            return reason
+        smallest_node = min(node.memory_mb for node in self.cluster.nodes)
+        if job.spec.memory_mb_per_node > smallest_node:
+            return (
+                f"requested {job.spec.memory_mb_per_node:.0f} MB/node "
+                f"exceeds node memory {smallest_node} MB"
+            )
+        return None
+
+    def _on_finish(self, sim: Simulator, event: Event) -> None:
+        job: Job = event.payload
+        if event is not job.finish_event:
+            raise SimulationError(
+                f"stale finish event fired for job {job.job_id}"
+            )
+        job.integrate_progress(sim.now, job.sharing_now)
+        if job.remaining_work > _FINISH_TOLERANCE * job.spec.runtime_exclusive + 1e-6:
+            raise SimulationError(
+                f"job {job.job_id} finish event fired with "
+                f"{job.remaining_work:.6f}s of work remaining"
+            )
+        self._end_job(job, JobState.COMPLETED)
+
+    def _on_timeout(self, sim: Simulator, event: Event) -> None:
+        job: Job = event.payload
+        if event is not job.timeout_event:
+            raise SimulationError(
+                f"stale timeout event fired for job {job.job_id}"
+            )
+        job.integrate_progress(sim.now, job.sharing_now)
+        self._end_job(job, JobState.TIMEOUT)
+
+    def _on_cancel(self, sim: Simulator, event: Event) -> None:
+        job: Job = event.payload
+        if job.state.is_terminal:
+            return  # raced with completion; nothing to do
+        if job.is_pending:
+            if job in self.queue:
+                self.queue.remove(job)
+            job.mark_cancelled(sim.now)
+            self._terminal_jobs += 1
+            self._maybe_disarm_failures()
+            self.accounting.append(JobRecord.from_job(job))
+            self._release_dependents(job)
+            self._request_pass()  # queue head may have changed
+            return
+        job.integrate_progress(sim.now, job.sharing_now)
+        self._end_job(job, JobState.CANCELLED)
+
+    def cancel_job(self, job_id: int, at: float) -> None:
+        """Schedule an ``scancel`` of *job_id* at simulated time *at*."""
+        if job_id not in self.jobs:
+            raise WorkloadError(f"job {job_id} is not loaded")
+        self.sim.schedule(at, EventKind.JOB_CANCEL, self.jobs[job_id])
+
+    # ------------------------------------------------------------------
+    # Maintenance reservations
+    # ------------------------------------------------------------------
+    def add_reservation(self, reservation: Reservation) -> None:
+        """Register a maintenance window (best-effort drain; see
+        :mod:`repro.slurm.reservations`)."""
+        self.reservations.append(reservation)
+        self.sim.schedule(
+            reservation.start, EventKind.CHECKPOINT, ("res_start", reservation)
+        )
+        self.sim.schedule(
+            reservation.end, EventKind.CHECKPOINT, ("res_end", reservation)
+        )
+
+    # ------------------------------------------------------------------
+    # Failure injection
+    # ------------------------------------------------------------------
+    def enable_failures(self, model: FailureModel, seed: int = 0) -> None:
+        """Turn on exponential node failures with requeue-on-eviction.
+
+        Call after :meth:`load`; the failure process stops arming new
+        events once every job is terminal (so the simulation ends).
+        """
+        import numpy as np
+
+        if self.failure_model is not None:
+            raise ConfigError("failures already enabled")
+        self.failure_model = model
+        self._failure_rng = np.random.default_rng(seed)
+        self._schedule_next_failure()
+
+    def _schedule_next_failure(self) -> None:
+        assert self.failure_model is not None and self._failure_rng is not None
+        mean = self.failure_model.cluster_interarrival_seconds(
+            self.cluster.num_nodes
+        )
+        delay = float(self._failure_rng.exponential(mean))  # type: ignore[attr-defined]
+        self._next_failure_event = self.sim.schedule_in(
+            delay, EventKind.CHECKPOINT, ("node_fail", None)
+        )
+
+    def _maybe_disarm_failures(self) -> None:
+        """Cancel the pending failure once no job can be affected, so
+        the simulation clock is not dragged to a far-future event."""
+        if (
+            self._next_failure_event is not None
+            and self._terminal_jobs >= len(self.jobs)
+        ):
+            self.sim.cancel(self._next_failure_event)
+            self._next_failure_event = None
+
+    def _on_node_fail(self, sim: Simulator) -> None:
+        assert self._failure_rng is not None
+        self._next_failure_event = None
+        if self._terminal_jobs >= len(self.jobs):
+            return  # nothing left to disturb
+        # Candidates: up nodes not held by a reservation phantom.
+        candidates = [
+            node
+            for node in self.cluster.nodes
+            if not node.down
+            and all(occ in self.jobs for occ in node.occupant_ids)
+        ]
+        if candidates:
+            index = int(self._failure_rng.integers(len(candidates)))  # type: ignore[attr-defined]
+            node = candidates[index]
+            self.failures_injected += 1
+            for job_id in list(node.occupant_ids):
+                self._requeue_job(self.jobs[job_id])
+            node.mark_down()
+            if self.failure_model is not None:
+                self.sim.schedule_in(
+                    self.failure_model.repair_seconds,
+                    EventKind.CHECKPOINT,
+                    ("node_repair", node.node_id),
+                )
+            self._request_pass()
+        if self._terminal_jobs < len(self.jobs):
+            self._schedule_next_failure()
+
+    def _requeue_job(self, job: Job) -> None:
+        """Evict a running job (node failure) and requeue it."""
+        now = self.sim.now
+        job.integrate_progress(now, job.sharing_now)
+        if job.finish_event is not None:
+            self.sim.cancel(job.finish_event)
+        if job.timeout_event is not None:
+            self.sim.cancel(job.timeout_event)
+        affected = self.cluster.jobs_sharing_with(job.job_id)
+        self.cluster.release(job.job_id)
+        job.mark_requeued(now)
+        self.jobs_requeued += 1
+        self.queue.add(job)
+        for other_id in sorted(affected):
+            if self.jobs[other_id].is_running:
+                self._refresh_rate(self.jobs[other_id])
+
+    def _on_reservation_edge(self, sim: Simulator, event: Event) -> None:
+        kind, reservation = event.payload
+        if kind == "node_fail":
+            self._on_node_fail(sim)
+            return
+        if kind == "node_repair":
+            self.cluster.node(reservation).mark_up()
+            self._request_pass()
+            if self.collector is not None:
+                self.collector.on_sample(sim.now, self)
+            return
+        if kind == "res_start":
+            idle = [n.node_id for n in self.cluster.idle_nodes()]
+            granted = idle[: reservation.num_nodes]
+            reservation.shortfall = reservation.num_nodes - len(granted)
+            reservation.granted_node_ids = tuple(granted)
+            if granted:
+                self._phantom_seq -= 1
+                phantom_id = self._phantom_seq
+                self.cluster.allocate(
+                    self.cluster.build_exclusive(phantom_id, granted)
+                )
+                # Stash the phantom id on the reservation for release.
+                reservation._phantom_id = phantom_id  # type: ignore[attr-defined]
+        elif kind == "res_end":
+            phantom_id = getattr(reservation, "_phantom_id", None)
+            if phantom_id is not None and self.cluster.has_allocation(phantom_id):
+                self.cluster.release(phantom_id)
+                reservation.granted_node_ids = ()
+            self._request_pass()
+        else:  # pragma: no cover - defensive
+            raise SimulationError(f"unknown checkpoint payload {kind!r}")
+        if self.collector is not None:
+            self.collector.on_sample(sim.now, self)
+
+    def _end_job(self, job: Job, final_state: JobState) -> None:
+        now = self.sim.now
+        if job.finish_event is not None:
+            self.sim.cancel(job.finish_event)
+            job.finish_event = None
+        if job.timeout_event is not None:
+            self.sim.cancel(job.timeout_event)
+            job.timeout_event = None
+        affected = self.cluster.jobs_sharing_with(job.job_id)
+        self.cluster.release(job.job_id)
+        if final_state is JobState.COMPLETED:
+            job.mark_completed(now)
+        elif final_state is JobState.CANCELLED:
+            job.mark_cancelled(now)
+        else:
+            job.mark_timeout(now)
+        self._terminal_jobs += 1
+        self._maybe_disarm_failures()
+        record = JobRecord.from_job(job)
+        self.accounting.append(record)
+        self.priority.charge(job.spec.user, record.node_seconds_allocated)
+        if self.predictor is not None and final_state is JobState.COMPLETED:
+            self.predictor.observe(
+                job.spec.user, record.run_time, job.spec.walltime_req
+            )
+        for other_id in sorted(affected):
+            self._refresh_rate(self.jobs[other_id])
+        self._release_dependents(job)
+        if self.collector is not None:
+            self.collector.on_job_end(now, record, self)
+        self._request_pass()
+
+    def _on_backfill_tick(self, sim: Simulator, event: Event) -> None:
+        self._request_pass()
+        if self._terminal_jobs < len(self.jobs):
+            sim.schedule_in(
+                self.config.backfill_interval, EventKind.BACKFILL_PASS, None
+            )
+
+    def _request_pass(self) -> None:
+        """Coalesce all same-timestamp triggers into one pass."""
+        if self._pass_requested_at == self.sim.now:
+            return
+        self._pass_requested_at = self.sim.now
+        self.sim.schedule(self.sim.now, EventKind.SCHEDULER_PASS, None)
+
+    def _on_scheduler_pass(self, sim: Simulator, event: Event) -> None:
+        self._pass_requested_at = None
+        self.scheduler_passes += 1
+        if not self.queue:
+            return
+        running = {
+            job_id: self.jobs[job_id]
+            for job_id in self.cluster.running_job_ids()
+            if job_id in self.jobs  # exclude reservation phantoms
+        }
+        ctx = ScheduleContext(
+            now=sim.now,
+            cluster=self.cluster,
+            pending=self.queue.ordered(sim.now),
+            running=running,
+            profile_of=self.profile_of,
+            predicted_end=self.predicted_end,
+            pairing=self.pairing,
+            walltime_grace=self.config.walltime_grace,
+            allow_open_shared=self.config.allow_open_shared,
+            topology_aware=self.config.topology_aware,
+            predict_runtime=(
+                self.predictor.predict if self.predictor is not None else None
+            ),
+        )
+        placements = self.strategy.schedule(ctx)
+        for placement in placements:
+            self._start_job(placement)
+        if placements and self.collector is not None:
+            self.collector.on_sample(sim.now, self)
+
+    # ------------------------------------------------------------------
+    # Starting jobs
+    # ------------------------------------------------------------------
+    def _start_job(self, placement: Placement) -> None:
+        job = placement.job
+        now = self.sim.now
+        self.queue.remove(job)
+        if placement.kind is AllocationKind.EXCLUSIVE:
+            request = self.cluster.build_exclusive(job.job_id, placement.node_ids)
+        else:
+            request = self.cluster.build_shared(job.job_id, placement.node_ids)
+        allocation: Allocation = self.cluster.allocate(request)
+        job.mark_started(now, allocation)
+        job.locality_factor = self._locality_factor(job, allocation.node_ids)
+        if placement.kind is AllocationKind.SHARED:
+            job.effective_limit = job.spec.walltime_req * self.config.walltime_grace
+        else:
+            job.effective_limit = job.spec.walltime_req
+        # Rate under the co-runners present right now.
+        co_runners = self.cluster.jobs_sharing_with(job.job_id)
+        job.sharing_now = bool(co_runners)
+        job.corun_job_ids |= co_runners
+        job.rate = self._job_rate(job)
+        job.finish_event = self.sim.schedule(job.eta(now), EventKind.JOB_FINISH, job)
+        job.timeout_event = self.sim.schedule(
+            now + job.effective_limit, EventKind.JOB_TIMEOUT, job
+        )
+        # Joining a lane changes the resident's rate.
+        for other_id in sorted(co_runners):
+            self._refresh_rate(self.jobs[other_id])
+        self.placements_applied += 1
+        if self.collector is not None:
+            self.collector.on_start(now, job, self)
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run(self, until: float | None = None) -> SimulationResult:
+        """Run the simulation to completion and summarise it."""
+        started = _wallclock.perf_counter()
+        self.sim.run(until=until)
+        elapsed = _wallclock.perf_counter() - started
+        unfinished = len(self.jobs) - self._terminal_jobs
+        if unfinished and until is None:
+            raise SimulationError(
+                f"simulation drained its event heap with {unfinished} "
+                f"jobs unfinished — scheduling deadlock"
+            )
+        ends = [r.end_time for r in self.accounting]
+        submits = [j.spec.submit_time for j in self.jobs.values()]
+        makespan = (max(ends) - min(submits)) if ends else 0.0
+        if self.collector is not None:
+            self.collector.on_sim_end(self.sim.now, self)
+        return SimulationResult(
+            strategy=self.strategy.name,
+            cluster_nodes=self.cluster.num_nodes,
+            accounting=self.accounting,
+            makespan=makespan,
+            first_submit=min(submits) if submits else 0.0,
+            events_dispatched=self.sim.events_dispatched,
+            scheduler_passes=self.scheduler_passes,
+            placements_applied=self.placements_applied,
+            wallclock_seconds=elapsed,
+            collector=self.collector,
+        )
+
+
+def run_simulation(
+    trace: WorkloadTrace,
+    num_nodes: int = 128,
+    strategy: str | Strategy = "easy_backfill",
+    config: SchedulerConfig | None = None,
+    collect_metrics: bool = True,
+) -> SimulationResult:
+    """One-call convenience API: simulate *trace* under a strategy.
+
+    This is the function the examples and benchmarks build on.
+    """
+    from repro.metrics.collector import MetricsCollector
+
+    if config is None:
+        config = SchedulerConfig(
+            strategy=strategy if isinstance(strategy, str) else strategy.name
+        )
+    cluster = Cluster.homogeneous(num_nodes)
+    strategy_obj = (
+        strategy if isinstance(strategy, Strategy) else make_strategy(strategy)
+    )
+    collector = MetricsCollector(cluster) if collect_metrics else None
+    manager = WorkloadManager(
+        cluster, config=config, strategy=strategy_obj, collector=collector
+    )
+    manager.load(trace)
+    return manager.run()

@@ -1,0 +1,86 @@
+"""Online walltime prediction for backfill.
+
+Users over-request walltime by large factors, and backfill quality
+degrades with estimate quality (Tsafrir et al.).  The classic remedy
+is system-generated predictions from user history: this predictor
+learns each user's request-accuracy distribution online and corrects
+*scheduling* estimates — never kill timers, which stay at the
+requested limit (a prediction must not be able to kill a job).
+
+Prediction = request × a high quantile of the user's recent
+``runtime / request`` ratios (a conservative correction: optimistic
+predictions delay reservations when wrong, so we lean high), falling
+back to the raw request until enough history accumulates.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.slurm.job import Job
+
+
+class WalltimePredictor:
+    """Per-user multiplicative walltime correction, learned online.
+
+    Parameters
+    ----------
+    quantile:
+        Quantile of the user's observed accuracy ratios used as the
+        correction factor (high = conservative).
+    history:
+        Sliding-window length per user; old behaviour ages out.
+    min_samples:
+        Observations required before corrections apply.
+    floor:
+        Lower clamp on the correction factor, guarding against a
+        pathological history predicting near-zero runtimes.
+    """
+
+    def __init__(
+        self,
+        quantile: float = 0.75,
+        history: int = 25,
+        min_samples: int = 3,
+        floor: float = 0.05,
+    ) -> None:
+        if not (0.0 < quantile <= 1.0):
+            raise ConfigError(f"quantile={quantile} outside (0, 1]")
+        if history < 1 or min_samples < 1:
+            raise ConfigError("history and min_samples must be >= 1")
+        if not (0.0 < floor <= 1.0):
+            raise ConfigError(f"floor={floor} outside (0, 1]")
+        self.quantile = quantile
+        self.history = history
+        self.min_samples = min_samples
+        self.floor = floor
+        self._ratios: dict[str, deque[float]] = {}
+        self.observations = 0
+
+    def observe(self, user: str, runtime: float, requested: float) -> None:
+        """Record a finished job's accuracy ratio for *user*."""
+        if requested <= 0:
+            return
+        ratio = min(1.0, runtime / requested)
+        self._ratios.setdefault(user, deque(maxlen=self.history)).append(ratio)
+        self.observations += 1
+
+    def correction(self, user: str) -> float:
+        """Current correction factor for *user* (1.0 = no history)."""
+        ratios = self._ratios.get(user)
+        if ratios is None or len(ratios) < self.min_samples:
+            return 1.0
+        value = float(np.quantile(np.asarray(ratios), self.quantile))
+        return min(1.0, max(self.floor, value))
+
+    def predict(self, job: Job) -> float:
+        """Predicted runtime for a pending/running job (seconds).
+
+        Never exceeds the requested walltime (requests are hard upper
+        bounds — users are killed at them, so a longer prediction
+        would be incoherent).
+        """
+        return job.spec.walltime_req * self.correction(job.spec.user)

@@ -1,0 +1,116 @@
+"""Multifactor job priority, after SLURM's priority/multifactor plugin.
+
+Priority is a weighted sum of normalised factors:
+
+* **age** — waiting time, saturating at ``age_saturation`` (prevents
+  unbounded priority inflation, exactly as SLURM caps the age factor);
+* **size** — larger jobs first (the usual HPC convention, so backfill
+  has something to fill around) — normalised by cluster size;
+* **fairshare** — ``2^(-usage/share)`` decay of a user's recent
+  consumption, SLURM's classic fairshare curve;
+* **qos** — per-job static boost (unused by the evaluation but part of
+  the substrate).
+
+Ties break on submit order (FIFO), which keeps strategy comparisons
+deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.slurm.job import Job
+
+
+@dataclass(frozen=True)
+class PriorityWeights:
+    """Relative weights of the priority factors."""
+
+    age: float = 1000.0
+    size: float = 200.0
+    fairshare: float = 500.0
+    qos: float = 0.0
+    #: Wait time (seconds) at which the age factor saturates at 1.0.
+    age_saturation: float = 7 * 86_400.0
+
+    def __post_init__(self) -> None:
+        for name in ("age", "size", "fairshare", "qos"):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"priority weight {name} must be >= 0")
+        if self.age_saturation <= 0:
+            raise ConfigError("age_saturation must be positive")
+
+
+#: Default QoS classes and their normalised factors.  Unknown classes
+#: fall back to "normal".
+DEFAULT_QOS_LEVELS: dict[str, float] = {"low": 0.0, "normal": 0.5, "high": 1.0}
+
+
+class MultifactorPriority:
+    """Computes job priorities and tracks fairshare usage."""
+
+    def __init__(
+        self,
+        weights: PriorityWeights | None = None,
+        num_nodes: int = 1,
+        qos_levels: dict[str, float] | None = None,
+    ):
+        self.weights = weights or PriorityWeights()
+        self.num_nodes = max(1, int(num_nodes))
+        #: Accumulated node-seconds charged per user.
+        self.usage: dict[str, float] = {}
+        #: Normalisation constant for the fairshare decay curve.
+        self.share_norm: float = 50_000.0
+        self.qos_levels = dict(
+            DEFAULT_QOS_LEVELS if qos_levels is None else qos_levels
+        )
+
+    def qos_factor(self, qos: str) -> float:
+        """Normalised QoS factor in [0, 1] (unknown classes = normal)."""
+        return self.qos_levels.get(
+            qos, self.qos_levels.get("normal", 0.5)
+        )
+
+    # ------------------------------------------------------------------
+    # Fairshare bookkeeping
+    # ------------------------------------------------------------------
+    def charge(self, user: str, node_seconds: float) -> None:
+        """Record consumed node-seconds against *user*."""
+        if node_seconds < 0:
+            raise ConfigError(f"cannot charge negative usage {node_seconds}")
+        self.usage[user] = self.usage.get(user, 0.0) + node_seconds
+
+    def fairshare_factor(self, user: str) -> float:
+        """SLURM's classic curve: 2^(-usage/norm), in (0, 1]."""
+        usage = self.usage.get(user, 0.0)
+        return 2.0 ** (-usage / self.share_norm)
+
+    # ------------------------------------------------------------------
+    # Priority
+    # ------------------------------------------------------------------
+    def priority(self, job: Job, now: float) -> float:
+        """Priority of *job* at time *now* (higher runs first)."""
+        w = self.weights
+        wait = max(0.0, now - job.spec.submit_time)
+        age_factor = min(1.0, wait / w.age_saturation)
+        size_factor = min(1.0, job.num_nodes / self.num_nodes)
+        value = (
+            w.age * age_factor
+            + w.size * size_factor
+            + w.fairshare * self.fairshare_factor(job.spec.user)
+            + w.qos * self.qos_factor(job.spec.qos)
+        )
+        return value
+
+    def refresh(self, jobs: list[Job], now: float) -> None:
+        """Recompute and store priorities on the given jobs."""
+        for job in jobs:
+            job.priority = self.priority(job, now)
+
+    def order(self, jobs: list[Job], now: float) -> list[Job]:
+        """Jobs sorted by descending priority, FIFO on ties."""
+        self.refresh(jobs, now)
+        return sorted(
+            jobs, key=lambda j: (-j.priority, j.spec.submit_time, j.job_id)
+        )

@@ -1,0 +1,73 @@
+"""Maintenance reservations (best-effort drain windows).
+
+A :class:`Reservation` blocks a number of nodes over a time window —
+the simulated counterpart of ``scontrol create reservation`` for
+maintenance.  The manager realises a reservation as a *phantom
+occupancy*: at the window start it seizes up to the requested number
+of idle nodes exclusively under a negative phantom id and releases
+them at the window end.
+
+This is deliberately **best-effort**: if fewer nodes are idle at the
+start, only those are seized and the shortfall is recorded on the
+reservation.  (Production SLURM guarantees windows by draining ahead
+of time; admins using this substrate schedule reservations the same
+way — ahead of load — and the shortfall field makes violations
+visible in tests and reports.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class Reservation:
+    """One maintenance window.
+
+    Attributes
+    ----------
+    name:
+        Label shown in reports.
+    start, end:
+        Simulated-time window; nodes are held over [start, end).
+    num_nodes:
+        Nodes requested for the window.
+    granted_node_ids:
+        Nodes actually seized (filled in at window start).
+    shortfall:
+        Requested minus granted (0 when fully honoured).
+    """
+
+    name: str
+    start: float
+    end: float
+    num_nodes: int
+    granted_node_ids: tuple[int, ...] = field(default=())
+    shortfall: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise ConfigError(
+                f"reservation {self.name!r}: window [{self.start}, {self.end}) "
+                f"is invalid"
+            )
+        if self.num_nodes < 1:
+            raise ConfigError(
+                f"reservation {self.name!r}: num_nodes must be >= 1"
+            )
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def active_granted(self) -> int:
+        return len(self.granted_node_ids)
+
+    def __str__(self) -> str:
+        return (
+            f"reservation {self.name}: {self.num_nodes} nodes "
+            f"[{self.start:.0f}, {self.end:.0f})"
+        )

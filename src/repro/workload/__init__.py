@@ -1,0 +1,16 @@
+"""Workload models and trace formats (substrate S8)."""
+
+from repro.workload.spec import JobSpec
+from repro.workload.swf import read_swf, write_swf
+from repro.workload.synthetic import SyntheticWorkloadGenerator
+from repro.workload.trace import WorkloadTrace
+from repro.workload.trinity import TrinityWorkloadGenerator
+
+__all__ = [
+    "JobSpec",
+    "WorkloadTrace",
+    "SyntheticWorkloadGenerator",
+    "TrinityWorkloadGenerator",
+    "read_swf",
+    "write_swf",
+]

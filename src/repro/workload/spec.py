@@ -1,0 +1,123 @@
+"""Job specifications — what a user submits plus ground truth.
+
+A :class:`JobSpec` separates two runtimes, as trace-driven scheduler
+studies must:
+
+* ``walltime_req`` — the limit the user *requested* (``sbatch -t``);
+  the only runtime information visible to the scheduler.
+* ``runtime_exclusive`` — the ground-truth runtime on exclusive nodes,
+  used by the simulator to evolve job progress.  Under co-allocation
+  the realised runtime dilates beyond this value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One job of a workload trace.
+
+    Attributes
+    ----------
+    job_id:
+        Unique positive identifier within the trace.
+    submit_time:
+        Arrival at the batch system, seconds from trace start.
+    num_nodes:
+        Nodes requested (the suite's apps are node-granular, as on the
+        evaluation system where nodes are the allocation unit).
+    walltime_req:
+        Requested walltime limit, seconds.
+    runtime_exclusive:
+        Ground-truth exclusive runtime, seconds.
+    app:
+        Application name; resolves to a resource profile.  ``""`` means
+        unknown (e.g. replayed SWF without an app mapping) and is
+        treated as non-shareable unless a default profile is supplied.
+    shareable:
+        Whether the submission permits node sharing
+        (cf. ``--oversubscribe``).
+    user:
+        Owning user (fairshare accounting).
+    partition:
+        Target partition name.
+    memory_mb_per_node:
+        Per-node resident-set size (``sbatch --mem``).  Co-allocated
+        jobs share a node's physical memory, so the scheduler may only
+        pair jobs whose footprints fit together; 0 means unknown /
+        unconstrained (the job is assumed to fit alongside anything).
+    """
+
+    job_id: int
+    submit_time: float
+    num_nodes: int
+    walltime_req: float
+    runtime_exclusive: float
+    app: str = ""
+    shareable: bool = False
+    user: str = "user0"
+    partition: str = "regular"
+    memory_mb_per_node: float = 0.0
+    #: Quality-of-service class (cf. ``sbatch --qos``); feeds the
+    #: multifactor priority's QoS factor when its weight is non-zero.
+    qos: str = "normal"
+    #: ``afterok`` dependency (cf. ``sbatch --dependency``): the job
+    #: only becomes eligible once this job id COMPLETES; if the
+    #: dependency fails, the job is cancelled.  -1 = no dependency
+    #: (SWF field 17 convention).
+    depends_on: int = -1
+
+    def __post_init__(self) -> None:
+        if self.job_id < 0:
+            raise WorkloadError(f"job_id must be non-negative, got {self.job_id}")
+        if self.submit_time < 0:
+            raise WorkloadError(
+                f"job {self.job_id}: submit_time must be >= 0, got {self.submit_time}"
+            )
+        if self.num_nodes < 1:
+            raise WorkloadError(
+                f"job {self.job_id}: num_nodes must be >= 1, got {self.num_nodes}"
+            )
+        if self.walltime_req <= 0:
+            raise WorkloadError(
+                f"job {self.job_id}: walltime_req must be > 0, got {self.walltime_req}"
+            )
+        if self.runtime_exclusive <= 0:
+            raise WorkloadError(
+                f"job {self.job_id}: runtime_exclusive must be > 0, "
+                f"got {self.runtime_exclusive}"
+            )
+        if self.memory_mb_per_node < 0:
+            raise WorkloadError(
+                f"job {self.job_id}: memory_mb_per_node must be >= 0, "
+                f"got {self.memory_mb_per_node}"
+            )
+        if self.depends_on == self.job_id:
+            raise WorkloadError(
+                f"job {self.job_id} cannot depend on itself"
+            )
+
+    @property
+    def node_seconds(self) -> float:
+        """Exclusive-execution node-seconds this job represents."""
+        return self.num_nodes * self.runtime_exclusive
+
+    @property
+    def overestimate(self) -> float:
+        """User walltime over-estimation factor (>= 0)."""
+        return self.walltime_req / self.runtime_exclusive
+
+    def with_(self, **changes: object) -> "JobSpec":
+        """A copy with the given fields replaced (validation re-runs)."""
+        return replace(self, **changes)
+
+    def __str__(self) -> str:
+        share = "S" if self.shareable else "X"
+        return (
+            f"job{self.job_id}[{self.app or '?'} n={self.num_nodes} "
+            f"r={self.runtime_exclusive:.0f}s/{self.walltime_req:.0f}s {share}]"
+        )

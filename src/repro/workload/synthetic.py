@@ -1,0 +1,106 @@
+"""Generic synthetic workload generation.
+
+Distributions follow the classic workload-modelling literature
+(Feitelson/Downey): Poisson arrivals, lognormal service times, job
+sizes concentrated on powers of two, and multiplicative user walltime
+over-estimation.  The Trinity campaign generator specialises this for
+the paper's evaluation; this generic generator backs unit tests and
+the SWF replay example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workload.spec import JobSpec
+from repro.workload.trace import WorkloadTrace
+
+
+@dataclass
+class SyntheticWorkloadGenerator:
+    """Parameterised random workload source.
+
+    Parameters
+    ----------
+    interarrival_mean:
+        Mean of the exponential inter-arrival time (seconds).
+    runtime_median / runtime_sigma:
+        Lognormal service-time parameters (median in seconds, sigma of
+        the underlying normal).
+    node_counts / node_weights:
+        Discrete job-size distribution.
+    overestimate_range:
+        Users request ``runtime * U(lo, hi)`` walltime.
+    shareable_fraction:
+        Probability a job opts into node sharing.
+    max_walltime:
+        Cap applied to both runtime and request (partition limit).
+    users:
+        Number of distinct users cycled through submissions.
+    """
+
+    interarrival_mean: float = 120.0
+    runtime_median: float = 1800.0
+    runtime_sigma: float = 1.0
+    node_counts: tuple[int, ...] = (1, 2, 4, 8, 16)
+    node_weights: tuple[float, ...] = (0.30, 0.25, 0.20, 0.15, 0.10)
+    overestimate_range: tuple[float, float] = (1.1, 2.0)
+    shareable_fraction: float = 0.5
+    max_walltime: float = 86_400.0
+    users: int = 8
+    apps: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.interarrival_mean <= 0:
+            raise WorkloadError("interarrival_mean must be positive")
+        if len(self.node_counts) != len(self.node_weights):
+            raise WorkloadError("node_counts and node_weights lengths differ")
+        if abs(sum(self.node_weights) - 1.0) > 1e-9:
+            raise WorkloadError(
+                f"node_weights must sum to 1, got {sum(self.node_weights)}"
+            )
+        lo, hi = self.overestimate_range
+        if not (1.0 <= lo <= hi):
+            raise WorkloadError(f"bad overestimate_range {self.overestimate_range}")
+
+    def generate(
+        self,
+        num_jobs: int,
+        rng: np.random.Generator,
+        start_id: int = 1,
+        name: str = "synthetic",
+    ) -> WorkloadTrace:
+        """Draw *num_jobs* jobs."""
+        if num_jobs < 0:
+            raise WorkloadError(f"num_jobs must be >= 0, got {num_jobs}")
+        arrivals = np.cumsum(rng.exponential(self.interarrival_mean, size=num_jobs))
+        sizes = rng.choice(self.node_counts, size=num_jobs, p=self.node_weights)
+        runtimes = rng.lognormal(
+            mean=np.log(self.runtime_median), sigma=self.runtime_sigma, size=num_jobs
+        )
+        runtimes = np.clip(runtimes, 30.0, self.max_walltime)
+        lo, hi = self.overestimate_range
+        overest = rng.uniform(lo, hi, size=num_jobs)
+        share = rng.random(num_jobs) < self.shareable_fraction
+        jobs = []
+        for i in range(num_jobs):
+            app = ""
+            if self.apps:
+                app = str(self.apps[int(rng.integers(len(self.apps)))])
+            walltime = min(float(runtimes[i] * overest[i]), self.max_walltime)
+            jobs.append(
+                JobSpec(
+                    job_id=start_id + i,
+                    submit_time=float(arrivals[i]),
+                    num_nodes=int(sizes[i]),
+                    walltime_req=walltime,
+                    runtime_exclusive=float(runtimes[i]),
+                    app=app,
+                    shareable=bool(share[i]),
+                    user=f"user{int(rng.integers(self.users))}",
+                )
+            )
+        return WorkloadTrace(jobs, name=name)

@@ -1,0 +1,125 @@
+"""Workload trace container."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workload.spec import JobSpec
+
+
+class WorkloadTrace:
+    """An ordered, validated collection of :class:`JobSpec` s.
+
+    Jobs are stored sorted by (submit_time, job_id).  Job ids must be
+    unique; gaps are fine (real traces have them).
+    """
+
+    def __init__(self, jobs: Iterable[JobSpec], name: str = "trace"):
+        self.jobs: list[JobSpec] = sorted(
+            jobs, key=lambda j: (j.submit_time, j.job_id)
+        )
+        self.name = name
+        seen: set[int] = set()
+        for job in self.jobs:
+            if job.job_id in seen:
+                raise WorkloadError(f"duplicate job_id {job.job_id} in trace")
+            seen.add(job.job_id)
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __iter__(self) -> Iterator[JobSpec]:
+        return iter(self.jobs)
+
+    def __getitem__(self, index: int) -> JobSpec:
+        return self.jobs[index]
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    def filter(self, predicate: Callable[[JobSpec], bool]) -> "WorkloadTrace":
+        return WorkloadTrace(
+            (j for j in self.jobs if predicate(j)), name=f"{self.name}|filtered"
+        )
+
+    def head(self, count: int) -> "WorkloadTrace":
+        return WorkloadTrace(self.jobs[:count], name=f"{self.name}|head{count}")
+
+    def with_share_fraction(
+        self, fraction: float, rng: np.random.Generator
+    ) -> "WorkloadTrace":
+        """A copy where each job is shareable with probability
+        *fraction* — used by the sensitivity sweep (E8)."""
+        if not (0.0 <= fraction <= 1.0):
+            raise WorkloadError(f"share fraction {fraction} outside [0, 1]")
+        draws = rng.random(len(self.jobs))
+        jobs = [
+            job.with_(shareable=bool(draw < fraction))
+            for job, draw in zip(self.jobs, draws)
+        ]
+        return WorkloadTrace(jobs, name=f"{self.name}|share{fraction:.2f}")
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    @property
+    def total_node_seconds(self) -> float:
+        return float(sum(j.node_seconds for j in self.jobs))
+
+    @property
+    def span(self) -> float:
+        """Submission window length (first to last arrival)."""
+        if not self.jobs:
+            return 0.0
+        return self.jobs[-1].submit_time - self.jobs[0].submit_time
+
+    def offered_load(self, num_nodes: int) -> float:
+        """Offered utilisation: demanded node-seconds per available
+        node-second over the submission window."""
+        if num_nodes <= 0:
+            raise WorkloadError(f"num_nodes must be positive, got {num_nodes}")
+        if self.span <= 0:
+            return float("inf") if self.jobs else 0.0
+        return self.total_node_seconds / (self.span * num_nodes)
+
+    def summary(self) -> dict[str, float]:
+        """Aggregate statistics for reports and sanity tests."""
+        if not self.jobs:
+            return {"jobs": 0}
+        nodes = np.array([j.num_nodes for j in self.jobs], dtype=float)
+        runtimes = np.array([j.runtime_exclusive for j in self.jobs], dtype=float)
+        shareable = np.array([j.shareable for j in self.jobs], dtype=bool)
+        return {
+            "jobs": float(len(self.jobs)),
+            "span_s": self.span,
+            "total_node_seconds": self.total_node_seconds,
+            "mean_nodes": float(nodes.mean()),
+            "max_nodes": float(nodes.max()),
+            "mean_runtime_s": float(runtimes.mean()),
+            "median_runtime_s": float(np.median(runtimes)),
+            "shareable_fraction": float(shareable.mean()),
+        }
+
+    def app_mix(self) -> dict[str, int]:
+        """Job count per application name."""
+        mix: dict[str, int] = {}
+        for job in self.jobs:
+            mix[job.app] = mix.get(job.app, 0) + 1
+        return mix
+
+    @staticmethod
+    def concat(traces: Sequence["WorkloadTrace"], name: str = "concat") -> "WorkloadTrace":
+        """Merge traces; job ids must stay globally unique."""
+        jobs: list[JobSpec] = []
+        for trace in traces:
+            jobs.extend(trace.jobs)
+        return WorkloadTrace(jobs, name=name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WorkloadTrace({self.name!r}, jobs={len(self.jobs)})"

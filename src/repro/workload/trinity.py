@@ -1,0 +1,184 @@
+"""Trinity-campaign workload generation — the evaluation's workload.
+
+Models a mixed science campaign of the eight suite mini-apps:
+application drawn from a configurable mix, node count from the app's
+typical sizes, problem scale lognormal around the canonical size, and
+arrivals Poisson at a rate derived from a target offered load so the
+system runs saturated (where scheduling strategy differences are
+visible, as in the paper's evaluation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.miniapps.base import MiniApp
+from repro.miniapps.suite import TRINITY_SUITE
+from repro.workload.arrivals import diurnal_arrivals, homogeneous_arrivals
+from repro.workload.spec import JobSpec
+from repro.workload.trace import WorkloadTrace
+
+
+@dataclass
+class TrinityWorkloadGenerator:
+    """Campaign generator over the mini-app suite.
+
+    Parameters
+    ----------
+    apps:
+        The mini-apps in play (defaults to the whole suite).
+    mix:
+        Relative submission weights per app name; uniform if omitted.
+    offered_load:
+        Target demanded-over-available node-seconds ratio during the
+        submission window.  Values a little above 1.0 keep a queue —
+        the regime where backfill and sharing strategies differentiate.
+    scale_sigma:
+        Lognormal sigma of the per-submission problem-size multiplier.
+    overestimate_range:
+        User walltime request factor, uniform in this range.
+    share_obeys_app:
+        If True (default), a job's shareable flag follows its app's
+        disposition; if False, :attr:`share_fraction` applies i.i.d.
+    share_fraction:
+        Used when ``share_obeys_app`` is False, and by sweeps.
+    """
+
+    apps: tuple[MiniApp, ...] = field(
+        default_factory=lambda: tuple(TRINITY_SUITE.values())
+    )
+    mix: dict[str, float] | None = None
+    offered_load: float = 1.2
+    scale_sigma: float = 0.35
+    overestimate_range: tuple[float, float] = (1.15, 1.9)
+    share_obeys_app: bool = True
+    share_fraction: float = 0.75
+    users: int = 12
+    #: Amplitude of the daily submission cycle (0 = homogeneous
+    #: Poisson arrivals; up to <1 for strong day/night contrast).
+    diurnal_amplitude: float = 0.0
+    #: Local hour of peak submission rate (used when diurnal).
+    peak_hour: float = 14.0
+    #: Probability a submission depends (afterok) on the same user's
+    #: previous job — campaign chains are common in real traces.
+    chain_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.apps:
+            raise WorkloadError("generator needs at least one mini-app")
+        if self.offered_load <= 0:
+            raise WorkloadError("offered_load must be positive")
+        if not (0.0 <= self.diurnal_amplitude < 1.0):
+            raise WorkloadError(
+                f"diurnal_amplitude={self.diurnal_amplitude} outside [0, 1)"
+            )
+        if not (0.0 <= self.chain_probability <= 1.0):
+            raise WorkloadError(
+                f"chain_probability={self.chain_probability} outside [0, 1]"
+            )
+        names = {app.name for app in self.apps}
+        if self.mix is not None:
+            unknown = set(self.mix) - names
+            if unknown:
+                raise WorkloadError(f"mix names unknown apps: {sorted(unknown)}")
+            if any(w < 0 for w in self.mix.values()):
+                raise WorkloadError("mix weights must be non-negative")
+            if sum(self.mix.values()) <= 0:
+                raise WorkloadError("mix weights sum to zero")
+
+    def _weights(self) -> np.ndarray:
+        if self.mix is None:
+            return np.full(len(self.apps), 1.0 / len(self.apps))
+        raw = np.array([self.mix.get(app.name, 0.0) for app in self.apps])
+        return raw / raw.sum()
+
+    def _expected_job_node_seconds(self) -> float:
+        """E[nodes * runtime] under the mix, used to set arrival rate."""
+        weights = self._weights()
+        total = 0.0
+        for weight, app in zip(weights, self.apps):
+            mean_nodes = float(np.mean(app.typical_nodes))
+            # Lognormal multiplier mean = exp(sigma^2 / 2).
+            scale_mean = float(np.exp(self.scale_sigma**2 / 2.0))
+            runtime = app.runtime(int(round(mean_nodes))) * scale_mean
+            total += weight * mean_nodes * runtime
+        return total
+
+    def generate(
+        self,
+        num_jobs: int,
+        cluster_nodes: int,
+        rng: np.random.Generator,
+        start_id: int = 1,
+        name: str = "trinity-campaign",
+    ) -> WorkloadTrace:
+        """Draw a campaign of *num_jobs* submissions for a cluster of
+        *cluster_nodes* nodes at the configured offered load."""
+        if num_jobs < 0:
+            raise WorkloadError(f"num_jobs must be >= 0, got {num_jobs}")
+        if cluster_nodes <= 0:
+            raise WorkloadError(f"cluster_nodes must be positive, got {cluster_nodes}")
+        weights = self._weights()
+        # Arrival rate lambda so that lambda * E[node-seconds] equals
+        # offered_load * cluster capacity.
+        mean_demand = self._expected_job_node_seconds()
+        rate = self.offered_load * cluster_nodes / mean_demand
+        if self.diurnal_amplitude > 0.0:
+            arrivals = diurnal_arrivals(
+                num_jobs, rate, rng,
+                amplitude=self.diurnal_amplitude,
+                peak_hour=self.peak_hour,
+            )
+        else:
+            arrivals = homogeneous_arrivals(num_jobs, rate, rng)
+
+        app_indices = rng.choice(len(self.apps), size=num_jobs, p=weights)
+        scales = rng.lognormal(mean=0.0, sigma=self.scale_sigma, size=num_jobs)
+        lo, hi = self.overestimate_range
+        overest = rng.uniform(lo, hi, size=num_jobs)
+        share_draws = rng.random(num_jobs)
+
+        jobs: list[JobSpec] = []
+        last_job_of_user: dict[str, int] = {}
+        for i in range(num_jobs):
+            app = self.apps[int(app_indices[i])]
+            nodes = int(app.typical_nodes[int(rng.integers(len(app.typical_nodes)))])
+            nodes = min(nodes, cluster_nodes)
+            runtime = app.runtime(nodes, work_scale=float(scales[i]))
+            if self.share_obeys_app:
+                shareable = app.shareable
+            else:
+                shareable = bool(share_draws[i] < self.share_fraction)
+            # Working sets grow sublinearly with problem scale and are
+            # clamped to a plausible band around the canonical size.
+            memory = app.memory_mb_per_node * min(
+                1.8, max(0.5, float(scales[i]))
+            )
+            user = f"user{int(rng.integers(self.users))}"
+            depends_on = -1
+            if (
+                self.chain_probability > 0.0
+                and user in last_job_of_user
+                and rng.random() < self.chain_probability
+            ):
+                depends_on = last_job_of_user[user]
+            job_id = start_id + i
+            last_job_of_user[user] = job_id
+            jobs.append(
+                JobSpec(
+                    job_id=job_id,
+                    submit_time=float(arrivals[i]),
+                    num_nodes=nodes,
+                    walltime_req=runtime * float(overest[i]),
+                    runtime_exclusive=runtime,
+                    app=app.name,
+                    shareable=shareable,
+                    user=user,
+                    memory_mb_per_node=memory,
+                    depends_on=depends_on,
+                )
+            )
+        return WorkloadTrace(jobs, name=name)

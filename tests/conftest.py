@@ -1,0 +1,86 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.machine import Cluster
+from repro.interference.model import InterferenceModel
+from repro.interference.profile import ResourceProfile
+from repro.slurm.job import Job
+from repro.workload.spec import JobSpec
+from repro.workload.trace import WorkloadTrace
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def cluster() -> Cluster:
+    """A small 8-node cluster."""
+    return Cluster.homogeneous(8, cores=16, nodes_per_rack=4)
+
+
+@pytest.fixture
+def model() -> InterferenceModel:
+    return InterferenceModel()
+
+
+@pytest.fixture
+def compute_profile() -> ResourceProfile:
+    """A compute-bound profile (high core demand)."""
+    return ResourceProfile(
+        name="compute", core_demand=0.95, membw_demand=0.3, cache_footprint=0.25
+    )
+
+
+@pytest.fixture
+def memory_profile() -> ResourceProfile:
+    """A bandwidth-bound profile (low core, high bandwidth demand)."""
+    return ResourceProfile(
+        name="memory", core_demand=0.45, membw_demand=0.9, cache_footprint=0.55
+    )
+
+
+def make_spec(
+    job_id: int = 1,
+    submit: float = 0.0,
+    nodes: int = 1,
+    runtime: float = 100.0,
+    walltime: float | None = None,
+    app: str = "",
+    shareable: bool = False,
+    user: str = "user0",
+) -> JobSpec:
+    """Compact JobSpec builder used throughout the suite."""
+    return JobSpec(
+        job_id=job_id,
+        submit_time=submit,
+        num_nodes=nodes,
+        walltime_req=walltime if walltime is not None else runtime * 1.5,
+        runtime_exclusive=runtime,
+        app=app,
+        shareable=shareable,
+        user=user,
+    )
+
+
+def make_job(**kwargs: object) -> Job:
+    return Job(make_spec(**kwargs))  # type: ignore[arg-type]
+
+
+def make_trace(*specs: JobSpec, name: str = "test") -> WorkloadTrace:
+    return WorkloadTrace(specs, name=name)
+
+
+@pytest.fixture
+def spec_factory():
+    return make_spec
+
+
+@pytest.fixture
+def job_factory():
+    return make_job

@@ -1,0 +1,66 @@
+"""Tests for the calibration inspection module."""
+
+import pytest
+
+from repro.analysis.calibration import (
+    calibration_summary,
+    calibration_table,
+    pair_breakdown,
+)
+from repro.interference.model import InterferenceModel, ModelParams
+from repro.miniapps.suite import TRINITY_SUITE
+
+
+def profile(name):
+    return TRINITY_SUITE[name].profile
+
+
+class TestPairBreakdown:
+    def test_factors_compose_to_model_speed(self):
+        model = InterferenceModel()
+        for a in ("AMG", "miniDFT", "GTC"):
+            for b in ("MILC", "miniMD"):
+                breakdown = pair_breakdown(profile(a), profile(b))
+                assert breakdown.speed == pytest.approx(
+                    model.speed(profile(a), profile(b))
+                )
+
+    def test_binding_mechanism_bandwidth_pair(self):
+        breakdown = pair_breakdown(profile("AMG"), profile("MILC"))
+        assert breakdown.binding_mechanism == "membw"
+
+    def test_binding_mechanism_compute_pair(self):
+        breakdown = pair_breakdown(profile("miniDFT"), profile("miniDFT"))
+        assert breakdown.binding_mechanism == "smt"
+
+    def test_custom_params_respected(self):
+        params = ModelParams(smt_headroom=0.0, corun_ceiling=0.5)
+        breakdown = pair_breakdown(profile("GTC"), profile("SNAP"), params)
+        assert breakdown.core_factor <= 0.5
+
+
+class TestCalibrationSummary:
+    def test_summary_fields(self):
+        summary = calibration_summary()
+        assert summary["pairs"] == 36.0  # 8 apps, unordered with self
+        assert 0.0 < summary["compatible_fraction"] < 1.0
+        assert summary["worst_pair_gain"] < 1.0  # AMG+AMG loses
+        assert summary["best_pair_gain"] <= 2.0
+
+    def test_summary_reflects_threshold(self):
+        loose = calibration_summary(threshold=0.5)
+        strict = calibration_summary(threshold=1.5)
+        assert loose["compatible_pairs"] >= strict["compatible_pairs"]
+
+    def test_headroom_zero_kills_gains(self):
+        flat = calibration_summary(ModelParams(smt_headroom=0.0,
+                                               corun_ceiling=0.85))
+        default = calibration_summary()
+        assert flat["best_pair_gain"] < default["best_pair_gain"]
+
+
+class TestCalibrationTable:
+    def test_table_renders(self):
+        text = calibration_table()
+        assert "binding" in text
+        assert len(text.splitlines()) == 13  # title + header + rule + 10 rows

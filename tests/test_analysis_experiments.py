@@ -1,0 +1,123 @@
+"""Tests for the experiment drivers (small configurations)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    compare_strategies,
+    default_campaign,
+    e1_miniapp_table,
+    e2_pairing_matrix,
+    e3_headline,
+    e4_utilization_timeline,
+    e5_throughput_curves,
+    e6_wait_by_class,
+    e7_coallocation_overhead,
+    e8_share_fraction_sweep,
+    e9_pairing_ablation,
+    e10_threshold_sweep,
+    e12_swf_replay,
+)
+
+NODES = 32
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    return default_campaign(num_jobs=60, cluster_nodes=NODES)
+
+
+class TestStaticExperiments:
+    def test_e1_covers_suite(self):
+        out = e1_miniapp_table()
+        assert len(out.rows) == 8
+        assert "miniFE" in out.text
+
+    def test_e2_matrix_symmetric_rows(self):
+        out = e2_pairing_matrix()
+        assert len(out.rows) == 8 * 9 // 2  # unordered pairs
+        assert "AMG" in out.text
+        matrix = out.extras["matrix"]
+        assert not matrix.compatible("AMG", "MILC")
+
+    def test_e7_zero_overhead(self):
+        out = e7_coallocation_overhead()
+        for row in out.rows:
+            assert row["overhead_%"] == pytest.approx(0.0, abs=1e-9)
+
+
+class TestCampaignExperiments:
+    def test_e3_headline_shape(self, small_trace):
+        out = e3_headline(
+            trace=small_trace, num_nodes=NODES,
+            strategies=("easy_backfill", "shared_backfill"),
+        )
+        by_strategy = {row["strategy"]: row for row in out.rows}
+        assert by_strategy["shared_backfill"]["comp_eff_gain_%"] > 0.0
+        assert by_strategy["shared_backfill"]["sched_eff_gain_%"] > -1.0
+        assert "E3" in out.text
+
+    def test_e4_utilization_series(self, small_trace):
+        out = e4_utilization_timeline(
+            trace=small_trace, num_nodes=NODES,
+            strategies=("easy_backfill",), points=10,
+        )
+        assert len(out.rows) == 10
+        values = [row["easy_backfill"] for row in out.rows]
+        assert all(0.0 <= v <= 1.0 for v in values)
+
+    def test_e5_throughput_monotone(self, small_trace):
+        out = e5_throughput_curves(
+            trace=small_trace, num_nodes=NODES,
+            strategies=("easy_backfill",), points=10,
+        )
+        counts = [row["easy_backfill"] for row in out.rows]
+        assert counts == sorted(counts)
+        assert counts[-1] == len(small_trace)
+
+    def test_e6_wait_classes(self, small_trace):
+        out = e6_wait_by_class(
+            trace=small_trace, num_nodes=NODES, strategies=("easy_backfill",)
+        )
+        assert len(out.rows) == 1
+        assert any("wait_h" in key for key in out.rows[0])
+
+    def test_compare_strategies_returns_aligned(self, small_trace):
+        results, summaries = compare_strategies(
+            small_trace, ("fcfs", "easy_backfill"), NODES
+        )
+        assert [r.strategy for r in results] == ["fcfs", "easy_backfill"]
+        assert [s.strategy for s in summaries] == ["fcfs", "easy_backfill"]
+
+
+class TestSweeps:
+    def test_e8_gain_grows_with_share_fraction(self):
+        out = e8_share_fraction_sweep(
+            fractions=(0.0, 1.0), num_jobs=60, num_nodes=NODES
+        )
+        gains = [row["comp_eff_gain_%"] for row in out.rows]
+        assert gains[0] == pytest.approx(0.0, abs=1.0)
+        assert gains[-1] > gains[0]
+
+    def test_e9_aware_beats_oblivious_comp_eff(self):
+        out = e9_pairing_ablation(num_jobs=60, num_nodes=NODES)
+        by_variant = {row["variant"]: row for row in out.rows}
+        aware = by_variant["pairing-aware"]
+        oblivious = by_variant["pairing-oblivious"]
+        assert aware["comp_eff"] >= oblivious["comp_eff"] - 0.02
+        # Oblivious pairing dilates jobs more (bad pairs admitted).
+        assert oblivious["mean_shared_dilation"] >= aware["mean_shared_dilation"] - 0.05
+
+    def test_e10_threshold_tradeoff(self):
+        out = e10_threshold_sweep(
+            thresholds=(1.0, 1.4), num_jobs=60, num_nodes=NODES
+        )
+        low, high = out.rows
+        # Higher threshold -> fewer pairs formed.
+        assert high["shared_nodes"] <= low["shared_nodes"] + 1e-9
+
+    def test_e12_roundtrip_replay(self):
+        out = e12_swf_replay(num_jobs=60, num_nodes=NODES)
+        assert len(out.extras["trace"]) == 60
+        strategies = [row["strategy"] for row in out.rows]
+        assert "shared_backfill" in strategies

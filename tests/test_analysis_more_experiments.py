@@ -1,0 +1,87 @@
+"""Smoke tests for the extended experiment drivers (E13–E22).
+
+The benchmarks run these at evaluation scale; here they run at toy
+scale so the plain test suite covers their code paths too.
+"""
+
+import pytest
+
+from repro.analysis import (
+    e13_cluster_scaling,
+    e14_walltime_accuracy,
+    e15_offered_load_sweep,
+    e16_topology_ablation,
+    e17_energy,
+    e18_diurnal_workload,
+    e19_replicated_headline,
+    e20_failure_resilience,
+    e21_walltime_prediction,
+    e22_sharing_mode_comparison,
+)
+
+NODES = 24
+JOBS = 40
+
+
+class TestExtendedDrivers:
+    def test_e13(self):
+        out = e13_cluster_scaling(sizes=(16, 24), jobs_per_node=1.5)
+        assert [row["nodes"] for row in out.rows] == [16, 24]
+        assert all(row["comp_eff_gain_%"] > -5.0 for row in out.rows)
+
+    def test_e14(self):
+        out = e14_walltime_accuracy(
+            overestimates=(1.2, 2.5), num_jobs=JOBS, num_nodes=NODES
+        )
+        assert len(out.rows) == 2
+        assert "sched_eff_gain_%" in out.rows[0]
+
+    def test_e15(self):
+        out = e15_offered_load_sweep(
+            loads=(0.8, 1.4), num_jobs=JOBS, num_nodes=NODES
+        )
+        assert out.rows[0]["base_util"] < out.rows[1]["base_util"] + 0.3
+
+    def test_e16(self):
+        out = e16_topology_ablation(
+            num_jobs=JOBS, num_nodes=NODES, nodes_per_rack=4
+        )
+        assert len(out.rows) == 4
+        selectors = {row["selector"] for row in out.rows}
+        assert selectors == {"linear", "topology"}
+
+    def test_e17(self):
+        out = e17_energy(num_nodes=NODES)
+        rows = {row["strategy"]: row for row in out.rows}
+        assert rows["shared_backfill"]["energy_saving_%"] > 0.0
+
+    def test_e18(self):
+        out = e18_diurnal_workload(
+            amplitudes=(0.0, 0.7), num_jobs=JOBS, num_nodes=NODES
+        )
+        assert len(out.rows) == 2
+
+    def test_e19(self):
+        out = e19_replicated_headline(
+            seeds=(1, 2), num_jobs=30, num_nodes=16
+        )
+        assert all("comp_ci_%" in row for row in out.rows)
+
+    def test_e20(self):
+        out = e20_failure_resilience(
+            mtbf_hours=(float("inf"), 500.0), num_jobs=JOBS, num_nodes=NODES
+        )
+        clean, harsh = out.rows
+        assert clean["failures"] == 0
+        assert harsh["failures"] >= 0
+
+    def test_e21(self):
+        out = e21_walltime_prediction(num_jobs=JOBS, num_nodes=NODES)
+        assert len(out.rows) == 4
+        assert all(row["timeouts"] == 0 for row in out.rows)
+
+    def test_e22(self):
+        out = e22_sharing_mode_comparison(num_jobs=JOBS, num_nodes=NODES)
+        rows = {row["mode"]: row for row in out.rows}
+        assert rows["time_sliced"]["comp_eff"] <= 1.0 + 1e-9
+        assert rows["smt_sharing"]["comp_eff"] >= rows["time_sliced"]["comp_eff"]

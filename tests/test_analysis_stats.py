@@ -1,0 +1,63 @@
+"""Tests for replication statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    IntervalEstimate,
+    confidence_interval,
+    replicate_gains,
+)
+from repro.errors import ConfigError
+
+
+class TestConfidenceInterval:
+    def test_known_values(self):
+        # Symmetric samples: mean exact, width from t-table.
+        estimate = confidence_interval([9.0, 10.0, 11.0], level=0.95)
+        assert estimate.mean == pytest.approx(10.0)
+        # s = 1, sem = 1/sqrt(3), t(0.975, df=2) = 4.3027.
+        assert estimate.half_width == pytest.approx(4.3027 / np.sqrt(3), rel=1e-3)
+
+    def test_interval_bounds(self):
+        estimate = confidence_interval([1.0, 2.0, 3.0, 4.0])
+        assert estimate.low < estimate.mean < estimate.high
+        assert estimate.low == pytest.approx(estimate.mean - estimate.half_width)
+
+    def test_excludes_zero(self):
+        tight = confidence_interval([10.0, 10.1, 9.9, 10.05])
+        assert tight.excludes_zero()
+        wide = confidence_interval([-5.0, 5.0, -4.0, 4.0])
+        assert not wide.excludes_zero()
+
+    def test_higher_level_wider(self):
+        samples = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert (
+            confidence_interval(samples, 0.99).half_width
+            > confidence_interval(samples, 0.90).half_width
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            confidence_interval([1.0])
+        with pytest.raises(ConfigError):
+            confidence_interval([1.0, 2.0], level=1.0)
+
+    def test_str_format(self):
+        text = str(IntervalEstimate(mean=0.15, half_width=0.03,
+                                    level=0.95, samples=5))
+        assert "95%" in text and "n=5" in text
+
+
+class TestReplicateGains:
+    def test_small_replication(self):
+        estimates = replicate_gains(
+            seeds=(1, 2), num_jobs=40, num_nodes=16
+        )
+        assert set(estimates) == {"comp_eff_gain", "sched_eff_gain", "wait_gain"}
+        assert estimates["comp_eff_gain"].samples == 2
+        assert estimates["comp_eff_gain"].mean > 0.0
+
+    def test_needs_two_seeds(self):
+        with pytest.raises(ConfigError, match="at least 2 seeds"):
+            replicate_gains(seeds=(1,))

@@ -1,0 +1,96 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.miniapps.suite import TRINITY_SUITE
+from repro.workload.swf import write_swf
+from repro.workload.trinity import TrinityWorkloadGenerator
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.strategy == "shared_backfill"
+        assert args.nodes == 128
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--strategy", "magic"])
+
+
+SMALL = ["--jobs", "40", "--nodes", "16", "--load", "1.3"]
+
+
+class TestCommands:
+    def test_run_prints_summary(self, capsys):
+        assert main(["run", *SMALL, "--strategy", "fcfs"]) == 0
+        out = capsys.readouterr().out
+        assert "strategy: fcfs" in out
+        assert "makespan_h" in out
+
+    def test_run_with_sacct(self, capsys):
+        assert main(["run", *SMALL, "--strategy", "fcfs", "--sacct", "5"]) == 0
+        assert "COMPLETED" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        assert main(
+            ["compare", *SMALL, "--strategies", "fcfs", "easy_backfill"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fcfs" in out and "easy_backfill" in out
+
+    def test_experiment_e1(self, capsys):
+        assert main(["experiment", "e1"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_experiment_e7(self, capsys):
+        assert main(["experiment", "e7"]) == 0
+        assert "overhead" in capsys.readouterr().out
+
+    def test_experiment_unknown(self, capsys):
+        assert main(["experiment", "e99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_matrix(self, capsys):
+        assert main(["matrix"]) == 0
+        assert "MILC" in capsys.readouterr().out
+
+    def test_run_from_swf(self, tmp_path, capsys):
+        trace = TrinityWorkloadGenerator().generate(
+            30, 16, np.random.default_rng(2)
+        )
+        path = tmp_path / "t.swf"
+        write_swf(trace, path, cores_per_node=32, app_names=list(TRINITY_SUITE))
+        assert main(
+            ["run", "--swf", str(path), "--nodes", "16", "--strategy",
+             "easy_backfill"]
+        ) == 0
+        assert "easy_backfill" in capsys.readouterr().out
+
+
+class TestNewCommands:
+    def test_inspect(self, capsys):
+        assert main(["inspect", "--jobs", "30", "--nodes", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "application mix" in out
+        assert "size histogram" in out
+        assert "offered load" in out
+
+    def test_run_with_gantt(self, capsys):
+        assert main(
+            ["run", "--jobs", "20", "--nodes", "8", "--strategy",
+             "shared_backfill", "--gantt", "8"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "gantt:" in out
+        assert "busy_nodes" in out
+
+    def test_compare_includes_shared_conservative(self, capsys):
+        assert main(["compare", "--jobs", "30", "--nodes", "16"]) == 0
+        assert "shared_conservative" in capsys.readouterr().out

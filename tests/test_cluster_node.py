@@ -1,0 +1,116 @@
+"""Unit tests for single-node occupancy semantics."""
+
+import pytest
+
+from repro.cluster.node import SMT_LANES, Node, NodeMode
+from repro.errors import AllocationError
+
+
+@pytest.fixture
+def node() -> Node:
+    return Node(node_id=0, cores=16)
+
+
+class TestExclusive:
+    def test_allocate_exclusive(self, node):
+        node.allocate_exclusive(7)
+        assert node.mode is NodeMode.EXCLUSIVE
+        assert node.occupant_ids == (7,)
+        assert node.hosts(7)
+
+    def test_exclusive_rejects_second_exclusive(self, node):
+        node.allocate_exclusive(1)
+        with pytest.raises(AllocationError, match="requires an idle node"):
+            node.allocate_exclusive(2)
+
+    def test_exclusive_rejects_shared_join(self, node):
+        node.allocate_exclusive(1)
+        with pytest.raises(AllocationError, match="cannot share"):
+            node.allocate_shared(2)
+
+    def test_exclusive_has_no_free_lane(self, node):
+        node.allocate_exclusive(1)
+        assert not node.has_free_lane
+
+
+class TestShared:
+    def test_open_shared_on_idle(self, node):
+        lane = node.allocate_shared(1)
+        assert lane == 0
+        assert node.mode is NodeMode.SHARED
+        assert node.has_free_lane
+
+    def test_second_occupant_gets_other_lane(self, node):
+        node.allocate_shared(1)
+        lane = node.allocate_shared(2)
+        assert lane == 1
+        assert node.occupant_ids == (1, 2)
+        assert not node.has_free_lane
+
+    def test_full_shared_rejects_third(self, node):
+        node.allocate_shared(1)
+        node.allocate_shared(2)
+        with pytest.raises(AllocationError, match="full"):
+            node.allocate_shared(3)
+
+    def test_same_job_cannot_take_both_lanes(self, node):
+        node.allocate_shared(1)
+        with pytest.raises(AllocationError, match="already occupies"):
+            node.allocate_shared(1)
+
+    def test_co_runner_of(self, node):
+        node.allocate_shared(1)
+        assert node.co_runner_of(1) is None
+        node.allocate_shared(2)
+        assert node.co_runner_of(1) == 2
+        assert node.co_runner_of(2) == 1
+
+    def test_co_runner_of_absent_job_raises(self, node):
+        node.allocate_shared(1)
+        with pytest.raises(AllocationError, match="not on node"):
+            node.co_runner_of(99)
+
+    def test_free_lane_index_after_release(self, node):
+        node.allocate_shared(1)
+        node.allocate_shared(2)
+        node.release(1)
+        assert node.free_lane() == 0  # lane 0 reopened
+
+    def test_free_lane_raises_when_none(self, node):
+        with pytest.raises(AllocationError, match="no free SMT lane"):
+            node.free_lane()
+
+    def test_smt_lanes_constant_is_two(self):
+        # The paper's mechanism is specifically 2-way hyper-threading.
+        assert SMT_LANES == 2
+
+
+class TestRelease:
+    def test_release_returns_to_idle(self, node):
+        node.allocate_exclusive(1)
+        node.release(1)
+        assert node.is_idle
+        assert node.mode is NodeMode.IDLE
+
+    def test_release_one_of_two_keeps_shared(self, node):
+        node.allocate_shared(1)
+        node.allocate_shared(2)
+        node.release(1)
+        assert node.mode is NodeMode.SHARED
+        assert node.occupant_ids == (2,)
+        assert node.has_free_lane
+
+    def test_release_last_shared_clears_mode(self, node):
+        node.allocate_shared(1)
+        node.release(1)
+        assert node.mode is NodeMode.IDLE
+
+    def test_release_absent_job_raises(self, node):
+        with pytest.raises(AllocationError, match="not on node"):
+            node.release(5)
+
+    def test_mode_is_not_sticky(self, node):
+        node.allocate_shared(1)
+        node.release(1)
+        node.allocate_exclusive(2)  # idle node accepts exclusive again
+        assert node.mode is NodeMode.EXCLUSIVE

@@ -1,0 +1,68 @@
+"""Unit tests for partitions and topology."""
+
+import pytest
+
+from repro.cluster.machine import Cluster
+from repro.cluster.partition import Partition
+from repro.errors import ConfigError
+
+
+class TestPartition:
+    def test_admits_ok(self):
+        partition = Partition(name="regular", node_ids=tuple(range(8)))
+        ok, reason = partition.admits(4, 3600.0)
+        assert ok and reason == ""
+
+    def test_rejects_zero_nodes(self):
+        partition = Partition(name="p", node_ids=(0, 1))
+        ok, reason = partition.admits(0, 10.0)
+        assert not ok and "at least one" in reason
+
+    def test_rejects_oversized(self):
+        partition = Partition(name="p", node_ids=(0, 1))
+        ok, reason = partition.admits(3, 10.0)
+        assert not ok and "partition size" in reason
+
+    def test_per_job_limit(self):
+        partition = Partition(name="p", node_ids=tuple(range(8)), max_nodes_per_job=2)
+        assert partition.admits(2, 10.0)[0]
+        ok, reason = partition.admits(3, 10.0)
+        assert not ok and "per-job limit" in reason
+
+    def test_walltime_limit(self):
+        partition = Partition(name="p", node_ids=(0,), max_walltime=100.0)
+        assert partition.admits(1, 100.0)[0]
+        ok, reason = partition.admits(1, 101.0)
+        assert not ok and "walltime" in reason
+
+    def test_contains(self):
+        partition = Partition(name="p", node_ids=(1, 3))
+        assert partition.contains(3)
+        assert not partition.contains(2)
+
+    def test_empty_partition_rejected(self):
+        with pytest.raises(ConfigError, match="no nodes"):
+            Partition(name="p", node_ids=())
+
+    def test_duplicate_nodes_rejected(self):
+        with pytest.raises(ConfigError, match="duplicate"):
+            Partition(name="p", node_ids=(1, 1))
+
+
+class TestTopology:
+    def test_rack_assignment(self):
+        cluster = Cluster.homogeneous(8, nodes_per_rack=4)
+        topo = cluster.topology
+        assert topo.num_racks == 2
+        assert topo.racks[0] == (0, 1, 2, 3)
+
+    def test_racks_spanned(self):
+        topo = Cluster.homogeneous(8, nodes_per_rack=4).topology
+        assert topo.racks_spanned([0, 1]) == 1
+        assert topo.racks_spanned([0, 5]) == 2
+
+    def test_locality_score(self):
+        topo = Cluster.homogeneous(8, nodes_per_rack=2).topology
+        assert topo.locality_score([0, 1]) == 1.0
+        assert topo.locality_score([0, 2, 4]) == pytest.approx(1 / 3)
+        assert topo.locality_score([]) == 1.0

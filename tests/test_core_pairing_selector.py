@@ -1,0 +1,166 @@
+"""Unit tests for the pairing policy and the availability view."""
+
+import pytest
+
+from repro.cluster.machine import Cluster
+from repro.core.pairing import PairingPolicy
+from repro.core.selector import AvailabilityView
+from repro.core.strategy import ScheduleContext
+from repro.errors import ConfigError, SchedulingError
+from repro.interference.model import InterferenceModel
+from repro.miniapps.suite import TRINITY_SUITE
+from repro.slurm.config import DEFAULT_PROFILE
+from tests.conftest import make_job
+
+
+def profile(name):
+    return TRINITY_SUITE[name].profile
+
+
+@pytest.fixture
+def policy():
+    return PairingPolicy(model=InterferenceModel())
+
+
+class TestPairingPolicy:
+    def test_complementary_pair_compatible(self, policy):
+        assert policy.compatible(profile("miniDFT"), profile("AMG"))
+
+    def test_bandwidth_hogs_incompatible(self, policy):
+        assert not policy.compatible(profile("AMG"), profile("MILC"))
+
+    def test_threshold_raises_bar(self):
+        strict = PairingPolicy(model=InterferenceModel(), threshold=1.9)
+        assert not strict.compatible(profile("miniDFT"), profile("AMG"))
+
+    def test_dilation_bound_blocks_slow_pairs(self):
+        # max_dilation barely above 1: any real co-run slowdown fails.
+        tight = PairingPolicy(model=InterferenceModel(), max_dilation=1.01)
+        assert not tight.compatible(profile("GTC"), profile("SNAP"))
+
+    def test_oblivious_accepts_everything(self):
+        oblivious = PairingPolicy(model=InterferenceModel(), oblivious=True)
+        assert oblivious.compatible(profile("AMG"), profile("MILC"))
+        assert oblivious.score(profile("AMG"), profile("MILC")) == 1.0
+
+    def test_score_orders_partners(self, policy):
+        good = policy.score(profile("GTC"), profile("SNAP"))
+        weak = policy.score(profile("miniDFT"), profile("miniDFT"))
+        assert good > weak
+
+    def test_predicted_speed_alone(self, policy):
+        assert policy.predicted_speed(profile("AMG"), None) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            PairingPolicy(model=InterferenceModel(), threshold=-1.0)
+        with pytest.raises(ConfigError):
+            PairingPolicy(model=InterferenceModel(), max_dilation=0.9)
+
+
+def make_ctx(cluster, running=None, pending=None, **kwargs):
+    running = running or {}
+    defaults = dict(
+        now=0.0,
+        cluster=cluster,
+        pending=pending or [],
+        running=running,
+        profile_of=lambda job: TRINITY_SUITE.get(
+            job.spec.app, type("D", (), {"profile": DEFAULT_PROFILE})
+        ).profile if job.spec.app in TRINITY_SUITE else DEFAULT_PROFILE,
+        predicted_end=lambda job: (job.start_time or 0.0) + job.effective_limit,
+        pairing=PairingPolicy(model=InterferenceModel()),
+    )
+    defaults.update(kwargs)
+    return ScheduleContext(**defaults)
+
+
+def start_shared(cluster, job, node_ids):
+    allocation = cluster.allocate(cluster.build_shared(job.job_id, node_ids))
+    job.mark_started(0.0, allocation)
+    return job
+
+
+class TestAvailabilityView:
+    def test_idle_list_ascending(self, cluster):
+        cluster.allocate(cluster.build_exclusive(9, [2]))
+        ctx = make_ctx(cluster)
+        view = AvailabilityView(ctx)
+        assert view.idle == [0, 1, 3, 4, 5, 6, 7]
+
+    def test_fully_open_shared_job_is_group(self, cluster):
+        job = start_shared(cluster, make_job(job_id=1, nodes=2, app="GTC",
+                                             shareable=True), [0, 1])
+        ctx = make_ctx(cluster, running={1: job})
+        view = AvailabilityView(ctx)
+        assert 1 in view.groups
+        assert view.groups[1].node_ids == (0, 1)
+
+    def test_paired_job_not_a_group(self, cluster):
+        a = start_shared(cluster, make_job(job_id=1, nodes=2, app="GTC"), [0, 1])
+        b = start_shared(cluster, make_job(job_id=2, nodes=2, app="SNAP"), [0, 1])
+        ctx = make_ctx(cluster, running={1: a, 2: b})
+        assert AvailabilityView(ctx).groups == {}
+
+    def test_exclusive_job_not_a_group(self, cluster):
+        job = make_job(job_id=1, nodes=2)
+        allocation = cluster.allocate(cluster.build_exclusive(1, [0, 1]))
+        job.mark_started(0.0, allocation)
+        ctx = make_ctx(cluster, running={1: job})
+        assert AvailabilityView(ctx).groups == {}
+
+    def test_joinable_groups_filters_compatibility(self, cluster):
+        amg = start_shared(cluster, make_job(job_id=1, nodes=2, app="AMG"), [0, 1])
+        milc = start_shared(cluster, make_job(job_id=2, nodes=2, app="MILC"), [2, 3])
+        ctx = make_ctx(cluster, running={1: amg, 2: milc})
+        view = AvailabilityView(ctx)
+        joiner = profile("miniDFT")
+        names = [g.job.spec.app for g in view.joinable_groups(joiner)]
+        # miniDFT pairs with AMG and MILC under the calibrated model.
+        assert "AMG" in names and "MILC" in names
+        # But AMG cannot join MILC's group (bandwidth saturation).
+        assert [g.job.spec.app for g in AvailabilityView(ctx).joinable_groups(
+            profile("AMG"))] == []
+
+    def test_joinable_groups_best_score_first(self, cluster):
+        snap = start_shared(cluster, make_job(job_id=1, nodes=2, app="SNAP"), [0, 1])
+        milc = start_shared(cluster, make_job(job_id=2, nodes=2, app="MILC"), [2, 3])
+        ctx = make_ctx(cluster, running={1: snap, 2: milc})
+        groups = AvailabilityView(ctx).joinable_groups(profile("GTC"))
+        # GTC+SNAP outscores GTC+MILC.
+        assert [g.job.spec.app for g in groups] == ["SNAP", "MILC"]
+
+    def test_take_idle_consumes(self, cluster):
+        view = AvailabilityView(make_ctx(cluster))
+        taken = view.take_idle(3)
+        assert taken == [0, 1, 2]
+        assert view.idle_count == 5
+
+    def test_take_idle_overdraw_rejected(self, cluster):
+        view = AvailabilityView(make_ctx(cluster))
+        with pytest.raises(SchedulingError, match="idle nodes"):
+            view.take_idle(9)
+
+    def test_take_group_consumes(self, cluster):
+        job = start_shared(cluster, make_job(job_id=1, nodes=2, app="GTC"), [0, 1])
+        view = AvailabilityView(make_ctx(cluster, running={1: job}))
+        group = view.joinable_groups(profile("SNAP"))[0]
+        view.take_group(group)
+        assert not view.has_groups
+        with pytest.raises(SchedulingError, match="not available"):
+            view.take_group(group)
+
+    def test_open_shared_registers_pass_local_group(self, cluster):
+        view = AvailabilityView(make_ctx(cluster))
+        opener = make_job(job_id=5, nodes=2, app="AMG", shareable=True)
+        nodes = view.take_idle(2)
+        view.open_shared(nodes, opener, profile("AMG"))
+        groups = view.joinable_groups(profile("miniDFT"))
+        assert [g.job.job_id for g in groups] == [5]
+
+    def test_open_shared_duplicate_rejected(self, cluster):
+        view = AvailabilityView(make_ctx(cluster))
+        opener = make_job(job_id=5, nodes=1, app="AMG")
+        view.open_shared([0], opener, profile("AMG"))
+        with pytest.raises(SchedulingError, match="already owns"):
+            view.open_shared([1], opener, profile("AMG"))

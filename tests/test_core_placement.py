@@ -1,0 +1,181 @@
+"""Unit tests for placement helpers (exclusive, join, open-shared)."""
+
+import pytest
+
+from repro.cluster.allocation import AllocationKind
+from repro.core.placement import (
+    _exact_group_fill,
+    place_best,
+    place_exclusive,
+    place_join,
+    place_open_shared,
+)
+from repro.core.selector import AvailabilityView, ResidentGroup
+from repro.interference.model import InterferenceModel
+from repro.core.pairing import PairingPolicy
+from repro.miniapps.suite import TRINITY_SUITE
+from tests.conftest import make_job
+from tests.test_core_pairing_selector import make_ctx, start_shared
+
+
+def profile(name):
+    return TRINITY_SUITE[name].profile
+
+
+class TestPlaceExclusive:
+    def test_places_lowest_ids(self, cluster):
+        ctx = make_ctx(cluster)
+        view = AvailabilityView(ctx)
+        placement = place_exclusive(make_job(job_id=1, nodes=3), view)
+        assert placement.node_ids == (0, 1, 2)
+        assert placement.kind is AllocationKind.EXCLUSIVE
+
+    def test_insufficient_idle_returns_none(self, cluster):
+        ctx = make_ctx(cluster)
+        view = AvailabilityView(ctx)
+        assert place_exclusive(make_job(job_id=1, nodes=9), view) is None
+        assert view.idle_count == 8  # untouched on failure
+
+    def test_budget_enforced(self, cluster):
+        view = AvailabilityView(make_ctx(cluster))
+        assert place_exclusive(make_job(nodes=3), view, idle_budget=2) is None
+
+
+class TestExactGroupFill:
+    def _group(self, job_id, size, app="GTC"):
+        return ResidentGroup(
+            job=make_job(job_id=job_id, nodes=size, app=app),
+            profile=profile(app),
+            node_ids=tuple(range(job_id * 10, job_id * 10 + size)),
+        )
+
+    def test_single_exact_match_preferred(self):
+        groups = [self._group(1, 4), self._group(2, 8)]
+        fill = _exact_group_fill(groups, 8)
+        assert [g.job.job_id for g in fill] == [2]
+
+    def test_combination_found(self):
+        groups = [self._group(1, 4), self._group(2, 2), self._group(3, 2)]
+        fill = _exact_group_fill(groups, 8)
+        assert sum(g.size for g in fill) == 8
+
+    def test_dp_finds_nongreedy_combo(self):
+        # Greedy best-first would take 6 and strand the rest; DP must
+        # find 4 + 4 for need=8.
+        groups = [self._group(1, 6), self._group(2, 4), self._group(3, 4)]
+        fill = _exact_group_fill(groups, 8)
+        assert fill is not None
+        assert sorted(g.size for g in fill) == [4, 4]
+
+    def test_no_fill_returns_none(self):
+        groups = [self._group(1, 3), self._group(2, 3)]
+        assert _exact_group_fill(groups, 8) is None
+
+    def test_oversized_groups_skipped(self):
+        groups = [self._group(1, 16), self._group(2, 8)]
+        fill = _exact_group_fill(groups, 8)
+        assert [g.size for g in fill] == [8]
+
+
+class TestPlaceJoin:
+    def test_join_exact_size_group(self, cluster):
+        resident = start_shared(
+            cluster, make_job(job_id=1, nodes=2, app="AMG", shareable=True), [0, 1]
+        )
+        ctx = make_ctx(cluster, running={1: resident})
+        view = AvailabilityView(ctx)
+        joiner = make_job(job_id=2, nodes=2, app="miniMD", shareable=True)
+        placement = place_join(joiner, ctx, view)
+        assert placement is not None
+        assert placement.kind is AllocationKind.SHARED
+        assert set(placement.node_ids) == {0, 1}
+        assert view.idle_count == 6  # no idle consumed
+
+    def test_join_requires_shareable(self, cluster):
+        resident = start_shared(
+            cluster, make_job(job_id=1, nodes=2, app="AMG"), [0, 1]
+        )
+        ctx = make_ctx(cluster, running={1: resident})
+        view = AvailabilityView(ctx)
+        joiner = make_job(job_id=2, nodes=2, app="miniMD", shareable=False)
+        assert place_join(joiner, ctx, view) is None
+
+    def test_join_multi_group(self, cluster):
+        a = start_shared(cluster, make_job(job_id=1, nodes=2, app="AMG",
+                                           shareable=True), [0, 1])
+        b = start_shared(cluster, make_job(job_id=2, nodes=2, app="GTC",
+                                           shareable=True), [2, 3])
+        ctx = make_ctx(cluster, running={1: a, 2: b})
+        view = AvailabilityView(ctx)
+        joiner = make_job(job_id=3, nodes=4, app="miniMD", shareable=True)
+        placement = place_join(joiner, ctx, view)
+        assert placement is not None
+        assert set(placement.node_ids) == {0, 1, 2, 3}
+
+    def test_no_partial_coverage_ever(self, cluster):
+        # A 1-node joiner cannot take one lane of a 2-node resident.
+        resident = start_shared(
+            cluster, make_job(job_id=1, nodes=2, app="AMG", shareable=True), [0, 1]
+        )
+        ctx = make_ctx(cluster, running={1: resident})
+        view = AvailabilityView(ctx)
+        joiner = make_job(job_id=2, nodes=1, app="miniMD", shareable=True)
+        assert place_join(joiner, ctx, view) is None
+
+
+class TestPlaceOpenShared:
+    def test_opens_idle_as_shared(self, cluster):
+        ctx = make_ctx(cluster)
+        view = AvailabilityView(ctx)
+        job = make_job(job_id=1, nodes=2, app="GTC", shareable=True)
+        placement = place_open_shared(job, ctx, view)
+        assert placement.kind is AllocationKind.SHARED
+        assert view.has_groups  # joinable later this pass
+
+    def test_respects_allow_open_shared(self, cluster):
+        ctx = make_ctx(cluster, allow_open_shared=False)
+        view = AvailabilityView(ctx)
+        job = make_job(job_id=1, nodes=2, app="GTC", shareable=True)
+        assert place_open_shared(job, ctx, view) is None
+
+    def test_respects_budget(self, cluster):
+        ctx = make_ctx(cluster)
+        view = AvailabilityView(ctx)
+        job = make_job(job_id=1, nodes=4, app="GTC", shareable=True)
+        assert place_open_shared(job, ctx, view, idle_budget=3) is None
+
+    def test_non_shareable_refused(self, cluster):
+        ctx = make_ctx(cluster)
+        view = AvailabilityView(ctx)
+        assert place_open_shared(make_job(nodes=1), ctx, view) is None
+
+
+class TestPlaceBest:
+    def test_prefers_join_over_open(self, cluster):
+        resident = start_shared(
+            cluster, make_job(job_id=1, nodes=2, app="AMG", shareable=True), [0, 1]
+        )
+        ctx = make_ctx(cluster, running={1: resident})
+        view = AvailabilityView(ctx)
+        joiner = make_job(job_id=2, nodes=2, app="miniMD", shareable=True)
+        placement = place_best(joiner, ctx, view)
+        assert set(placement.node_ids) == {0, 1}
+
+    def test_falls_back_to_exclusive_for_unshareable(self, cluster):
+        ctx = make_ctx(cluster)
+        view = AvailabilityView(ctx)
+        placement = place_best(make_job(job_id=1, nodes=2), ctx, view)
+        assert placement.kind is AllocationKind.EXCLUSIVE
+
+    def test_two_queued_jobs_pair_in_one_pass(self, cluster):
+        # Opener then joiner within the same pass: the canonical
+        # queue-pair formation path.
+        ctx = make_ctx(cluster)
+        view = AvailabilityView(ctx)
+        opener = make_job(job_id=1, nodes=2, app="AMG", shareable=True)
+        joiner = make_job(job_id=2, nodes=2, app="miniMD", shareable=True)
+        first = place_best(opener, ctx, view)
+        second = place_best(joiner, ctx, view)
+        assert first.kind is AllocationKind.SHARED
+        assert second.kind is AllocationKind.SHARED
+        assert set(first.node_ids) == set(second.node_ids)

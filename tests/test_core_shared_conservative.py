@@ -1,0 +1,92 @@
+"""Behavioural tests for SharedConservativeStrategy."""
+
+import pytest
+
+from repro.cluster.allocation import AllocationKind
+from repro.core.conservative import ConservativeBackfillStrategy
+from repro.core.shared_conservative import SharedConservativeStrategy
+from repro.errors import SchedulingError
+from tests.conftest import make_job
+from tests.test_core_pairing_selector import make_ctx, start_shared
+from tests.test_core_strategies import start_exclusive
+
+
+class TestSharedConservative:
+    def test_pairs_two_queued_jobs(self, cluster):
+        pending = [
+            make_job(job_id=1, nodes=2, app="AMG", shareable=True),
+            make_job(job_id=2, nodes=2, app="miniMD", shareable=True),
+        ]
+        ctx = make_ctx(cluster, pending=pending)
+        placements = SharedConservativeStrategy().schedule(ctx)
+        assert len(placements) == 2
+        assert {p.kind for p in placements} == {AllocationKind.SHARED}
+        assert set(placements[0].node_ids) == set(placements[1].node_ids)
+
+    def test_join_bypasses_reservations(self, cluster):
+        # The cluster is almost full; a compatible group exists.  A
+        # reservation-bound queue must not stop a free lane join.
+        blocker = start_exclusive(
+            cluster, make_job(job_id=1, nodes=6, runtime=90.0, walltime=100.0),
+            list(range(6)),
+        )
+        resident = start_shared(
+            cluster,
+            make_job(job_id=2, nodes=2, app="AMG", shareable=True,
+                     runtime=400.0, walltime=500.0),
+            [6, 7],
+        )
+        resident.effective_limit = 1000.0
+        wide = make_job(job_id=3, nodes=8, walltime=500.0)
+        joiner = make_job(job_id=4, nodes=2, app="miniMD", shareable=True,
+                          walltime=800.0)
+        ctx = make_ctx(cluster, running={1: blocker, 2: resident},
+                       pending=[wide, joiner])
+        placements = SharedConservativeStrategy().schedule(ctx)
+        assert [p.job.job_id for p in placements] == [4]
+        assert set(placements[0].node_ids) == {6, 7}
+
+    def test_reservations_still_protect_order(self, cluster):
+        # An exclusive filler that would collide with the head's
+        # reservation must wait (the conservative guarantee).
+        blocker = start_exclusive(
+            cluster, make_job(job_id=1, nodes=6, runtime=90.0, walltime=100.0),
+            list(range(6)),
+        )
+        head = make_job(job_id=2, nodes=8, walltime=500.0)
+        filler = make_job(job_id=3, nodes=2, runtime=100.0, walltime=150.0)
+        ctx = make_ctx(cluster, running={1: blocker}, pending=[head, filler])
+        placements = SharedConservativeStrategy().schedule(ctx)
+        assert placements == []
+
+    def test_matches_exclusive_variant_without_shareables(self, cluster):
+        pending = [
+            make_job(job_id=1, nodes=4, walltime=100.0),
+            make_job(job_id=2, nodes=9, walltime=100.0),
+            make_job(job_id=3, nodes=2, runtime=50.0, walltime=90.0),
+        ]
+        ctx = make_ctx(cluster, pending=pending)
+        shared = SharedConservativeStrategy().schedule(ctx)
+        ctx2 = make_ctx(cluster, pending=pending)
+        plain = ConservativeBackfillStrategy().schedule(ctx2)
+        assert [(p.job.job_id, p.node_ids, p.kind) for p in shared] == [
+            (p.job.job_id, p.node_ids, p.kind) for p in plain
+        ]
+
+    def test_shareable_open_uses_grace_bound_for_reservation(self, cluster):
+        # A shareable job books its slot with the grace-stretched
+        # bound: later exclusive jobs see the longer hold.
+        opener = make_job(job_id=1, nodes=8, app="GTC", shareable=True,
+                          runtime=50.0, walltime=100.0)
+        follower = make_job(job_id=2, nodes=8, walltime=100.0)
+        ctx = make_ctx(cluster, pending=[opener, follower], walltime_grace=2.0)
+        strategy = SharedConservativeStrategy()
+        placements = strategy.schedule(ctx)
+        # Opener starts now shared; follower reserved at t=200 (grace
+        # bound), not placed.
+        assert [p.job.job_id for p in placements] == [1]
+        assert placements[0].kind is AllocationKind.SHARED
+
+    def test_cap_validation(self):
+        with pytest.raises(SchedulingError):
+            SharedConservativeStrategy(max_reservations=0)

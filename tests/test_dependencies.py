@@ -1,0 +1,140 @@
+"""Tests for afterok job dependencies."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.machine import Cluster
+from repro.errors import WorkloadError
+from repro.metrics.validation import ValidatingCollector
+from repro.slurm.config import SchedulerConfig
+from repro.slurm.job import JobState
+from repro.slurm.manager import WorkloadManager
+from repro.workload.trace import WorkloadTrace
+from repro.workload.trinity import TrinityWorkloadGenerator
+from tests.conftest import make_spec
+
+
+def manage(trace, nodes=4, strategy="fcfs"):
+    cluster = Cluster.homogeneous(nodes)
+    manager = WorkloadManager(
+        cluster,
+        config=SchedulerConfig(strategy=strategy),
+        collector=ValidatingCollector(cluster),
+    )
+    manager.load(trace)
+    return manager
+
+
+class TestDependencies:
+    def test_dependent_waits_for_completion(self):
+        trace = WorkloadTrace(
+            [
+                make_spec(job_id=1, nodes=1, runtime=100.0),
+                make_spec(job_id=2, nodes=1, runtime=50.0, submit=1.0)
+                .with_(depends_on=1),
+            ]
+        )
+        result = manage(trace).run()
+        first = result.accounting.get(1)
+        second = result.accounting.get(2)
+        # Plenty of idle nodes, yet job 2 waits for job 1 to finish.
+        assert second.start_time >= first.end_time
+
+    def test_failed_dependency_cancels_dependent(self):
+        trace = WorkloadTrace(
+            [
+                make_spec(job_id=1, runtime=100.0, walltime=50.0),  # TIMEOUT
+                make_spec(job_id=2, submit=1.0).with_(depends_on=1),
+            ]
+        )
+        result = manage(trace).run()
+        assert result.accounting.get(1).state is JobState.TIMEOUT
+        assert result.accounting.get(2).state is JobState.CANCELLED
+
+    def test_dependency_already_completed_at_submit(self):
+        trace = WorkloadTrace(
+            [
+                make_spec(job_id=1, runtime=10.0),
+                make_spec(job_id=2, submit=500.0).with_(depends_on=1),
+            ]
+        )
+        result = manage(trace).run()
+        assert result.accounting.get(2).start_time == pytest.approx(500.0)
+
+    def test_dependency_failed_before_submit(self):
+        trace = WorkloadTrace(
+            [
+                make_spec(job_id=1, runtime=100.0, walltime=50.0),  # TIMEOUT
+                make_spec(job_id=2, submit=500.0).with_(depends_on=1),
+            ]
+        )
+        result = manage(trace).run()
+        assert result.accounting.get(2).state is JobState.CANCELLED
+
+    def test_chain_of_three(self):
+        trace = WorkloadTrace(
+            [
+                make_spec(job_id=1, runtime=50.0),
+                make_spec(job_id=2, runtime=50.0, submit=1.0).with_(depends_on=1),
+                make_spec(job_id=3, runtime=50.0, submit=2.0).with_(depends_on=2),
+            ]
+        )
+        result = manage(trace).run()
+        ends = [result.accounting.get(i).end_time for i in (1, 2, 3)]
+        assert ends == sorted(ends)
+        assert result.accounting.get(3).start_time >= ends[1]
+
+    def test_missing_dependency_is_lenient(self):
+        # Archive traces reference filtered-out jobs; treat as satisfied.
+        trace = WorkloadTrace([make_spec(job_id=5).with_(depends_on=999)])
+        result = manage(trace).run()
+        assert result.accounting.get(5).state is JobState.COMPLETED
+
+    def test_cycle_rejected_at_load(self):
+        trace = WorkloadTrace(
+            [
+                make_spec(job_id=1).with_(depends_on=2),
+                make_spec(job_id=2).with_(depends_on=1),
+            ]
+        )
+        with pytest.raises(WorkloadError, match="cycle"):
+            manage(trace)
+
+    def test_self_dependency_rejected(self):
+        with pytest.raises(WorkloadError, match="itself"):
+            make_spec(job_id=1).with_(depends_on=1)
+
+    def test_cancel_held_dependent(self):
+        trace = WorkloadTrace(
+            [
+                make_spec(job_id=1, runtime=100.0),
+                make_spec(job_id=2, submit=1.0).with_(depends_on=1),
+            ]
+        )
+        manager = manage(trace)
+        manager.cancel_job(2, at=10.0)  # while held on the dependency
+        result = manager.run()
+        assert result.accounting.get(2).state is JobState.CANCELLED
+        assert result.accounting.get(1).state is JobState.COMPLETED
+
+    def test_chained_campaign_completes_under_sharing(self):
+        rng = np.random.default_rng(4)
+        trace = TrinityWorkloadGenerator(
+            share_obeys_app=False,
+            share_fraction=0.8,
+            offered_load=1.3,
+            chain_probability=0.4,
+        ).generate(60, 16, rng)
+        chained = sum(1 for j in trace if j.depends_on >= 0)
+        assert chained > 5
+        manager = manage(trace, nodes=16, strategy="shared_backfill")
+        result = manager.run()
+        assert len(result.accounting) == 60
+        # Every dependent started after its dependency finished.
+        by_id = {r.job_id: r for r in result.accounting}
+        for job in trace:
+            if job.depends_on >= 0 and job.depends_on in by_id:
+                dep = by_id[job.depends_on]
+                me = by_id[job.job_id]
+                if dep.state is JobState.COMPLETED and me.run_time > 0:
+                    assert me.start_time >= dep.end_time

@@ -1,0 +1,60 @@
+"""Unit tests for engine events."""
+
+import pytest
+
+from repro.engine.events import Event, EventKind
+
+
+class TestEventKind:
+    def test_finish_precedes_submit_precedes_pass(self):
+        # Same-timestamp ordering encodes batch-system semantics.
+        assert EventKind.JOB_FINISH < EventKind.JOB_SUBMIT
+        assert EventKind.JOB_SUBMIT < EventKind.SCHEDULER_PASS
+
+    def test_timeout_precedes_submit(self):
+        assert EventKind.JOB_TIMEOUT < EventKind.JOB_SUBMIT
+
+    def test_all_kinds_distinct(self):
+        values = [int(kind) for kind in EventKind]
+        assert len(values) == len(set(values))
+
+
+class TestEvent:
+    def test_defaults(self):
+        event = Event(time=1.0, kind=EventKind.JOB_SUBMIT)
+        assert event.payload is None
+        assert not event.cancelled
+        assert not event.dispatched
+        assert event.seq == -1
+
+    def test_cancel_sets_flag(self):
+        event = Event(time=0.0, kind=EventKind.JOB_FINISH)
+        event.cancel()
+        assert event.cancelled
+
+    def test_sort_key_orders_time_first(self):
+        early = Event(time=1.0, kind=EventKind.SCHEDULER_PASS)
+        late = Event(time=2.0, kind=EventKind.JOB_FINISH)
+        early.seq, late.seq = 5, 1
+        assert early.sort_key < late.sort_key
+
+    def test_sort_key_orders_kind_on_tie(self):
+        finish = Event(time=1.0, kind=EventKind.JOB_FINISH)
+        submit = Event(time=1.0, kind=EventKind.JOB_SUBMIT)
+        finish.seq, submit.seq = 9, 1
+        assert finish.sort_key < submit.sort_key
+
+    def test_sort_key_orders_seq_on_full_tie(self):
+        first = Event(time=1.0, kind=EventKind.JOB_SUBMIT)
+        second = Event(time=1.0, kind=EventKind.JOB_SUBMIT)
+        first.seq, second.seq = 1, 2
+        assert first.sort_key < second.sort_key
+
+    def test_payload_carried(self):
+        payload = object()
+        event = Event(time=0.0, kind=EventKind.CHECKPOINT, payload=payload)
+        assert event.payload is payload
+
+    @pytest.mark.parametrize("kind", list(EventKind))
+    def test_repr_contains_kind_name(self, kind):
+        assert kind.name in repr(Event(time=0.5, kind=kind))

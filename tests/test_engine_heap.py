@@ -1,0 +1,132 @@
+"""Unit tests for the lazy-deletion event heap."""
+
+import pytest
+
+from repro.engine.events import Event, EventKind
+from repro.engine.heap import EventHeap
+from repro.errors import SimulationError
+
+
+def ev(time: float, kind: EventKind = EventKind.JOB_SUBMIT) -> Event:
+    return Event(time=time, kind=kind)
+
+
+class TestPushPop:
+    def test_pop_in_time_order(self):
+        heap = EventHeap()
+        for t in (3.0, 1.0, 2.0):
+            heap.push(ev(t))
+        assert [heap.pop().time for _ in range(3)] == [1.0, 2.0, 3.0]
+
+    def test_fifo_on_equal_time_and_kind(self):
+        heap = EventHeap()
+        a = heap.push(ev(1.0))
+        b = heap.push(ev(1.0))
+        assert heap.pop() is a
+        assert heap.pop() is b
+
+    def test_kind_priority_on_equal_time(self):
+        heap = EventHeap()
+        submit = heap.push(ev(1.0, EventKind.JOB_SUBMIT))
+        finish = heap.push(ev(1.0, EventKind.JOB_FINISH))
+        assert heap.pop() is finish
+        assert heap.pop() is submit
+
+    def test_push_assigns_monotone_seq(self):
+        heap = EventHeap()
+        events = [heap.push(ev(float(i))) for i in range(5)]
+        sequences = [event.seq for event in events]
+        assert sequences == sorted(sequences)
+        assert len(set(sequences)) == 5
+
+    def test_double_push_rejected(self):
+        heap = EventHeap()
+        event = heap.push(ev(1.0))
+        with pytest.raises(SimulationError, match="single-use"):
+            heap.push(event)
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError, match="empty"):
+            EventHeap().pop()
+
+    def test_pop_marks_dispatched(self):
+        heap = EventHeap()
+        event = heap.push(ev(1.0))
+        assert heap.pop().dispatched
+        assert event.dispatched
+
+
+class TestCancel:
+    def test_cancelled_event_skipped(self):
+        heap = EventHeap()
+        victim = heap.push(ev(1.0))
+        survivor = heap.push(ev(2.0))
+        heap.cancel(victim)
+        assert heap.pop() is survivor
+
+    def test_len_tracks_live_events(self):
+        heap = EventHeap()
+        a = heap.push(ev(1.0))
+        heap.push(ev(2.0))
+        assert len(heap) == 2
+        heap.cancel(a)
+        assert len(heap) == 1
+
+    def test_double_cancel_counts_once(self):
+        heap = EventHeap()
+        a = heap.push(ev(1.0))
+        heap.push(ev(2.0))
+        heap.cancel(a)
+        heap.cancel(a)
+        assert len(heap) == 1
+
+    def test_cancel_dispatched_event_is_noop(self):
+        # This exact scenario corrupted the live count once: a handler
+        # cancelling the event that invoked it.
+        heap = EventHeap()
+        fired = heap.push(ev(1.0))
+        heap.push(ev(2.0))
+        assert heap.pop() is fired
+        heap.cancel(fired)
+        assert len(heap) == 1
+        assert heap.pop().time == 2.0
+
+    def test_bool_reflects_live(self):
+        heap = EventHeap()
+        event = heap.push(ev(1.0))
+        assert heap
+        heap.cancel(event)
+        assert not heap
+
+
+class TestPeekDrainClear:
+    def test_peek_time(self):
+        heap = EventHeap()
+        heap.push(ev(5.0))
+        heap.push(ev(3.0))
+        assert heap.peek_time() == 3.0
+        assert len(heap) == 2  # peek does not consume
+
+    def test_peek_skips_cancelled(self):
+        heap = EventHeap()
+        first = heap.push(ev(1.0))
+        heap.push(ev(4.0))
+        heap.cancel(first)
+        assert heap.peek_time() == 4.0
+
+    def test_peek_empty_returns_none(self):
+        assert EventHeap().peek_time() is None
+
+    def test_drain_yields_all_in_order(self):
+        heap = EventHeap()
+        for t in (2.0, 1.0, 3.0):
+            heap.push(ev(t))
+        assert [e.time for e in heap.drain()] == [1.0, 2.0, 3.0]
+        assert not heap
+
+    def test_clear_empties(self):
+        heap = EventHeap()
+        heap.push(ev(1.0))
+        heap.clear()
+        assert len(heap) == 0
+        assert heap.peek_time() is None

@@ -1,0 +1,63 @@
+"""Unit tests for event-trace recording."""
+
+from repro.engine.events import Event, EventKind
+from repro.engine.trace import EventTrace
+
+
+def ev(time: float, kind: EventKind = EventKind.JOB_SUBMIT, payload=None) -> Event:
+    event = Event(time=time, kind=kind, payload=payload)
+    event.seq = int(time * 10)
+    return event
+
+
+class Payload:
+    def __init__(self, job_id):
+        self.job_id = job_id
+
+
+class TestEventTrace:
+    def test_records_in_order(self):
+        trace = EventTrace()
+        trace.record(ev(1.0))
+        trace.record(ev(2.0))
+        assert [r.time for r in trace] == [1.0, 2.0]
+
+    def test_label_from_payload_job_id(self):
+        trace = EventTrace()
+        trace.record(ev(1.0, payload=Payload(42)))
+        assert trace[0].label == "42"
+
+    def test_label_empty_without_payload(self):
+        trace = EventTrace()
+        trace.record(ev(1.0))
+        assert trace[0].label == ""
+
+    def test_filter_predicate(self):
+        trace = EventTrace(keep=lambda e: e.kind is EventKind.JOB_FINISH)
+        trace.record(ev(1.0, EventKind.JOB_SUBMIT))
+        trace.record(ev(2.0, EventKind.JOB_FINISH))
+        assert len(trace) == 1
+        assert trace[0].kind is EventKind.JOB_FINISH
+
+    def test_limit_drops_oldest(self):
+        trace = EventTrace(limit=3)
+        for t in range(5):
+            trace.record(ev(float(t)))
+        assert len(trace) == 3
+        assert trace.dropped == 2
+        assert [r.time for r in trace] == [2.0, 3.0, 4.0]
+
+    def test_of_kind(self):
+        trace = EventTrace()
+        trace.record(ev(1.0, EventKind.JOB_SUBMIT))
+        trace.record(ev(2.0, EventKind.JOB_FINISH))
+        trace.record(ev(3.0, EventKind.JOB_SUBMIT))
+        assert len(trace.of_kind(EventKind.JOB_SUBMIT)) == 2
+
+    def test_format_tail(self):
+        trace = EventTrace()
+        for t in range(5):
+            trace.record(ev(float(t)))
+        text = trace.format(last=2)
+        assert text.count("\n") == 1
+        assert "JOB_SUBMIT" in text

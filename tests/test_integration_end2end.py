@@ -1,0 +1,130 @@
+"""End-to-end integration tests on generated campaigns.
+
+These exercise the whole stack — generator, manager, strategies,
+interference model, metrics — and assert the properties the
+reproduction's headline claims rest on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.strategy import all_strategy_names
+from repro.metrics.efficiency import computational_efficiency
+from repro.metrics.summary import summarize
+from repro.slurm.config import SchedulerConfig
+from repro.slurm.job import JobState
+from repro.slurm.manager import run_simulation
+from repro.workload.trinity import TrinityWorkloadGenerator
+
+
+def campaign(num_jobs=80, nodes=32, seed=5, share=0.85):
+    rng = np.random.default_rng(seed)
+    return TrinityWorkloadGenerator(
+        share_obeys_app=False, share_fraction=share, offered_load=1.4
+    ).generate(num_jobs, nodes, rng)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return campaign()
+
+
+@pytest.fixture(scope="module")
+def results(trace):
+    return {
+        name: run_simulation(trace, num_nodes=32, strategy=name)
+        for name in all_strategy_names()
+    }
+
+
+class TestAllStrategiesComplete:
+    def test_every_job_reaches_terminal_state(self, results, trace):
+        for name, result in results.items():
+            assert len(result.accounting) == len(trace), name
+
+    def test_no_timeouts_on_well_estimated_workload(self, results):
+        # Walltime requests overestimate runtimes and sharing respects
+        # the dilation grace: nothing should be walltime-killed.
+        for name, result in results.items():
+            assert result.timeout_jobs == 0, name
+
+    def test_makespan_positive_and_finite(self, results):
+        for name, result in results.items():
+            assert 0 < result.makespan < 1e9, name
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self, trace):
+        a = run_simulation(trace, num_nodes=32, strategy="shared_backfill")
+        b = run_simulation(trace, num_nodes=32, strategy="shared_backfill")
+        for ra, rb in zip(a.accounting, b.accounting):
+            assert ra.job_id == rb.job_id
+            assert ra.start_time == rb.start_time
+            assert ra.end_time == rb.end_time
+
+    def test_different_seed_different_trace(self):
+        a, b = campaign(seed=1), campaign(seed=2)
+        assert [j.runtime_exclusive for j in a] != [j.runtime_exclusive for j in b]
+
+
+class TestHeadlineShape:
+    """The qualitative results the paper reports must hold."""
+
+    def test_exclusive_strategies_have_unit_comp_eff(self, results):
+        for name in ("fcfs", "first_fit", "easy_backfill", "conservative"):
+            assert computational_efficiency(results[name]) == pytest.approx(1.0)
+
+    def test_sharing_raises_computational_efficiency(self, results):
+        base = computational_efficiency(results["easy_backfill"])
+        for name in ("shared_first_fit", "shared_backfill"):
+            assert computational_efficiency(results[name]) > base * 1.05, name
+
+    def test_sharing_reduces_makespan(self, results):
+        base = results["easy_backfill"].makespan
+        for name in ("shared_first_fit", "shared_backfill"):
+            assert results[name].makespan < base, name
+
+    def test_backfill_beats_fcfs_on_makespan(self, results):
+        assert results["easy_backfill"].makespan < results["fcfs"].makespan
+
+    def test_sharing_actually_happened(self, results):
+        summary = summarize(results["shared_backfill"])
+        assert summary.shared_job_fraction > 0.3
+        assert summary.shared_node_fraction > 0.2
+
+    def test_shared_dilation_within_grace(self, results):
+        grace = SchedulerConfig().walltime_grace
+        for record in results["shared_backfill"].accounting:
+            if record.state is JobState.COMPLETED and record.was_shared:
+                # Pairing policy guarantees per-period speed >= 1/grace.
+                assert record.dilation <= grace + 1e-6
+
+    def test_work_conservation(self, results, trace):
+        # Completed work must equal the workload's total demand.
+        expected = sum(j.num_nodes * j.runtime_exclusive for j in trace)
+        for name, result in results.items():
+            measured = result.accounting.total_useful_node_seconds()
+            assert measured == pytest.approx(expected, rel=1e-9), name
+
+    def test_busy_time_shrinks_under_sharing(self, results):
+        base = results["easy_backfill"].collector.timeline().integrate("busy_nodes")
+        shared = results["shared_backfill"].collector.timeline().integrate("busy_nodes")
+        assert shared < base
+
+
+class TestScaleInvariance:
+    def test_small_cluster_also_gains(self):
+        trace = campaign(num_jobs=50, nodes=16, seed=9)
+        base = run_simulation(trace, num_nodes=16, strategy="easy_backfill")
+        shared = run_simulation(trace, num_nodes=16, strategy="shared_backfill")
+        assert computational_efficiency(shared) > 1.0
+        assert shared.makespan <= base.makespan * 1.02
+
+    def test_zero_share_fraction_equivalence(self):
+        # With nothing shareable, shared_backfill == easy_backfill.
+        trace = campaign(num_jobs=60, nodes=16, seed=3, share=0.0)
+        base = run_simulation(trace, num_nodes=16, strategy="easy_backfill")
+        shared = run_simulation(trace, num_nodes=16, strategy="shared_backfill")
+        for rb, rs in zip(base.accounting, shared.accounting):
+            assert rb.start_time == rs.start_time
+            assert rb.end_time == rs.end_time

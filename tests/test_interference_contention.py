@@ -1,0 +1,52 @@
+"""Unit tests for bandwidth and cache contention factors."""
+
+import pytest
+
+from repro.interference.contention import cache_factor, membw_factor
+
+
+class TestMembwFactor:
+    def test_no_corunner_no_penalty(self):
+        assert membw_factor(0.9, None) == 1.0
+
+    def test_below_saturation_no_penalty(self):
+        assert membw_factor(0.4, 0.5) == 1.0
+
+    def test_at_saturation_no_penalty(self):
+        assert membw_factor(0.5, 0.5) == 1.0
+
+    def test_beyond_saturation_proportional(self):
+        assert membw_factor(0.9, 0.9) == pytest.approx(1.0 / 1.8)
+
+    def test_custom_capacity(self):
+        assert membw_factor(0.9, 0.9, capacity=1.8) == 1.0
+
+    def test_zero_demands_no_penalty(self):
+        assert membw_factor(0.0, 0.0) == 1.0
+
+    def test_symmetric(self):
+        assert membw_factor(0.7, 0.6) == membw_factor(0.6, 0.7)
+
+
+class TestCacheFactor:
+    def test_no_corunner_no_penalty(self):
+        assert cache_factor(0.9, None) == 1.0
+
+    def test_fitting_footprints_no_penalty(self):
+        assert cache_factor(0.4, 0.5) == 1.0
+
+    def test_overflow_penalises(self):
+        assert cache_factor(0.8, 0.8) < 1.0
+
+    def test_bigger_footprint_suffers_more(self):
+        big = cache_factor(0.9, 0.5)
+        small = cache_factor(0.5, 0.9)
+        assert big < small
+
+    def test_floor_respected(self):
+        assert cache_factor(1.0, 1.0, penalty=1.0, floor=0.3) >= 0.3
+
+    def test_penalty_scales(self):
+        soft = cache_factor(0.8, 0.8, penalty=0.1)
+        hard = cache_factor(0.8, 0.8, penalty=0.9)
+        assert soft > hard

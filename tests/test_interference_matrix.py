@@ -1,0 +1,102 @@
+"""Unit tests for the pairwise co-run matrix."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.interference.matrix import PairingMatrix
+from repro.interference.profile import ResourceProfile
+from repro.miniapps.suite import suite_profiles
+
+
+@pytest.fixture(scope="module")
+def matrix() -> PairingMatrix:
+    return PairingMatrix(suite_profiles())
+
+
+class TestStructure:
+    """The qualitative pairing structure the reproduction depends on."""
+
+    def test_throughput_symmetric(self, matrix):
+        assert np.allclose(matrix.throughput, matrix.throughput.T)
+
+    def test_bandwidth_hogs_do_not_pair(self, matrix):
+        # AMG and MILC saturate memory bandwidth; pairing them (or AMG
+        # with itself) must not clear the compatibility threshold.
+        assert not matrix.compatible("AMG", "AMG")
+        assert not matrix.compatible("AMG", "MILC")
+        assert not matrix.compatible("MILC", "MILC")
+
+    def test_complementary_pairs_do_pair(self, matrix):
+        assert matrix.compatible("miniDFT", "AMG")
+        assert matrix.compatible("miniMD", "miniFE")
+        assert matrix.compatible("GTC", "SNAP")
+
+    def test_compute_bound_self_pair_weak(self, matrix):
+        # Two copies of a compute-bound code gain little from SMT.
+        assert matrix.throughput_of("miniDFT", "miniDFT") < 1.25
+
+    def test_good_pairs_gain_materially(self, matrix):
+        assert matrix.throughput_of("miniDFT", "AMG") > 1.2
+        assert matrix.throughput_of("GTC", "SNAP") > 1.3
+
+    def test_all_speeds_in_unit_interval(self, matrix):
+        assert (matrix.speed > 0).all()
+        assert (matrix.speed <= 1.0).all()
+
+    def test_mean_pair_gain_in_plausible_band(self, matrix):
+        # The calibration target: compatible pairs average a 20-60 %
+        # combined-throughput gain (cf. DESIGN.md calibration notes).
+        assert 1.2 <= matrix.mean_pair_gain() <= 1.6
+
+
+class TestLookups:
+    def test_speed_of_alone_is_one(self, matrix):
+        assert matrix.speed_of("GTC", None) == 1.0
+
+    def test_speed_of_pair_matches_matrix(self, matrix):
+        i, j = matrix.index_of("GTC"), matrix.index_of("AMG")
+        assert matrix.speed_of("GTC", "AMG") == matrix.speed[i, j]
+
+    def test_best_partner_returns_max(self, matrix):
+        partner, value = matrix.best_partner("AMG")
+        i = matrix.index_of("AMG")
+        assert value == pytest.approx(matrix.throughput[i].max())
+        assert matrix.throughput_of("AMG", partner) == pytest.approx(value)
+
+    def test_best_partner_restricted_candidates(self, matrix):
+        partner, _ = matrix.best_partner("AMG", candidates=["MILC", "miniFE"])
+        assert partner in ("MILC", "miniFE")
+
+    def test_best_partner_empty_candidates_rejected(self, matrix):
+        with pytest.raises(ConfigError, match="no candidate"):
+            matrix.best_partner("AMG", candidates=[])
+
+    def test_unknown_app_rejected(self, matrix):
+        with pytest.raises(ConfigError, match="unknown application"):
+            matrix.speed_of("nosuch", "AMG")
+
+
+class TestConstructionAndFormat:
+    def test_duplicate_names_rejected(self):
+        p = ResourceProfile(
+            name="dup", core_demand=0.5, membw_demand=0.5, cache_footprint=0.5
+        )
+        with pytest.raises(ConfigError, match="duplicate"):
+            PairingMatrix([p, p])
+
+    def test_empty_profiles_rejected(self):
+        with pytest.raises(ConfigError, match="at least one"):
+            PairingMatrix([])
+
+    def test_format_table_contains_all_names(self, matrix):
+        text = matrix.format_table("throughput")
+        for name in matrix.names:
+            assert name in text
+
+    def test_format_table_speed_variant(self, matrix):
+        assert "1.000" not in matrix.format_table("speed").splitlines()[0]
+
+    def test_format_table_unknown_kind(self, matrix):
+        with pytest.raises(ConfigError, match="unknown matrix kind"):
+            matrix.format_table("nope")

@@ -1,0 +1,134 @@
+"""Unit tests for the interference-model facade."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.interference.model import InterferenceModel, ModelParams
+from repro.interference.profile import ResourceProfile
+
+
+class TestModelContract:
+    def test_alone_is_exactly_one(self, model, compute_profile, memory_profile):
+        assert model.speed(compute_profile, None) == 1.0
+        assert model.speed(memory_profile, None) == 1.0
+
+    def test_corun_bounded(self, model, compute_profile, memory_profile):
+        speed = model.speed(compute_profile, memory_profile)
+        assert 0.0 < speed <= 1.0
+
+    def test_corun_at_least_min_speed(self, compute_profile):
+        model = InterferenceModel(ModelParams(min_speed=0.2, cache_penalty=1.0))
+        hog = ResourceProfile(
+            name="hog", core_demand=1.0, membw_demand=1.0, cache_footprint=1.0
+        )
+        assert model.speed(hog, hog) >= 0.2
+
+    def test_complementary_pair_outperforms_node(
+        self, model, compute_profile, memory_profile
+    ):
+        assert model.pair_throughput(compute_profile, memory_profile) > 1.1
+
+    def test_two_bandwidth_hogs_underperform_node(self, model, memory_profile):
+        assert model.pair_throughput(memory_profile, memory_profile) < 1.05
+
+    def test_pair_throughput_symmetric(self, model, compute_profile, memory_profile):
+        assert model.pair_throughput(
+            compute_profile, memory_profile
+        ) == pytest.approx(model.pair_throughput(memory_profile, compute_profile))
+
+    def test_dilation_is_inverse_speed(self, model, compute_profile, memory_profile):
+        speed = model.speed(compute_profile, memory_profile)
+        assert model.dilation(compute_profile, memory_profile) == pytest.approx(
+            1.0 / speed
+        )
+
+    def test_dilation_alone_is_one(self, model, compute_profile):
+        assert model.dilation(compute_profile, None) == 1.0
+
+
+class TestModelParams:
+    def test_defaults_valid(self):
+        InterferenceModel(ModelParams())
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"smt_headroom": -0.1},
+            {"smt_headroom": 1.5},
+            {"corun_ceiling": 0.0},
+            {"corun_ceiling": 1.2},
+            {"membw_capacity": 0.0},
+            {"cache_penalty": 2.0},
+            {"min_speed": 0.0},
+        ],
+    )
+    def test_bad_params_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            ModelParams(**kwargs)
+
+
+class TestResourceProfile:
+    def test_valid_profile(self):
+        p = ResourceProfile(
+            name="x", core_demand=0.5, membw_demand=0.5, cache_footprint=0.5
+        )
+        assert p.dominant_resource in ("core", "membw", "cache")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"core_demand": 0.0},
+            {"core_demand": 1.5},
+            {"membw_demand": -0.1},
+            {"cache_footprint": 1.1},
+            {"comm_fraction": 2.0},
+            {"serial_fraction": -1.0},
+        ],
+    )
+    def test_out_of_range_rejected(self, kwargs):
+        base = dict(
+            name="x", core_demand=0.5, membw_demand=0.5, cache_footprint=0.5
+        )
+        base.update(kwargs)
+        with pytest.raises(ConfigError):
+            ResourceProfile(**base)
+
+    def test_classification_helpers(self, compute_profile, memory_profile):
+        assert compute_profile.is_compute_bound
+        assert not compute_profile.is_membw_bound
+        assert memory_profile.is_membw_bound
+        assert not memory_profile.is_compute_bound
+
+
+class TestTimeSlicedModel:
+    def test_alone_full_speed(self, compute_profile):
+        from repro.interference.timeslice import TimeSlicedModel
+
+        assert TimeSlicedModel().speed(compute_profile, None) == 1.0
+
+    def test_corun_half_minus_overhead(self, compute_profile, memory_profile):
+        from repro.interference.timeslice import TimeSlicedModel
+
+        model = TimeSlicedModel(switch_overhead=0.1)
+        assert model.speed(compute_profile, memory_profile) == pytest.approx(0.45)
+
+    def test_profile_independent(self, compute_profile, memory_profile):
+        from repro.interference.timeslice import TimeSlicedModel
+
+        model = TimeSlicedModel()
+        assert model.speed(compute_profile, memory_profile) == model.speed(
+            memory_profile, memory_profile
+        )
+
+    def test_combined_never_beats_exclusive(self, compute_profile, memory_profile):
+        from repro.interference.timeslice import TimeSlicedModel
+
+        model = TimeSlicedModel(switch_overhead=0.02)
+        assert model.pair_throughput(compute_profile, memory_profile) <= 1.0
+
+    def test_bad_overhead_rejected(self):
+        from repro.errors import ConfigError
+        from repro.interference.timeslice import TimeSlicedModel
+
+        with pytest.raises(ConfigError):
+            TimeSlicedModel(switch_overhead=1.0)

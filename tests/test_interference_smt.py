@@ -1,0 +1,54 @@
+"""Unit tests for the SMT issue-slot model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.interference.smt import smt_capacity, smt_core_factor
+
+
+class TestSmtCapacity:
+    def test_full_slack_gives_full_headroom(self):
+        assert smt_capacity(1.0, 0.3) == pytest.approx(1.3)
+
+    def test_no_slack_gives_unit_capacity(self):
+        assert smt_capacity(2.0, 0.3) == pytest.approx(1.0)
+
+    def test_partial_slack_interpolates(self):
+        assert smt_capacity(1.5, 0.4) == pytest.approx(1.2)
+
+    def test_demand_beyond_two_clamps(self):
+        assert smt_capacity(2.5, 0.3) == pytest.approx(1.0)
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ConfigError, match="negative"):
+            smt_capacity(-0.1, 0.3)
+
+
+class TestSmtCoreFactor:
+    def test_lone_thread_runs_full_speed(self):
+        # The zero-overhead property of the mechanism (experiment E7).
+        assert smt_core_factor(0.9, None) == 1.0
+        assert smt_core_factor(0.1, None) == 1.0
+
+    def test_corun_never_exceeds_ceiling(self):
+        assert smt_core_factor(0.1, 0.1, corun_ceiling=0.9) <= 0.9
+
+    def test_corun_never_exceeds_one(self):
+        assert smt_core_factor(0.1, 0.1, corun_ceiling=1.0) <= 1.0
+
+    def test_saturated_pair_shares_proportionally(self):
+        # Two fully-demanding threads: capacity 1.0, demand 2.0.
+        factor = smt_core_factor(1.0, 1.0, smt_headroom=0.3)
+        assert factor == pytest.approx(0.5)
+
+    def test_complementary_pair_beats_saturated_pair(self):
+        light = smt_core_factor(0.4, 0.4)
+        heavy = smt_core_factor(0.95, 0.95)
+        assert light > heavy
+
+    def test_monotone_in_sibling_demand(self):
+        factors = [smt_core_factor(0.6, d) for d in (0.2, 0.5, 0.8, 1.0)]
+        assert factors == sorted(factors, reverse=True)
+
+    def test_positive_for_any_demands(self):
+        assert smt_core_factor(1.0, 1.0, smt_headroom=0.0) > 0.0

@@ -1,0 +1,100 @@
+"""Tests for memory-aware co-allocation."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.machine import Cluster
+from repro.metrics.validation import ValidatingCollector
+from repro.slurm.config import SchedulerConfig
+from repro.slurm.job import JobState
+from repro.slurm.manager import WorkloadManager, run_simulation
+from repro.workload.trace import WorkloadTrace
+from repro.workload.trinity import TrinityWorkloadGenerator
+from tests.conftest import make_spec
+
+
+def pair_trace(mem_a: float, mem_b: float) -> WorkloadTrace:
+    return WorkloadTrace(
+        [
+            make_spec(job_id=1, nodes=2, runtime=500.0, app="AMG",
+                      shareable=True).with_(memory_mb_per_node=mem_a),
+            make_spec(job_id=2, nodes=2, runtime=500.0, app="miniDFT",
+                      shareable=True).with_(memory_mb_per_node=mem_b),
+        ]
+    )
+
+
+def run_pair(mem_a: float, mem_b: float, node_mem: int = 128_000):
+    cluster = Cluster.homogeneous(4, memory_mb=node_mem)
+    manager = WorkloadManager(
+        cluster,
+        config=SchedulerConfig(strategy="shared_backfill"),
+        collector=ValidatingCollector(cluster),
+    )
+    manager.load(pair_trace(mem_a, mem_b))
+    return manager.run()
+
+
+class TestMemoryAwareJoining:
+    def test_fitting_pair_shares(self):
+        result = run_pair(60_000, 60_000)
+        assert result.accounting.get(1).was_shared
+        assert result.accounting.get(2).was_shared
+
+    def test_oversized_pair_runs_side_by_side(self):
+        # Combined footprint exceeds node RAM: compatible by the
+        # interference model, but the memory check must veto the join.
+        result = run_pair(90_000, 80_000)
+        assert not result.accounting.get(1).was_shared
+        assert not result.accounting.get(2).was_shared
+        # Both still complete at full speed on separate nodes.
+        assert result.accounting.get(1).dilation == pytest.approx(1.0)
+
+    def test_unknown_memory_assumed_to_fit(self):
+        result = run_pair(0.0, 120_000)
+        assert result.accounting.get(1).was_shared
+
+    def test_exact_fit_allowed(self):
+        result = run_pair(64_000, 64_000)
+        assert result.accounting.get(1).was_shared
+
+
+class TestMemoryAdmission:
+    def test_job_larger_than_node_memory_cancelled(self):
+        trace = WorkloadTrace(
+            [make_spec(job_id=1).with_(memory_mb_per_node=200_000.0)]
+        )
+        result = run_simulation(trace, num_nodes=2, strategy="fcfs")
+        assert result.accounting.get(1).state is JobState.CANCELLED
+
+    def test_negative_memory_rejected(self):
+        with pytest.raises(Exception):
+            make_spec(job_id=1).with_(memory_mb_per_node=-1.0)
+
+
+class TestGeneratorMemory:
+    def test_campaign_jobs_carry_memory(self):
+        rng = np.random.default_rng(5)
+        trace = TrinityWorkloadGenerator().generate(60, 64, rng)
+        memories = [j.memory_mb_per_node for j in trace]
+        assert all(m > 0 for m in memories)
+        # Clamped scaling: between 0.5x and 1.8x of the app baselines.
+        assert max(memories) <= 40_000 * 1.8
+        assert min(memories) >= 12_000 * 0.5
+
+    def test_campaign_respects_memory_under_validation(self):
+        # End-to-end: no doubly-occupied node ever oversubscribes RAM
+        # (the ValidatingCollector would raise).
+        rng = np.random.default_rng(6)
+        trace = TrinityWorkloadGenerator(
+            share_obeys_app=False, share_fraction=0.9, offered_load=1.5
+        ).generate(60, 16, rng)
+        cluster = Cluster.homogeneous(16)
+        manager = WorkloadManager(
+            cluster,
+            config=SchedulerConfig(strategy="shared_backfill"),
+            collector=ValidatingCollector(cluster),
+        )
+        manager.load(trace)
+        result = manager.run()
+        assert result.completed_jobs == len(result.accounting)

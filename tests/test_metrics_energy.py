@@ -1,0 +1,65 @@
+"""Unit tests for energy accounting."""
+
+import pytest
+
+from repro.errors import ConfigError, SimulationError
+from repro.metrics.energy import NodePowerModel, energy_efficiency, energy_to_solution
+from repro.slurm.manager import run_simulation
+from repro.workload.trace import WorkloadTrace
+from tests.conftest import make_spec
+
+
+class TestNodePowerModel:
+    def test_defaults_valid(self):
+        model = NodePowerModel()
+        assert model.idle_w <= model.busy_w <= model.shared_w
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"idle_w": -1.0},
+            {"idle_w": 400.0, "busy_w": 350.0},
+            {"busy_w": 400.0, "shared_w": 390.0},
+        ],
+    )
+    def test_bad_ordering_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            NodePowerModel(**kwargs)
+
+
+class TestEnergyToSolution:
+    def test_single_exclusive_job(self):
+        # One 2-node job for 100 s on a 4-node cluster:
+        # busy 2 nodes * 100 s at 350 W + idle 2 * 100 s at 140 W.
+        trace = WorkloadTrace([make_spec(job_id=1, nodes=2, runtime=100.0)])
+        result = run_simulation(trace, num_nodes=4, strategy="fcfs")
+        joules = energy_to_solution(result)
+        assert joules == pytest.approx(2 * 100 * 350 + 2 * 100 * 140)
+
+    def test_shared_pair_cheaper_than_serial(self):
+        pair = WorkloadTrace(
+            [
+                make_spec(job_id=1, nodes=2, runtime=1000.0, app="AMG",
+                          shareable=True),
+                make_spec(job_id=2, nodes=2, runtime=1000.0, app="miniDFT",
+                          shareable=True),
+            ]
+        )
+        shared = run_simulation(pair, num_nodes=2, strategy="shared_backfill")
+        serial = run_simulation(pair, num_nodes=2, strategy="easy_backfill")
+        assert energy_to_solution(shared) < energy_to_solution(serial)
+        assert energy_efficiency(shared) > energy_efficiency(serial)
+
+    def test_power_model_scales_result(self):
+        trace = WorkloadTrace([make_spec(job_id=1, nodes=1, runtime=100.0)])
+        result = run_simulation(trace, num_nodes=1, strategy="fcfs")
+        cheap = energy_to_solution(result, NodePowerModel(100.0, 200.0, 210.0))
+        costly = energy_to_solution(result, NodePowerModel(100.0, 400.0, 420.0))
+        assert costly == pytest.approx(2 * cheap)
+
+    def test_requires_collector(self):
+        trace = WorkloadTrace([make_spec(job_id=1)])
+        result = run_simulation(trace, num_nodes=1, strategy="fcfs",
+                                collect_metrics=False)
+        with pytest.raises(SimulationError, match="collector"):
+            energy_to_solution(result)

@@ -1,0 +1,119 @@
+"""Tests for summaries, efficiency metrics and report rendering."""
+
+import pytest
+
+from repro.metrics.efficiency import (
+    computational_efficiency,
+    mean_shared_occupancy,
+    scheduling_efficiency,
+    utilization,
+)
+from repro.metrics.report import format_comparison, format_table
+from repro.metrics.summary import summarize, wait_by_size_class
+from repro.slurm.manager import run_simulation
+from repro.errors import SimulationError
+from repro.workload.trace import WorkloadTrace
+from tests.conftest import make_spec
+
+
+@pytest.fixture(scope="module")
+def exclusive_result():
+    trace = WorkloadTrace(
+        [make_spec(job_id=i, nodes=2, runtime=100.0, submit=float(i))
+         for i in range(1, 5)]
+    )
+    return run_simulation(trace, num_nodes=4, strategy="easy_backfill")
+
+
+@pytest.fixture(scope="module")
+def shared_result():
+    trace = WorkloadTrace(
+        [
+            make_spec(job_id=1, nodes=2, runtime=1000.0, app="AMG",
+                      shareable=True),
+            make_spec(job_id=2, nodes=2, runtime=1000.0, app="miniDFT",
+                      shareable=True),
+        ]
+    )
+    return run_simulation(trace, num_nodes=2, strategy="shared_backfill")
+
+
+class TestEfficiency:
+    def test_exclusive_comp_eff_is_one(self, exclusive_result):
+        assert computational_efficiency(exclusive_result) == pytest.approx(1.0)
+
+    def test_shared_pair_comp_eff_above_one(self, shared_result):
+        # The AMG+miniDFT pair outperforms serialising the two jobs.
+        assert computational_efficiency(shared_result) > 1.1
+
+    def test_scheduling_efficiency_sign(self, exclusive_result, shared_result):
+        with pytest.raises(SimulationError, match="same trace"):
+            scheduling_efficiency(shared_result, exclusive_result)
+
+    def test_scheduling_efficiency_zero_against_self(self, exclusive_result):
+        assert scheduling_efficiency(exclusive_result, exclusive_result) == 0.0
+
+    def test_utilization_bounds(self, exclusive_result):
+        u = utilization(exclusive_result)
+        assert 0.0 < u <= 1.0
+
+    def test_shared_occupancy(self, shared_result, exclusive_result):
+        assert mean_shared_occupancy(shared_result) > 0.5
+        assert mean_shared_occupancy(exclusive_result) == 0.0
+
+
+class TestSummary:
+    def test_fields_consistent(self, exclusive_result):
+        summary = summarize(exclusive_result)
+        assert summary.jobs == 4
+        assert summary.completed == 4
+        assert summary.timeouts == 0
+        assert summary.makespan == exclusive_result.makespan
+        assert summary.computational_efficiency == pytest.approx(1.0)
+        assert summary.shared_job_fraction == 0.0
+
+    def test_shared_summary(self, shared_result):
+        summary = summarize(shared_result)
+        assert summary.shared_job_fraction == 1.0
+        assert summary.mean_shared_dilation > 1.0
+
+    def test_as_dict_keys(self, exclusive_result):
+        d = summarize(exclusive_result).as_dict()
+        assert "comp_eff" in d and "makespan_h" in d
+
+    def test_wait_by_size_class(self, exclusive_result):
+        classes = wait_by_size_class(exclusive_result, boundaries=(2, 8))
+        assert set(classes) == {"1-2", "3-8", "9+"}
+        assert classes["3-8"] == 0.0  # no jobs in that class
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(
+            [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.125}], floatfmt=".2f"
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "0.12" in lines[3]
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_format_table_title(self):
+        assert format_table([{"a": 1}], title="T").startswith("T\n")
+
+    def test_format_table_missing_column_blank(self):
+        text = format_table([{"a": 1}, {"b": 2}], columns=["a", "b"])
+        assert "a" in text and "b" in text
+
+    def test_format_comparison_gain_columns(self, exclusive_result):
+        summaries = [summarize(exclusive_result)]
+        text = format_comparison(summaries, baseline="easy_backfill")
+        assert "sched_eff_gain_%" in text
+        assert "comp_eff_gain_%" in text
+
+    def test_format_comparison_unknown_baseline(self, exclusive_result):
+        summaries = [summarize(exclusive_result)]
+        # Missing baseline: no gain columns filled, but no crash.
+        text = format_comparison(summaries, baseline="nope")
+        assert "easy_backfill" in text

@@ -1,0 +1,84 @@
+"""Unit tests for step-function timelines."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.metrics.timeline import Timeline
+
+
+def simple_timeline() -> Timeline:
+    # busy: 2 over [0,10), 4 over [10,20), 0 after 20.
+    return Timeline.from_samples(
+        times=[0.0, 10.0, 20.0],
+        series={"busy": [2.0, 4.0, 0.0]},
+    )
+
+
+class TestConstruction:
+    def test_round_trip(self):
+        timeline = simple_timeline()
+        assert len(timeline) == 3
+        assert timeline.names() == ("busy",)
+        assert timeline.start == 0.0 and timeline.end == 20.0
+
+    def test_duplicate_timestamps_keep_last(self):
+        timeline = Timeline.from_samples(
+            times=[0.0, 5.0, 5.0, 5.0],
+            series={"x": [1.0, 2.0, 3.0, 4.0]},
+        )
+        assert len(timeline) == 2
+        assert timeline.get("x").tolist() == [1.0, 4.0]
+
+    def test_decreasing_times_rejected(self):
+        with pytest.raises(SimulationError, match="non-decreasing"):
+            Timeline.from_samples(times=[1.0, 0.5], series={"x": [1, 2]})
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(SimulationError, match="length"):
+            Timeline.from_samples(times=[0.0, 1.0], series={"x": [1.0]})
+
+    def test_unknown_series_rejected(self):
+        with pytest.raises(SimulationError, match="no series"):
+            simple_timeline().get("nope")
+
+    def test_empty_timeline(self):
+        timeline = Timeline.from_samples(times=[], series={"x": []})
+        assert len(timeline) == 0
+        assert timeline.integrate("x") == 0.0
+        assert timeline.time_weighted_mean("x") == 0.0
+
+
+class TestIntegrals:
+    def test_full_integral(self):
+        # 2*10 + 4*10 = 60.
+        assert simple_timeline().integrate("busy") == pytest.approx(60.0)
+
+    def test_clipped_integral(self):
+        # [5, 15): 2*5 + 4*5 = 30.
+        assert simple_timeline().integrate("busy", 5.0, 15.0) == pytest.approx(30.0)
+
+    def test_integral_outside_record_is_zero(self):
+        assert simple_timeline().integrate("busy", 25.0, 30.0) == 0.0
+
+    def test_inverted_bounds_zero(self):
+        assert simple_timeline().integrate("busy", 15.0, 5.0) == 0.0
+
+    def test_time_weighted_mean(self):
+        assert simple_timeline().time_weighted_mean("busy") == pytest.approx(3.0)
+
+    def test_maximum(self):
+        assert simple_timeline().maximum("busy") == 4.0
+
+
+class TestResample:
+    def test_resample_step_interpolation(self):
+        grid, values = simple_timeline().resample("busy", num_points=5)
+        assert grid[0] == 0.0 and grid[-1] == 20.0
+        # t=0 -> 2, t=5 -> 2, t=10 -> 4, t=15 -> 4, t=20 -> 0.
+        assert values.tolist() == [2.0, 2.0, 4.0, 4.0, 0.0]
+
+    def test_resample_empty(self):
+        timeline = Timeline.from_samples(times=[], series={"x": []})
+        grid, values = timeline.resample("x")
+        assert grid.size == 0 and values.size == 0

@@ -1,0 +1,121 @@
+"""Unit tests for the mini-app suite and scaling models."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.interference.profile import ResourceProfile
+from repro.miniapps.base import MiniApp
+from repro.miniapps.scaling import strong_scaling_efficiency, weak_scaling_runtime
+from repro.miniapps.suite import TRINITY_SUITE, get_miniapp, suite_names, suite_profiles
+
+
+class TestSuite:
+    def test_eight_apps(self):
+        assert len(TRINITY_SUITE) == 8
+
+    def test_names_match_keys(self):
+        for name, app in TRINITY_SUITE.items():
+            assert app.name == name
+            assert app.profile.name == name
+
+    def test_get_miniapp(self):
+        assert get_miniapp("AMG").name == "AMG"
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(ConfigError, match="unknown mini-app"):
+            get_miniapp("HPL")
+
+    def test_suite_names_order_stable(self):
+        assert suite_names()[0] == "GTC"
+        assert len(suite_names()) == 8
+
+    def test_suite_profiles_align(self):
+        assert [p.name for p in suite_profiles()] == list(suite_names())
+
+    def test_mix_of_dispositions(self):
+        # At least one compute-bound app defaults to non-shareable and
+        # most of the suite opts in — the workload the paper evaluates.
+        shareable = [app.shareable for app in TRINITY_SUITE.values()]
+        assert any(shareable) and not all(shareable)
+
+    def test_resource_diversity(self):
+        # The suite must span the contention space for pairing to have
+        # structure: at least two bandwidth-bound and two compute-bound.
+        profiles = suite_profiles()
+        assert sum(p.is_membw_bound for p in profiles) >= 2
+        assert sum(p.is_compute_bound for p in profiles) >= 2
+
+    def test_typical_nodes_cover_large_sizes(self):
+        sizes = {n for app in TRINITY_SUITE.values() for n in app.typical_nodes}
+        assert 1 in sizes and 64 in sizes
+
+
+class TestMiniApp:
+    def _profile(self, name="x"):
+        return ResourceProfile(
+            name=name, core_demand=0.5, membw_demand=0.5, cache_footprint=0.5,
+            comm_fraction=0.2,
+        )
+
+    def test_runtime_weak_scales_slowly(self):
+        app = MiniApp(name="x", profile=self._profile(), base_runtime=1000.0)
+        t1, t8 = app.runtime(1), app.runtime(8)
+        assert t8 > t1  # communication grows
+        assert t8 < t1 * 1.2  # but only logarithmically
+
+    def test_work_scale_multiplies(self):
+        app = MiniApp(name="x", profile=self._profile(), base_runtime=1000.0)
+        assert app.runtime(2, work_scale=2.0) == pytest.approx(
+            2.0 * app.runtime(2)
+        )
+
+    def test_profile_name_mismatch_rejected(self):
+        with pytest.raises(ConfigError, match="names must match"):
+            MiniApp(name="y", profile=self._profile("x"), base_runtime=10.0)
+
+    def test_nonpositive_runtime_rejected(self):
+        with pytest.raises(ConfigError, match="positive"):
+            MiniApp(name="x", profile=self._profile(), base_runtime=0.0)
+
+    def test_bad_typical_nodes_rejected(self):
+        with pytest.raises(ConfigError, match="positive"):
+            MiniApp(
+                name="x", profile=self._profile(), base_runtime=10.0,
+                typical_nodes=(0,),
+            )
+
+
+class TestScalingModels:
+    def test_weak_scaling_single_node_is_base(self):
+        assert weak_scaling_runtime(100.0, 1, 0.2) == pytest.approx(100.0)
+
+    def test_weak_scaling_monotone_in_nodes(self):
+        times = [weak_scaling_runtime(100.0, n, 0.2) for n in (1, 2, 4, 8)]
+        assert times == sorted(times)
+
+    def test_weak_scaling_zero_comm_is_flat(self):
+        assert weak_scaling_runtime(100.0, 64, 0.0) == pytest.approx(100.0)
+
+    def test_weak_scaling_validates(self):
+        with pytest.raises(ConfigError):
+            weak_scaling_runtime(0.0, 1, 0.2)
+        with pytest.raises(ConfigError):
+            weak_scaling_runtime(100.0, 0, 0.2)
+
+    def test_strong_scaling_unit_at_one_node(self):
+        assert strong_scaling_efficiency(1, 0.05, 0.2) == pytest.approx(1.0)
+
+    def test_strong_scaling_decreasing(self):
+        effs = [strong_scaling_efficiency(n, 0.05, 0.2) for n in (1, 2, 4, 8, 16)]
+        assert effs == sorted(effs, reverse=True)
+
+    def test_strong_scaling_serial_fraction_hurts(self):
+        assert strong_scaling_efficiency(16, 0.2, 0.1) < strong_scaling_efficiency(
+            16, 0.01, 0.1
+        )
+
+    def test_strong_scaling_validates(self):
+        with pytest.raises(ConfigError):
+            strong_scaling_efficiency(0, 0.1, 0.1)
+        with pytest.raises(ConfigError):
+            strong_scaling_efficiency(4, 1.0, 0.1)

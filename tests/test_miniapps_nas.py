@@ -1,0 +1,55 @@
+"""Tests for the NAS-inspired alternative suite."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.interference.matrix import PairingMatrix
+from repro.metrics.efficiency import computational_efficiency
+from repro.miniapps.nas import NAS_SUITE, get_nas_app, nas_profiles
+from repro.slurm.manager import run_simulation
+from repro.workload.trinity import TrinityWorkloadGenerator
+
+
+class TestNasSuite:
+    def test_eight_kernels(self):
+        assert len(NAS_SUITE) == 8
+
+    def test_names_consistent(self):
+        for name, app in NAS_SUITE.items():
+            assert app.name == name == app.profile.name
+
+    def test_lookup(self):
+        assert get_nas_app("CG").profile.is_membw_bound
+        with pytest.raises(ConfigError, match="unknown NAS kernel"):
+            get_nas_app("ZZ")
+
+    def test_ep_is_the_compute_extreme(self):
+        ep = NAS_SUITE["EP"].profile
+        assert ep.is_compute_bound
+        assert ep.core_demand == max(p.core_demand for p in nas_profiles())
+
+    def test_pairing_structure(self):
+        matrix = PairingMatrix(nas_profiles())
+        # EP (pure compute) pairs superbly with CG (pure memory) ...
+        assert matrix.compatible("EP", "CG")
+        assert matrix.throughput_of("EP", "CG") > 1.4
+        # ... while two bandwidth hogs do not.
+        assert not matrix.compatible("CG", "MG")
+
+    def test_nas_campaign_also_gains_from_sharing(self):
+        # The headline effect is workload-diversity driven, not tied
+        # to the Trinity suite specifically.
+        rng = np.random.default_rng(13)
+        generator = TrinityWorkloadGenerator(
+            apps=tuple(NAS_SUITE.values()),
+            share_obeys_app=False,
+            share_fraction=0.85,
+            offered_load=1.5,
+        )
+        trace = generator.generate(100, 48, rng)
+        base = run_simulation(trace, num_nodes=48, strategy="easy_backfill")
+        shared = run_simulation(trace, num_nodes=48, strategy="shared_backfill")
+        gain = computational_efficiency(shared) / computational_efficiency(base)
+        assert gain > 1.08
+        assert shared.makespan <= base.makespan * 1.02

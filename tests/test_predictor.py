@@ -1,0 +1,110 @@
+"""Tests for the online walltime predictor."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.slurm.config import SchedulerConfig
+from repro.slurm.manager import run_simulation
+from repro.slurm.predictor import WalltimePredictor
+from repro.workload.trace import WorkloadTrace
+from tests.conftest import make_job, make_spec
+
+
+class TestWalltimePredictor:
+    def test_no_history_returns_request(self):
+        predictor = WalltimePredictor()
+        job = make_job(runtime=100.0, walltime=400.0)
+        assert predictor.predict(job) == 400.0
+
+    def test_learns_user_overestimation(self):
+        predictor = WalltimePredictor(quantile=0.75, min_samples=3)
+        # User consistently uses 25 % of the request.
+        for _ in range(5):
+            predictor.observe("alice", runtime=100.0, requested=400.0)
+        job = make_job(runtime=100.0, walltime=400.0, user="alice")
+        assert predictor.predict(job) == pytest.approx(100.0)
+
+    def test_prediction_never_exceeds_request(self):
+        predictor = WalltimePredictor()
+        for _ in range(5):
+            predictor.observe("bob", runtime=500.0, requested=400.0)  # >1 clamped
+        job = make_job(runtime=100.0, walltime=400.0, user="bob")
+        assert predictor.predict(job) <= 400.0
+
+    def test_min_samples_gate(self):
+        predictor = WalltimePredictor(min_samples=3)
+        predictor.observe("carol", 100.0, 400.0)
+        predictor.observe("carol", 100.0, 400.0)
+        assert predictor.correction("carol") == 1.0
+        predictor.observe("carol", 100.0, 400.0)
+        assert predictor.correction("carol") < 1.0
+
+    def test_floor_clamp(self):
+        predictor = WalltimePredictor(floor=0.2)
+        for _ in range(5):
+            predictor.observe("dave", runtime=1.0, requested=10_000.0)
+        assert predictor.correction("dave") == 0.2
+
+    def test_quantile_is_conservative(self):
+        low = WalltimePredictor(quantile=0.25)
+        high = WalltimePredictor(quantile=0.95)
+        for predictor in (low, high):
+            for ratio in (0.2, 0.4, 0.6, 0.8):
+                predictor.observe("eve", ratio * 100.0, 100.0)
+        assert high.correction("eve") > low.correction("eve")
+
+    def test_users_independent(self):
+        predictor = WalltimePredictor()
+        for _ in range(5):
+            predictor.observe("frank", 100.0, 400.0)
+        assert predictor.correction("frank") < 1.0
+        assert predictor.correction("grace") == 1.0
+
+    def test_sliding_window_ages_out(self):
+        predictor = WalltimePredictor(history=3, min_samples=3)
+        for _ in range(3):
+            predictor.observe("henry", 100.0, 400.0)   # 0.25 era
+        for _ in range(3):
+            predictor.observe("henry", 390.0, 400.0)   # accurate era
+        assert predictor.correction("henry") > 0.9
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            WalltimePredictor(quantile=0.0)
+        with pytest.raises(ConfigError):
+            WalltimePredictor(history=0)
+        with pytest.raises(ConfigError):
+            WalltimePredictor(floor=0.0)
+
+    def test_zero_request_ignored(self):
+        predictor = WalltimePredictor()
+        predictor.observe("x", 10.0, 0.0)
+        assert predictor.observations == 0
+
+
+class TestPredictionIntegration:
+    def test_kill_timer_unaffected_by_prediction(self):
+        # A drastically wrong prediction must never kill a job early:
+        # the job runs to its true runtime (< request) and COMPLETES.
+        specs = []
+        # Train the predictor: user9 wildly overestimates.
+        for i in range(1, 6):
+            specs.append(
+                make_spec(job_id=i, runtime=10.0, walltime=1000.0,
+                          submit=float(i), user="user9")
+            )
+        # Then a long-running job from the same user.
+        specs.append(
+            make_spec(job_id=6, runtime=900.0, walltime=1000.0,
+                      submit=100.0, user="user9")
+        )
+        config = SchedulerConfig(
+            strategy="easy_backfill", use_walltime_prediction=True
+        )
+        result = run_simulation(
+            WorkloadTrace(specs), num_nodes=2, strategy="easy_backfill",
+            config=config,
+        )
+        record = result.accounting.get(6)
+        assert record.state.name == "COMPLETED"
+        assert record.run_time == pytest.approx(900.0)

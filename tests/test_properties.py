@@ -1,0 +1,188 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.machine import Cluster
+from repro.engine.events import Event, EventKind
+from repro.engine.heap import EventHeap
+from repro.interference.model import InterferenceModel
+from repro.interference.profile import ResourceProfile
+from repro.metrics.timeline import Timeline
+from repro.workload.swf import dumps_swf, read_swf, roundtrip_equal
+from repro.workload.trace import WorkloadTrace
+from tests.conftest import make_spec
+import io
+
+# ----------------------------------------------------------------------
+# Engine: the heap is a priority queue
+# ----------------------------------------------------------------------
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=60))
+def test_heap_pops_sorted(times):
+    heap = EventHeap()
+    for t in times:
+        heap.push(Event(time=t, kind=EventKind.CHECKPOINT))
+    popped = [heap.pop().time for _ in range(len(times))]
+    assert popped == sorted(popped)
+
+
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=2, max_size=40),
+    st.data(),
+)
+def test_heap_cancellation_preserves_rest(times, data):
+    heap = EventHeap()
+    events = [heap.push(Event(time=t, kind=EventKind.CHECKPOINT)) for t in times]
+    victims = data.draw(
+        st.lists(st.sampled_from(events), max_size=len(events), unique=True)
+    )
+    for victim in victims:
+        heap.cancel(victim)
+    survivors = sorted(
+        (e.time for e in events if e not in victims)
+    )
+    assert [e.time for e in heap.drain()] == survivors
+
+
+# ----------------------------------------------------------------------
+# Interference model: bounded, no-overhead, monotone structure
+# ----------------------------------------------------------------------
+profile_strategy = st.builds(
+    ResourceProfile,
+    name=st.just("p"),
+    core_demand=st.floats(min_value=0.05, max_value=1.0),
+    membw_demand=st.floats(min_value=0.0, max_value=1.0),
+    cache_footprint=st.floats(min_value=0.0, max_value=1.0),
+)
+
+
+@given(profile_strategy)
+def test_model_alone_never_slowed(profile):
+    assert InterferenceModel().speed(profile, None) == 1.0
+
+
+@given(profile_strategy, profile_strategy)
+def test_model_corun_speed_bounded(a, b):
+    model = InterferenceModel()
+    speed = model.speed(a, b)
+    assert 0.0 < speed <= 1.0
+    assert model.dilation(a, b) >= 1.0
+
+
+@given(profile_strategy, profile_strategy)
+def test_model_pair_throughput_symmetric_and_bounded(a, b):
+    model = InterferenceModel()
+    forward = model.pair_throughput(a, b)
+    backward = model.pair_throughput(b, a)
+    assert abs(forward - backward) < 1e-12
+    assert 0.0 < forward <= 2.0
+
+
+# ----------------------------------------------------------------------
+# Cluster: allocation bookkeeping conserves nodes
+# ----------------------------------------------------------------------
+@given(
+    st.lists(
+        st.tuples(st.integers(1, 4), st.booleans()),  # (size, shared)
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_cluster_allocate_release_conserves(requests):
+    cluster = Cluster.homogeneous(8)
+    allocated: list[int] = []
+    job_id = 0
+    for size, shared in requests:
+        job_id += 1
+        idle = [n.node_id for n in cluster.idle_nodes()]
+        if len(idle) < size:
+            continue
+        if shared:
+            cluster.allocate(cluster.build_shared(job_id, idle[:size]))
+        else:
+            cluster.allocate(cluster.build_exclusive(job_id, idle[:size]))
+        allocated.append(job_id)
+    # Occupancy invariant: every node hosts at most 2 jobs, exclusive
+    # nodes exactly one.
+    for node in cluster:
+        assert len(node.occupant_ids) <= 2
+    for job in allocated:
+        cluster.release(job)
+    assert cluster.num_idle() == 8
+
+
+# ----------------------------------------------------------------------
+# SWF: write/read round-trips any valid trace
+# ----------------------------------------------------------------------
+spec_strategy = st.builds(
+    lambda job_id, submit, nodes, runtime, over, app_i, share: make_spec(
+        job_id=job_id,
+        submit=float(submit),
+        nodes=nodes,
+        runtime=float(runtime),
+        walltime=float(runtime) * over,
+        app=("AMG", "GTC", "MILC")[app_i],
+        shareable=share,
+    ),
+    job_id=st.integers(1, 10_000),
+    submit=st.integers(0, 10_000),
+    nodes=st.integers(1, 64),
+    runtime=st.integers(10, 100_000),
+    over=st.floats(min_value=1.0, max_value=3.0),
+    app_i=st.integers(0, 2),
+    share=st.booleans(),
+)
+
+
+@given(st.lists(spec_strategy, max_size=20, unique_by=lambda s: s.job_id))
+@settings(max_examples=50)
+def test_swf_roundtrip(specs):
+    trace = WorkloadTrace(specs)
+    apps = ("AMG", "GTC", "MILC")
+    text = dumps_swf(trace, cores_per_node=8, app_names=apps)
+    back = read_swf(io.StringIO(text), cores_per_node=8, app_names=apps)
+    assert roundtrip_equal(trace, back)
+
+
+# ----------------------------------------------------------------------
+# Timeline: integral equals sum of rectangle areas
+# ----------------------------------------------------------------------
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.01, max_value=100.0),  # width
+            st.floats(min_value=0.0, max_value=50.0),    # value
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_timeline_integral_matches_rectangles(segments):
+    times, values = [0.0], []
+    total = 0.0
+    for width, value in segments:
+        values.append(value)
+        total += width * value
+        times.append(times[-1] + width)
+    values.append(0.0)  # terminal sample
+    timeline = Timeline.from_samples(times=times, series={"v": values})
+    assert np.isclose(timeline.integrate("v"), total, rtol=1e-9, atol=1e-6)
+
+
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=2, max_size=20),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+def test_timeline_integral_additive_in_bounds(values, split_a, split_b):
+    times = list(np.linspace(0.0, 10.0, len(values)))
+    timeline = Timeline.from_samples(times=times, series={"v": values})
+    lo, hi = sorted((split_a * 10.0, split_b * 10.0))
+    whole = timeline.integrate("v", 0.0, 10.0)
+    parts = (
+        timeline.integrate("v", 0.0, lo)
+        + timeline.integrate("v", lo, hi)
+        + timeline.integrate("v", hi, 10.0)
+    )
+    assert np.isclose(whole, parts, rtol=1e-9, atol=1e-9)

@@ -1,0 +1,53 @@
+"""Statistical robustness: the headline result is not a seed artefact.
+
+Runs the core comparison over several independent workload seeds and
+asserts the sharing gains hold for *every* seed — the reproduction's
+headline must not hinge on one lucky trace.
+"""
+
+import numpy as np
+import pytest
+
+from repro.metrics.efficiency import computational_efficiency
+from repro.slurm.manager import run_simulation
+from repro.workload.trinity import TrinityWorkloadGenerator
+
+SEEDS = (11, 23, 37, 59, 71)
+NODES = 48
+
+
+def _gains(seed: int) -> tuple[float, float]:
+    rng = np.random.default_rng(seed)
+    trace = TrinityWorkloadGenerator(
+        share_obeys_app=False, share_fraction=0.85, offered_load=1.5
+    ).generate(120, NODES, rng)
+    base = run_simulation(trace, num_nodes=NODES, strategy="easy_backfill")
+    shared = run_simulation(trace, num_nodes=NODES, strategy="shared_backfill")
+    comp_gain = computational_efficiency(shared) / computational_efficiency(base) - 1.0
+    sched_gain = (base.makespan - shared.makespan) / base.makespan
+    return comp_gain, sched_gain
+
+
+@pytest.fixture(scope="module")
+def all_gains():
+    return [_gains(seed) for seed in SEEDS]
+
+
+def test_comp_eff_gain_positive_for_every_seed(all_gains):
+    for seed, (comp_gain, _) in zip(SEEDS, all_gains):
+        assert comp_gain > 0.05, f"seed {seed}: comp gain {comp_gain:.3f}"
+
+
+def test_sched_eff_gain_nonnegative_for_every_seed(all_gains):
+    for seed, (_, sched_gain) in zip(SEEDS, all_gains):
+        assert sched_gain > -0.02, f"seed {seed}: sched gain {sched_gain:.3f}"
+
+
+def test_mean_gains_in_reproduction_band(all_gains):
+    comp = float(np.mean([g for g, _ in all_gains]))
+    sched = float(np.mean([g for _, g in all_gains]))
+    # The paper reports +19 % / +25.2 %; the reproduction band we
+    # claim in EXPERIMENTS.md is double-digit comp gain and material
+    # makespan gain on average.
+    assert comp > 0.10
+    assert sched > 0.05

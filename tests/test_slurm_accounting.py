@@ -1,0 +1,118 @@
+"""Unit tests for accounting records and the log."""
+
+import pytest
+
+from repro.cluster.allocation import Allocation, AllocationKind
+from repro.errors import JobStateError
+from repro.slurm.accounting import AccountingLog, JobRecord
+from repro.slurm.job import JobState
+from tests.conftest import make_job
+
+
+def finished_record(job_id=1, runtime=100.0, wait=10.0, shared=0.0,
+                    state=JobState.COMPLETED, dilation=1.0, nodes=2):
+    job = make_job(job_id=job_id, nodes=nodes, runtime=runtime, submit=0.0)
+    job.mark_started(wait, Allocation(job_id=job_id, node_ids=tuple(range(nodes)),
+                                      kind=AllocationKind.EXCLUSIVE))
+    job.rate = 1.0 / dilation
+    end = wait + runtime * dilation
+    job.integrate_progress(end, shared_now=False)
+    job.shared_seconds = shared
+    if state is JobState.COMPLETED:
+        job.mark_completed(end)
+    else:
+        job.mark_timeout(end)
+    return JobRecord.from_job(job)
+
+
+class TestJobRecord:
+    def test_basic_fields(self):
+        record = finished_record(wait=10.0, runtime=100.0)
+        assert record.wait_time == 10.0
+        assert record.run_time == 100.0
+        assert record.response_time == 110.0
+        assert record.state is JobState.COMPLETED
+
+    def test_bounded_slowdown_floor_is_one(self):
+        record = finished_record(wait=0.0)
+        assert record.bounded_slowdown() == 1.0
+
+    def test_bounded_slowdown_short_jobs_bounded(self):
+        # A 1-second job waiting 100 s: tau bounds the denominator.
+        record = finished_record(runtime=1.0, wait=100.0)
+        assert record.bounded_slowdown(tau=10.0) == pytest.approx(101.0 / 10.0)
+
+    def test_useful_work_completed(self):
+        record = finished_record(nodes=2, runtime=100.0, dilation=1.5)
+        assert record.useful_node_seconds == pytest.approx(200.0)
+
+    def test_useful_work_timeout_partial(self):
+        # Killed halfway: ran 50 s at full speed of a 100 s job.
+        job = make_job(job_id=9, nodes=2, runtime=100.0)
+        job.mark_started(0.0, Allocation(job_id=9, node_ids=(0, 1),
+                                         kind=AllocationKind.EXCLUSIVE))
+        job.rate = 1.0
+        job.integrate_progress(50.0, shared_now=False)
+        job.mark_timeout(50.0)
+        record = JobRecord.from_job(job)
+        assert record.useful_node_seconds == pytest.approx(100.0)  # 2 nodes * 50 s
+
+    def test_was_shared_flag(self):
+        assert finished_record(shared=10.0).was_shared
+        assert not finished_record(shared=0.0).was_shared
+
+    def test_from_non_terminal_job_rejected(self):
+        with pytest.raises(JobStateError, match="no final record"):
+            JobRecord.from_job(make_job())
+
+
+class TestAccountingLog:
+    def test_append_and_get(self):
+        log = AccountingLog()
+        record = finished_record(job_id=3)
+        log.append(record)
+        assert log.get(3) is record
+        assert len(log) == 1
+
+    def test_double_append_rejected(self):
+        log = AccountingLog()
+        log.append(finished_record(job_id=1))
+        with pytest.raises(JobStateError, match="already has"):
+            log.append(finished_record(job_id=1))
+
+    def test_get_missing_rejected(self):
+        with pytest.raises(JobStateError, match="no accounting record"):
+            AccountingLog().get(42)
+
+    def test_completed_filter(self):
+        log = AccountingLog()
+        log.append(finished_record(job_id=1))
+        log.append(finished_record(job_id=2, state=JobState.TIMEOUT))
+        assert [r.job_id for r in log.completed()] == [1]
+
+    def test_select(self):
+        log = AccountingLog()
+        log.append(finished_record(job_id=1, nodes=1))
+        log.append(finished_record(job_id=2, nodes=4))
+        assert len(log.select(lambda r: r.num_nodes > 2)) == 1
+
+    def test_mean_and_median_wait(self):
+        log = AccountingLog()
+        for job_id, wait in ((1, 10.0), (2, 20.0), (3, 90.0)):
+            log.append(finished_record(job_id=job_id, wait=wait))
+        assert log.mean_wait() == pytest.approx(40.0)
+        assert log.median_wait() == pytest.approx(20.0)
+
+    def test_empty_aggregations_are_zero(self):
+        log = AccountingLog()
+        assert log.mean_wait() == 0.0
+        assert log.median_wait() == 0.0
+        assert log.mean_bounded_slowdown() == 0.0
+        assert log.shared_job_fraction() == 0.0
+        assert log.total_useful_node_seconds() == 0.0
+
+    def test_shared_job_fraction(self):
+        log = AccountingLog()
+        log.append(finished_record(job_id=1, shared=5.0))
+        log.append(finished_record(job_id=2, shared=0.0))
+        assert log.shared_job_fraction() == pytest.approx(0.5)

@@ -1,0 +1,117 @@
+"""Unit tests for scheduler configuration and the conf parser."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.slurm.config import DEFAULT_PROFILE, SchedulerConfig, parse_slurm_conf
+
+
+class TestSchedulerConfig:
+    def test_defaults(self):
+        config = SchedulerConfig()
+        assert config.strategy == "easy_backfill"
+        assert config.walltime_grace >= 1.0
+        assert config.default_profile is DEFAULT_PROFILE
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"backfill_interval": -1.0},
+            {"walltime_grace": 0.5},
+            {"share_threshold": -0.1},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            SchedulerConfig(**kwargs)
+
+
+class TestParseSlurmConf:
+    def test_full_example(self):
+        config, cluster = parse_slurm_conf(
+            """
+            # evaluation cluster
+            NodeCount=128
+            CoresPerNode=32
+            MemoryMB=196000
+            NodesPerRack=32
+            SchedulerType=sched/backfill
+            OverSubscribe=YES:2
+            ShareThreshold=1.2
+            WalltimeGrace=1.8
+            BackfillInterval=30
+            PriorityWeightAge=2000
+            """
+        )
+        assert cluster == {
+            "num_nodes": 128, "cores": 32, "memory_mb": 196000,
+            "nodes_per_rack": 32,
+        }
+        assert config.strategy == "shared_backfill"
+        assert config.share_threshold == 1.2
+        assert config.walltime_grace == 1.8
+        assert config.backfill_interval == 30.0
+        assert config.priority_weights.age == 2000.0
+
+    def test_oversubscribe_no_keeps_base_algorithm(self):
+        config, _ = parse_slurm_conf("SchedulerType=sched/backfill\nOverSubscribe=NO")
+        assert config.strategy == "easy_backfill"
+
+    def test_builtin_maps_to_fcfs(self):
+        config, _ = parse_slurm_conf("SchedulerType=sched/builtin")
+        assert config.strategy == "fcfs"
+
+    def test_first_fit_oversubscribe(self):
+        config, _ = parse_slurm_conf(
+            "SchedulerType=sched/first_fit\nOverSubscribe=YES:2"
+        )
+        assert config.strategy == "shared_first_fit"
+
+    def test_explicit_strategy_wins(self):
+        config, _ = parse_slurm_conf(
+            "Strategy=conservative\nSchedulerType=sched/backfill"
+        )
+        assert config.strategy == "conservative"
+
+    def test_defaults_when_empty(self):
+        config, cluster = parse_slurm_conf("")
+        assert config.strategy == "easy_backfill"
+        assert cluster["num_nodes"] == 128
+
+    def test_comments_stripped(self):
+        config, cluster = parse_slurm_conf("NodeCount=16  # small\n# whole line\n")
+        assert cluster["num_nodes"] == 16
+
+    def test_pairing_oblivious_flag(self):
+        config, _ = parse_slurm_conf("PairingOblivious=yes")
+        assert config.pairing_oblivious
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(ConfigError, match="Key=Value"):
+            parse_slurm_conf("NodeCount 128")
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigError, match="unknown configuration keys"):
+            parse_slurm_conf("NotAKey=1")
+
+    def test_non_numeric_value_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_slurm_conf("NodeCount=many")
+
+
+class TestSharingMode:
+    def test_default_is_smt(self):
+        assert SchedulerConfig().sharing_mode == "smt"
+
+    def test_time_sliced_accepted(self):
+        config = SchedulerConfig(sharing_mode="time_sliced",
+                                 share_threshold=0.9, walltime_grace=2.2)
+        assert config.switch_overhead == 0.02
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigError, match="sharing_mode"):
+            SchedulerConfig(sharing_mode="quantum")
+
+    def test_bad_overhead_rejected(self):
+        with pytest.raises(ConfigError, match="switch_overhead"):
+            SchedulerConfig(switch_overhead=1.5)

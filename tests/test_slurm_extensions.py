@@ -1,0 +1,186 @@
+"""Tests for manager extensions: scancel, reservations, partitions."""
+
+import pytest
+
+from repro.cluster.machine import Cluster
+from repro.cluster.partition import Partition
+from repro.errors import ConfigError, WorkloadError
+from repro.slurm.config import SchedulerConfig
+from repro.slurm.job import JobState
+from repro.slurm.manager import WorkloadManager
+from repro.slurm.reservations import Reservation
+from repro.workload.trace import WorkloadTrace
+from tests.conftest import make_spec
+
+
+def manage(trace, num_nodes=4, strategy="fcfs", partitions=None, **cfg):
+    cluster = Cluster.homogeneous(num_nodes)
+    manager = WorkloadManager(
+        cluster,
+        config=SchedulerConfig(strategy=strategy, **cfg),
+        partitions=partitions,
+    )
+    manager.load(trace)
+    return manager
+
+
+class TestCancellation:
+    def test_cancel_pending_job(self):
+        trace = WorkloadTrace(
+            [
+                make_spec(job_id=1, nodes=4, runtime=100.0),
+                make_spec(job_id=2, nodes=4, runtime=100.0, submit=1.0),
+            ]
+        )
+        manager = manage(trace)
+        manager.cancel_job(2, at=50.0)  # while queued behind job 1
+        result = manager.run()
+        record = result.accounting.get(2)
+        assert record.state is JobState.CANCELLED
+        assert record.run_time == 0.0
+        assert record.wait_time == pytest.approx(49.0)
+        assert result.makespan == pytest.approx(100.0)
+
+    def test_cancel_running_job_frees_nodes(self):
+        trace = WorkloadTrace(
+            [
+                make_spec(job_id=1, nodes=4, runtime=1000.0),
+                make_spec(job_id=2, nodes=4, runtime=100.0, submit=1.0),
+            ]
+        )
+        manager = manage(trace)
+        manager.cancel_job(1, at=200.0)
+        result = manager.run()
+        first = result.accounting.get(1)
+        second = result.accounting.get(2)
+        assert first.state is JobState.CANCELLED
+        assert first.run_time == pytest.approx(200.0)
+        assert first.useful_node_seconds == pytest.approx(4 * 200.0)
+        # The waiting job starts as soon as the cancel frees the nodes.
+        assert second.start_time == pytest.approx(200.0)
+
+    def test_cancel_shared_job_speeds_partner(self):
+        trace = WorkloadTrace(
+            [
+                make_spec(job_id=1, nodes=2, runtime=1000.0, app="AMG",
+                          shareable=True),
+                make_spec(job_id=2, nodes=2, runtime=1000.0, app="miniDFT",
+                          shareable=True),
+            ]
+        )
+        manager = manage(trace, strategy="shared_backfill")
+        manager.cancel_job(2, at=100.0)
+        result = manager.run()
+        survivor = result.accounting.get(1)
+        assert survivor.state is JobState.COMPLETED
+        # 100 s dilated, then full speed: total well under a fully
+        # dilated run.
+        assert survivor.run_time < 1000.0 / 0.8
+
+    def test_cancel_after_completion_is_noop(self):
+        trace = WorkloadTrace([make_spec(job_id=1, runtime=10.0)])
+        manager = manage(trace)
+        manager.cancel_job(1, at=500.0)
+        result = manager.run()
+        assert result.accounting.get(1).state is JobState.COMPLETED
+
+    def test_cancel_unknown_job_rejected(self):
+        manager = manage(WorkloadTrace([make_spec(job_id=1)]))
+        with pytest.raises(WorkloadError, match="not loaded"):
+            manager.cancel_job(99, at=1.0)
+
+
+class TestReservations:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            Reservation(name="bad", start=10.0, end=5.0, num_nodes=2)
+        with pytest.raises(ConfigError):
+            Reservation(name="bad", start=0.0, end=5.0, num_nodes=0)
+
+    def test_window_blocks_capacity(self):
+        # 4-node cluster; reservation holds 2 nodes over [0, 100); a
+        # 4-node job must wait for the window to end.
+        trace = WorkloadTrace([make_spec(job_id=1, nodes=4, runtime=50.0)])
+        manager = manage(trace)
+        manager.add_reservation(
+            Reservation(name="maint", start=0.0, end=100.0, num_nodes=2)
+        )
+        result = manager.run()
+        assert result.accounting.get(1).start_time == pytest.approx(100.0)
+
+    def test_small_job_runs_beside_window(self):
+        trace = WorkloadTrace([make_spec(job_id=1, nodes=2, runtime=50.0)])
+        manager = manage(trace)
+        manager.add_reservation(
+            Reservation(name="maint", start=0.0, end=100.0, num_nodes=2)
+        )
+        result = manager.run()
+        assert result.accounting.get(1).start_time == pytest.approx(0.0)
+
+    def test_shortfall_recorded_when_busy(self):
+        trace = WorkloadTrace([make_spec(job_id=1, nodes=3, runtime=100.0)])
+        manager = manage(trace)
+        reservation = Reservation(name="maint", start=10.0, end=50.0, num_nodes=2)
+        manager.add_reservation(reservation)
+        manager.run()
+        # Only 1 node was idle at t=10.
+        assert reservation.shortfall == 1
+
+    def test_nodes_returned_after_window(self):
+        trace = WorkloadTrace([make_spec(job_id=1, nodes=1, runtime=10.0)])
+        manager = manage(trace)
+        reservation = Reservation(name="maint", start=0.0, end=20.0, num_nodes=3)
+        manager.add_reservation(reservation)
+        manager.run()
+        assert manager.cluster.num_idle() == 4
+        assert reservation.granted_node_ids == ()
+
+
+class TestPartitions:
+    def test_unknown_partition_cancelled(self):
+        trace = WorkloadTrace([make_spec(job_id=1).with_(partition="gpu")])
+        result = manage(trace).run()
+        assert result.accounting.get(1).state is JobState.CANCELLED
+
+    def test_partition_walltime_limit_enforced(self):
+        partitions = [
+            Partition(name="regular", node_ids=(0, 1, 2, 3), max_walltime=100.0)
+        ]
+        trace = WorkloadTrace(
+            [
+                make_spec(job_id=1, runtime=50.0, walltime=99.0),
+                make_spec(job_id=2, runtime=50.0, walltime=200.0),
+            ]
+        )
+        result = manage(trace, partitions=partitions).run()
+        assert result.accounting.get(1).state is JobState.COMPLETED
+        assert result.accounting.get(2).state is JobState.CANCELLED
+
+    def test_partition_size_limit_enforced(self):
+        partitions = [
+            Partition(name="regular", node_ids=(0, 1, 2, 3), max_nodes_per_job=2)
+        ]
+        trace = WorkloadTrace([make_spec(job_id=1, nodes=3)])
+        result = manage(trace, partitions=partitions).run()
+        assert result.accounting.get(1).state is JobState.CANCELLED
+
+    def test_no_oversubscribe_partition_disables_sharing(self):
+        partitions = [
+            Partition(name="regular", node_ids=(0, 1, 2, 3), allow_sharing=False)
+        ]
+        trace = WorkloadTrace(
+            [
+                make_spec(job_id=1, nodes=2, runtime=200.0, app="AMG",
+                          shareable=True),
+                make_spec(job_id=2, nodes=2, runtime=200.0, app="miniDFT",
+                          shareable=True),
+            ]
+        )
+        result = manage(
+            trace, strategy="shared_backfill", partitions=partitions
+        ).run()
+        # Both fit side by side exclusively; neither may share.
+        for job_id in (1, 2):
+            record = result.accounting.get(job_id)
+            assert not record.was_shared
+            assert record.dilation == pytest.approx(1.0)

@@ -1,0 +1,130 @@
+"""Unit tests for the job state machine and progress integration."""
+
+import pytest
+
+from repro.cluster.allocation import Allocation, AllocationKind
+from repro.errors import JobStateError
+from repro.slurm.job import Job, JobState
+from tests.conftest import make_job
+
+
+def exclusive_alloc(job_id: int, nodes=(0,)) -> Allocation:
+    return Allocation(job_id=job_id, node_ids=tuple(nodes),
+                      kind=AllocationKind.EXCLUSIVE)
+
+
+class TestStateMachine:
+    def test_initial_state(self):
+        job = make_job()
+        assert job.is_pending
+        assert job.remaining_work == job.spec.runtime_exclusive
+
+    def test_start_complete_path(self):
+        job = make_job(runtime=100.0)
+        job.mark_started(10.0, exclusive_alloc(1))
+        assert job.is_running
+        job.rate = 1.0
+        job.integrate_progress(110.0, shared_now=False)
+        job.mark_completed(110.0)
+        assert job.state is JobState.COMPLETED
+        assert job.wait_time == 10.0
+        assert job.run_time == 100.0
+        assert job.dilation == pytest.approx(1.0)
+
+    def test_start_timeout_path(self):
+        job = make_job()
+        job.mark_started(0.0, exclusive_alloc(1))
+        job.mark_timeout(50.0)
+        assert job.state is JobState.TIMEOUT
+
+    def test_cancel_from_pending(self):
+        job = make_job()
+        job.mark_cancelled(5.0)
+        assert job.state is JobState.CANCELLED
+
+    @pytest.mark.parametrize(
+        "sequence",
+        [
+            ["mark_completed"],                      # complete before start
+            ["mark_timeout"],                        # timeout before start
+            ["mark_started", "mark_started"],        # double start
+            ["mark_started", "mark_completed", "mark_completed"],
+            ["mark_cancelled", "mark_started"],      # revive cancelled
+        ],
+    )
+    def test_illegal_transitions(self, sequence):
+        job = make_job()
+        with pytest.raises(JobStateError):
+            for i, method in enumerate(sequence):
+                if method == "mark_started":
+                    job.mark_started(float(i), exclusive_alloc(1))
+                else:
+                    getattr(job, method)(float(i))
+
+    def test_terminal_flags(self):
+        assert JobState.COMPLETED.is_terminal
+        assert JobState.TIMEOUT.is_terminal
+        assert JobState.CANCELLED.is_terminal
+        assert not JobState.RUNNING.is_terminal
+        assert not JobState.PENDING.is_terminal
+
+
+class TestProgress:
+    def test_integrate_reduces_remaining(self):
+        job = make_job(runtime=100.0)
+        job.mark_started(0.0, exclusive_alloc(1))
+        job.rate = 0.5
+        job.integrate_progress(40.0, shared_now=True)
+        assert job.remaining_work == pytest.approx(80.0)
+        assert job.shared_seconds == pytest.approx(40.0)
+
+    def test_integrate_clamps_at_zero(self):
+        job = make_job(runtime=10.0)
+        job.mark_started(0.0, exclusive_alloc(1))
+        job.rate = 1.0
+        job.integrate_progress(100.0, shared_now=False)
+        assert job.remaining_work == 0.0
+
+    def test_integrate_requires_running(self):
+        job = make_job()
+        with pytest.raises(JobStateError, match="cannot integrate"):
+            job.integrate_progress(1.0, shared_now=False)
+
+    def test_integrate_rejects_time_reversal(self):
+        job = make_job()
+        job.mark_started(10.0, exclusive_alloc(1))
+        with pytest.raises(JobStateError, match="backwards"):
+            job.integrate_progress(5.0, shared_now=False)
+
+    def test_eta(self):
+        job = make_job(runtime=100.0)
+        job.mark_started(0.0, exclusive_alloc(1))
+        job.rate = 0.5
+        assert job.eta(0.0) == pytest.approx(200.0)
+
+    def test_eta_requires_positive_rate(self):
+        job = make_job()
+        job.mark_started(0.0, exclusive_alloc(1))
+        with pytest.raises(JobStateError, match="no ETA"):
+            job.eta(0.0)
+
+    def test_piecewise_rates_accumulate_exactly(self):
+        # 50 s at rate 1.0 plus 100 s at rate 0.5 completes 100 s work.
+        job = make_job(runtime=100.0)
+        job.mark_started(0.0, exclusive_alloc(1))
+        job.rate = 1.0
+        job.integrate_progress(50.0, shared_now=False)
+        job.rate = 0.5
+        job.integrate_progress(150.0, shared_now=True)
+        assert job.remaining_work == pytest.approx(0.0)
+        assert job.shared_seconds == pytest.approx(100.0)
+
+    def test_wait_time_requires_start(self):
+        with pytest.raises(JobStateError, match="never started"):
+            _ = make_job().wait_time
+
+    def test_run_time_requires_end(self):
+        job = make_job()
+        job.mark_started(0.0, exclusive_alloc(1))
+        with pytest.raises(JobStateError):
+            _ = job.run_time

@@ -1,0 +1,163 @@
+"""Unit tests for multifactor priority and the pending queue."""
+
+import pytest
+
+from repro.errors import ConfigError, SchedulingError
+from repro.slurm.priority import MultifactorPriority, PriorityWeights
+from repro.slurm.queue import PendingQueue
+from tests.conftest import make_job
+
+
+class TestPriorityWeights:
+    def test_defaults(self):
+        weights = PriorityWeights()
+        assert weights.age > 0 and weights.fairshare > 0
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ConfigError):
+            PriorityWeights(age=-1.0)
+
+    def test_bad_saturation_rejected(self):
+        with pytest.raises(ConfigError):
+            PriorityWeights(age_saturation=0.0)
+
+
+class TestMultifactorPriority:
+    def test_age_factor_grows_with_wait(self):
+        priority = MultifactorPriority(num_nodes=8)
+        job = make_job(submit=0.0)
+        assert priority.priority(job, 1000.0) > priority.priority(job, 10.0)
+
+    def test_age_factor_saturates(self):
+        weights = PriorityWeights(age=100.0, size=0.0, fairshare=0.0,
+                                  age_saturation=100.0)
+        priority = MultifactorPriority(weights, num_nodes=8)
+        job = make_job(submit=0.0)
+        assert priority.priority(job, 100.0) == pytest.approx(100.0)
+        assert priority.priority(job, 10_000.0) == pytest.approx(100.0)
+
+    def test_size_factor_prefers_wide_jobs(self):
+        weights = PriorityWeights(age=0.0, size=100.0, fairshare=0.0)
+        priority = MultifactorPriority(weights, num_nodes=8)
+        wide, narrow = make_job(nodes=8), make_job(nodes=1)
+        assert priority.priority(wide, 0.0) > priority.priority(narrow, 0.0)
+
+    def test_fairshare_decays_with_usage(self):
+        priority = MultifactorPriority(num_nodes=8)
+        assert priority.fairshare_factor("fresh") == 1.0
+        priority.charge("heavy", 100_000.0)
+        assert priority.fairshare_factor("heavy") < 0.5
+
+    def test_charge_rejects_negative(self):
+        priority = MultifactorPriority(num_nodes=8)
+        with pytest.raises(ConfigError):
+            priority.charge("u", -1.0)
+
+    def test_order_breaks_ties_fifo(self):
+        priority = MultifactorPriority(num_nodes=8)
+        first = make_job(job_id=1, submit=0.0)
+        second = make_job(job_id=2, submit=0.0)
+        ordered = priority.order([second, first], now=100.0)
+        assert [j.job_id for j in ordered] == [1, 2]
+
+    def test_order_puts_heavy_user_last(self):
+        weights = PriorityWeights(age=0.0, size=0.0, fairshare=100.0)
+        priority = MultifactorPriority(weights, num_nodes=8)
+        priority.charge("hog", 200_000.0)
+        hog_job = make_job(job_id=1, user="hog")
+        fresh_job = make_job(job_id=2, user="fresh")
+        ordered = priority.order([hog_job, fresh_job], now=0.0)
+        assert [j.job_id for j in ordered] == [2, 1]
+
+    def test_refresh_stores_priority(self):
+        priority = MultifactorPriority(num_nodes=8)
+        job = make_job(submit=0.0)
+        priority.refresh([job], now=500.0)
+        assert job.priority > 0.0
+
+
+class TestPendingQueue:
+    def _queue(self):
+        return PendingQueue(MultifactorPriority(num_nodes=8))
+
+    def test_add_remove(self):
+        queue = self._queue()
+        job = make_job()
+        queue.add(job)
+        assert job in queue and len(queue) == 1
+        queue.remove(job)
+        assert job not in queue and not queue
+
+    def test_add_duplicate_rejected(self):
+        queue = self._queue()
+        job = make_job()
+        queue.add(job)
+        with pytest.raises(SchedulingError, match="already queued"):
+            queue.add(job)
+
+    def test_add_non_pending_rejected(self):
+        queue = self._queue()
+        job = make_job()
+        job.mark_cancelled(0.0)
+        with pytest.raises(SchedulingError, match="only PENDING"):
+            queue.add(job)
+
+    def test_remove_absent_rejected(self):
+        with pytest.raises(SchedulingError, match="not queued"):
+            self._queue().remove(make_job())
+
+    def test_ordered_uses_priority(self):
+        queue = self._queue()
+        old = make_job(job_id=1, submit=0.0)
+        new = make_job(job_id=2, submit=1000.0)
+        queue.add(new)
+        queue.add(old)
+        ordered = queue.ordered(now=10_000.0)
+        assert ordered[0].job_id == 1  # longer wait, higher age factor
+
+    def test_iter_in_submit_order(self):
+        queue = self._queue()
+        jobs = [make_job(job_id=i) for i in (3, 1, 2)]
+        for job in jobs:
+            queue.add(job)
+        assert [j.job_id for j in queue] == [3, 1, 2]
+
+    def test_clear(self):
+        queue = self._queue()
+        queue.add(make_job())
+        queue.clear()
+        assert len(queue) == 0
+
+
+class TestQos:
+    def test_qos_factor_levels(self):
+        priority = MultifactorPriority(num_nodes=8)
+        assert priority.qos_factor("high") == 1.0
+        assert priority.qos_factor("normal") == 0.5
+        assert priority.qos_factor("low") == 0.0
+        assert priority.qos_factor("mystery") == 0.5  # falls back
+
+    def test_qos_weight_reorders_queue(self):
+        weights = PriorityWeights(age=0.0, size=0.0, fairshare=0.0, qos=1000.0)
+        priority = MultifactorPriority(weights, num_nodes=8)
+        normal = make_job(job_id=1)
+        urgent_spec = make_job(job_id=2).spec.with_(qos="high")
+        from repro.slurm.job import Job
+        urgent = Job(urgent_spec)
+        ordered = priority.order([normal, urgent], now=0.0)
+        assert [j.job_id for j in ordered] == [2, 1]
+
+    def test_zero_qos_weight_is_inert(self):
+        priority = MultifactorPriority(num_nodes=8)  # default weight 0
+        normal = make_job(job_id=1, submit=0.0)
+        from repro.slurm.job import Job
+        urgent = Job(make_job(job_id=2, submit=0.0).spec.with_(qos="high"))
+        ordered = priority.order([normal, urgent], now=100.0)
+        assert [j.job_id for j in ordered] == [1, 2]  # FIFO tie-break
+
+    def test_custom_levels(self):
+        priority = MultifactorPriority(
+            num_nodes=8, qos_levels={"normal": 0.2, "premium": 0.9}
+        )
+        assert priority.qos_factor("premium") == 0.9
+        assert priority.qos_factor("unknown") == 0.2

@@ -1,0 +1,98 @@
+"""Tests for topology-aware selection and the locality penalty."""
+
+import pytest
+
+from repro.cluster.machine import Cluster
+from repro.core.selector import AvailabilityView
+from repro.slurm.config import SchedulerConfig
+from repro.slurm.manager import WorkloadManager
+from repro.metrics.validation import ValidatingCollector
+from repro.workload.trace import WorkloadTrace
+from repro.errors import ConfigError
+from tests.conftest import make_spec
+from tests.test_core_pairing_selector import make_ctx
+
+
+class TestTopologyAwareSelection:
+    def _cluster(self):
+        # 8 nodes, 2 racks of 4.
+        return Cluster.homogeneous(8, nodes_per_rack=4)
+
+    def test_linear_mode_takes_lowest_ids(self):
+        cluster = self._cluster()
+        ctx = make_ctx(cluster)
+        view = AvailabilityView(ctx)
+        assert view.take_idle(3) == [0, 1, 2]
+
+    def test_topology_mode_prefers_fullest_rack(self):
+        cluster = self._cluster()
+        # Occupy 2 nodes of rack 0: rack 1 is now fuller.
+        cluster.allocate(cluster.build_exclusive(9, [0, 1]))
+        ctx = make_ctx(cluster, topology_aware=True)
+        view = AvailabilityView(ctx)
+        taken = view.take_idle(3)
+        assert set(taken) <= {4, 5, 6, 7}  # all from rack 1
+
+    def test_topology_mode_spills_to_next_rack(self):
+        cluster = self._cluster()
+        ctx = make_ctx(cluster, topology_aware=True)
+        view = AvailabilityView(ctx)
+        taken = view.take_idle(6)
+        assert len(taken) == 6
+        assert cluster.topology.racks_spanned(taken) == 2
+
+    def test_topology_mode_updates_idle_list(self):
+        cluster = self._cluster()
+        ctx = make_ctx(cluster, topology_aware=True)
+        view = AvailabilityView(ctx)
+        taken = view.take_idle(4)
+        assert view.idle_count == 4
+        assert not set(taken) & set(view.idle)
+
+
+class TestLocalityPenalty:
+    def _run(self, topology_aware, penalty=0.5, nodes=8, nodes_per_rack=2):
+        trace = WorkloadTrace(
+            [make_spec(job_id=1, nodes=4, runtime=1000.0, walltime=3000.0,
+                       app="AMG")]
+        )
+        cluster = Cluster.homogeneous(nodes, nodes_per_rack=nodes_per_rack)
+        manager = WorkloadManager(
+            cluster,
+            config=SchedulerConfig(
+                strategy="easy_backfill",
+                topology_aware=topology_aware,
+                rack_comm_penalty=penalty,
+            ),
+            collector=ValidatingCollector(cluster),
+        )
+        manager.load(trace)
+        return manager.run()
+
+    def test_multirack_job_dilates(self):
+        # 4-node job on 2-node racks spans 2 racks: AMG comm=0.3,
+        # penalty 0.5 -> factor 1/(1 + 0.5*0.3*1) = 1/1.15.
+        result = self._run(topology_aware=False)
+        record = result.accounting.get(1)
+        assert record.racks_spanned == 2
+        assert record.dilation == pytest.approx(1.15)
+
+    def test_zero_penalty_means_full_speed(self):
+        result = self._run(topology_aware=False, penalty=0.0)
+        assert result.accounting.get(1).dilation == pytest.approx(1.0)
+
+    def test_single_rack_fit_runs_full_speed(self):
+        # With 4-node racks the job fits one rack when packed.
+        result = self._run(topology_aware=True, nodes_per_rack=4)
+        record = result.accounting.get(1)
+        assert record.racks_spanned == 1
+        assert record.dilation == pytest.approx(1.0)
+
+    def test_validating_collector_accepts_locality_rate(self):
+        # The zero-overhead invariant is checked against the locality
+        # factor, so a lone multi-rack job must not trip it.
+        self._run(topology_aware=False, penalty=0.5)
+
+    def test_negative_penalty_rejected(self):
+        with pytest.raises(ConfigError):
+            SchedulerConfig(rack_comm_penalty=-0.1)

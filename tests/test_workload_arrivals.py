@@ -1,0 +1,96 @@
+"""Unit tests for arrival-process models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.arrivals import (
+    DAY,
+    diurnal_arrivals,
+    diurnal_rate,
+    homogeneous_arrivals,
+)
+from repro.workload.trinity import TrinityWorkloadGenerator
+
+
+class TestHomogeneous:
+    def test_mean_gap_matches_rate(self):
+        rng = np.random.default_rng(1)
+        arrivals = homogeneous_arrivals(5000, rate=0.1, rng=rng)
+        gaps = np.diff(arrivals)
+        assert gaps.mean() == pytest.approx(10.0, rel=0.1)
+
+    def test_monotone(self):
+        rng = np.random.default_rng(2)
+        arrivals = homogeneous_arrivals(100, rate=1.0, rng=rng)
+        assert (np.diff(arrivals) > 0).all()
+
+    def test_validation(self):
+        rng = np.random.default_rng(3)
+        with pytest.raises(WorkloadError):
+            homogeneous_arrivals(10, rate=0.0, rng=rng)
+        with pytest.raises(WorkloadError):
+            homogeneous_arrivals(-1, rate=1.0, rng=rng)
+
+
+class TestDiurnalRate:
+    def test_peak_at_peak_hour(self):
+        peak = diurnal_rate(14 * 3600.0, 1.0, 0.5, peak_hour=14.0)
+        trough = diurnal_rate(2 * 3600.0, 1.0, 0.5, peak_hour=14.0)
+        assert peak == pytest.approx(1.5)
+        assert trough == pytest.approx(0.5)
+
+    def test_daily_mean_is_base_rate(self):
+        t = np.linspace(0, DAY, 10_001)
+        rates = diurnal_rate(t, 2.0, 0.7)
+        assert float(np.mean(rates)) == pytest.approx(2.0, rel=1e-3)
+
+
+class TestDiurnalArrivals:
+    def test_monotone_and_count(self):
+        rng = np.random.default_rng(4)
+        arrivals = diurnal_arrivals(300, base_rate=0.01, rng=rng)
+        assert arrivals.shape == (300,)
+        assert (np.diff(arrivals) > 0).all()
+
+    def test_day_night_contrast(self):
+        # Strong amplitude: day hours (peak +/- 6h) collect far more
+        # submissions than night hours.
+        rng = np.random.default_rng(5)
+        arrivals = diurnal_arrivals(4000, base_rate=0.02, rng=rng,
+                                    amplitude=0.8, peak_hour=14.0)
+        hour = (arrivals % DAY) / 3600.0
+        day = ((hour >= 8) & (hour < 20)).sum()
+        night = len(arrivals) - day
+        assert day > 1.8 * night
+
+    def test_mean_rate_preserved(self):
+        rng = np.random.default_rng(6)
+        arrivals = diurnal_arrivals(4000, base_rate=0.02, rng=rng, amplitude=0.6)
+        measured_rate = len(arrivals) / arrivals[-1]
+        assert measured_rate == pytest.approx(0.02, rel=0.15)
+
+    def test_validation(self):
+        rng = np.random.default_rng(7)
+        with pytest.raises(WorkloadError):
+            diurnal_arrivals(10, base_rate=1.0, rng=rng, amplitude=1.0)
+        with pytest.raises(WorkloadError):
+            diurnal_arrivals(10, base_rate=0.0, rng=rng)
+
+
+class TestGeneratorIntegration:
+    def test_diurnal_campaign_generates(self):
+        rng = np.random.default_rng(8)
+        gen = TrinityWorkloadGenerator(diurnal_amplitude=0.7)
+        trace = gen.generate(100, 64, rng)
+        assert len(trace) == 100
+
+    def test_diurnal_offered_load_calibration_holds(self):
+        rng = np.random.default_rng(9)
+        gen = TrinityWorkloadGenerator(offered_load=1.2, diurnal_amplitude=0.6)
+        trace = gen.generate(600, 128, rng)
+        assert trace.offered_load(128) == pytest.approx(1.2, rel=0.3)
+
+    def test_bad_amplitude_rejected(self):
+        with pytest.raises(WorkloadError):
+            TrinityWorkloadGenerator(diurnal_amplitude=1.2)

@@ -1,0 +1,123 @@
+"""Unit tests for the synthetic and Trinity workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.miniapps.suite import TRINITY_SUITE
+from repro.workload.synthetic import SyntheticWorkloadGenerator
+from repro.workload.trinity import TrinityWorkloadGenerator
+
+
+class TestSyntheticGenerator:
+    def test_deterministic_with_seed(self):
+        gen = SyntheticWorkloadGenerator()
+        a = gen.generate(20, np.random.default_rng(1))
+        b = gen.generate(20, np.random.default_rng(1))
+        assert [j.submit_time for j in a] == [j.submit_time for j in b]
+
+    def test_job_count_and_ids(self):
+        trace = SyntheticWorkloadGenerator().generate(
+            15, np.random.default_rng(2), start_id=100
+        )
+        assert len(trace) == 15
+        assert {j.job_id for j in trace} == set(range(100, 115))
+
+    def test_sizes_from_distribution(self):
+        gen = SyntheticWorkloadGenerator(
+            node_counts=(2, 4), node_weights=(0.5, 0.5)
+        )
+        trace = gen.generate(50, np.random.default_rng(3))
+        assert {j.num_nodes for j in trace} <= {2, 4}
+
+    def test_walltime_at_least_runtime(self):
+        trace = SyntheticWorkloadGenerator().generate(
+            50, np.random.default_rng(4)
+        )
+        assert all(j.walltime_req >= j.runtime_exclusive for j in trace)
+
+    def test_max_walltime_respected(self):
+        gen = SyntheticWorkloadGenerator(max_walltime=2000.0, runtime_sigma=2.0)
+        trace = gen.generate(100, np.random.default_rng(5))
+        assert all(j.walltime_req <= 2000.0 for j in trace)
+
+    def test_apps_assigned_when_given(self):
+        gen = SyntheticWorkloadGenerator(apps=("AMG", "GTC"))
+        trace = gen.generate(30, np.random.default_rng(6))
+        assert {j.app for j in trace} <= {"AMG", "GTC"}
+
+    def test_zero_jobs(self):
+        assert len(SyntheticWorkloadGenerator().generate(0, np.random.default_rng(7))) == 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"interarrival_mean": 0.0},
+            {"node_counts": (1, 2), "node_weights": (1.0,)},
+            {"node_weights": (0.4, 0.4, 0.1, 0.05, 0.1)},
+            {"overestimate_range": (0.5, 2.0)},
+        ],
+    )
+    def test_bad_config_rejected(self, kwargs):
+        with pytest.raises(WorkloadError):
+            SyntheticWorkloadGenerator(**kwargs)
+
+
+class TestTrinityGenerator:
+    def test_deterministic(self):
+        gen = TrinityWorkloadGenerator()
+        a = gen.generate(30, 64, np.random.default_rng(1))
+        b = gen.generate(30, 64, np.random.default_rng(1))
+        assert [j.runtime_exclusive for j in a] == [j.runtime_exclusive for j in b]
+
+    def test_apps_from_suite(self):
+        trace = TrinityWorkloadGenerator().generate(60, 64, np.random.default_rng(2))
+        assert {j.app for j in trace} <= set(TRINITY_SUITE)
+
+    def test_nodes_capped_at_cluster(self):
+        trace = TrinityWorkloadGenerator().generate(60, 4, np.random.default_rng(3))
+        assert all(j.num_nodes <= 4 for j in trace)
+
+    def test_offered_load_hits_target(self):
+        gen = TrinityWorkloadGenerator(offered_load=1.2)
+        trace = gen.generate(600, 128, np.random.default_rng(4))
+        # Statistical: within 25 % of target on a long trace.
+        assert trace.offered_load(128) == pytest.approx(1.2, rel=0.25)
+
+    def test_share_obeys_app_disposition(self):
+        gen = TrinityWorkloadGenerator(share_obeys_app=True)
+        trace = gen.generate(120, 64, np.random.default_rng(5))
+        for job in trace:
+            assert job.shareable == TRINITY_SUITE[job.app].shareable
+
+    def test_share_fraction_mode(self):
+        gen = TrinityWorkloadGenerator(share_obeys_app=False, share_fraction=0.0)
+        trace = gen.generate(40, 64, np.random.default_rng(6))
+        assert not any(j.shareable for j in trace)
+
+    def test_mix_weights_respected(self):
+        gen = TrinityWorkloadGenerator(mix={"AMG": 1.0})
+        trace = gen.generate(30, 64, np.random.default_rng(7))
+        assert {j.app for j in trace} == {"AMG"}
+
+    def test_unknown_mix_app_rejected(self):
+        with pytest.raises(WorkloadError, match="unknown apps"):
+            TrinityWorkloadGenerator(mix={"HPL": 1.0})
+
+    def test_zero_weight_sum_rejected(self):
+        with pytest.raises(WorkloadError, match="zero"):
+            TrinityWorkloadGenerator(mix={"AMG": 0.0})
+
+    def test_bad_offered_load_rejected(self):
+        with pytest.raises(WorkloadError):
+            TrinityWorkloadGenerator(offered_load=0.0)
+
+    def test_bad_cluster_size_rejected(self):
+        gen = TrinityWorkloadGenerator()
+        with pytest.raises(WorkloadError):
+            gen.generate(5, 0, np.random.default_rng(8))
+
+    def test_walltime_overestimates_runtime(self):
+        trace = TrinityWorkloadGenerator().generate(50, 64, np.random.default_rng(9))
+        factors = [j.overestimate for j in trace]
+        assert all(1.1 <= f <= 2.0 for f in factors)

@@ -1,0 +1,134 @@
+"""Unit tests for job specs and the trace container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.spec import JobSpec
+from repro.workload.trace import WorkloadTrace
+from tests.conftest import make_spec
+
+
+class TestJobSpec:
+    def test_valid_spec(self):
+        spec = make_spec(job_id=3, nodes=4, runtime=100.0, walltime=150.0)
+        assert spec.node_seconds == 400.0
+        assert spec.overestimate == pytest.approx(1.5)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"job_id": -1},
+            {"submit": -5.0},
+            {"nodes": 0},
+            {"runtime": 0.0},
+            {"walltime": 0.0},
+        ],
+    )
+    def test_invalid_fields_rejected(self, kwargs):
+        with pytest.raises(WorkloadError):
+            make_spec(**kwargs)
+
+    def test_with_replaces_and_revalidates(self):
+        spec = make_spec()
+        shared = spec.with_(shareable=True)
+        assert shared.shareable and not spec.shareable
+        with pytest.raises(WorkloadError):
+            spec.with_(num_nodes=0)
+
+    def test_str_shows_share_flag(self):
+        assert "S" in str(make_spec(shareable=True))
+        assert "X" in str(make_spec(shareable=False))
+
+
+class TestWorkloadTrace:
+    def test_sorted_by_submit_then_id(self):
+        trace = WorkloadTrace(
+            [
+                make_spec(job_id=2, submit=10.0),
+                make_spec(job_id=1, submit=10.0),
+                make_spec(job_id=3, submit=5.0),
+            ]
+        )
+        assert [j.job_id for j in trace] == [3, 1, 2]
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(WorkloadError, match="duplicate"):
+            WorkloadTrace([make_spec(job_id=1), make_spec(job_id=1)])
+
+    def test_len_getitem(self):
+        trace = WorkloadTrace([make_spec(job_id=i) for i in range(4)])
+        assert len(trace) == 4
+        assert trace[0].job_id == 0
+
+    def test_filter_and_head(self):
+        trace = WorkloadTrace(
+            [make_spec(job_id=i, nodes=i + 1) for i in range(5)]
+        )
+        wide = trace.filter(lambda j: j.num_nodes >= 3)
+        assert len(wide) == 3
+        assert len(trace.head(2)) == 2
+
+    def test_span_and_offered_load(self):
+        trace = WorkloadTrace(
+            [
+                make_spec(job_id=1, submit=0.0, nodes=2, runtime=100.0),
+                make_spec(job_id=2, submit=100.0, nodes=2, runtime=100.0),
+            ]
+        )
+        assert trace.span == 100.0
+        # 400 node-seconds demanded over 100 s on 4 nodes = 1.0.
+        assert trace.offered_load(4) == pytest.approx(1.0)
+
+    def test_offered_load_validates(self):
+        trace = WorkloadTrace([make_spec()])
+        with pytest.raises(WorkloadError):
+            trace.offered_load(0)
+
+    def test_empty_trace_statistics(self):
+        trace = WorkloadTrace([])
+        assert trace.span == 0.0
+        assert trace.summary() == {"jobs": 0}
+        assert trace.offered_load(4) == 0.0
+
+    def test_summary_fields(self):
+        trace = WorkloadTrace(
+            [make_spec(job_id=i, nodes=2, shareable=(i % 2 == 0)) for i in range(4)]
+        )
+        summary = trace.summary()
+        assert summary["jobs"] == 4.0
+        assert summary["mean_nodes"] == 2.0
+        assert summary["shareable_fraction"] == pytest.approx(0.5)
+
+    def test_with_share_fraction_extremes(self, rng):
+        trace = WorkloadTrace([make_spec(job_id=i) for i in range(20)])
+        none = trace.with_share_fraction(0.0, rng)
+        all_ = trace.with_share_fraction(1.0, rng)
+        assert not any(j.shareable for j in none)
+        assert all(j.shareable for j in all_)
+
+    def test_with_share_fraction_validates(self, rng):
+        trace = WorkloadTrace([make_spec()])
+        with pytest.raises(WorkloadError):
+            trace.with_share_fraction(1.5, rng)
+
+    def test_app_mix(self):
+        trace = WorkloadTrace(
+            [
+                make_spec(job_id=1, app="AMG"),
+                make_spec(job_id=2, app="AMG"),
+                make_spec(job_id=3, app="GTC"),
+            ]
+        )
+        assert trace.app_mix() == {"AMG": 2, "GTC": 1}
+
+    def test_concat_preserves_all(self):
+        a = WorkloadTrace([make_spec(job_id=1)])
+        b = WorkloadTrace([make_spec(job_id=2)])
+        merged = WorkloadTrace.concat([a, b])
+        assert len(merged) == 2
+
+    def test_concat_detects_collisions(self):
+        a = WorkloadTrace([make_spec(job_id=1)])
+        with pytest.raises(WorkloadError, match="duplicate"):
+            WorkloadTrace.concat([a, a])

@@ -1,0 +1,160 @@
+"""Unit tests for the SWF reader/writer."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.workload.swf import (
+    dumps_swf,
+    read_swf,
+    read_swf_header_apps,
+    roundtrip_equal,
+    write_swf,
+)
+from repro.workload.trace import WorkloadTrace
+from repro.workload.trinity import TrinityWorkloadGenerator
+from tests.conftest import make_spec
+
+APPS = ("AMG", "GTC", "MILC")
+
+
+def small_trace() -> WorkloadTrace:
+    return WorkloadTrace(
+        [
+            make_spec(job_id=1, submit=0.0, nodes=2, runtime=100.0,
+                      walltime=200.0, app="AMG", shareable=True, user="user3"),
+            make_spec(job_id=2, submit=50.0, nodes=1, runtime=300.0,
+                      walltime=400.0, app="GTC", shareable=False),
+        ]
+    )
+
+
+class TestRoundTrip:
+    def test_roundtrip_small(self):
+        text = dumps_swf(small_trace(), cores_per_node=16, app_names=APPS)
+        back = read_swf(io.StringIO(text), cores_per_node=16, app_names=APPS)
+        assert roundtrip_equal(small_trace(), back)
+
+    def test_roundtrip_preserves_share_flag(self):
+        text = dumps_swf(small_trace(), app_names=APPS)
+        back = read_swf(io.StringIO(text), app_names=APPS)
+        assert back[0].shareable and not back[1].shareable
+
+    def test_roundtrip_trinity_campaign(self, tmp_path):
+        trace = TrinityWorkloadGenerator().generate(
+            40, 64, np.random.default_rng(3)
+        )
+        path = tmp_path / "t.swf"
+        apps = sorted({j.app for j in trace})
+        write_swf(trace, path, cores_per_node=32, app_names=apps)
+        back = read_swf(path, cores_per_node=32, app_names=apps)
+        assert roundtrip_equal(trace, back)
+
+    def test_header_apps_recoverable(self, tmp_path):
+        path = tmp_path / "t.swf"
+        write_swf(small_trace(), path, app_names=APPS)
+        assert read_swf_header_apps(path) == list(APPS)
+
+    def test_cores_per_node_conversion(self):
+        text = dumps_swf(small_trace(), cores_per_node=16, app_names=APPS)
+        back = read_swf(io.StringIO(text), cores_per_node=16)
+        assert [j.num_nodes for j in back] == [2, 1]
+
+
+class TestParsing:
+    def test_comments_and_blanks_skipped(self):
+        text = "; header\n\n" + dumps_swf(small_trace())
+        back = read_swf(io.StringIO(text))
+        assert len(back) == 2
+
+    def test_wrong_field_count_rejected(self):
+        with pytest.raises(TraceFormatError, match="expected 18 fields"):
+            read_swf(io.StringIO("1 2 3\n"))
+
+    def test_non_numeric_rejected(self):
+        line = " ".join(["x"] * 18)
+        with pytest.raises(TraceFormatError):
+            read_swf(io.StringIO(line + "\n"))
+
+    def test_cancelled_jobs_skipped(self):
+        # Runtime -1 marks a cancelled submission in archive traces.
+        fields = ["7", "10", "-1", "-1", "4", "-1", "-1", "4", "100",
+                  "-1", "0", "1", "-1", "-1", "1", "1", "-1", "-1"]
+        back = read_swf(io.StringIO(" ".join(fields) + "\n"))
+        assert len(back) == 0
+
+    def test_requested_procs_fallback(self):
+        # Field 5 (allocated) missing, field 8 (requested) present.
+        fields = ["7", "10", "-1", "500", "-1", "-1", "-1", "8", "600",
+                  "-1", "1", "2", "-1", "-1", "1", "1", "-1", "-1"]
+        back = read_swf(io.StringIO(" ".join(fields) + "\n"), cores_per_node=4)
+        assert back[0].num_nodes == 2
+
+    def test_requested_time_fallback_to_runtime(self):
+        fields = ["7", "10", "-1", "500", "4", "-1", "-1", "4", "-1",
+                  "-1", "1", "2", "-1", "-1", "1", "1", "-1", "-1"]
+        back = read_swf(io.StringIO(" ".join(fields) + "\n"))
+        assert back[0].walltime_req == pytest.approx(500.0)
+
+    def test_max_jobs_limits(self):
+        text = dumps_swf(small_trace())
+        back = read_swf(io.StringIO(text), max_jobs=1)
+        assert len(back) == 1
+
+    def test_bad_cores_per_node_rejected(self):
+        with pytest.raises(TraceFormatError):
+            read_swf(io.StringIO(""), cores_per_node=0)
+        with pytest.raises(TraceFormatError):
+            write_swf(small_trace(), io.StringIO(), cores_per_node=0)
+
+    def test_unknown_exe_number_gives_empty_app(self):
+        text = dumps_swf(small_trace(), app_names=APPS)
+        back = read_swf(io.StringIO(text))  # no mapping supplied
+        assert all(j.app == "" for j in back)
+
+
+class TestRoundtripEqual:
+    def test_detects_length_mismatch(self):
+        a, b = small_trace(), WorkloadTrace([make_spec(job_id=1)])
+        assert not roundtrip_equal(a, b)
+
+    def test_detects_field_change(self):
+        a = small_trace()
+        b = WorkloadTrace([a[0].with_(num_nodes=4), a[1]])
+        assert not roundtrip_equal(a, b)
+
+    def test_tolerates_subsecond_jitter(self):
+        a = small_trace()
+        b = WorkloadTrace([a[0].with_(submit_time=0.4), a[1]])
+        assert roundtrip_equal(a, b)
+
+
+class TestExtendedFields:
+    def test_memory_and_dependency_roundtrip(self):
+        trace = WorkloadTrace(
+            [
+                make_spec(job_id=1, app="AMG", shareable=True)
+                .with_(memory_mb_per_node=48_000.0),
+                make_spec(job_id=2, submit=10.0, app="GTC")
+                .with_(depends_on=1, memory_mb_per_node=12_500.0),
+            ]
+        )
+        text = dumps_swf(trace, cores_per_node=8, app_names=APPS)
+        back = read_swf(io.StringIO(text), cores_per_node=8, app_names=APPS)
+        assert roundtrip_equal(trace, back)
+        assert back[1].depends_on == 1
+        assert back[0].memory_mb_per_node == pytest.approx(48_000.0)
+
+    def test_zero_memory_writes_minus_one(self):
+        trace = WorkloadTrace([make_spec(job_id=1)])
+        text = dumps_swf(trace)
+        data_line = [l for l in text.splitlines() if not l.startswith(";")][0]
+        assert data_line.split()[9] == "-1"
+
+    def test_no_dependency_writes_minus_one(self):
+        trace = WorkloadTrace([make_spec(job_id=1)])
+        text = dumps_swf(trace)
+        data_line = [l for l in text.splitlines() if not l.startswith(";")][0]
+        assert data_line.split()[16] == "-1"
