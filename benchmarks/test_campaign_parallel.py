@@ -1,0 +1,73 @@
+"""Campaign executor — parallel vs serial wall-clock on a 32-run grid.
+
+Executes the same 32-run campaign twice, serially (``workers=1``) and
+through the process pool, checks the result files are byte-identical,
+and records the speedup.  The speedup assertion only applies on
+multi-core hosts; on a single core the pool can only add overhead.
+"""
+
+import os
+
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import ResultStore
+from repro.metrics.report import format_table
+
+
+def _spec() -> CampaignSpec:
+    return CampaignSpec(
+        name="bench-parallel",
+        jobs=60,
+        strategies=("easy_backfill", "shared_backfill"),
+        seeds=(1, 2, 3, 4),
+        loads=(1.2, 1.5),
+        cluster_sizes=(16, 32),
+    )
+
+
+def test_campaign_parallel_speedup(benchmark, record_artifact, tmp_path):
+    runs = _spec().expand()
+    assert len(runs) == 32
+
+    serial_store = ResultStore(tmp_path / "serial")
+    serial = CampaignRunner(store=serial_store, workers=1).run(runs)
+    assert serial.ok
+
+    workers = min(8, os.cpu_count() or 1)
+    parallel_store = ResultStore(tmp_path / "parallel")
+
+    def parallel_campaign():
+        for rid in list(parallel_store.completed_ids()):
+            parallel_store.delete(rid)
+        return CampaignRunner(store=parallel_store, workers=workers).run(runs)
+
+    parallel = benchmark.pedantic(parallel_campaign, rounds=1, iterations=1)
+    assert parallel.ok
+
+    # The headline guarantee: byte-identical result files.
+    assert serial_store.completed_ids() == parallel_store.completed_ids()
+    for rid in serial_store.completed_ids():
+        assert (
+            serial_store.path_for(rid).read_bytes()
+            == parallel_store.path_for(rid).read_bytes()
+        ), f"run {rid} differs between serial and parallel execution"
+
+    speedup = serial.elapsed_s / parallel.elapsed_s
+    record_artifact(
+        "campaign_parallel",
+        format_table(
+            [{
+                "runs": len(runs),
+                "workers": workers,
+                "serial_s": serial.elapsed_s,
+                "parallel_s": parallel.elapsed_s,
+                "speedup": speedup,
+            }],
+            title="campaign executor: serial vs parallel (32-run grid)",
+        ),
+    )
+    if workers > 1 and (os.cpu_count() or 1) > 1:
+        assert speedup > 1.0, (
+            f"no parallel speedup: serial {serial.elapsed_s:.2f}s vs "
+            f"parallel {parallel.elapsed_s:.2f}s on {workers} workers"
+        )

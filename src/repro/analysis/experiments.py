@@ -10,11 +10,17 @@ from __future__ import annotations
 
 import io
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.analysis.sweep import compare_strategies, run_one
+from repro.analysis.sweep import compare_strategies, run_one, run_params_many
+from repro.campaign.spec import (
+    campaign_workload,
+    inline_workload,
+    simulate_params,
+    trinity_workload,
+)
 from repro.core.strategy import all_strategy_names
 from repro.interference.matrix import PairingMatrix
 from repro.interference.model import InterferenceModel, ModelParams
@@ -247,6 +253,7 @@ def e6_wait_by_class(
     num_nodes: int = EVAL_NODES,
     strategies: Sequence[str] = (BASELINE,) + SHARED_STRATEGIES,
 ) -> ExperimentOutput:
+    """Mean wait per job-size class under each strategy."""
     if trace is None:
         trace = default_campaign(cluster_nodes=num_nodes)
     results, _ = compare_strategies(trace, strategies, num_nodes)
@@ -325,25 +332,45 @@ def e8_share_fraction_sweep(
     num_jobs: int = 250,
     num_nodes: int = EVAL_NODES,
     strategy: str = "shared_backfill",
+    workers: int = 1,
 ) -> ExperimentOutput:
-    """Efficiency gains as a function of the shareable fraction."""
+    """Efficiency gains as a function of the shareable fraction.
+
+    The per-fraction traces are derived serially (each draws from the
+    same RNG stream), then the simulations run through the campaign
+    runner — fanned out over *workers* processes when > 1, with
+    identical results either way.
+    """
     rng = np.random.default_rng(EVAL_SEED + 1)
     base_trace = default_campaign(num_jobs=num_jobs, cluster_nodes=num_nodes)
-    baseline = summarize(run_one(base_trace, BASELINE, num_nodes))
-    rows = []
+    params = [
+        simulate_params(
+            BASELINE,
+            campaign_workload(num_jobs=num_jobs, cluster_nodes=num_nodes),
+            num_nodes,
+        )
+    ]
     for fraction in fractions:
         trace = base_trace.with_share_fraction(fraction, rng)
-        summary = summarize(run_one(trace, strategy, num_nodes))
+        params.append(
+            simulate_params(strategy, inline_workload(trace), num_nodes)
+        )
+    payloads = run_params_many(params, workers=workers)
+    baseline, sweep_payloads = payloads[0], payloads[1:]
+    base_eff = baseline["summary"]["comp_eff"]
+    base_makespan = baseline["makespan_s"]
+    rows = []
+    for fraction, payload in zip(fractions, sweep_payloads):
+        summary = payload["summary"]
         rows.append(
             {
                 "share_fraction": fraction,
-                "comp_eff": summary.computational_efficiency,
+                "comp_eff": summary["comp_eff"],
                 "comp_eff_gain_%": 100.0
-                * (summary.computational_efficiency
-                   / baseline.computational_efficiency - 1.0),
+                * (summary["comp_eff"] / base_eff - 1.0),
                 "sched_eff_gain_%": 100.0
-                * (baseline.makespan - summary.makespan) / baseline.makespan,
-                "shared_nodes": summary.shared_node_fraction,
+                * (base_makespan - payload["makespan_s"]) / base_makespan,
+                "shared_nodes": summary["shared_nodes"],
             }
         )
     text = format_table(
@@ -409,27 +436,36 @@ def e10_threshold_sweep(
     thresholds: Sequence[float] = (1.0, 1.1, 1.2, 1.3, 1.4),
     num_jobs: int = 250,
     num_nodes: int = EVAL_NODES,
+    workers: int = 1,
 ) -> ExperimentOutput:
-    trace = default_campaign(num_jobs=num_jobs, cluster_nodes=num_nodes)
-    baseline = summarize(run_one(trace, BASELINE, num_nodes))
+    """Sweep of the co-allocation compatibility threshold."""
+    workload = campaign_workload(num_jobs=num_jobs, cluster_nodes=num_nodes)
+    params = [simulate_params(BASELINE, workload, num_nodes)]
+    params += [
+        simulate_params(
+            "shared_backfill",
+            workload,
+            num_nodes,
+            config={"share_threshold": float(theta)},
+        )
+        for theta in thresholds
+    ]
+    payloads = run_params_many(params, workers=workers)
+    baseline, sweep_payloads = payloads[0], payloads[1:]
+    base_eff = baseline["summary"]["comp_eff"]
+    base_makespan = baseline["makespan_s"]
     rows = []
-    for theta in thresholds:
-        config = SchedulerConfig(
-            strategy="shared_backfill", share_threshold=theta
-        )
-        summary = summarize(
-            run_one(trace, "shared_backfill", num_nodes, config=config)
-        )
+    for theta, payload in zip(thresholds, sweep_payloads):
+        summary = payload["summary"]
         rows.append(
             {
                 "threshold": theta,
                 "comp_eff_gain_%": 100.0
-                * (summary.computational_efficiency
-                   / baseline.computational_efficiency - 1.0),
+                * (summary["comp_eff"] / base_eff - 1.0),
                 "sched_eff_gain_%": 100.0
-                * (baseline.makespan - summary.makespan) / baseline.makespan,
-                "shared_nodes": summary.shared_node_fraction,
-                "mean_shared_dilation": summary.mean_shared_dilation,
+                * (base_makespan - payload["makespan_s"]) / base_makespan,
+                "shared_nodes": summary["shared_nodes"],
+                "mean_shared_dilation": summary["shared_dilation"],
             }
         )
     text = format_table(
@@ -565,31 +601,37 @@ def e15_offered_load_sweep(
     loads: Sequence[float] = (0.7, 1.0, 1.3, 1.6),
     num_jobs: int = 250,
     num_nodes: int = EVAL_NODES,
+    workers: int = 1,
 ) -> ExperimentOutput:
     """Sharing needs queue pressure to find partners: gains should be
     small on an under-subscribed machine and grow with load."""
-    rows = []
+    params = []
     for load in loads:
-        trace = default_campaign(
+        workload = campaign_workload(
             num_jobs=num_jobs, cluster_nodes=num_nodes, offered_load=load
         )
-        baseline = summarize(run_one(trace, BASELINE, num_nodes))
-        shared = summarize(run_one(trace, "shared_backfill", num_nodes))
+        params.append(simulate_params(BASELINE, workload, num_nodes))
+        params.append(simulate_params("shared_backfill", workload, num_nodes))
+    payloads = run_params_many(params, workers=workers)
+    rows = []
+    for i, load in enumerate(loads):
+        baseline, shared = payloads[2 * i], payloads[2 * i + 1]
+        base_summary, shared_summary = baseline["summary"], shared["summary"]
         rows.append(
             {
                 "offered_load": load,
-                "base_util": baseline.utilization,
+                "base_util": base_summary["utilization"],
                 "comp_eff_gain_%": 100.0
-                * (shared.computational_efficiency
-                   / baseline.computational_efficiency - 1.0),
+                * (shared_summary["comp_eff"] / base_summary["comp_eff"] - 1.0),
                 "sched_eff_gain_%": 100.0
-                * (baseline.makespan - shared.makespan) / baseline.makespan,
+                * (baseline["makespan_s"] - shared["makespan_s"])
+                / baseline["makespan_s"],
                 "wait_gain_%": (
-                    100.0 * (baseline.mean_wait - shared.mean_wait)
-                    / baseline.mean_wait
-                    if baseline.mean_wait > 0 else 0.0
+                    100.0 * (baseline["mean_wait_s"] - shared["mean_wait_s"])
+                    / baseline["mean_wait_s"]
+                    if baseline["mean_wait_s"] > 0 else 0.0
                 ),
-                "shared_nodes": shared.shared_node_fraction,
+                "shared_nodes": shared_summary["shared_nodes"],
             }
         )
     text = format_table(
@@ -755,6 +797,7 @@ def e19_replicated_headline(
     seeds: Sequence[int] = (11, 23, 37, 59, 71),
     num_jobs: int = 150,
     num_nodes: int = 64,
+    workers: int = 1,
 ) -> ExperimentOutput:
     """The headline deltas over independent workload seeds, with 95 %
     Student-t confidence intervals — the reproduction's statistical
@@ -765,7 +808,8 @@ def e19_replicated_headline(
     estimates_by_strategy = {}
     for strategy in SHARED_STRATEGIES:
         estimates = replicate_gains(
-            seeds, strategy=strategy, num_jobs=num_jobs, num_nodes=num_nodes
+            seeds, strategy=strategy, num_jobs=num_jobs, num_nodes=num_nodes,
+            workers=workers,
         )
         estimates_by_strategy[strategy] = estimates
         rows.append(
@@ -984,3 +1028,46 @@ def e22_sharing_mode_comparison(
         ),
     )
     return ExperimentOutput(experiment="E22", rows=table, text=text)
+
+
+# ----------------------------------------------------------------------
+# Registry — the single source of truth for experiment dispatch
+# ----------------------------------------------------------------------
+#: Every implemented experiment, keyed by its id.  The CLI
+#: ``experiment`` subcommand, the campaign subsystem's ``experiment``
+#: run kind and the benchmark harness all dispatch through this table,
+#: so a new ``eN`` driver registered here is immediately reachable
+#: everywhere.  (E11 is the scheduler-cost microbenchmark and lives in
+#: ``benchmarks/test_e11_scheduler_cost.py``; it has no driver here.)
+EXPERIMENT_REGISTRY: dict[str, Callable[[], ExperimentOutput]] = {
+    "e1": e1_miniapp_table,
+    "e2": e2_pairing_matrix,
+    "e3": e3_headline,
+    "e4": e4_utilization_timeline,
+    "e5": e5_throughput_curves,
+    "e6": e6_wait_by_class,
+    "e7": e7_coallocation_overhead,
+    "e8": e8_share_fraction_sweep,
+    "e9": e9_pairing_ablation,
+    "e10": e10_threshold_sweep,
+    "e12": e12_swf_replay,
+    "e13": e13_cluster_scaling,
+    "e14": e14_walltime_accuracy,
+    "e15": e15_offered_load_sweep,
+    "e16": e16_topology_ablation,
+    "e17": e17_energy,
+    "e18": e18_diurnal_workload,
+    "e19": e19_replicated_headline,
+    "e20": e20_failure_resilience,
+    "e21": e21_walltime_prediction,
+    "e22": e22_sharing_mode_comparison,
+}
+
+#: Experiments accepting a ``workers=N`` keyword (their inner sweeps
+#: run on the campaign runner and parallelise across processes).
+PARALLEL_EXPERIMENTS = frozenset({"e8", "e10", "e15", "e19"})
+
+
+def experiment_ids() -> list[str]:
+    """Registered ids in numeric order (e1, e2, ..., e22)."""
+    return sorted(EXPERIMENT_REGISTRY, key=lambda e: int(e[1:]))

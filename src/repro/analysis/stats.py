@@ -14,10 +14,9 @@ from typing import Sequence
 import numpy as np
 from scipy import stats as sps
 
-from repro.analysis.sweep import run_one
+from repro.analysis.sweep import run_params_many
+from repro.campaign.spec import simulate_params, trinity_workload
 from repro.errors import ConfigError
-from repro.metrics.efficiency import computational_efficiency
-from repro.workload.trinity import TrinityWorkloadGenerator
 
 
 @dataclass(frozen=True)
@@ -75,34 +74,44 @@ def replicate_gains(
     offered_load: float = 1.5,
     share_fraction: float = 0.85,
     level: float = 0.95,
+    workers: int = 1,
 ) -> dict[str, IntervalEstimate]:
     """Sharing gains over independently seeded campaigns.
 
     Returns interval estimates for the computational-efficiency gain,
     the makespan (scheduling-efficiency) gain, and the mean-wait gain,
-    each as a fraction (0.15 = +15 %).
+    each as a fraction (0.15 = +15 %).  The per-seed simulations run
+    on the campaign runner; ``workers > 1`` fans them out over a
+    process pool with identical results.
     """
     if len(seeds) < 2:
         raise ConfigError("replication needs at least 2 seeds")
-    comp_gains, sched_gains, wait_gains = [], [], []
+    params = []
     for seed in seeds:
-        rng = np.random.default_rng(seed)
-        trace = TrinityWorkloadGenerator(
-            share_obeys_app=False,
-            share_fraction=share_fraction,
+        workload = trinity_workload(
+            jobs=num_jobs,
+            nodes=num_nodes,
+            seed=seed,
             offered_load=offered_load,
-        ).generate(num_jobs, num_nodes, rng)
-        base = run_one(trace, baseline, num_nodes)
-        shared = run_one(trace, strategy, num_nodes)
-        comp_gains.append(
-            computational_efficiency(shared) / computational_efficiency(base)
-            - 1.0
+            share_fraction=share_fraction,
+            name=f"trinity-s{seed}",
         )
-        sched_gains.append((base.makespan - shared.makespan) / base.makespan)
-        base_wait = base.accounting.mean_wait()
-        shared_wait = shared.accounting.mean_wait()
+        params.append(simulate_params(baseline, workload, num_nodes))
+        params.append(simulate_params(strategy, workload, num_nodes))
+    payloads = run_params_many(params, workers=workers)
+    comp_gains, sched_gains, wait_gains = [], [], []
+    for i in range(len(seeds)):
+        base, shared = payloads[2 * i], payloads[2 * i + 1]
+        comp_gains.append(
+            shared["summary"]["comp_eff"] / base["summary"]["comp_eff"] - 1.0
+        )
+        sched_gains.append(
+            (base["makespan_s"] - shared["makespan_s"]) / base["makespan_s"]
+        )
+        base_wait = base["mean_wait_s"]
         wait_gains.append(
-            (base_wait - shared_wait) / base_wait if base_wait > 0 else 0.0
+            (base_wait - shared["mean_wait_s"]) / base_wait
+            if base_wait > 0 else 0.0
         )
     return {
         "comp_eff_gain": confidence_interval(comp_gains, level),

@@ -1,0 +1,406 @@
+"""The campaign executor: process-pool fan-out with a serial twin.
+
+Both execution modes funnel every run through the same picklable
+entry function (:func:`repro.slurm.entry.execute_run` by default), so
+a campaign executed with ``workers=8`` produces byte-identical result
+payloads to the same campaign executed serially — the simulator's
+deterministic RNG streams make that a testable guarantee, and the
+test suite tests it.
+
+Failure semantics:
+
+* an entry-function exception is a failed *attempt*; attempts are
+  bounded (``retries`` extra tries) with exponential backoff;
+* a hard worker crash (``BrokenProcessPool``) costs every in-flight
+  run one attempt — the culprit cannot be attributed — and the pool
+  is rebuilt;
+* a run exceeding ``timeout`` seconds is abandoned, costs one
+  attempt, and forces a pool rebuild (a running task cannot be
+  killed otherwise); collateral in-flight runs are re-queued without
+  an attempt penalty.
+
+Completed runs are persisted through :class:`~repro.campaign.store.
+ResultStore` as they finish, so an interrupted campaign resumes from
+its last completed run.  Failed runs are *not* persisted: a re-run
+retries exactly the missing and failed work.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.campaign.progress import (
+    CACHED,
+    COMPLETED,
+    FAILED,
+    RETRY,
+    STARTED,
+    ProgressEvent,
+    ProgressTracker,
+)
+from repro.campaign.spec import RunSpec
+from repro.campaign.store import ResultStore
+from repro.errors import ConfigError
+
+Entry = Callable[[Mapping[str, object]], dict[str, object]]
+
+
+def _default_entry() -> Entry:
+    from repro.slurm.entry import execute_run
+
+    return execute_run
+
+
+@dataclass(frozen=True)
+class RunFailure:
+    """A run whose attempts were exhausted."""
+
+    run_id: str
+    label: str
+    attempts: int
+    error: str
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one campaign execution."""
+
+    order: list[str]
+    results: dict[str, dict[str, object]]
+    failures: list[RunFailure] = field(default_factory=list)
+    completed: int = 0
+    cached: int = 0
+    elapsed_s: float = 0.0
+
+    @property
+    def failed(self) -> int:
+        return len(self.failures)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def records(self) -> list[dict[str, object]]:
+        """Successful result records, in campaign order."""
+        return [self.results[rid] for rid in self.order if rid in self.results]
+
+    def payloads(self) -> list[dict[str, object] | None]:
+        """Entry payload per run in campaign order; None where failed."""
+        out = []
+        for rid in self.order:
+            record = self.results.get(rid)
+            out.append(record["result"] if record else None)  # type: ignore[index]
+        return out
+
+
+class CampaignRunner:
+    """Executes the runs of a campaign with caching, retry, recovery.
+
+    Parameters
+    ----------
+    store:
+        Artifact store for caching/resume; ``None`` keeps results only
+        in memory (every run executes).
+    workers:
+        Process count; ``1`` executes serially in-process (the
+        bit-identical fallback).  Per-run ``timeout`` requires
+        ``workers > 1`` — a cooperating process can be abandoned, the
+        calling thread cannot.
+    timeout:
+        Per-run wall-clock budget in seconds (parallel mode only).
+    retries:
+        Extra attempts after a failed one (0 = fail fast).
+    backoff:
+        Base seconds of the exponential retry backoff
+        (``backoff * 2**(attempt-1)``).
+    entry:
+        The run entry function; must be picklable for ``workers > 1``.
+    progress:
+        Optional sink receiving every :class:`ProgressEvent`.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore | None = None,
+        workers: int = 1,
+        timeout: float | None = None,
+        retries: int = 2,
+        backoff: float = 0.5,
+        entry: Entry | None = None,
+        progress: Callable[[ProgressEvent], None] | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {workers}")
+        if retries < 0:
+            raise ConfigError(f"retries must be >= 0, got {retries}")
+        if timeout is not None and timeout <= 0:
+            raise ConfigError(f"timeout must be positive, got {timeout}")
+        if backoff < 0:
+            raise ConfigError(f"backoff must be >= 0, got {backoff}")
+        self.store = store
+        self.workers = workers
+        self.timeout = timeout
+        self.max_attempts = retries + 1
+        self.backoff = backoff
+        self.entry = entry if entry is not None else _default_entry()
+        self.progress = progress
+        self._clock = clock
+        self._sleep = sleep
+
+    # ------------------------------------------------------------------
+    def run(self, runs: Sequence[RunSpec]) -> CampaignResult:
+        """Execute *runs*, skipping any already present in the store."""
+        started = self._clock()
+        tracker = ProgressTracker(
+            total=len(runs), clock=self._clock, sink=self.progress
+        )
+        result = CampaignResult(order=[r.run_id for r in runs], results={})
+        pending: list[RunSpec] = []
+        for run in runs:
+            if self.store is not None and self.store.has(run.run_id):
+                result.results[run.run_id] = self.store.load(run.run_id)
+                tracker.emit(CACHED, run.run_id, run.label)
+            else:
+                pending.append(run)
+        if pending:
+            if self.workers == 1:
+                self._run_serial(pending, tracker, result)
+            else:
+                self._run_parallel(pending, tracker, result)
+        result.completed = tracker.completed
+        result.cached = tracker.cached
+        result.elapsed_s = self._clock() - started
+        return result
+
+    # ------------------------------------------------------------------
+    # Shared bookkeeping
+    # ------------------------------------------------------------------
+    def _record(
+        self, run: RunSpec, payload: dict[str, object], attempts: int
+    ) -> dict[str, object]:
+        record = {
+            "run_id": run.run_id,
+            "label": run.label,
+            "params": run.params,
+            "result": payload,
+            "meta": {"attempts": attempts},
+        }
+        if self.store is not None:
+            self.store.save(run.run_id, record)
+            record = self.store.load(run.run_id)
+        return record
+
+    def _backoff_delay(self, attempt: int) -> float:
+        return self.backoff * (2.0 ** (attempt - 1))
+
+    # ------------------------------------------------------------------
+    # Serial fallback
+    # ------------------------------------------------------------------
+    def _run_serial(
+        self,
+        pending: Sequence[RunSpec],
+        tracker: ProgressTracker,
+        result: CampaignResult,
+    ) -> None:
+        for run in pending:
+            tracker.emit(STARTED, run.run_id, run.label)
+            attempt = 0
+            while True:
+                attempt += 1
+                try:
+                    payload = self.entry(run.params)
+                except Exception as exc:  # noqa: BLE001 - retry boundary
+                    error = f"{type(exc).__name__}: {exc}"
+                    if attempt >= self.max_attempts:
+                        tracker.emit(
+                            FAILED, run.run_id, run.label,
+                            attempt=attempt, error=error,
+                        )
+                        result.failures.append(
+                            RunFailure(run.run_id, run.label, attempt, error)
+                        )
+                        break
+                    tracker.emit(
+                        RETRY, run.run_id, run.label,
+                        attempt=attempt, error=error,
+                    )
+                    self._sleep(self._backoff_delay(attempt))
+                    continue
+                result.results[run.run_id] = self._record(run, payload, attempt)
+                tracker.emit(COMPLETED, run.run_id, run.label, attempt=attempt)
+                break
+
+    # ------------------------------------------------------------------
+    # Parallel executor
+    # ------------------------------------------------------------------
+    def _run_parallel(
+        self,
+        pending: Sequence[RunSpec],
+        tracker: ProgressTracker,
+        result: CampaignResult,
+    ) -> None:
+        #: (run, attempt, not-before timestamp) waiting for a slot.
+        queue: deque[tuple[RunSpec, int, float]] = deque(
+            (run, 1, 0.0) for run in pending
+        )
+        inflight: dict[Future, tuple[RunSpec, int, float]] = {}
+        pool = ProcessPoolExecutor(max_workers=self.workers)
+        try:
+            while queue or inflight:
+                now = self._clock()
+                # Top up the pool: at most `workers` runs in flight so
+                # per-run deadlines start ticking at true start time.
+                requeued: list[tuple[RunSpec, int, float]] = []
+                submit_broken = False
+                while queue and len(inflight) < self.workers:
+                    run, attempt, ready_at = queue.popleft()
+                    if ready_at > now:
+                        requeued.append((run, attempt, ready_at))
+                        continue
+                    try:
+                        future = pool.submit(self.entry, run.params)
+                    except BrokenProcessPool:
+                        # A worker crash can surface at submit time,
+                        # before any in-flight future reports it.  The
+                        # submitted run is blameless: requeue it without
+                        # an attempt penalty and rebuild below.
+                        requeued.append((run, attempt, 0.0))
+                        submit_broken = True
+                        break
+                    deadline = (
+                        now + self.timeout if self.timeout is not None
+                        else float("inf")
+                    )
+                    inflight[future] = (run, attempt, deadline)
+                    if attempt == 1:
+                        tracker.emit(STARTED, run.run_id, run.label)
+                queue.extend(requeued)
+                if submit_broken and not inflight:
+                    # Crash with nothing to harvest: rebuild right away
+                    # (the dead pool joins quickly).
+                    pool.shutdown(wait=True, cancel_futures=True)
+                    pool = ProcessPoolExecutor(max_workers=self.workers)
+                    continue
+                if not inflight:
+                    # Everything queued is backing off; sleep it out.
+                    next_ready = min(ready for _, _, ready in queue)
+                    self._sleep(max(next_ready - now, 0.0))
+                    continue
+                wait_budget = self._wait_budget(inflight, queue, now)
+                done, _ = wait(
+                    set(inflight), timeout=wait_budget,
+                    return_when=FIRST_COMPLETED,
+                )
+                pool_broken = submit_broken
+                for future in done:
+                    run, attempt, _ = inflight.pop(future)
+                    try:
+                        payload = future.result()
+                    except BrokenProcessPool as exc:
+                        pool_broken = True
+                        self._retry_or_fail(
+                            run, attempt,
+                            f"worker crashed ({type(exc).__name__})",
+                            queue, tracker, result,
+                        )
+                    except Exception as exc:  # noqa: BLE001 - retry boundary
+                        self._retry_or_fail(
+                            run, attempt, f"{type(exc).__name__}: {exc}",
+                            queue, tracker, result,
+                        )
+                    else:
+                        result.results[run.run_id] = self._record(
+                            run, payload, attempt
+                        )
+                        tracker.emit(
+                            COMPLETED, run.run_id, run.label, attempt=attempt
+                        )
+                # Enforce per-run deadlines on whatever is still out.
+                now = self._clock()
+                expired = [
+                    future
+                    for future, (_, _, deadline) in inflight.items()
+                    if now >= deadline
+                ]
+                if expired:
+                    for future in expired:
+                        run, attempt, _ = inflight.pop(future)
+                        future.cancel()
+                        self._retry_or_fail(
+                            run, attempt,
+                            f"timed out after {self.timeout:.1f}s",
+                            queue, tracker, result,
+                        )
+                    # The expired task is still running inside a worker;
+                    # only a pool teardown reclaims the slot.  Collateral
+                    # runs are re-queued with no attempt penalty.
+                    pool_broken = True
+                if pool_broken:
+                    for future, (run, attempt, _) in inflight.items():
+                        future.cancel()
+                        if future.done() and future.exception() is None:
+                            payload = future.result()
+                            result.results[run.run_id] = self._record(
+                                run, payload, attempt
+                            )
+                            tracker.emit(
+                                COMPLETED, run.run_id, run.label, attempt=attempt
+                            )
+                        else:
+                            queue.append((run, attempt, 0.0))
+                    inflight.clear()
+                    # Join crashed pools (their workers are already dead,
+                    # so this is quick and avoids interpreter-shutdown
+                    # races); never join a pool whose worker is stuck in
+                    # a timed-out task.
+                    pool.shutdown(wait=not expired, cancel_futures=True)
+                    pool = ProcessPoolExecutor(max_workers=self.workers)
+        except BaseException:
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        else:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def _wait_budget(
+        self,
+        inflight: Mapping[Future, tuple[RunSpec, int, float]],
+        queue: Sequence[tuple[RunSpec, int, float]],
+        now: float,
+    ) -> float | None:
+        """How long `wait` may block before bookkeeping must run."""
+        bounds = [
+            deadline for _, _, deadline in inflight.values()
+            if deadline != float("inf")
+        ]
+        bounds.extend(ready for _, _, ready in queue if ready > now)
+        if not bounds:
+            return None
+        return max(min(bounds) - now, 0.01)
+
+    def _retry_or_fail(
+        self,
+        run: RunSpec,
+        attempt: int,
+        error: str,
+        queue: deque,
+        tracker: ProgressTracker,
+        result: CampaignResult,
+    ) -> None:
+        if attempt >= self.max_attempts:
+            tracker.emit(
+                FAILED, run.run_id, run.label, attempt=attempt, error=error
+            )
+            result.failures.append(
+                RunFailure(run.run_id, run.label, attempt, error)
+            )
+            return
+        tracker.emit(RETRY, run.run_id, run.label, attempt=attempt, error=error)
+        ready_at = self._clock() + self._backoff_delay(attempt)
+        queue.append((run, attempt + 1, ready_at))

@@ -1,0 +1,316 @@
+"""Declarative campaign descriptions and the run-parameter schema.
+
+A run is fully described by a plain JSON-serialisable ``params`` dict;
+its identity is the SHA-256 of the canonical JSON encoding.  Anything
+that changes the result changes the hash, and nothing else does — so
+the artifact store can cache completed runs across campaign edits,
+interrupted re-runs and machines.
+
+Two parameter kinds exist:
+
+``simulate``
+    Generate (or inline) a workload trace and run one strategy over
+    it.  This is what the grid axes of a :class:`CampaignSpec` expand
+    into.
+``experiment``
+    Execute one of the paper's registered experiment drivers
+    (``e1``..``e22``) and capture its rows and printed artefact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import ConfigError
+from repro.workload.spec import JobSpec
+from repro.workload.trace import WorkloadTrace
+
+#: Grid defaults mirror the evaluation setup (EXPERIMENTS.md).
+DEFAULT_JOBS = 400
+DEFAULT_NODES = 128
+DEFAULT_SEED = 7
+DEFAULT_LOAD = 1.5
+DEFAULT_SHARE_FRACTION = 0.85
+DEFAULT_THRESHOLD = 1.1
+
+
+def canonical_json(value: object) -> str:
+    """Deterministic JSON: sorted keys, no whitespace variation."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def run_id_of(params: Mapping[str, object]) -> str:
+    """Stable content hash identifying a run (16 hex chars)."""
+    digest = hashlib.sha256(canonical_json(params).encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# Parameter builders
+# ----------------------------------------------------------------------
+def trinity_workload(
+    jobs: int,
+    nodes: int,
+    seed: int,
+    offered_load: float = DEFAULT_LOAD,
+    share_fraction: float = DEFAULT_SHARE_FRACTION,
+    share_obeys_app: bool = False,
+    overestimate_range: tuple[float, float] | None = None,
+    diurnal_amplitude: float | None = None,
+    name: str = "trinity-eval",
+) -> dict[str, object]:
+    """Workload params for an in-worker generated Trinity campaign."""
+    workload: dict[str, object] = {
+        "kind": "trinity",
+        "jobs": int(jobs),
+        "nodes": int(nodes),
+        "seed": int(seed),
+        "offered_load": float(offered_load),
+        "share_fraction": float(share_fraction),
+        "share_obeys_app": bool(share_obeys_app),
+        "name": name,
+    }
+    if overestimate_range is not None:
+        workload["overestimate_range"] = [float(x) for x in overestimate_range]
+    if diurnal_amplitude is not None:
+        workload["diurnal_amplitude"] = float(diurnal_amplitude)
+    return workload
+
+
+def campaign_workload(
+    num_jobs: int = DEFAULT_JOBS,
+    cluster_nodes: int = DEFAULT_NODES,
+    seed: int = DEFAULT_SEED,
+    offered_load: float = DEFAULT_LOAD,
+    share_fraction: float = DEFAULT_SHARE_FRACTION,
+) -> dict[str, object]:
+    """The canonical evaluation workload — mirrors
+    :func:`repro.analysis.experiments.default_campaign` exactly."""
+    return trinity_workload(
+        jobs=num_jobs,
+        nodes=cluster_nodes,
+        seed=seed,
+        offered_load=offered_load,
+        share_fraction=share_fraction,
+    )
+
+
+def inline_workload(trace: WorkloadTrace) -> dict[str, object]:
+    """Embed an already-built trace verbatim (for traces whose
+    derivation is order-dependent, e.g. the E8 share-fraction sweep)."""
+    return {
+        "kind": "inline",
+        "name": trace.name,
+        "jobs": [asdict(job) for job in trace],
+    }
+
+
+def trace_from_inline(workload: Mapping[str, object]) -> WorkloadTrace:
+    """Rebuild the trace embedded by :func:`inline_workload`."""
+    jobs = [JobSpec(**job) for job in workload["jobs"]]  # type: ignore[union-attr]
+    return WorkloadTrace(jobs, name=str(workload.get("name", "inline")))
+
+
+def simulate_params(
+    strategy: str,
+    workload: Mapping[str, object],
+    num_nodes: int,
+    config: Mapping[str, object] | None = None,
+) -> dict[str, object]:
+    """Full run params for one simulation."""
+    params: dict[str, object] = {
+        "kind": "simulate",
+        "strategy": strategy,
+        "num_nodes": int(num_nodes),
+        "workload": dict(workload),
+    }
+    if config:
+        params["config"] = dict(config)
+    return params
+
+
+def experiment_params(experiment_id: str) -> dict[str, object]:
+    """Run params executing one registered paper experiment."""
+    return {"kind": "experiment", "experiment": experiment_id.lower()}
+
+
+# ----------------------------------------------------------------------
+# Run and campaign specs
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RunSpec:
+    """One executable unit of a campaign: params plus its identity."""
+
+    params: dict[str, object]
+    run_id: str
+
+    @staticmethod
+    def from_params(params: Mapping[str, object]) -> "RunSpec":
+        params = dict(params)
+        return RunSpec(params=params, run_id=run_id_of(params))
+
+    @property
+    def label(self) -> str:
+        """Short human-readable tag for progress lines."""
+        if self.params.get("kind") == "experiment":
+            return str(self.params["experiment"])
+        workload = self.params.get("workload", {})
+        bits = [str(self.params.get("strategy", "?"))]
+        if isinstance(workload, Mapping) and "seed" in workload:
+            bits.append(f"seed={workload['seed']}")
+            bits.append(f"load={workload.get('offered_load')}")
+        config = self.params.get("config")
+        if isinstance(config, Mapping) and "share_threshold" in config:
+            bits.append(f"theta={config['share_threshold']}")
+        return " ".join(bits)
+
+
+@dataclass
+class CampaignSpec:
+    """A declarative experiment campaign.
+
+    The grid axes (``strategies`` × ``seeds`` × ``loads`` ×
+    ``share_fractions`` × ``share_thresholds`` × ``cluster_sizes``)
+    expand cartesian-style into one simulation run each; ``experiments``
+    adds one run per named paper experiment (``"e1"``..``"e22"`` or
+    ``"all"``).
+    """
+
+    name: str = "campaign"
+    jobs: int = DEFAULT_JOBS
+    strategies: tuple[str, ...] = ("easy_backfill", "shared_backfill")
+    seeds: tuple[int, ...] = (DEFAULT_SEED,)
+    loads: tuple[float, ...] = (DEFAULT_LOAD,)
+    share_fractions: tuple[float, ...] = (DEFAULT_SHARE_FRACTION,)
+    share_thresholds: tuple[float, ...] = (DEFAULT_THRESHOLD,)
+    cluster_sizes: tuple[int, ...] = (DEFAULT_NODES,)
+    experiments: tuple[str, ...] = ()
+    #: Extra :class:`~repro.slurm.config.SchedulerConfig` keyword
+    #: arguments applied to every grid run.
+    config: dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for axis in ("strategies", "seeds", "loads", "share_fractions",
+                     "share_thresholds", "cluster_sizes", "experiments"):
+            values = getattr(self, axis)
+            if not isinstance(values, tuple):
+                setattr(self, axis, tuple(values))
+        if not self.experiments:
+            for axis in ("strategies", "seeds", "loads", "share_fractions",
+                         "share_thresholds", "cluster_sizes"):
+                if not getattr(self, axis):
+                    raise ConfigError(f"campaign axis {axis!r} is empty")
+        if self.jobs < 1:
+            raise ConfigError(f"jobs must be >= 1, got {self.jobs}")
+
+    # ------------------------------------------------------------------
+    def expand(self) -> list[RunSpec]:
+        """All run specs of this campaign, in deterministic order."""
+        runs: list[RunSpec] = []
+        grid = itertools.product(
+            self.strategies,
+            self.seeds,
+            self.loads,
+            self.share_fractions,
+            self.share_thresholds,
+            self.cluster_sizes,
+        )
+        for strategy, seed, load, fraction, threshold, size in grid:
+            config = dict(self.config)
+            config["share_threshold"] = float(threshold)
+            workload = trinity_workload(
+                jobs=self.jobs,
+                nodes=size,
+                seed=seed,
+                offered_load=load,
+                share_fraction=fraction,
+            )
+            runs.append(
+                RunSpec.from_params(
+                    simulate_params(strategy, workload, size, config=config)
+                )
+            )
+        for experiment_id in self._experiment_ids():
+            runs.append(RunSpec.from_params(experiment_params(experiment_id)))
+        seen: set[str] = set()
+        unique: list[RunSpec] = []
+        for run in runs:
+            if run.run_id not in seen:
+                seen.add(run.run_id)
+                unique.append(run)
+        return unique
+
+    def _experiment_ids(self) -> list[str]:
+        if any(e.lower() == "all" for e in self.experiments):
+            from repro.analysis.experiments import EXPERIMENT_REGISTRY
+
+            return list(EXPERIMENT_REGISTRY)
+        return [e.lower() for e in self.experiments]
+
+    # ------------------------------------------------------------------
+    # (De)serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "jobs": self.jobs,
+            "strategies": list(self.strategies),
+            "seeds": list(self.seeds),
+            "loads": list(self.loads),
+            "share_fractions": list(self.share_fractions),
+            "share_thresholds": list(self.share_thresholds),
+            "cluster_sizes": list(self.cluster_sizes),
+            "experiments": list(self.experiments),
+            "config": dict(self.config),
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, object]) -> "CampaignSpec":
+        known = {
+            "name", "jobs", "strategies", "seeds", "loads",
+            "share_fractions", "share_thresholds", "cluster_sizes",
+            "experiments", "config",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown campaign spec keys: {sorted(unknown)} "
+                f"(known: {sorted(known)})"
+            )
+        kwargs: dict[str, object] = dict(data)
+        for axis in ("strategies", "seeds", "loads", "share_fractions",
+                     "share_thresholds", "cluster_sizes", "experiments"):
+            if axis in kwargs:
+                values = kwargs[axis]
+                if not isinstance(values, Iterable) or isinstance(values, str):
+                    raise ConfigError(f"campaign axis {axis!r} must be a list")
+                kwargs[axis] = tuple(values)  # type: ignore[arg-type]
+        return CampaignSpec(**kwargs)  # type: ignore[arg-type]
+
+    @staticmethod
+    def from_file(path: str | Path) -> "CampaignSpec":
+        """Load a campaign spec from a JSON file."""
+        try:
+            data = json.loads(Path(path).read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"{path}: invalid JSON: {exc}") from exc
+        if not isinstance(data, Mapping):
+            raise ConfigError(f"{path}: campaign spec must be a JSON object")
+        return CampaignSpec.from_dict(data)
+
+
+def expand_many(specs: Sequence[CampaignSpec]) -> list[RunSpec]:
+    """Concatenate and de-duplicate the runs of several campaigns."""
+    seen: set[str] = set()
+    runs: list[RunSpec] = []
+    for spec in specs:
+        for run in spec.expand():
+            if run.run_id not in seen:
+                seen.add(run.run_id)
+                runs.append(run)
+    return runs

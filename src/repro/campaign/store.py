@@ -1,0 +1,138 @@
+"""On-disk artifact store for campaign results.
+
+One JSON document per run id, written via temp-file +
+:func:`os.replace` so a result file either exists complete or not at
+all — a crashed or killed campaign never leaves a partial JSON behind.
+That single invariant buys the two headline features for free:
+
+* **caching** — a completed run is skipped by every later campaign
+  that contains the same run id;
+* **resume** — re-running an interrupted campaign executes only the
+  runs whose files are missing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Iterator, Mapping, Sequence
+
+from repro.errors import ConfigError
+
+#: Schema version stamped into every result file, so a future format
+#: change can invalidate stale caches instead of misreading them.
+STORE_VERSION = 1
+
+
+class ResultStore:
+    """Directory of ``<run_id>.json`` result records."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def path_for(self, run_id: str) -> Path:
+        if not run_id or "/" in run_id or run_id.startswith("."):
+            raise ConfigError(f"invalid run id {run_id!r}")
+        return self.root / f"{run_id}.json"
+
+    def has(self, run_id: str) -> bool:
+        return self.path_for(run_id).exists()
+
+    def save(self, run_id: str, record: Mapping[str, object]) -> Path:
+        """Atomically persist *record* as the result of *run_id*.
+
+        The document is first written to a temp file in the same
+        directory (same filesystem, so the final rename is atomic),
+        fsynced, then moved into place.  A crash at any point leaves
+        either the old state or the complete new file — never a
+        truncated one.
+        """
+        final = self.path_for(run_id)
+        payload = dict(record)
+        payload.setdefault("store_version", STORE_VERSION)
+        data = json.dumps(payload, sort_keys=True, indent=1)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{run_id}-", suffix=".tmp", dir=self.root
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(data)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, final)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return final
+
+    def load(self, run_id: str) -> dict[str, object]:
+        path = self.path_for(run_id)
+        with path.open("r", encoding="utf-8") as handle:
+            return json.load(handle)
+
+    def delete(self, run_id: str) -> bool:
+        """Drop a cached result (forces re-execution); returns whether
+        anything was removed."""
+        try:
+            self.path_for(run_id).unlink()
+            return True
+        except FileNotFoundError:
+            return False
+
+    # ------------------------------------------------------------------
+    def completed_ids(self) -> set[str]:
+        """Run ids with a (complete) result on disk."""
+        return {
+            path.stem
+            for path in self.root.glob("*.json")
+            if not path.name.startswith(".")
+        }
+
+    def __len__(self) -> int:
+        return len(self.completed_ids())
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self.completed_ids()))
+
+    # ------------------------------------------------------------------
+    def export_jsonl(
+        self, path: str | Path, run_ids: Sequence[str] | None = None
+    ) -> int:
+        """Write one result record per line to *path* (atomic).
+
+        With *run_ids* given, exports exactly those runs in that order
+        (missing ones are skipped); otherwise every stored record in
+        sorted-id order.  Returns the number of lines written.
+        """
+        ids = list(run_ids) if run_ids is not None else sorted(self.completed_ids())
+        lines = []
+        for run_id in ids:
+            if self.has(run_id):
+                record = self.load(run_id)
+                lines.append(json.dumps(record, sort_keys=True))
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=".results-", suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write("\n".join(lines) + ("\n" if lines else ""))
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return len(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultStore({str(self.root)!r}, results={len(self)})"

@@ -5,12 +5,21 @@ Commands
 ``run``
     Generate a Trinity campaign (or read an SWF trace) and simulate it
     under one strategy; prints the schedule summary and final
-    ``sacct``-style accounting.
+    ``sacct``-style accounting (``--json`` for machine-readable
+    output).
 ``compare``
     Run the same workload under several strategies and print the
-    headline comparison table.
+    headline comparison table (``--json`` available).
 ``experiment``
-    Regenerate one of the paper's tables/figures by id (e1..e10, e12).
+    Regenerate one of the paper's tables/figures by id — every
+    registered driver, ``e1``..``e22`` except the ``e11``
+    microbenchmark (``repro experiment list`` enumerates them).
+    Sweep-style experiments accept ``--workers N`` to parallelise.
+``campaign``
+    Expand a declarative campaign (grid axes × named experiments)
+    into content-addressed runs and execute them on a process pool
+    with caching, retry and checkpoint/resume; results land in an
+    artifact store plus a JSONL file.
 ``matrix``
     Print the mini-app pairwise co-run matrix.
 """
@@ -18,14 +27,17 @@ Commands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+from pathlib import Path
 from typing import Sequence
 
 import numpy as np
 
 from repro.analysis import experiments as exp
 from repro.core.strategy import all_strategy_names
-from repro.metrics.report import format_comparison, format_table
+from repro.errors import ReproError
+from repro.metrics.report import format_comparison, format_json, format_table
 from repro.metrics.summary import summarize
 from repro.slurm.config import SchedulerConfig
 from repro.slurm.formats import sacct
@@ -74,6 +86,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
         trace, num_nodes=args.nodes, strategy=args.strategy, config=config
     )
     summary = summarize(result)
+    if args.json:
+        print(format_json({
+            "command": "run",
+            "strategy": args.strategy,
+            "nodes": args.nodes,
+            "workload": trace.name,
+            "jobs": len(trace),
+            "summary": summary.as_dict(),
+            "makespan_s": result.makespan,
+            "mean_wait_s": summary.mean_wait,
+        }))
+        return 0
     print(format_table([summary.as_dict()], title=f"strategy: {args.strategy}"))
     if args.sacct:
         print()
@@ -120,40 +144,155 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     for strategy in strategies:
         result = run_simulation(trace, num_nodes=args.nodes, strategy=strategy)
         summaries.append(summarize(result))
+    if args.json:
+        print(format_json({
+            "command": "compare",
+            "baseline": args.baseline,
+            "nodes": args.nodes,
+            "workload": trace.name,
+            "jobs": len(trace),
+            "summaries": [s.as_dict() for s in summaries],
+        }))
+        return 0
     print(format_comparison(summaries, baseline=args.baseline))
     return 0
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    drivers = {
-        "e1": exp.e1_miniapp_table,
-        "e2": exp.e2_pairing_matrix,
-        "e3": exp.e3_headline,
-        "e4": exp.e4_utilization_timeline,
-        "e5": exp.e5_throughput_curves,
-        "e6": exp.e6_wait_by_class,
-        "e7": exp.e7_coallocation_overhead,
-        "e8": exp.e8_share_fraction_sweep,
-        "e9": exp.e9_pairing_ablation,
-        "e10": exp.e10_threshold_sweep,
-        "e12": exp.e12_swf_replay,
-        "e13": exp.e13_cluster_scaling,
-        "e14": exp.e14_walltime_accuracy,
-        "e15": exp.e15_offered_load_sweep,
-        "e16": exp.e16_topology_ablation,
-        "e17": exp.e17_energy,
-        "e18": exp.e18_diurnal_workload,
-        "e19": exp.e19_replicated_headline,
-        "e20": exp.e20_failure_resilience,
-        "e21": exp.e21_walltime_prediction,
-        "e22": exp.e22_sharing_mode_comparison,
-    }
-    driver = drivers.get(args.id.lower())
+    experiment_id = args.id.lower()
+    if experiment_id == "list":
+        for eid in exp.experiment_ids():
+            parallel = " (supports --workers)" if eid in exp.PARALLEL_EXPERIMENTS else ""
+            doc = (exp.EXPERIMENT_REGISTRY[eid].__doc__ or "").strip()
+            first_line = doc.splitlines()[0] if doc else ""
+            print(f"{eid:>4}  {first_line}{parallel}")
+        return 0
+    driver = exp.EXPERIMENT_REGISTRY.get(experiment_id)
     if driver is None:
-        print(f"unknown experiment {args.id!r}; choose from {sorted(drivers)}",
-              file=sys.stderr)
+        print(
+            f"unknown experiment {args.id!r}; choose from "
+            f"{exp.experiment_ids()}",
+            file=sys.stderr,
+        )
         return 2
-    print(driver().text)
+    kwargs = {}
+    if args.workers > 1 and experiment_id in exp.PARALLEL_EXPERIMENTS:
+        kwargs["workers"] = args.workers
+    output = driver(**kwargs)
+    if args.json:
+        print(format_json({
+            "command": "experiment",
+            "experiment": output.experiment,
+            "rows": output.rows,
+        }))
+        return 0
+    print(output.text)
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.campaign import CampaignRunner, CampaignSpec, ResultStore
+    from repro.campaign.progress import JsonlProgressLog, tee
+
+    try:
+        if args.spec:
+            spec = CampaignSpec.from_file(args.spec)
+        else:
+            spec = CampaignSpec(
+                name=args.name,
+                jobs=args.jobs,
+                strategies=tuple(args.strategies)
+                if args.strategies else ("easy_backfill", "shared_backfill"),
+                seeds=tuple(args.seeds),
+                loads=tuple(args.loads),
+                share_fractions=tuple(args.share_fractions),
+                share_thresholds=tuple(args.thresholds),
+                cluster_sizes=tuple(args.sizes),
+                experiments=tuple(args.experiments) if args.experiments else (),
+            )
+        runs = spec.expand()
+    except ReproError as exc:
+        print(f"campaign error: {exc}", file=sys.stderr)
+        return 2
+    store_dir = Path(args.store) if args.store else Path("campaign_runs") / spec.name
+    store = ResultStore(store_dir)
+    sinks = []
+    if not args.quiet:
+        sinks.append(lambda event: print(event.render(), file=sys.stderr))
+    if args.progress_log:
+        sinks.append(JsonlProgressLog(args.progress_log))
+    try:
+        runner = CampaignRunner(
+            store=store,
+            workers=args.workers,
+            timeout=args.timeout if args.timeout > 0 else None,
+            retries=args.retries,
+            backoff=args.backoff,
+            progress=tee(*sinks) if sinks else None,
+        )
+    except ReproError as exc:
+        print(f"campaign error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        outcome = runner.run(runs)
+    except KeyboardInterrupt:
+        done = len(store.completed_ids() & {r.run_id for r in runs})
+        print(
+            f"\ninterrupted: {done} of {len(runs)} runs stored in "
+            f"{store_dir}; re-run the same command to resume",
+            file=sys.stderr,
+        )
+        return 130
+    if not args.no_jsonl:
+        jsonl_path = Path(args.jsonl) if args.jsonl else store_dir / "results.jsonl"
+        written = store.export_jsonl(jsonl_path, run_ids=[r.run_id for r in runs])
+        print(f"results: {written} records -> {jsonl_path}", file=sys.stderr)
+
+    grid_rows = []
+    experiment_lines = []
+    for record in outcome.records():
+        payload = record["result"]
+        params = record["params"]
+        if payload["kind"] == "simulate":
+            workload = params.get("workload", {})
+            config = params.get("config", {})
+            summary = payload["summary"]
+            grid_rows.append({
+                "run": record["run_id"][:8],
+                "strategy": payload["strategy"],
+                "nodes": payload["num_nodes"],
+                "seed": workload.get("seed", ""),
+                "load": workload.get("offered_load", ""),
+                "theta": config.get("share_threshold", ""),
+                "makespan_h": summary["makespan_h"],
+                "comp_eff": summary["comp_eff"],
+                "mean_wait_h": summary["mean_wait_h"],
+                "shared_nodes": summary["shared_nodes"],
+            })
+        else:
+            experiment_lines.append(
+                f"{payload['experiment']}: {len(payload['rows'])} rows "
+                f"({record['run_id']}.json)"
+            )
+    if grid_rows:
+        print(format_table(grid_rows, title=f"campaign: {spec.name}"))
+    for line in experiment_lines:
+        print(line)
+    status = (
+        f"{outcome.completed} executed, {outcome.cached} cached, "
+        f"{outcome.failed} failed of {len(runs)} runs "
+        f"in {outcome.elapsed_s:.1f}s (workers={args.workers}, "
+        f"store={store_dir})"
+    )
+    print(status)
+    if not outcome.ok:
+        for failure in outcome.failures:
+            print(
+                f"FAILED {failure.run_id} ({failure.label}) after "
+                f"{failure.attempts} attempts: {failure.error}",
+                file=sys.stderr,
+            )
+        return 1
     return 0
 
 
@@ -180,6 +319,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the first N accounting rows")
     p_run.add_argument("--gantt", type=int, default=0, metavar="ROWS",
                        help="render an ASCII gantt chart over ROWS nodes")
+    p_run.add_argument("--json", action="store_true",
+                       help="machine-readable JSON instead of tables")
     p_run.set_defaults(func=_cmd_run)
 
     p_inspect = sub.add_parser(
@@ -192,11 +333,63 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_args(p_cmp)
     p_cmp.add_argument("--strategies", nargs="*", choices=all_strategy_names())
     p_cmp.add_argument("--baseline", default="easy_backfill")
+    p_cmp.add_argument("--json", action="store_true",
+                       help="machine-readable JSON instead of tables")
     p_cmp.set_defaults(func=_cmd_compare)
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper artefact")
-    p_exp.add_argument("id", help="experiment id, e.g. e3")
+    p_exp.add_argument("id", help="experiment id (e1..e22), or 'list'")
+    p_exp.add_argument("--workers", type=int, default=1,
+                       help="parallelise sweep experiments (e8/e10/e15/e19)")
+    p_exp.add_argument("--json", action="store_true",
+                       help="emit the experiment's data rows as JSON")
     p_exp.set_defaults(func=_cmd_experiment)
+
+    p_camp = sub.add_parser(
+        "campaign",
+        help="execute a parallel, resumable, cached campaign of runs",
+    )
+    p_camp.add_argument("--spec", default="",
+                        help="JSON campaign spec file (overrides grid flags)")
+    p_camp.add_argument("--name", default="campaign",
+                        help="campaign name (store subdirectory)")
+    p_camp.add_argument("--jobs", type=int, default=400,
+                        help="jobs per generated workload")
+    p_camp.add_argument("--strategies", nargs="*",
+                        choices=all_strategy_names(),
+                        help="grid axis (default: easy_backfill shared_backfill)")
+    p_camp.add_argument("--seeds", nargs="*", type=int, default=[7],
+                        help="grid axis: workload seeds")
+    p_camp.add_argument("--loads", nargs="*", type=float, default=[1.5],
+                        help="grid axis: offered loads")
+    p_camp.add_argument("--share-fractions", nargs="*", type=float,
+                        default=[0.85], help="grid axis: shareable fractions")
+    p_camp.add_argument("--thresholds", nargs="*", type=float, default=[1.1],
+                        help="grid axis: pairing thresholds")
+    p_camp.add_argument("--sizes", nargs="*", type=int, default=[128],
+                        help="grid axis: cluster sizes")
+    p_camp.add_argument("--experiments", nargs="*", default=[],
+                        help="named experiment refs (e1..e22, or 'all')")
+    p_camp.add_argument("--workers", type=int,
+                        default=max(1, os.cpu_count() or 1),
+                        help="worker processes (1 = serial fallback)")
+    p_camp.add_argument("--store", default="",
+                        help="artifact store dir (default campaign_runs/<name>)")
+    p_camp.add_argument("--timeout", type=float, default=0.0,
+                        help="per-run timeout seconds (0 = none)")
+    p_camp.add_argument("--retries", type=int, default=2,
+                        help="extra attempts per failed run")
+    p_camp.add_argument("--backoff", type=float, default=0.5,
+                        help="base seconds of exponential retry backoff")
+    p_camp.add_argument("--jsonl", default="",
+                        help="results JSONL path (default <store>/results.jsonl)")
+    p_camp.add_argument("--no-jsonl", action="store_true",
+                        help="skip writing the results JSONL file")
+    p_camp.add_argument("--progress-log", default="",
+                        help="append progress events as JSONL to this file")
+    p_camp.add_argument("--quiet", action="store_true",
+                        help="suppress per-run progress lines")
+    p_camp.set_defaults(func=_cmd_campaign)
 
     p_mat = sub.add_parser("matrix", help="print the pairing matrix")
     p_mat.set_defaults(func=_cmd_matrix)

@@ -37,3 +37,7 @@ class TraceFormatError(WorkloadError):
 
 class JobStateError(ReproError):
     """A job-lifecycle transition was attempted from an illegal state."""
+
+
+class CampaignError(ReproError):
+    """A campaign execution finished with failed runs."""

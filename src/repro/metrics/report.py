@@ -7,7 +7,10 @@ verbatim).
 
 from __future__ import annotations
 
+import json
 from typing import Mapping, Sequence
+
+import numpy as np
 
 from repro.metrics.summary import ScheduleSummary
 
@@ -41,6 +44,25 @@ def format_table(
     for r in rendered:
         lines.append("  ".join(v.rjust(w) for v, w in zip(r, widths)))
     return "\n".join(lines)
+
+
+def format_json(document: object, indent: int = 2) -> str:
+    """Machine-readable experiment output (``--json`` CLI modes).
+
+    Numpy scalars and arrays are coerced to plain Python so the
+    document round-trips through the stdlib json module.
+    """
+
+    def default(value: object) -> object:
+        if isinstance(value, (np.floating, np.integer)):
+            return value.item()
+        if isinstance(value, np.ndarray):
+            return value.tolist()
+        raise TypeError(
+            f"not JSON serialisable: {type(value).__name__}"
+        )
+
+    return json.dumps(document, indent=indent, sort_keys=False, default=default)
 
 
 def format_comparison(

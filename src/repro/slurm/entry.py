@@ -1,0 +1,145 @@
+"""Picklable per-run entry point for campaign workers.
+
+:func:`execute_run` turns one campaign ``params`` dict (see
+:mod:`repro.campaign.spec`) into a plain JSON-serialisable result
+dict.  It is a module-level function so :class:`concurrent.futures.
+ProcessPoolExecutor` can ship it to worker processes, and it is the
+*single* execution path for both the serial and parallel campaign
+modes — which is what makes their results bit-identical.
+
+The returned payload is deterministic for fixed params: anything
+wall-clock-dependent is stripped before returning, so result files
+can be compared across serial/parallel executions and across hosts.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.slurm.config import SchedulerConfig
+from repro.workload.trace import WorkloadTrace
+
+
+def _jsonable(value: object) -> object:
+    """Coerce numpy scalars/arrays (and containers of them) to plain
+    Python so result payloads serialise with the stdlib json module."""
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return [_jsonable(v) for v in value.tolist()]
+    if isinstance(value, float) and math.isinf(value):
+        return value  # json emits Infinity; fine for our own readers
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def _build_trace(workload: Mapping[str, object]) -> WorkloadTrace:
+    kind = workload.get("kind")
+    if kind == "trinity":
+        from repro.workload.trinity import TrinityWorkloadGenerator
+
+        kwargs: dict[str, object] = {
+            "share_obeys_app": bool(workload.get("share_obeys_app", False)),
+            "share_fraction": float(workload["share_fraction"]),  # type: ignore[arg-type]
+            "offered_load": float(workload["offered_load"]),  # type: ignore[arg-type]
+        }
+        if "overestimate_range" in workload:
+            lo, hi = workload["overestimate_range"]  # type: ignore[misc]
+            kwargs["overestimate_range"] = (float(lo), float(hi))
+        if "diurnal_amplitude" in workload:
+            kwargs["diurnal_amplitude"] = float(workload["diurnal_amplitude"])  # type: ignore[arg-type]
+        generator = TrinityWorkloadGenerator(**kwargs)  # type: ignore[arg-type]
+        rng = np.random.default_rng(int(workload["seed"]))  # type: ignore[arg-type]
+        return generator.generate(
+            int(workload["jobs"]),  # type: ignore[arg-type]
+            int(workload["nodes"]),  # type: ignore[arg-type]
+            rng,
+            name=str(workload.get("name", "campaign")),
+        )
+    if kind == "inline":
+        from repro.campaign.spec import trace_from_inline
+
+        return trace_from_inline(workload)
+    if kind == "swf":
+        from repro.workload.swf import read_swf, read_swf_header_apps
+
+        path = str(workload["path"])
+        apps = read_swf_header_apps(path)
+        return read_swf(
+            path,
+            cores_per_node=int(workload.get("cores_per_node", 32)),  # type: ignore[arg-type]
+            app_names=apps,
+        )
+    raise ConfigError(f"unknown workload kind {kind!r}")
+
+
+def _execute_simulate(params: Mapping[str, object]) -> dict[str, object]:
+    from repro.metrics.summary import summarize
+    from repro.slurm.manager import run_simulation
+
+    strategy = str(params["strategy"])
+    num_nodes = int(params["num_nodes"])  # type: ignore[arg-type]
+    config_kwargs = dict(params.get("config", {}))  # type: ignore[arg-type]
+    config = SchedulerConfig(strategy=strategy, **config_kwargs)
+    trace = _build_trace(params["workload"])  # type: ignore[arg-type]
+    result = run_simulation(
+        trace, num_nodes=num_nodes, strategy=strategy, config=config
+    )
+    summary = summarize(result)
+    return {
+        "kind": "simulate",
+        "strategy": strategy,
+        "num_nodes": num_nodes,
+        "workload_name": trace.name,
+        "jobs": len(trace),
+        "summary": _jsonable(summary.as_dict()),
+        # Exact-seconds duplicates of the summary's hour-scaled fields,
+        # so gain ratios computed from payloads match in-process maths
+        # bit for bit.
+        "makespan_s": float(result.makespan),
+        "mean_wait_s": float(summary.mean_wait),
+        "completed": result.completed_jobs,
+        "timeouts": result.timeout_jobs,
+        "events_dispatched": result.events_dispatched,
+        "scheduler_passes": result.scheduler_passes,
+    }
+
+
+def _execute_experiment(params: Mapping[str, object]) -> dict[str, object]:
+    from repro.analysis.experiments import EXPERIMENT_REGISTRY
+
+    experiment_id = str(params["experiment"]).lower()
+    driver = EXPERIMENT_REGISTRY.get(experiment_id)
+    if driver is None:
+        raise ConfigError(
+            f"unknown experiment {experiment_id!r}; "
+            f"choose from {sorted(EXPERIMENT_REGISTRY)}"
+        )
+    output = driver()
+    return {
+        "kind": "experiment",
+        "experiment": output.experiment,
+        "rows": _jsonable(output.rows),
+        "text": output.text,
+    }
+
+
+def execute_run(params: Mapping[str, object]) -> dict[str, object]:
+    """Execute one campaign run; returns a deterministic result dict.
+
+    This is the function campaign workers unpickle and call; keep it
+    importable as ``repro.slurm.entry.execute_run``.
+    """
+    kind = params.get("kind")
+    if kind == "simulate":
+        return _execute_simulate(params)
+    if kind == "experiment":
+        return _execute_experiment(params)
+    raise ConfigError(f"unknown run kind {kind!r}")

@@ -1,0 +1,355 @@
+"""Tests for the campaign runner: caching, resume, retry, timeout,
+worker-crash recovery, and serial/parallel result equality.
+
+The entry functions live at module level so ProcessPoolExecutor can
+pickle them into worker processes.
+"""
+
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.campaign.progress import (
+    CACHED,
+    COMPLETED,
+    FAILED,
+    RETRY,
+    STARTED,
+)
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.spec import (
+    CampaignSpec,
+    RunSpec,
+    simulate_params,
+    trinity_workload,
+)
+from repro.campaign.store import ResultStore
+from repro.errors import ConfigError
+
+
+# ----------------------------------------------------------------------
+# Picklable entry functions
+# ----------------------------------------------------------------------
+def double_entry(params):
+    return {"value": params["value"] * 2}
+
+
+def failing_entry(params):
+    raise ValueError("always broken")
+
+
+def flaky_entry(params):
+    """Fails until its marker file exists (i.e. succeeds on retry)."""
+    marker = Path(params["marker"])
+    if marker.exists():
+        return {"value": "recovered"}
+    marker.touch()
+    raise RuntimeError("first attempt fails")
+
+
+def logging_entry(params):
+    """Appends its name to a log file — counts real executions."""
+    with open(params["log"], "a", encoding="utf-8") as handle:
+        handle.write(params["name"] + "\n")
+    return {"name": params["name"]}
+
+
+def crash_once_entry(params):
+    """Hard-kills its worker process on the first attempt."""
+    marker = Path(params["marker"])
+    if marker.exists():
+        return {"value": "survived"}
+    marker.touch()
+    os._exit(13)
+
+
+def crash_always_entry(params):
+    os._exit(13)
+
+
+def sleepy_entry(params):
+    time.sleep(params["sleep_s"])
+    return {"value": "slept"}
+
+
+def runs_of(values):
+    return [RunSpec.from_params({"kind": "test", "value": v}) for v in values]
+
+
+def executions(log_path):
+    if not Path(log_path).exists():
+        return []
+    return Path(log_path).read_text().splitlines()
+
+
+# ----------------------------------------------------------------------
+class TestValidation:
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ConfigError, match="workers"):
+            CampaignRunner(workers=0)
+        with pytest.raises(ConfigError, match="retries"):
+            CampaignRunner(retries=-1)
+        with pytest.raises(ConfigError, match="timeout"):
+            CampaignRunner(timeout=0)
+        with pytest.raises(ConfigError, match="backoff"):
+            CampaignRunner(backoff=-1.0)
+
+
+class TestSerial:
+    def test_runs_and_records(self, tmp_path):
+        store = ResultStore(tmp_path)
+        runner = CampaignRunner(store=store, entry=double_entry)
+        result = runner.run(runs_of([1, 2, 3]))
+        assert result.ok
+        assert result.completed == 3
+        assert result.cached == 0
+        assert [p["value"] for p in result.payloads()] == [2, 4, 6]
+        assert len(store) == 3
+
+    def test_memory_only_without_store(self):
+        runner = CampaignRunner(entry=double_entry)
+        result = runner.run(runs_of([5]))
+        assert result.payloads() == [{"value": 10}]
+
+    def test_caching_skips_completed_runs(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        runs = [
+            RunSpec.from_params(
+                {"kind": "test", "name": n, "log": str(tmp_path / "log")}
+            )
+            for n in ("a", "b", "c")
+        ]
+        runner = CampaignRunner(store=store, entry=logging_entry)
+        first = runner.run(runs)
+        assert first.completed == 3
+        second = CampaignRunner(store=store, entry=logging_entry).run(runs)
+        assert second.completed == 0
+        assert second.cached == 3
+        # The entry executed exactly once per run across both campaigns.
+        assert sorted(executions(tmp_path / "log")) == ["a", "b", "c"]
+        # Cached payloads match executed ones.
+        assert second.payloads() == first.payloads()
+
+    def test_resume_executes_only_missing_runs(self, tmp_path):
+        """Simulates an interrupted campaign: one result file deleted,
+        the re-run must execute exactly that run."""
+        store = ResultStore(tmp_path / "s")
+        log = tmp_path / "log"
+        runs = [
+            RunSpec.from_params(
+                {"kind": "test", "name": n, "log": str(log)}
+            )
+            for n in ("a", "b", "c", "d")
+        ]
+        CampaignRunner(store=store, entry=logging_entry).run(runs)
+        store.delete(runs[1].run_id)
+        log.unlink()
+        result = CampaignRunner(store=store, entry=logging_entry).run(runs)
+        assert result.completed == 1
+        assert result.cached == 3
+        assert executions(log) == ["b"]
+
+    def test_retry_recovers_and_counts_attempts(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        run = RunSpec.from_params(
+            {"kind": "test", "marker": str(tmp_path / "marker")}
+        )
+        events = []
+        runner = CampaignRunner(
+            store=store, entry=flaky_entry, retries=2, backoff=0.0,
+            progress=events.append,
+        )
+        result = runner.run([run])
+        assert result.ok
+        record = store.load(run.run_id)
+        assert record["meta"]["attempts"] == 2
+        assert [e.kind for e in events] == [STARTED, RETRY, COMPLETED]
+
+    def test_exhausted_attempts_fail_and_are_not_persisted(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        runner = CampaignRunner(
+            store=store, entry=failing_entry, retries=1, backoff=0.0
+        )
+        result = runner.run(runs_of([1]))
+        assert not result.ok
+        assert result.failed == 1
+        failure = result.failures[0]
+        assert failure.attempts == 2
+        assert "always broken" in failure.error
+        # Failed runs leave no artifact: a re-run retries them.
+        assert len(store) == 0
+
+    def test_failure_does_not_stop_later_runs(self, tmp_path):
+        runs = runs_of([1]) + [
+            RunSpec.from_params({"kind": "test", "value": 2, "bad": True})
+        ]
+
+        def entry(params):
+            if params.get("bad"):
+                raise ValueError("nope")
+            return {"value": params["value"]}
+
+        result = CampaignRunner(entry=entry, retries=0).run(runs)
+        assert result.completed == 1
+        assert result.failed == 1
+        assert result.payloads()[1] is None
+
+    def test_backoff_schedule(self):
+        sleeps = []
+        runner = CampaignRunner(
+            entry=failing_entry, retries=2, backoff=0.5,
+            sleep=sleeps.append,
+        )
+        result = runner.run(runs_of([1]))
+        assert not result.ok
+        assert sleeps == [0.5, 1.0]
+
+
+class TestParallel:
+    def test_parallel_matches_serial_payloads(self):
+        runs = runs_of(list(range(8)))
+        serial = CampaignRunner(workers=1, entry=double_entry).run(runs)
+        parallel = CampaignRunner(workers=3, entry=double_entry).run(runs)
+        assert parallel.payloads() == serial.payloads()
+        assert parallel.order == serial.order
+
+    def test_parallel_retry_recovers(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        run = RunSpec.from_params(
+            {"kind": "test", "marker": str(tmp_path / "marker")}
+        )
+        runner = CampaignRunner(
+            store=store, workers=2, entry=flaky_entry, retries=2, backoff=0.0
+        )
+        result = runner.run([run])
+        assert result.ok
+        assert store.load(run.run_id)["meta"]["attempts"] == 2
+
+    def test_worker_crash_recovers_with_retry(self, tmp_path):
+        """A hard worker death (os._exit) breaks the pool; every
+        in-flight run loses one attempt and the pool is rebuilt."""
+        store = ResultStore(tmp_path / "s")
+        crash = RunSpec.from_params(
+            {"kind": "test", "marker": str(tmp_path / "crash-marker")}
+        )
+        others = [
+            RunSpec.from_params(
+                {"kind": "test",
+                 "marker": str(tmp_path / f"ok-{i}")}  # pre-created: succeed
+            )
+            for i in range(3)
+        ]
+        for run in others:
+            Path(run.params["marker"]).touch()
+        runner = CampaignRunner(
+            store=store, workers=2, entry=crash_once_entry,
+            retries=1, backoff=0.0,
+        )
+        result = runner.run([crash] + others)
+        assert result.ok
+        assert result.completed == 4
+        assert store.load(crash.run_id)["result"] == {"value": "survived"}
+        assert store.load(crash.run_id)["meta"]["attempts"] == 2
+
+    def test_worker_crash_exhausts_attempts(self, tmp_path):
+        runner = CampaignRunner(
+            workers=2, entry=crash_always_entry, retries=1, backoff=0.0
+        )
+        result = runner.run(runs_of([1]))
+        assert not result.ok
+        assert result.failures[0].attempts == 2
+        assert "worker crashed" in result.failures[0].error
+
+    def test_timeout_abandons_run_spares_the_rest(self, tmp_path):
+        """One run exceeding the per-run budget fails with a timeout
+        error; runs sharing the pool still complete."""
+        store = ResultStore(tmp_path / "s")
+        slow = RunSpec.from_params({"kind": "test", "sleep_s": 1.5})
+        fast = [
+            RunSpec.from_params({"kind": "test", "sleep_s": 0.01, "i": i})
+            for i in range(3)
+        ]
+        runner = CampaignRunner(
+            store=store, workers=2, entry=sleepy_entry,
+            timeout=0.3, retries=0,
+        )
+        result = runner.run([slow] + fast)
+        assert result.completed == 3
+        assert result.failed == 1
+        assert result.failures[0].run_id == slow.run_id
+        assert "timed out" in result.failures[0].error
+        # The timed-out run left no artifact.
+        assert not store.has(slow.run_id)
+
+    def test_parallel_caching(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        runs = runs_of(list(range(4)))
+        CampaignRunner(store=store, workers=2, entry=double_entry).run(runs)
+        again = CampaignRunner(
+            store=store, workers=2, entry=double_entry
+        ).run(runs)
+        assert again.cached == 4
+        assert again.completed == 0
+
+
+class TestProgressEvents:
+    def test_event_stream_counts(self):
+        events = []
+        runner = CampaignRunner(entry=double_entry, progress=events.append)
+        runner.run(runs_of([1, 2]))
+        kinds = [e.kind for e in events]
+        assert kinds == [STARTED, COMPLETED, STARTED, COMPLETED]
+        last = events[-1]
+        assert last.done == last.total == 2
+        assert last.completed == 2
+        assert last.throughput_rps >= 0.0
+
+    def test_cached_events(self, tmp_path):
+        store = ResultStore(tmp_path)
+        runs = runs_of([1])
+        CampaignRunner(store=store, entry=double_entry).run(runs)
+        events = []
+        CampaignRunner(
+            store=store, entry=double_entry, progress=events.append
+        ).run(runs)
+        assert [e.kind for e in events] == [CACHED]
+
+
+class TestSerialParallelIdentity:
+    """The headline guarantee: a real campaign executed with a process
+    pool produces byte-identical result files to its serial twin."""
+
+    def _spec(self):
+        return CampaignSpec(
+            name="identity",
+            jobs=25,
+            strategies=("easy_backfill", "shared_backfill"),
+            seeds=(1, 2),
+            cluster_sizes=(16,),
+        )
+
+    def test_store_files_identical(self, tmp_path):
+        runs = self._spec().expand()
+        store_a = ResultStore(tmp_path / "serial")
+        store_b = ResultStore(tmp_path / "parallel")
+        serial = CampaignRunner(store=store_a, workers=1).run(runs)
+        parallel = CampaignRunner(store=store_b, workers=2).run(runs)
+        assert serial.ok and parallel.ok
+        assert store_a.completed_ids() == store_b.completed_ids()
+        for rid in store_a.completed_ids():
+            a = store_a.path_for(rid).read_bytes()
+            b = store_b.path_for(rid).read_bytes()
+            assert a == b, f"run {rid} differs between serial and parallel"
+
+    def test_simulation_payloads_differ_across_strategies(self, tmp_path):
+        """Sanity: the identity above is not vacuous — different runs
+        really produce different results."""
+        runs = self._spec().expand()
+        store = ResultStore(tmp_path / "s")
+        CampaignRunner(store=store, workers=2).run(runs)
+        makespans = {
+            store.load(r.run_id)["result"]["makespan_s"] for r in runs
+        }
+        assert len(makespans) > 1

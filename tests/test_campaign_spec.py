@@ -1,0 +1,259 @@
+"""Tests for campaign specs, run identity and grid expansion."""
+
+import json
+
+import pytest
+
+from repro.campaign.spec import (
+    CampaignSpec,
+    RunSpec,
+    campaign_workload,
+    canonical_json,
+    expand_many,
+    experiment_params,
+    inline_workload,
+    run_id_of,
+    simulate_params,
+    trace_from_inline,
+    trinity_workload,
+)
+from repro.errors import ConfigError
+from repro.workload.spec import JobSpec
+from repro.workload.trace import WorkloadTrace
+
+
+class TestRunIdentity:
+    def test_id_is_stable_across_key_order(self):
+        a = {"kind": "simulate", "strategy": "fcfs", "num_nodes": 16}
+        b = {"num_nodes": 16, "kind": "simulate", "strategy": "fcfs"}
+        assert run_id_of(a) == run_id_of(b)
+
+    def test_id_changes_with_any_param(self):
+        base = simulate_params(
+            "fcfs", trinity_workload(jobs=40, nodes=16, seed=7), 16
+        )
+        variants = [
+            simulate_params(
+                "easy_backfill", trinity_workload(jobs=40, nodes=16, seed=7), 16
+            ),
+            simulate_params(
+                "fcfs", trinity_workload(jobs=40, nodes=16, seed=8), 16
+            ),
+            simulate_params(
+                "fcfs", trinity_workload(jobs=41, nodes=16, seed=7), 16
+            ),
+            simulate_params(
+                "fcfs",
+                trinity_workload(jobs=40, nodes=16, seed=7),
+                16,
+                config={"share_threshold": 1.2},
+            ),
+        ]
+        ids = {run_id_of(base)} | {run_id_of(v) for v in variants}
+        assert len(ids) == 1 + len(variants)
+
+    def test_id_format(self):
+        rid = run_id_of({"kind": "experiment", "experiment": "e1"})
+        assert len(rid) == 16
+        assert all(c in "0123456789abcdef" for c in rid)
+
+    def test_canonical_json_is_compact_and_sorted(self):
+        text = canonical_json({"b": 1, "a": [1, 2]})
+        assert text == '{"a":[1,2],"b":1}'
+
+    def test_runspec_from_params_copies(self):
+        params = {"kind": "experiment", "experiment": "e1"}
+        spec = RunSpec.from_params(params)
+        params["experiment"] = "e2"
+        assert spec.params["experiment"] == "e1"
+        assert spec.run_id == run_id_of(spec.params)
+
+    def test_labels(self):
+        exp = RunSpec.from_params(experiment_params("E3"))
+        assert exp.label == "e3"
+        sim = RunSpec.from_params(
+            simulate_params(
+                "fcfs",
+                trinity_workload(jobs=40, nodes=16, seed=9, offered_load=1.2),
+                16,
+                config={"share_threshold": 1.3},
+            )
+        )
+        assert "fcfs" in sim.label
+        assert "seed=9" in sim.label
+        assert "theta=1.3" in sim.label
+
+
+class TestWorkloadBuilders:
+    def test_campaign_workload_matches_trinity_defaults(self):
+        assert campaign_workload() == trinity_workload(
+            jobs=400, nodes=128, seed=7
+        )
+
+    def test_optional_axes_omitted_when_unset(self):
+        w = trinity_workload(jobs=10, nodes=8, seed=1)
+        assert "overestimate_range" not in w
+        assert "diurnal_amplitude" not in w
+        w2 = trinity_workload(
+            jobs=10, nodes=8, seed=1,
+            overestimate_range=(1.0, 2.0), diurnal_amplitude=0.5,
+        )
+        assert w2["overestimate_range"] == [1.0, 2.0]
+        assert w2["diurnal_amplitude"] == 0.5
+
+    def test_inline_workload_roundtrip(self):
+        jobs = [
+            JobSpec(
+                job_id=i,
+                submit_time=float(i),
+                num_nodes=4,
+                walltime_req=3600.0,
+                runtime_exclusive=3000.0,
+                app="MILC",
+                shareable=True,
+            )
+            for i in range(3)
+        ]
+        trace = WorkloadTrace(jobs, name="embedded")
+        workload = inline_workload(trace)
+        assert workload["kind"] == "inline"
+        rebuilt = trace_from_inline(workload)
+        assert rebuilt.name == "embedded"
+        assert list(rebuilt) == jobs
+        # The embedding must be JSON-serialisable for hashing/storage.
+        json.dumps(workload)
+
+    def test_simulate_params_omits_empty_config(self):
+        w = trinity_workload(jobs=10, nodes=8, seed=1)
+        assert "config" not in simulate_params("fcfs", w, 8)
+        assert "config" not in simulate_params("fcfs", w, 8, config={})
+        assert simulate_params(
+            "fcfs", w, 8, config={"share_threshold": 1.2}
+        )["config"] == {"share_threshold": 1.2}
+
+
+class TestCampaignSpec:
+    def test_grid_expansion_count(self):
+        spec = CampaignSpec(
+            name="grid",
+            jobs=30,
+            strategies=("fcfs", "easy_backfill"),
+            seeds=(1, 2, 3),
+            loads=(1.2, 1.5),
+            share_thresholds=(1.1,),
+            cluster_sizes=(16,),
+        )
+        runs = spec.expand()
+        assert len(runs) == 2 * 3 * 2
+        assert len({r.run_id for r in runs}) == len(runs)
+
+    def test_expansion_is_deterministic(self):
+        spec = CampaignSpec(jobs=30, seeds=(1, 2), cluster_sizes=(16,))
+        first = [r.run_id for r in spec.expand()]
+        second = [r.run_id for r in spec.expand()]
+        assert first == second
+
+    def test_threshold_axis_lands_in_config(self):
+        spec = CampaignSpec(
+            jobs=30,
+            strategies=("shared_backfill",),
+            share_thresholds=(1.1, 1.4),
+            cluster_sizes=(16,),
+        )
+        thetas = [r.params["config"]["share_threshold"] for r in spec.expand()]
+        assert thetas == [1.1, 1.4]
+
+    def test_experiment_refs_append_runs(self):
+        spec = CampaignSpec(
+            jobs=30, cluster_sizes=(16,), experiments=("e1", "E2")
+        )
+        runs = spec.expand()
+        exp = [r for r in runs if r.params["kind"] == "experiment"]
+        assert [r.params["experiment"] for r in exp] == ["e1", "e2"]
+
+    def test_experiments_all_resolves_registry(self):
+        from repro.analysis.experiments import EXPERIMENT_REGISTRY
+
+        spec = CampaignSpec(
+            strategies=(), seeds=(), loads=(), share_fractions=(),
+            share_thresholds=(), cluster_sizes=(), experiments=("all",),
+        )
+        runs = spec.expand()
+        assert len(runs) == len(EXPERIMENT_REGISTRY)
+
+    def test_empty_axis_rejected_without_experiments(self):
+        with pytest.raises(ConfigError, match="seeds"):
+            CampaignSpec(seeds=())
+
+    def test_empty_axes_allowed_with_experiments(self):
+        spec = CampaignSpec(seeds=(), experiments=("e1",))
+        assert [r.params["experiment"] for r in spec.expand()] == ["e1"]
+
+    def test_list_axes_coerced_to_tuples(self):
+        spec = CampaignSpec(seeds=[1, 2], strategies=["fcfs"])
+        assert spec.seeds == (1, 2)
+        assert spec.strategies == ("fcfs",)
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(ConfigError, match="jobs"):
+            CampaignSpec(jobs=0)
+
+    def test_duplicate_runs_deduplicated(self):
+        spec = CampaignSpec(
+            jobs=30, seeds=(1,), cluster_sizes=(16,),
+            experiments=("e1", "e1"),
+        )
+        runs = spec.expand()
+        assert len({r.run_id for r in runs}) == len(runs)
+
+
+class TestSpecSerialisation:
+    def test_dict_roundtrip(self):
+        spec = CampaignSpec(
+            name="rt",
+            jobs=50,
+            strategies=("fcfs",),
+            seeds=(1, 2),
+            share_thresholds=(1.2,),
+            cluster_sizes=(32,),
+            experiments=("e1",),
+            config={"backfill_depth": 8},
+        )
+        assert CampaignSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ConfigError, match="unknown campaign spec"):
+            CampaignSpec.from_dict({"name": "x", "worker_count": 4})
+
+    def test_from_dict_rejects_scalar_axis(self):
+        with pytest.raises(ConfigError, match="must be a list"):
+            CampaignSpec.from_dict({"seeds": 7})
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({"name": "filed", "jobs": 25}))
+        spec = CampaignSpec.from_file(path)
+        assert spec.name == "filed"
+        assert spec.jobs == 25
+
+    def test_from_file_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(ConfigError, match="invalid JSON"):
+            CampaignSpec.from_file(path)
+
+    def test_from_file_non_object(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ConfigError, match="JSON object"):
+            CampaignSpec.from_file(path)
+
+
+class TestExpandMany:
+    def test_overlapping_campaigns_share_runs(self):
+        a = CampaignSpec(jobs=30, seeds=(1, 2), cluster_sizes=(16,))
+        b = CampaignSpec(jobs=30, seeds=(2, 3), cluster_sizes=(16,))
+        merged = expand_many([a, b])
+        # seeds {1,2,3} x 2 strategies, seed 2 shared between campaigns.
+        assert len(merged) == 6
+        assert len({r.run_id for r in merged}) == 6

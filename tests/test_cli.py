@@ -74,6 +74,60 @@ class TestCommands:
         assert "easy_backfill" in capsys.readouterr().out
 
 
+class TestJsonOutput:
+    def test_run_json(self, capsys):
+        import json
+
+        assert main(["run", *SMALL, "--strategy", "fcfs", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["command"] == "run"
+        assert doc["strategy"] == "fcfs"
+        assert doc["jobs"] == 40
+        assert "makespan_h" in doc["summary"]
+        assert doc["makespan_s"] > 0
+
+    def test_compare_json(self, capsys):
+        import json
+
+        assert main(
+            ["compare", *SMALL, "--strategies", "fcfs", "easy_backfill",
+             "--json"]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["command"] == "compare"
+        assert [s["strategy"] for s in doc["summaries"]] == [
+            "fcfs", "easy_backfill"
+        ]
+
+    def test_experiment_json(self, capsys):
+        import json
+
+        assert main(["experiment", "e1", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["command"] == "experiment"
+        assert doc["experiment"] == "E1"
+        assert len(doc["rows"]) > 0
+
+
+class TestExperimentList:
+    def test_list_enumerates_registry(self, capsys):
+        from repro.analysis.experiments import EXPERIMENT_REGISTRY
+
+        assert main(["experiment", "list"]) == 0
+        out = capsys.readouterr().out
+        for eid in EXPERIMENT_REGISTRY:
+            assert eid in out
+        assert "supports --workers" in out
+
+    def test_registry_covers_e1_to_e22(self):
+        from repro.analysis.experiments import EXPERIMENT_REGISTRY
+
+        # e11 is the scheduler-cost microbenchmark (benchmarks/), every
+        # other paper experiment is runnable from the CLI.
+        expected = {f"e{i}" for i in range(1, 23)} - {"e11"}
+        assert set(EXPERIMENT_REGISTRY) == expected
+
+
 class TestNewCommands:
     def test_inspect(self, capsys):
         assert main(["inspect", "--jobs", "30", "--nodes", "16"]) == 0
