@@ -1,16 +1,16 @@
-"""E21 — online walltime prediction under heavy over-estimation."""
+"""E23 — online walltime prediction under heavy over-estimation."""
 
-from repro.analysis.experiments import e21_walltime_prediction
+from repro.analysis.experiments import e23_walltime_prediction
 
 
-def test_e21_walltime_prediction(benchmark, record_artifact):
+def test_e23_walltime_prediction(benchmark, record_artifact):
     out = benchmark.pedantic(
-        e21_walltime_prediction,
+        e23_walltime_prediction,
         kwargs={"num_jobs": 250, "num_nodes": 64},
         rounds=1,
         iterations=1,
     )
-    record_artifact("e21_walltime_prediction", out.text)
+    record_artifact("e23_walltime_prediction", out.text)
     rows = {(r["strategy"], r["prediction"]): r for r in out.rows}
     # Safety first: predictions never walltime-kill anything (kill
     # timers stay at the requested limit).

@@ -1,16 +1,16 @@
-"""E22 — spatial (SMT) vs temporal (time-sliced) node sharing."""
+"""E24 — spatial (SMT) vs temporal (time-sliced) node sharing."""
 
-from repro.analysis.experiments import e22_sharing_mode_comparison
+from repro.analysis.experiments import e24_sharing_mode_comparison
 
 
-def test_e22_sharing_mode_comparison(benchmark, record_artifact):
+def test_e24_sharing_mode_comparison(benchmark, record_artifact):
     out = benchmark.pedantic(
-        e22_sharing_mode_comparison,
+        e24_sharing_mode_comparison,
         kwargs={"num_jobs": 250, "num_nodes": 64},
         rounds=1,
         iterations=1,
     )
-    record_artifact("e22_sharing_modes", out.text)
+    record_artifact("e24_sharing_modes", out.text)
     rows = {row["mode"]: row for row in out.rows}
     # SMT sharing converts complementarity into throughput...
     assert rows["smt_sharing"]["comp_eff_gain_%"] > 10.0

@@ -32,8 +32,10 @@ from repro.analysis.experiments import (
     e18_diurnal_workload,
     e19_replicated_headline,
     e20_failure_resilience,
-    e21_walltime_prediction,
-    e22_sharing_mode_comparison,
+    e21_checkpoint_rescue,
+    e22_correlated_failures,
+    e23_walltime_prediction,
+    e24_sharing_mode_comparison,
 )
 from repro.analysis.stats import (
     IntervalEstimate,
@@ -67,8 +69,10 @@ __all__ = [
     "e18_diurnal_workload",
     "e19_replicated_headline",
     "e20_failure_resilience",
-    "e21_walltime_prediction",
-    "e22_sharing_mode_comparison",
+    "e21_checkpoint_rescue",
+    "e22_correlated_failures",
+    "e23_walltime_prediction",
+    "e24_sharing_mode_comparison",
     "confidence_interval",
     "pair_breakdown",
     "replicate_gains",

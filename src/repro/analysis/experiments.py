@@ -912,9 +912,148 @@ def e20_failure_resilience(
 
 
 # ----------------------------------------------------------------------
-# E21 — extension: online walltime prediction for backfill
+# E21 — resilience: checkpoint/restart vs lost work
 # ----------------------------------------------------------------------
-def e21_walltime_prediction(
+def e21_checkpoint_rescue(
+    policies: Sequence[str] = ("none", "periodic", "daly"),
+    num_jobs: int = 200,
+    num_nodes: int = 64,
+    mtbf_hours: float = 250.0,
+    checkpoint_overhead_s: float = 120.0,
+    seed: int = EVAL_SEED,
+    workers: int = 1,
+) -> ExperimentOutput:
+    """How much failure damage does checkpoint/restart buy back?
+
+    Sweeps the checkpoint policy (none / fixed-interval periodic /
+    per-job Young-Daly optimal) crossed with the sharing strategy.
+    Every cell replays the same trace under the same seeded failure
+    process, so the goodput gap between cells is attributable to the
+    policy alone: no checkpointing loses each victim's full progress,
+    checkpointing trades a steady overhead for bounded loss.  Runs
+    through the campaign runner (``workers`` > 1 parallelises).
+    """
+    workload = campaign_workload(num_jobs=num_jobs, cluster_nodes=num_nodes)
+    cells = [
+        (strategy, policy)
+        for strategy in (BASELINE, "shared_backfill")
+        for policy in policies
+    ]
+    params = [
+        simulate_params(
+            strategy,
+            workload,
+            num_nodes,
+            config={
+                "resilience": {
+                    "node_mtbf_hours": float(mtbf_hours),
+                    "checkpoint": policy,
+                    "checkpoint_overhead_s": float(checkpoint_overhead_s),
+                    "seed": int(seed),
+                }
+            },
+        )
+        for strategy, policy in cells
+    ]
+    payloads = run_params_many(params, workers=workers)
+    rows = []
+    for (strategy, policy), payload in zip(cells, payloads):
+        res = payload["resilience"]
+        rows.append(
+            {
+                "strategy": strategy,
+                "checkpoint": policy,
+                "failures": res["failures"],
+                "requeued": res["jobs_requeued"],
+                "failed": res["jobs_failed"],
+                "goodput_nh": res["goodput_node_hours"],
+                "wasted_nh": res["wasted_node_hours"],
+                "ckpt_nh": res["checkpoint_overhead_node_hours"],
+                "goodput_frac": res["goodput_fraction"],
+                "makespan_h": payload["makespan_s"] / 3600.0,
+            }
+        )
+    text = format_table(
+        rows,
+        title=(
+            "E21 (resilience): checkpoint policy x sharing strategy "
+            f"under node failures (MTBF {mtbf_hours:g}h/node)"
+        ),
+    )
+    return ExperimentOutput(experiment="E21", rows=rows, text=text)
+
+
+# ----------------------------------------------------------------------
+# E22 — resilience: correlated rack failures and the sharing blast radius
+# ----------------------------------------------------------------------
+def e22_correlated_failures(
+    share_fractions: Sequence[float] = (0.0, 0.5, 1.0),
+    num_jobs: int = 200,
+    num_nodes: int = 64,
+    rack_mtbf_hours: float = 60.0,
+    seed: int = EVAL_SEED,
+    workers: int = 1,
+) -> ExperimentOutput:
+    """Whole-rack failures: does sharing widen the blast radius?
+
+    A rack (switch/PDU) event takes down every node behind it at once,
+    so its blast radius is the rack's resident job population — which
+    node sharing doubles in the limit.  Sweeps the shareable fraction
+    under a fixed seeded rack-failure process and reports per-failure
+    blast statistics.  Runs through the campaign runner (``workers`` >
+    1 parallelises).
+    """
+    params = [
+        simulate_params(
+            "shared_backfill",
+            campaign_workload(
+                num_jobs=num_jobs,
+                cluster_nodes=num_nodes,
+                share_fraction=float(fraction),
+            ),
+            num_nodes,
+            config={
+                "resilience": {
+                    "rack_mtbf_hours": float(rack_mtbf_hours),
+                    "seed": int(seed),
+                }
+            },
+        )
+        for fraction in share_fractions
+    ]
+    payloads = run_params_many(params, workers=workers)
+    rows = []
+    for fraction, payload in zip(share_fractions, payloads):
+        res = payload["resilience"]
+        summary = payload["summary"]
+        rows.append(
+            {
+                "share_fraction": fraction,
+                "rack_failures": res["rack_failures"],
+                "evicted": res["jobs_requeued"] + res["jobs_failed"],
+                "failed": res["jobs_failed"],
+                "mean_blast_jobs": res["mean_blast_jobs"],
+                "max_blast_jobs": res["max_blast_jobs"],
+                "mean_blast_nh": res["mean_blast_node_hours"],
+                "wasted_nh": res["wasted_node_hours"],
+                "goodput_frac": res["goodput_fraction"],
+                "shared_nodes": summary["shared_nodes"],
+            }
+        )
+    text = format_table(
+        rows,
+        title=(
+            "E22 (resilience): correlated rack failures vs shareable "
+            f"fraction (rack MTBF {rack_mtbf_hours:g}h, shared_backfill)"
+        ),
+    )
+    return ExperimentOutput(experiment="E22", rows=rows, text=text)
+
+
+# ----------------------------------------------------------------------
+# E23 — extension: online walltime prediction for backfill
+# ----------------------------------------------------------------------
+def e23_walltime_prediction(
     num_jobs: int = 250,
     num_nodes: int = 64,
     overestimate_range: tuple[float, float] = (2.0, 4.0),
@@ -957,17 +1096,17 @@ def e21_walltime_prediction(
     text = format_table(
         rows,
         title=(
-            "E21 (extension): online walltime prediction under 2-4x "
+            "E23 (extension): online walltime prediction under 2-4x "
             "user over-estimation"
         ),
     )
-    return ExperimentOutput(experiment="E21", rows=rows, text=text)
+    return ExperimentOutput(experiment="E23", rows=rows, text=text)
 
 
 # ----------------------------------------------------------------------
-# E22 — comparison: SMT (spatial) vs time-sliced (temporal) sharing
+# E24 — comparison: SMT (spatial) vs time-sliced (temporal) sharing
 # ----------------------------------------------------------------------
-def e22_sharing_mode_comparison(
+def e24_sharing_mode_comparison(
     num_jobs: int = 250,
     num_nodes: int = 64,
 ) -> ExperimentOutput:
@@ -1023,11 +1162,11 @@ def e22_sharing_mode_comparison(
     text = format_table(
         table,
         title=(
-            "E22: spatial (SMT) vs temporal (time-sliced) node sharing, "
+            "E24: spatial (SMT) vs temporal (time-sliced) node sharing, "
             "both via shared_backfill"
         ),
     )
-    return ExperimentOutput(experiment="E22", rows=table, text=text)
+    return ExperimentOutput(experiment="E24", rows=table, text=text)
 
 
 # ----------------------------------------------------------------------
@@ -1059,15 +1198,17 @@ EXPERIMENT_REGISTRY: dict[str, Callable[[], ExperimentOutput]] = {
     "e18": e18_diurnal_workload,
     "e19": e19_replicated_headline,
     "e20": e20_failure_resilience,
-    "e21": e21_walltime_prediction,
-    "e22": e22_sharing_mode_comparison,
+    "e21": e21_checkpoint_rescue,
+    "e22": e22_correlated_failures,
+    "e23": e23_walltime_prediction,
+    "e24": e24_sharing_mode_comparison,
 }
 
 #: Experiments accepting a ``workers=N`` keyword (their inner sweeps
 #: run on the campaign runner and parallelise across processes).
-PARALLEL_EXPERIMENTS = frozenset({"e8", "e10", "e15", "e19"})
+PARALLEL_EXPERIMENTS = frozenset({"e8", "e10", "e15", "e19", "e21", "e22"})
 
 
 def experiment_ids() -> list[str]:
-    """Registered ids in numeric order (e1, e2, ..., e22)."""
+    """Registered ids in numeric order (e1, e2, ..., e24)."""
     return sorted(EXPERIMENT_REGISTRY, key=lambda e: int(e[1:]))

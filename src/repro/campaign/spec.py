@@ -14,7 +14,7 @@ Two parameter kinds exist:
     into.
 ``experiment``
     Execute one of the paper's registered experiment drivers
-    (``e1``..``e22``) and capture its rows and printed artefact.
+    (``e1``..``e24``) and capture its rows and printed artefact.
 """
 
 from __future__ import annotations
@@ -177,7 +177,7 @@ class CampaignSpec:
     The grid axes (``strategies`` × ``seeds`` × ``loads`` ×
     ``share_fractions`` × ``share_thresholds`` × ``cluster_sizes``)
     expand cartesian-style into one simulation run each; ``experiments``
-    adds one run per named paper experiment (``"e1"``..``"e22"`` or
+    adds one run per named paper experiment (``"e1"``..``"e24"`` or
     ``"all"``).
     """
 

@@ -12,7 +12,7 @@ Commands
     headline comparison table (``--json`` available).
 ``experiment``
     Regenerate one of the paper's tables/figures by id — every
-    registered driver, ``e1``..``e22`` except the ``e11``
+    registered driver, ``e1``..``e24`` except the ``e11``
     microbenchmark (``repro experiment list`` enumerates them).
     Sweep-style experiments accept ``--workers N`` to parallelise.
 ``campaign``
@@ -77,17 +77,70 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
                         help="cores per node (SWF processor conversion)")
 
 
+def _add_resilience_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group(
+        "resilience", "failure injection and checkpoint/restart (off by default)"
+    )
+    group.add_argument("--mtbf-hours", type=float, default=0.0,
+                       help="per-node MTBF in hours (0 = no node failures)")
+    group.add_argument("--rack-mtbf-hours", type=float, default=0.0,
+                       help="per-rack MTBF in hours (0 = no rack failures)")
+    group.add_argument("--repair-hours", type=float, default=4.0,
+                       help="node repair duration in hours")
+    group.add_argument("--checkpoint", choices=("none", "periodic", "daly"),
+                       default="none", help="checkpoint/restart policy")
+    group.add_argument("--checkpoint-interval", type=float, default=3600.0,
+                       help="periodic checkpoint interval (seconds)")
+    group.add_argument("--checkpoint-overhead", type=float, default=60.0,
+                       help="cost of one checkpoint write (seconds)")
+    group.add_argument("--max-requeues", type=int, default=3,
+                       help="requeues before a job fails terminally")
+    group.add_argument("--blacklist-failures", type=int, default=0,
+                       help="drain a node after N failures in 24h (0 = off)")
+    group.add_argument("--failure-seed", type=int, default=0,
+                       help="failure-injection RNG seed")
+
+
+def _resilience_from_args(args: argparse.Namespace):
+    """Build a ResilienceConfig from CLI flags, or None when inert."""
+    if (
+        args.mtbf_hours <= 0
+        and args.rack_mtbf_hours <= 0
+        and args.checkpoint == "none"
+    ):
+        return None
+    from repro.resilience import ResilienceConfig
+
+    return ResilienceConfig(
+        node_mtbf_hours=args.mtbf_hours if args.mtbf_hours > 0 else None,
+        rack_mtbf_hours=(
+            args.rack_mtbf_hours if args.rack_mtbf_hours > 0 else None
+        ),
+        repair_hours=args.repair_hours,
+        checkpoint=args.checkpoint,
+        checkpoint_interval_s=args.checkpoint_interval,
+        checkpoint_overhead_s=args.checkpoint_overhead,
+        max_requeues=args.max_requeues,
+        blacklist_failures=(
+            args.blacklist_failures if args.blacklist_failures > 0 else None
+        ),
+        seed=args.failure_seed,
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     trace = _build_trace(args)
     config = SchedulerConfig(
-        strategy=args.strategy, share_threshold=args.threshold
+        strategy=args.strategy,
+        share_threshold=args.threshold,
+        resilience=_resilience_from_args(args),
     )
     result = run_simulation(
         trace, num_nodes=args.nodes, strategy=args.strategy, config=config
     )
     summary = summarize(result)
     if args.json:
-        print(format_json({
+        payload = {
             "command": "run",
             "strategy": args.strategy,
             "nodes": args.nodes,
@@ -96,9 +149,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "summary": summary.as_dict(),
             "makespan_s": result.makespan,
             "mean_wait_s": summary.mean_wait,
-        }))
+        }
+        if result.resilience is not None:
+            payload["resilience"] = result.resilience.as_dict()
+        print(format_json(payload))
         return 0
     print(format_table([summary.as_dict()], title=f"strategy: {args.strategy}"))
+    if result.resilience is not None:
+        print()
+        print(format_table(
+            [result.resilience.as_dict()], title="resilience"
+        ))
     if args.sacct:
         print()
         print(sacct(result.accounting, max_rows=args.sacct))
@@ -140,21 +201,44 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
 def _cmd_compare(args: argparse.Namespace) -> int:
     trace = _build_trace(args)
     strategies = args.strategies or list(all_strategy_names())
+    resilience = _resilience_from_args(args)
     summaries = []
+    reports = []
     for strategy in strategies:
-        result = run_simulation(trace, num_nodes=args.nodes, strategy=strategy)
+        config = None
+        if resilience is not None:
+            config = SchedulerConfig(strategy=strategy, resilience=resilience)
+        result = run_simulation(
+            trace, num_nodes=args.nodes, strategy=strategy, config=config
+        )
         summaries.append(summarize(result))
+        reports.append(result.resilience)
     if args.json:
-        print(format_json({
+        payload = {
             "command": "compare",
             "baseline": args.baseline,
             "nodes": args.nodes,
             "workload": trace.name,
             "jobs": len(trace),
             "summaries": [s.as_dict() for s in summaries],
-        }))
+        }
+        if resilience is not None:
+            payload["resilience"] = {
+                strategy: report.as_dict() if report is not None else None
+                for strategy, report in zip(strategies, reports)
+            }
+        print(format_json(payload))
         return 0
     print(format_comparison(summaries, baseline=args.baseline))
+    if resilience is not None:
+        rows = [
+            {"strategy": strategy, **report.as_dict()}
+            for strategy, report in zip(strategies, reports)
+            if report is not None
+        ]
+        if rows:
+            print()
+            print(format_table(rows, title="resilience"))
     return 0
 
 
@@ -310,6 +394,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_run = sub.add_parser("run", help="simulate one strategy")
     _add_workload_args(p_run)
+    _add_resilience_args(p_run)
     p_run.add_argument(
         "--strategy", choices=all_strategy_names(), default="shared_backfill"
     )
@@ -331,6 +416,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_cmp = sub.add_parser("compare", help="compare strategies on one trace")
     _add_workload_args(p_cmp)
+    _add_resilience_args(p_cmp)
     p_cmp.add_argument("--strategies", nargs="*", choices=all_strategy_names())
     p_cmp.add_argument("--baseline", default="easy_backfill")
     p_cmp.add_argument("--json", action="store_true",
@@ -338,9 +424,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.set_defaults(func=_cmd_compare)
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper artefact")
-    p_exp.add_argument("id", help="experiment id (e1..e22), or 'list'")
+    p_exp.add_argument("id", help="experiment id (e1..e24), or 'list'")
     p_exp.add_argument("--workers", type=int, default=1,
-                       help="parallelise sweep experiments (e8/e10/e15/e19)")
+                       help="parallelise sweep experiments "
+                            "(e8/e10/e15/e19/e21/e22)")
     p_exp.add_argument("--json", action="store_true",
                        help="emit the experiment's data rows as JSON")
     p_exp.set_defaults(func=_cmd_experiment)
@@ -369,7 +456,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_camp.add_argument("--sizes", nargs="*", type=int, default=[128],
                         help="grid axis: cluster sizes")
     p_camp.add_argument("--experiments", nargs="*", default=[],
-                        help="named experiment refs (e1..e22, or 'all')")
+                        help="named experiment refs (e1..e24, or 'all')")
     p_camp.add_argument("--workers", type=int,
                         default=max(1, os.cpu_count() or 1),
                         help="worker processes (1 = serial fallback)")

@@ -30,6 +30,31 @@ class NodeMode(enum.Enum):
     SHARED = "shared"
 
 
+class NodeHealth(enum.Enum):
+    """Hardware health lifecycle of a node.
+
+    ``HEALTHY -> FAILED -> REPAIRING -> (HEALTHY | DRAINED)``; only
+    HEALTHY nodes are allocatable.  DRAINED is the blacklist state a
+    flaky node enters instead of returning to service (an operator
+    ``mark_up`` can still return it).
+    """
+
+    HEALTHY = "healthy"
+    FAILED = "failed"
+    REPAIRING = "repairing"
+    DRAINED = "drained"
+
+
+_HEALTH_TRANSITIONS: dict[NodeHealth, frozenset[NodeHealth]] = {
+    NodeHealth.HEALTHY: frozenset({NodeHealth.FAILED}),
+    # FAILED -> HEALTHY covers the legacy mark_down()/mark_up() pair
+    # that skips the explicit repairing phase.
+    NodeHealth.FAILED: frozenset({NodeHealth.REPAIRING, NodeHealth.HEALTHY}),
+    NodeHealth.REPAIRING: frozenset({NodeHealth.HEALTHY, NodeHealth.DRAINED}),
+    NodeHealth.DRAINED: frozenset({NodeHealth.HEALTHY}),
+}
+
+
 @dataclass
 class Node:
     """One compute node.
@@ -55,9 +80,15 @@ class Node:
     #: recorded as lane 0 with mode EXCLUSIVE.
     _occupants: dict[int, int] = field(default_factory=dict, repr=False)
     mode: NodeMode = NodeMode.IDLE
-    #: Hardware-failure flag: a down node is neither allocatable nor
-    #: idle; occupants must be evicted before marking a node down.
-    down: bool = False
+    #: Hardware health lifecycle state; anything but HEALTHY makes the
+    #: node non-allocatable.  Occupants must be evicted before a node
+    #: leaves HEALTHY.
+    health: NodeHealth = NodeHealth.HEALTHY
+
+    @property
+    def down(self) -> bool:
+        """True when the node is out of service for any health reason."""
+        return self.health is not NodeHealth.HEALTHY
 
     # ------------------------------------------------------------------
     # Queries
@@ -107,18 +138,38 @@ class Node:
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
+    def _health_transition(self, new_health: NodeHealth) -> None:
+        if new_health not in _HEALTH_TRANSITIONS[self.health]:
+            raise AllocationError(
+                f"node {self.node_id}: illegal health transition "
+                f"{self.health.value} -> {new_health.value}"
+            )
+        self.health = new_health
+
     def mark_down(self) -> None:
-        """Take the node out of service (must be unoccupied)."""
+        """Take the node out of service (must be unoccupied).
+
+        This is the failure edge: ``HEALTHY -> FAILED``.
+        """
         if self._occupants:
             raise AllocationError(
                 f"node {self.node_id} still hosts {self.occupant_ids}; "
                 f"evict occupants before marking it down"
             )
-        self.down = True
+        self._health_transition(NodeHealth.FAILED)
+
+    def mark_repairing(self) -> None:
+        """Begin repair: ``FAILED -> REPAIRING``."""
+        self._health_transition(NodeHealth.REPAIRING)
+
+    def mark_drained(self) -> None:
+        """Blacklist a flaky node at repair end: ``REPAIRING -> DRAINED``."""
+        self._health_transition(NodeHealth.DRAINED)
 
     def mark_up(self) -> None:
-        """Return a repaired node to service."""
-        self.down = False
+        """Return a repaired (or drained) node to service."""
+        if self.health is not NodeHealth.HEALTHY:
+            self._health_transition(NodeHealth.HEALTHY)
 
     def allocate_exclusive(self, job_id: int) -> None:
         """Grant the whole node to *job_id*."""

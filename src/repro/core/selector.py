@@ -48,8 +48,14 @@ class AvailabilityView:
         self._ctx = ctx
         cluster = ctx.cluster
         #: Idle node ids, ascending (first-fit order == node order,
-        #: which is also what SLURM's linear selector does).
+        #: which is also what SLURM's linear selector does).  Nodes
+        #: under failure suspicion sort last, so placements drain onto
+        #: them only when nothing cleaner is available.
         self.idle: list[int] = [n.node_id for n in cluster.idle_nodes()]
+        if ctx.avoid_nodes:
+            self.idle = [n for n in self.idle if n not in ctx.avoid_nodes] + [
+                n for n in self.idle if n in ctx.avoid_nodes
+            ]
         #: Joinable resident groups keyed by resident job id.
         self.groups: dict[int, ResidentGroup] = {}
         for job in ctx.running.values():

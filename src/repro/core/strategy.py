@@ -78,6 +78,10 @@ class ScheduleContext:
     #: Optional system-generated runtime prediction (seconds) used in
     #: place of the raw walltime request for *scheduling* estimates.
     predict_runtime: Callable[[Job], float] | None = None
+    #: Nodes under failure suspicion (recently failed, not yet
+    #: drained); the availability view orders them last so placements
+    #: prefer clean nodes.  Empty unless blacklisting is configured.
+    avoid_nodes: frozenset[int] = frozenset()
     #: Mutable availability the strategy consumes while placing.
     view: "AvailabilityView" = field(default=None)  # type: ignore[assignment]
 

@@ -32,13 +32,18 @@ class EventKind(enum.IntEnum):
     JOB_FINISH = 0
     JOB_TIMEOUT = 1
     JOB_CANCEL = 2
+    #: Hardware events: a node failing evicts its occupants before any
+    #: same-instant submission or scheduling decision sees the node,
+    #: and a repair returns capacity before the next pass runs.
+    NODE_FAIL = 3
+    NODE_REPAIR = 4
     #: Reservation edges and other state checkpoints apply before new
     #: submissions and scheduling decisions at the same instant.
-    CHECKPOINT = 3
-    JOB_SUBMIT = 4
-    SCHEDULER_PASS = 5
-    BACKFILL_PASS = 6
-    SIM_END = 7
+    CHECKPOINT = 5
+    JOB_SUBMIT = 6
+    SCHEDULER_PASS = 7
+    BACKFILL_PASS = 8
+    SIM_END = 9
 
 
 @dataclass(eq=False)

@@ -14,14 +14,22 @@ from repro.metrics.energy import (
 )
 from repro.metrics.gantt import render_gantt, render_sparkline
 from repro.metrics.report import format_comparison, format_table
+from repro.metrics.resilience import (
+    FailureRecord,
+    ResilienceReport,
+    resilience_report,
+)
 from repro.metrics.summary import ScheduleSummary, summarize
 from repro.metrics.timeline import Timeline
 from repro.metrics.validation import ValidatingCollector
 
 __all__ = [
+    "FailureRecord",
     "MetricsCollector",
     "NodePowerModel",
+    "ResilienceReport",
     "ValidatingCollector",
+    "resilience_report",
     "energy_efficiency",
     "energy_to_solution",
     "render_gantt",

@@ -1,0 +1,145 @@
+"""Resilience metrics: goodput vs throughput, waste and blast radius.
+
+The headline quantity is **goodput** — the node-hours of useful work
+the machine delivered — against the gross node-hours it consumed.
+The gap decomposes into *wasted* hours (progress discarded when a
+failure evicted a job past its last checkpoint) and *checkpoint
+overhead* (the wall time spent writing checkpoints, the insurance
+premium paid to shrink the waste).  Per-failure blast radius captures
+the amplification node sharing introduces: two jobs per node means one
+failed node can discard two jobs' progress.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.slurm.manager import WorkloadManager
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """One injected failure event and its immediate blast radius."""
+
+    time: float
+    #: ``"node"`` (independent wear-out) or ``"rack"`` (correlated).
+    kind: str
+    node_ids: tuple[int, ...]
+    #: Jobs evicted by this event (requeued or terminally failed).
+    evicted_job_ids: tuple[int, ...]
+    #: Subset of the evicted jobs that exhausted their requeue budget.
+    failed_job_ids: tuple[int, ...]
+    #: Progress discarded by this event, in node-seconds (work lost
+    #: beyond each victim's last checkpoint, times its node count).
+    lost_node_seconds: float
+
+    @property
+    def blast_jobs(self) -> int:
+        return len(self.evicted_job_ids)
+
+
+@dataclass(frozen=True)
+class ResilienceReport:
+    """Aggregate resilience outcome of one simulation."""
+
+    failures: int
+    node_failures: int
+    rack_failures: int
+    jobs_requeued: int
+    jobs_failed: int
+    nodes_drained: int
+    #: Useful work delivered, in node-hours (throughput counts this
+    #: plus the waste and the checkpoint overhead).
+    goodput_node_hours: float
+    #: Progress discarded by failures, in node-hours.
+    wasted_node_hours: float
+    #: Wall time spent writing checkpoints, in node-hours.
+    checkpoint_overhead_node_hours: float
+    #: goodput / (goodput + waste + overhead); 1.0 when nothing failed
+    #: and nothing checkpointed.
+    goodput_fraction: float
+    mean_blast_jobs: float
+    max_blast_jobs: int
+    mean_blast_node_hours: float
+    max_blast_node_hours: float
+    #: Requeue-count distribution over all jobs that ran, as
+    #: ``{"0": n0, "1": n1, ...}`` (string keys for JSON round-trips).
+    requeue_histogram: dict[str, int]
+
+    def as_dict(self) -> dict:
+        """JSON-ready payload (stable key order)."""
+        return {
+            "failures": self.failures,
+            "node_failures": self.node_failures,
+            "rack_failures": self.rack_failures,
+            "jobs_requeued": self.jobs_requeued,
+            "jobs_failed": self.jobs_failed,
+            "nodes_drained": self.nodes_drained,
+            "goodput_node_hours": self.goodput_node_hours,
+            "wasted_node_hours": self.wasted_node_hours,
+            "checkpoint_overhead_node_hours": (
+                self.checkpoint_overhead_node_hours
+            ),
+            "goodput_fraction": self.goodput_fraction,
+            "mean_blast_jobs": self.mean_blast_jobs,
+            "max_blast_jobs": self.max_blast_jobs,
+            "mean_blast_node_hours": self.mean_blast_node_hours,
+            "max_blast_node_hours": self.max_blast_node_hours,
+            "requeue_histogram": self.requeue_histogram,
+        }
+
+
+def resilience_report(manager: "WorkloadManager") -> ResilienceReport:
+    """Summarise a finished manager's failure and recovery history."""
+    goodput_ns = 0.0
+    wasted_ns = 0.0
+    overhead_ns = 0.0
+    histogram: dict[str, int] = {}
+    for record in manager.accounting:
+        goodput_ns += record.work_done * record.num_nodes
+        wasted_ns += record.lost_work * record.num_nodes
+        key = str(record.requeues)
+        histogram[key] = histogram.get(key, 0) + 1
+        job = manager.jobs.get(record.job_id)
+        if job is not None and job.checkpoint_tau is not None:
+            # Work computed at rate tau/(tau+C) spends C/tau of its
+            # useful seconds writing checkpoints.
+            computed = record.work_done + record.lost_work
+            overhead_ns += (
+                computed
+                * (job.checkpoint_overhead / job.checkpoint_tau)
+                * record.num_nodes
+            )
+    consumed_ns = goodput_ns + wasted_ns + overhead_ns
+    log = manager.failure_log
+    blast_jobs = [r.blast_jobs for r in log]
+    blast_ns = [r.lost_node_seconds for r in log]
+    histogram = {k: histogram[k] for k in sorted(histogram, key=int)}
+    return ResilienceReport(
+        failures=manager.failures_injected,
+        node_failures=manager.failures_injected
+        - manager.rack_failures_injected,
+        rack_failures=manager.rack_failures_injected,
+        jobs_requeued=manager.jobs_requeued,
+        jobs_failed=manager.jobs_failed,
+        nodes_drained=(
+            len(manager.health.drained) if manager.health is not None else 0
+        ),
+        goodput_node_hours=goodput_ns / 3600.0,
+        wasted_node_hours=wasted_ns / 3600.0,
+        checkpoint_overhead_node_hours=overhead_ns / 3600.0,
+        goodput_fraction=(
+            goodput_ns / consumed_ns if consumed_ns > 0 else 1.0
+        ),
+        mean_blast_jobs=(
+            sum(blast_jobs) / len(blast_jobs) if blast_jobs else 0.0
+        ),
+        max_blast_jobs=max(blast_jobs, default=0),
+        mean_blast_node_hours=(
+            sum(blast_ns) / len(blast_ns) / 3600.0 if blast_ns else 0.0
+        ),
+        max_blast_node_hours=max(blast_ns, default=0.0) / 3600.0,
+        requeue_histogram=histogram,
+    )

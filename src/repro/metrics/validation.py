@@ -117,12 +117,13 @@ class ValidatingCollector(MetricsCollector):
             if job.remaining_work < -1e-9:
                 self._fail(now, f"job {job_id} negative remaining work")
             has_corunner = bool(cluster.jobs_sharing_with(job_id))
-            if not has_corunner and abs(job.rate - job.locality_factor) > 1e-12:
+            solo_rate = job.locality_factor * job.checkpoint_slowdown
+            if not has_corunner and abs(job.rate - solo_rate) > 1e-12:
                 self._fail(
                     now,
                     f"job {job_id} alone on its nodes but rate={job.rate} != "
-                    f"locality factor {job.locality_factor} (the zero-overhead "
-                    f"property of sharing itself)",
+                    f"locality x checkpoint factor {solo_rate} (the "
+                    f"zero-overhead property of sharing itself)",
                 )
 
         for job in manager.queue:

@@ -1,0 +1,33 @@
+"""Resilience subsystem: checkpoint/restart, correlated failures,
+node health lifecycle and bounded requeueing.
+
+The layer is strictly opt-in: a :class:`ResilienceConfig` attached to
+the scheduler config (or passed to
+:meth:`~repro.slurm.manager.WorkloadManager.enable_resilience`)
+activates it; without one the simulator's behaviour — and its outputs
+— are bit-identical to a failure-free build.
+"""
+
+from repro.resilience.checkpoint import (
+    checkpoint_interval_for,
+    checkpoint_slowdown,
+    daly_interval,
+    saved_progress,
+    young_interval,
+)
+from repro.resilience.config import CHECKPOINT_POLICIES, ResilienceConfig
+from repro.resilience.correlated import eligible_rack_nodes, eligible_racks
+from repro.resilience.health import NodeHealthTracker
+
+__all__ = [
+    "CHECKPOINT_POLICIES",
+    "NodeHealthTracker",
+    "ResilienceConfig",
+    "checkpoint_interval_for",
+    "checkpoint_slowdown",
+    "daly_interval",
+    "eligible_rack_nodes",
+    "eligible_racks",
+    "saved_progress",
+    "young_interval",
+]

@@ -1,0 +1,100 @@
+"""Checkpoint/restart models: periodic and Young/Daly optimal interval.
+
+A checkpointing job periodically writes its state; when a node failure
+evicts it, it resumes from the last *completed* checkpoint instead of
+restarting from scratch.  Two costs trade off:
+
+* **Write overhead** — each checkpoint costs ``C`` wall seconds, which
+  we charge as a steady throughput loss: a job checkpointing every
+  ``tau`` useful-work seconds progresses at rate ``tau / (tau + C)``
+  relative to a checkpoint-free run (the standard fluid approximation
+  of the first-order model).
+* **Rework** — on eviction, the useful work since the last completed
+  checkpoint is lost: with accumulated useful progress ``p``, the job
+  resumes from ``floor(p / tau) * tau``.
+
+The optimal interval balances the two.  Young's classic first-order
+result is ``tau = sqrt(2 C M)`` for per-job MTBF ``M``; Daly's
+higher-order refinement (used here for ``"daly"``) is
+
+    tau = sqrt(2 C M) * [1 + (1/3) sqrt(C / (2 M)) + C / (18 M)] - C
+
+valid for ``M > C / 2``, degrading gracefully to ``M`` otherwise.  A
+job spanning ``n`` nodes fails whenever *any* of its nodes does, so
+its MTBF is the node MTBF divided by ``n``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigError
+from repro.resilience.config import ResilienceConfig
+
+
+def young_interval(overhead_s: float, job_mtbf_s: float) -> float:
+    """Young's first-order optimal checkpoint interval ``sqrt(2CM)``."""
+    if overhead_s <= 0 or job_mtbf_s <= 0:
+        raise ConfigError("overhead and MTBF must be positive")
+    return math.sqrt(2.0 * overhead_s * job_mtbf_s)
+
+
+def daly_interval(overhead_s: float, job_mtbf_s: float) -> float:
+    """Daly's higher-order optimal checkpoint interval.
+
+    Falls back to the MTBF itself when the overhead is so large
+    relative to the MTBF (``M <= C/2``) that the expansion is invalid —
+    checkpointing that often would cost more than it saves.
+    """
+    if overhead_s <= 0 or job_mtbf_s <= 0:
+        raise ConfigError("overhead and MTBF must be positive")
+    if job_mtbf_s <= overhead_s / 2.0:
+        return job_mtbf_s
+    ratio = overhead_s / (2.0 * job_mtbf_s)
+    tau = math.sqrt(2.0 * overhead_s * job_mtbf_s) * (
+        1.0 + math.sqrt(ratio) / 3.0 + ratio / 9.0
+    ) - overhead_s
+    return max(tau, overhead_s)
+
+
+def checkpoint_interval_for(
+    config: ResilienceConfig, job_nodes: int
+) -> float | None:
+    """Resolved checkpoint interval (useful-work seconds) for a job.
+
+    Returns ``None`` when the policy is ``"none"``; for ``"daly"``
+    without an active per-node failure process there is no MTBF to
+    optimise against, so the configured periodic interval is used.
+    """
+    if config.checkpoint == "none":
+        return None
+    if config.checkpoint == "periodic":
+        return config.checkpoint_interval_s
+    # "daly"
+    if config.node_mtbf_hours is None:
+        return config.checkpoint_interval_s
+    job_mtbf_s = config.node_mtbf_hours * 3600.0 / max(1, job_nodes)
+    if config.checkpoint_overhead_s <= 0:
+        # Free checkpoints: the optimum degenerates to "continuously";
+        # cap at one checkpoint per simulated minute to keep the
+        # restart arithmetic sane.
+        return 60.0
+    return daly_interval(config.checkpoint_overhead_s, job_mtbf_s)
+
+
+def checkpoint_slowdown(tau: float | None, overhead_s: float) -> float:
+    """Steady-state progress-rate multiplier of a checkpointing job."""
+    if tau is None or overhead_s <= 0:
+        return 1.0
+    return tau / (tau + overhead_s)
+
+
+def saved_progress(progress: float, tau: float | None) -> float:
+    """Useful work retained after an eviction.
+
+    The last *completed* checkpoint survives: ``floor(p / tau) * tau``,
+    never more than the progress itself (guards float slop).
+    """
+    if tau is None or tau <= 0 or progress <= 0:
+        return 0.0
+    return min(progress, math.floor(progress / tau) * tau)

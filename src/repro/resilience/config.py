@@ -1,0 +1,148 @@
+"""Declarative configuration of the resilience layer.
+
+One frozen, JSON-round-trippable object describes everything the
+workload manager needs to simulate faults: which failure processes run
+(independent per-node, correlated per-rack, or both), how evicted jobs
+resume (checkpoint policy), how often they may be requeued before the
+scheduler gives up, and when a flaky node gets blacklisted.
+
+The config travels inside :class:`~repro.slurm.config.SchedulerConfig`
+and therefore inside campaign ``params`` dicts, so a run's failure
+behaviour is part of its content hash: two campaign runs with
+different resilience settings never share a cached result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Mapping
+
+from repro.errors import ConfigError
+
+#: Recognised checkpoint policies (see :mod:`repro.resilience.checkpoint`).
+CHECKPOINT_POLICIES = ("none", "periodic", "daly")
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """All tunables of the fault-injection and recovery machinery.
+
+    Attributes
+    ----------
+    node_mtbf_hours:
+        Mean time between failures of a single node (independent
+        exponential process).  ``None`` disables per-node failures.
+    rack_mtbf_hours:
+        Mean time between whole-rack failures (switch/PDU events drawn
+        over the cluster topology).  ``None`` disables the correlated
+        process.
+    repair_hours:
+        Time a failed node spends repairing before it may return.
+    checkpoint:
+        ``"none"`` (evictions lose all progress), ``"periodic"``
+        (checkpoint every ``checkpoint_interval_s`` of useful work) or
+        ``"daly"`` (per-job Young/Daly optimal interval).
+    checkpoint_interval_s:
+        Useful-work seconds between checkpoints under ``"periodic"``.
+    checkpoint_overhead_s:
+        Wall seconds one checkpoint write costs; charged to runtime as
+        a throughput loss of ``overhead / (interval + overhead)``.
+    max_requeues:
+        Requeue attempts granted per job before it is marked FAILED
+        terminally.  ``None`` means unbounded (the legacy behaviour).
+    requeue_priority_backoff:
+        Priority points subtracted per accumulated requeue, so a job
+        that keeps landing on failing hardware stops beating fresh
+        submissions to the head of the queue.
+    blacklist_failures:
+        Blacklist (drain) a node after this many failures inside
+        ``blacklist_window_hours``.  ``None`` disables blacklisting.
+    blacklist_window_hours:
+        Sliding window for the flaky-node counter; nodes with a recent
+        failure inside the window are also deprioritised by placement.
+    seed:
+        Seed of the failure-injection RNG streams (independent of the
+        workload seed).
+    """
+
+    node_mtbf_hours: float | None = None
+    rack_mtbf_hours: float | None = None
+    repair_hours: float = 4.0
+    checkpoint: str = "none"
+    checkpoint_interval_s: float = 3600.0
+    checkpoint_overhead_s: float = 60.0
+    max_requeues: int | None = 3
+    requeue_priority_backoff: float = 0.0
+    blacklist_failures: int | None = None
+    blacklist_window_hours: float = 24.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.node_mtbf_hours is not None and self.node_mtbf_hours <= 0:
+            raise ConfigError("node_mtbf_hours must be positive or None")
+        if self.rack_mtbf_hours is not None and self.rack_mtbf_hours <= 0:
+            raise ConfigError("rack_mtbf_hours must be positive or None")
+        if self.repair_hours < 0:
+            raise ConfigError("repair_hours must be >= 0")
+        if self.checkpoint not in CHECKPOINT_POLICIES:
+            raise ConfigError(
+                f"checkpoint must be one of {CHECKPOINT_POLICIES}, "
+                f"got {self.checkpoint!r}"
+            )
+        if self.checkpoint_interval_s <= 0:
+            raise ConfigError("checkpoint_interval_s must be positive")
+        if self.checkpoint_overhead_s < 0:
+            raise ConfigError("checkpoint_overhead_s must be >= 0")
+        if self.max_requeues is not None and self.max_requeues < 0:
+            raise ConfigError("max_requeues must be >= 0 or None")
+        if self.requeue_priority_backoff < 0:
+            raise ConfigError("requeue_priority_backoff must be >= 0")
+        if self.blacklist_failures is not None and self.blacklist_failures < 1:
+            raise ConfigError("blacklist_failures must be >= 1 or None")
+        if self.blacklist_window_hours <= 0:
+            raise ConfigError("blacklist_window_hours must be positive")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def any_failures(self) -> bool:
+        """Whether at least one failure process is active."""
+        return self.node_mtbf_hours is not None or self.rack_mtbf_hours is not None
+
+    @property
+    def repair_seconds(self) -> float:
+        return self.repair_hours * 3600.0
+
+    def node_interarrival_seconds(self, num_nodes: int) -> float:
+        """Mean seconds between per-node failures anywhere on the cluster."""
+        if self.node_mtbf_hours is None:
+            raise ConfigError("per-node failure process is disabled")
+        if num_nodes < 1:
+            raise ConfigError("num_nodes must be >= 1")
+        return self.node_mtbf_hours * 3600.0 / num_nodes
+
+    def rack_interarrival_seconds(self, num_racks: int) -> float:
+        """Mean seconds between rack failures anywhere on the cluster."""
+        if self.rack_mtbf_hours is None:
+            raise ConfigError("rack failure process is disabled")
+        if num_racks < 1:
+            raise ConfigError("num_racks must be >= 1")
+        return self.rack_mtbf_hours * 3600.0 / num_racks
+
+    # ------------------------------------------------------------------
+    # (De)serialisation — stable keys for campaign content hashing
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, object]:
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(data: Mapping[str, object]) -> "ResilienceConfig":
+        known = {f for f in ResilienceConfig.__dataclass_fields__}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown resilience config keys: {sorted(unknown)} "
+                f"(known: {sorted(known)})"
+            )
+        return ResilienceConfig(**dict(data))  # type: ignore[arg-type]

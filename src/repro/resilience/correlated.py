@@ -1,0 +1,56 @@
+"""Correlated (rack-level) failure targeting.
+
+The independent per-node process models component wear-out; real
+clusters additionally lose whole *racks* to switch, PDU or cooling
+events.  Those failures are correlated by construction: every node
+behind the failed leaf switch goes down in one instant, so the blast
+radius is the rack's entire resident job population — which is exactly
+where node sharing's "two jobs per node" amplification bites hardest.
+
+This module holds the pure targeting logic (which racks are eligible,
+which nodes a rack event takes down); the workload manager owns the
+event scheduling and eviction mechanics.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.machine import Cluster
+from repro.cluster.node import Node
+
+
+def eligible_rack_nodes(
+    cluster: Cluster, rack: int, real_job_ids: "set[int] | None" = None
+) -> list[Node]:
+    """Nodes of *rack* a failure event can take down right now.
+
+    Excludes nodes already down and nodes held by reservation phantoms
+    (ids outside *real_job_ids*), mirroring the per-node process's
+    candidate filter.
+    """
+    nodes = []
+    for node_id in cluster.topology.racks.get(rack, ()):
+        node = cluster.node(node_id)
+        if node.down:
+            continue
+        if real_job_ids is not None and any(
+            occ not in real_job_ids for occ in node.occupant_ids
+        ):
+            continue
+        nodes.append(node)
+    return nodes
+
+
+def eligible_racks(
+    cluster: Cluster, real_job_ids: "set[int] | None" = None
+) -> list[int]:
+    """Racks with at least one failable node, in ascending rack order.
+
+    Ascending order keeps the RNG draw-to-target mapping deterministic
+    across runs (the topology dict preserves construction order, but
+    sorting makes the contract explicit).
+    """
+    return sorted(
+        rack
+        for rack in cluster.topology.racks
+        if eligible_rack_nodes(cluster, rack, real_job_ids)
+    )

@@ -1,0 +1,71 @@
+"""Node health lifecycle bookkeeping: flaky-node blacklisting.
+
+The cluster's nodes carry their own health state machine
+(:class:`~repro.cluster.node.NodeHealth`); this tracker owns the
+*policy* layered on top of it — the per-node failure history that
+decides, at repair completion, whether a node returns to service or
+gets drained (blacklisted), and which healthy nodes count as "suspect"
+so placement can avoid them.
+
+A node is blacklisted after ``blacklist_failures`` failures inside a
+sliding ``window_s``; a healthy node with at least one failure inside
+the window is *suspect* — allocatable, but ordered last by the node
+selector so jobs prefer hardware with a clean recent record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class NodeHealthTracker:
+    """Failure history and blacklist/suspect policy for all nodes.
+
+    Parameters
+    ----------
+    blacklist_failures:
+        Failures inside the window that trigger a drain; ``None``
+        disables blacklisting (nodes always return after repair).
+    window_s:
+        Sliding-window length in simulated seconds.
+    """
+
+    blacklist_failures: int | None = None
+    window_s: float = 24 * 3600.0
+    #: Failure timestamps per node id (monotone within each list).
+    history: dict[int, list[float]] = field(default_factory=dict)
+    #: Nodes currently drained by the blacklist policy.
+    drained: set[int] = field(default_factory=set)
+
+    def record_failure(self, node_id: int, now: float) -> None:
+        self.history.setdefault(node_id, []).append(now)
+
+    def failures_in_window(self, node_id: int, now: float) -> int:
+        """Failures of *node_id* within the last ``window_s`` seconds."""
+        times = self.history.get(node_id)
+        if not times:
+            return 0
+        cutoff = now - self.window_s
+        return sum(1 for t in times if t >= cutoff)
+
+    def should_drain(self, node_id: int, now: float) -> bool:
+        """Blacklist decision, evaluated when a repair completes."""
+        if self.blacklist_failures is None:
+            return False
+        return self.failures_in_window(node_id, now) >= self.blacklist_failures
+
+    def mark_drained(self, node_id: int) -> None:
+        self.drained.add(node_id)
+
+    def suspect_nodes(self, now: float) -> frozenset[int]:
+        """Healthy-but-recently-failed nodes placement should deprioritise."""
+        cutoff = now - self.window_s
+        return frozenset(
+            node_id
+            for node_id, times in self.history.items()
+            if node_id not in self.drained and any(t >= cutoff for t in times)
+        )
+
+    def total_failures(self, node_id: int) -> int:
+        return len(self.history.get(node_id, ()))

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from repro.errors import ConfigError
 from repro.interference.model import ModelParams
 from repro.interference.profile import ResourceProfile
+from repro.resilience.config import ResilienceConfig
 from repro.slurm.priority import PriorityWeights
 
 #: Profile assumed for jobs whose application is unknown (e.g. SWF
@@ -85,8 +86,14 @@ class SchedulerConfig:
     sharing_mode: str = "smt"
     #: Context-switch overhead of time-sliced sharing.
     switch_overhead: float = 0.02
+    #: Checkpoint/failure model; None (default) disables the
+    #: resilience layer entirely.  A plain dict (e.g. from a campaign
+    #: params payload) is converted via ResilienceConfig.from_dict.
+    resilience: ResilienceConfig | None = None
 
     def __post_init__(self) -> None:
+        if isinstance(self.resilience, dict):
+            self.resilience = ResilienceConfig.from_dict(self.resilience)
         if self.backfill_interval < 0:
             raise ConfigError("backfill_interval must be >= 0")
         if self.walltime_grace < 1.0:

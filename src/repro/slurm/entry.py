@@ -93,7 +93,7 @@ def _execute_simulate(params: Mapping[str, object]) -> dict[str, object]:
         trace, num_nodes=num_nodes, strategy=strategy, config=config
     )
     summary = summarize(result)
-    return {
+    payload: dict[str, object] = {
         "kind": "simulate",
         "strategy": strategy,
         "num_nodes": num_nodes,
@@ -110,6 +110,11 @@ def _execute_simulate(params: Mapping[str, object]) -> dict[str, object]:
         "events_dispatched": result.events_dispatched,
         "scheduler_passes": result.scheduler_passes,
     }
+    # Only present when the resilience layer was active, so payloads
+    # of failure-free runs stay bit-identical to earlier versions.
+    if result.resilience is not None:
+        payload["resilience"] = _jsonable(result.resilience.as_dict())
+    return payload
 
 
 def _execute_experiment(params: Mapping[str, object]) -> dict[str, object]:

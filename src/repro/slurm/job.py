@@ -29,22 +29,32 @@ class JobState(enum.Enum):
     COMPLETED = "COMPLETED"
     TIMEOUT = "TIMEOUT"
     CANCELLED = "CANCELLED"
+    #: Terminal state of a job that exhausted its requeue budget: the
+    #: scheduler gives up instead of requeueing it forever.
+    FAILED = "FAILED"
 
     @property
     def is_terminal(self) -> bool:
-        return self in (JobState.COMPLETED, JobState.TIMEOUT, JobState.CANCELLED)
+        return self in (
+            JobState.COMPLETED,
+            JobState.TIMEOUT,
+            JobState.CANCELLED,
+            JobState.FAILED,
+        )
 
 
 _ALLOWED_TRANSITIONS: dict[JobState, frozenset[JobState]] = {
     JobState.PENDING: frozenset({JobState.RUNNING, JobState.CANCELLED}),
     JobState.RUNNING: frozenset(
-        # PENDING re-entry is the requeue path after a node failure.
+        # PENDING re-entry is the requeue path after a node failure;
+        # FAILED is the same path once requeue attempts are exhausted.
         {JobState.COMPLETED, JobState.TIMEOUT, JobState.CANCELLED,
-         JobState.PENDING}
+         JobState.PENDING, JobState.FAILED}
     ),
     JobState.COMPLETED: frozenset(),
     JobState.TIMEOUT: frozenset(),
     JobState.CANCELLED: frozenset(),
+    JobState.FAILED: frozenset(),
 }
 
 
@@ -71,6 +81,9 @@ class Job:
         "racks_spanned",
         "requeues",
         "lost_work",
+        "checkpoint_tau",
+        "checkpoint_overhead",
+        "saved_progress",
     )
 
     def __init__(self, spec: JobSpec):
@@ -109,6 +122,14 @@ class Job:
         self.requeues: int = 0
         #: Work-seconds discarded by failures (no checkpointing).
         self.lost_work: float = 0.0
+        #: Useful-work seconds between checkpoints; None = the job does
+        #: not checkpoint (evictions lose everything).
+        self.checkpoint_tau: float | None = None
+        #: Wall seconds one checkpoint write costs.
+        self.checkpoint_overhead: float = 0.0
+        #: Useful work retained from previous attempts (restored at
+        #: requeue; the job restarts from here, not from scratch).
+        self.saved_progress: float = 0.0
 
     # ------------------------------------------------------------------
     # Identity and convenience
@@ -183,19 +204,42 @@ class Job:
         self._transition(JobState.CANCELLED)
         self.end_time = now
 
-    def mark_requeued(self, now: float) -> None:
+    @property
+    def progress(self) -> float:
+        """Useful work completed so far (exclusive-equivalent seconds)."""
+        return self.spec.runtime_exclusive - self.remaining_work
+
+    @property
+    def checkpoint_slowdown(self) -> float:
+        """Progress-rate multiplier paid for checkpoint writes."""
+        if self.checkpoint_tau is None or self.checkpoint_overhead <= 0:
+            return 1.0
+        return self.checkpoint_tau / (self.checkpoint_tau + self.checkpoint_overhead)
+
+    def checkpointed_progress(self) -> float:
+        """Useful work the last completed checkpoint would restore."""
+        from repro.resilience.checkpoint import saved_progress
+
+        if self.checkpoint_tau is None:
+            return 0.0
+        return saved_progress(self.progress, self.checkpoint_tau)
+
+    def mark_requeued(self, now: float, saved: float = 0.0) -> None:
         """Return a running job to the queue after a node failure.
 
-        Without checkpointing, all progress is discarded: the job
-        restarts from scratch when next scheduled.
+        Without checkpointing (``saved == 0``) all progress is
+        discarded and the job restarts from scratch; with a checkpoint
+        it resumes from *saved* useful-work seconds when next placed.
         """
         self._transition(JobState.PENDING)
-        self.lost_work += self.spec.runtime_exclusive - self.remaining_work
+        saved = min(max(0.0, saved), self.progress)
+        self.lost_work += self.progress - saved
+        self.saved_progress = saved
         self.requeues += 1
         self.start_time = None
         self.end_time = None
         self.allocation = None
-        self.remaining_work = self.spec.runtime_exclusive
+        self.remaining_work = self.spec.runtime_exclusive - saved
         self.rate = 0.0
         self.sharing_now = False
         self.shared_seconds = 0.0
@@ -204,6 +248,18 @@ class Job:
         self.racks_spanned = 1
         self.finish_event = None
         self.timeout_event = None
+
+    def mark_failed(self, now: float) -> None:
+        """Terminal failure: requeue attempts exhausted at an eviction.
+
+        Everything the job ever computed is wasted — the accounting
+        record shows zero delivered work and the full loss.
+        """
+        self._transition(JobState.FAILED)
+        self.lost_work += self.progress
+        self.remaining_work = self.spec.runtime_exclusive
+        self.saved_progress = 0.0
+        self.end_time = now
 
     # ------------------------------------------------------------------
     # Progress integration

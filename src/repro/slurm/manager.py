@@ -34,6 +34,13 @@ from repro.errors import (
 from repro.interference.model import InterferenceModel
 from repro.interference.profile import ResourceProfile
 from repro.miniapps.suite import TRINITY_SUITE
+from repro.resilience import (
+    NodeHealthTracker,
+    ResilienceConfig,
+    checkpoint_interval_for,
+    eligible_rack_nodes,
+    eligible_racks,
+)
 from repro.slurm.accounting import AccountingLog, JobRecord
 from repro.slurm.config import SchedulerConfig
 from repro.slurm.job import Job, JobState
@@ -46,6 +53,7 @@ from repro.workload.trace import WorkloadTrace
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.metrics.collector import MetricsCollector
+    from repro.metrics.resilience import FailureRecord, ResilienceReport
 
 #: Relative tolerance for "the job's work is done" at a finish event.
 _FINISH_TOLERANCE = 1e-6
@@ -66,6 +74,8 @@ class SimulationResult:
     wallclock_seconds: float
     collector: "MetricsCollector | None" = None
     notes: dict[str, float] = field(default_factory=dict)
+    #: Failure/recovery summary; None unless resilience was enabled.
+    resilience: "ResilienceReport | None" = None
 
     @property
     def completed_jobs(self) -> int:
@@ -139,10 +149,17 @@ class WorkloadManager:
         self.reservations: list[Reservation] = []
         self._phantom_seq = 0
         self.failure_model: FailureModel | None = None
+        self.resilience: ResilienceConfig | None = None
+        self.health: NodeHealthTracker | None = None
         self._failure_rng: "object | None" = None
+        self._rack_rng: "object | None" = None
         self._next_failure_event: Event | None = None
+        self._next_rack_failure_event: Event | None = None
         self.failures_injected = 0
+        self.rack_failures_injected = 0
         self.jobs_requeued = 0
+        self.jobs_failed = 0
+        self.failure_log: "list[FailureRecord]" = []
         #: Jobs held on an unfinished afterok dependency, keyed by the
         #: dependency's job id.
         self._dependents: dict[int, list[Job]] = {}
@@ -156,6 +173,8 @@ class WorkloadManager:
         self.sim.on(EventKind.SCHEDULER_PASS, self._on_scheduler_pass)
         self.sim.on(EventKind.BACKFILL_PASS, self._on_backfill_tick)
         self.sim.on(EventKind.CHECKPOINT, self._on_reservation_edge)
+        self.sim.on(EventKind.NODE_FAIL, self._on_node_fail)
+        self.sim.on(EventKind.NODE_REPAIR, self._on_node_repair)
 
     # ------------------------------------------------------------------
     # Loading work
@@ -259,7 +278,9 @@ class WorkloadManager:
                 continue
             co_profile = self.profile_of(self.jobs[co_id])
             rate = min(rate, self.model.speed(profile, co_profile))
-        return rate * job.locality_factor
+        # Checkpoint writes steal wall time at a steady-state rate of
+        # C/(tau+C); slowdown is 1.0 for non-checkpointing jobs.
+        return rate * job.locality_factor * job.checkpoint_slowdown
 
     def _locality_factor(self, job: Job, node_ids: tuple[int, ...]) -> float:
         """Speed factor from rack spread (1.0 with the penalty off)."""
@@ -335,7 +356,11 @@ class WorkloadManager:
         for dependent in held:
             if dependent.state.is_terminal:
                 continue  # e.g. scancelled while held
-            if satisfied:
+            if satisfied and self._admission_denial(dependent) is not None:
+                # Drains since submission may have shrunk the cluster
+                # below the dependent's footprint.
+                self._cancel_terminal(dependent)
+            elif satisfied:
                 self.queue.add(dependent)
                 if self.collector is not None:
                     self.collector.on_submit(self.sim.now, dependent, self)
@@ -358,6 +383,13 @@ class WorkloadManager:
                 f"requested {job.spec.memory_mb_per_node:.0f} MB/node "
                 f"exceeds node memory {smallest_node} MB"
             )
+        if self.health is not None and self.health.drained:
+            capacity = self.cluster.num_nodes - len(self.health.drained)
+            if job.num_nodes > capacity:
+                return (
+                    f"needs {job.num_nodes} nodes but only {capacity} "
+                    f"remain in service after drains"
+                )
         return None
 
     def _on_finish(self, sim: Simulator, event: Event) -> None:
@@ -426,42 +458,109 @@ class WorkloadManager:
     def enable_failures(self, model: FailureModel, seed: int = 0) -> None:
         """Turn on exponential node failures with requeue-on-eviction.
 
-        Call after :meth:`load`; the failure process stops arming new
-        events once every job is terminal (so the simulation ends).
+        Legacy entry point, kept for compatibility: delegates to
+        :meth:`enable_resilience` with unbounded requeues, no
+        checkpointing and no blacklisting — exactly the original
+        semantics (and the original RNG draw sequence).
+        """
+        if self.resilience is not None:
+            raise ConfigError("failures already enabled")
+        self.failure_model = model
+        self.enable_resilience(
+            ResilienceConfig(
+                node_mtbf_hours=model.mtbf_node_hours,
+                repair_hours=model.repair_hours,
+                max_requeues=None,
+                seed=seed,
+            )
+        )
+
+    def enable_resilience(self, config: ResilienceConfig) -> None:
+        """Activate the resilience layer for this simulation.
+
+        Call after :meth:`load` and before :meth:`run`.  Arms the
+        configured failure processes, assigns checkpoint intervals to
+        the loaded jobs, and installs the health tracker.  Failure
+        processes stop re-arming once every job is terminal, so the
+        simulation still ends.
         """
         import numpy as np
 
-        if self.failure_model is not None:
-            raise ConfigError("failures already enabled")
-        self.failure_model = model
-        self._failure_rng = np.random.default_rng(seed)
-        self._schedule_next_failure()
+        if self.resilience is not None:
+            raise ConfigError("resilience already enabled")
+        self.resilience = config
+        self.priority.requeue_backoff = config.requeue_priority_backoff
+        for job in self.jobs.values():
+            tau = checkpoint_interval_for(config, job.num_nodes)
+            if tau is not None:
+                job.checkpoint_tau = tau
+                job.checkpoint_overhead = config.checkpoint_overhead_s
+        if config.any_failures:
+            self.health = NodeHealthTracker(
+                blacklist_failures=config.blacklist_failures,
+                window_s=config.blacklist_window_hours * 3600.0,
+            )
+        if config.node_mtbf_hours is not None:
+            self._failure_rng = np.random.default_rng(config.seed)
+            self._schedule_next_failure()
+        if config.rack_mtbf_hours is not None:
+            # Independent deterministic stream so the rack process does
+            # not perturb the node process's draw sequence.
+            self._rack_rng = np.random.default_rng([config.seed, 0x7ACC])
+            self._schedule_next_rack_failure()
 
     def _schedule_next_failure(self) -> None:
-        assert self.failure_model is not None and self._failure_rng is not None
-        mean = self.failure_model.cluster_interarrival_seconds(
+        assert self.resilience is not None and self._failure_rng is not None
+        mean = self.resilience.node_interarrival_seconds(
             self.cluster.num_nodes
         )
         delay = float(self._failure_rng.exponential(mean))  # type: ignore[attr-defined]
         self._next_failure_event = self.sim.schedule_in(
-            delay, EventKind.CHECKPOINT, ("node_fail", None)
+            delay, EventKind.NODE_FAIL, "node"
+        )
+
+    def _schedule_next_rack_failure(self) -> None:
+        assert self.resilience is not None and self._rack_rng is not None
+        mean = self.resilience.rack_interarrival_seconds(
+            self.cluster.topology.num_racks
+        )
+        delay = float(self._rack_rng.exponential(mean))  # type: ignore[attr-defined]
+        self._next_rack_failure_event = self.sim.schedule_in(
+            delay, EventKind.NODE_FAIL, "rack"
         )
 
     def _maybe_disarm_failures(self) -> None:
-        """Cancel the pending failure once no job can be affected, so
-        the simulation clock is not dragged to a far-future event."""
-        if (
-            self._next_failure_event is not None
-            and self._terminal_jobs >= len(self.jobs)
-        ):
+        """Cancel pending failures once no job can be affected, so the
+        simulation clock is not dragged to a far-future event."""
+        if self._terminal_jobs < len(self.jobs):
+            return
+        if self._next_failure_event is not None:
             self.sim.cancel(self._next_failure_event)
             self._next_failure_event = None
+        if self._next_rack_failure_event is not None:
+            self.sim.cancel(self._next_rack_failure_event)
+            self._next_rack_failure_event = None
 
-    def _on_node_fail(self, sim: Simulator) -> None:
-        assert self._failure_rng is not None
-        self._next_failure_event = None
+    def _on_node_fail(self, sim: Simulator, event: Event) -> None:
+        process: str = event.payload
+        if process == "rack":
+            self._next_rack_failure_event = None
+        else:
+            self._next_failure_event = None
         if self._terminal_jobs >= len(self.jobs):
             return  # nothing left to disturb
+        if process == "rack":
+            self._inject_rack_failure()
+        else:
+            self._inject_node_failure()
+        if self._terminal_jobs < len(self.jobs):
+            if process == "rack":
+                self._schedule_next_rack_failure()
+            else:
+                self._schedule_next_failure()
+
+    def _inject_node_failure(self) -> None:
+        assert self._failure_rng is not None
         # Candidates: up nodes not held by a reservation phantom.
         candidates = [
             node
@@ -469,25 +568,72 @@ class WorkloadManager:
             if not node.down
             and all(occ in self.jobs for occ in node.occupant_ids)
         ]
-        if candidates:
-            index = int(self._failure_rng.integers(len(candidates)))  # type: ignore[attr-defined]
-            node = candidates[index]
-            self.failures_injected += 1
-            for job_id in list(node.occupant_ids):
-                self._requeue_job(self.jobs[job_id])
-            node.mark_down()
-            if self.failure_model is not None:
-                self.sim.schedule_in(
-                    self.failure_model.repair_seconds,
-                    EventKind.CHECKPOINT,
-                    ("node_repair", node.node_id),
-                )
-            self._request_pass()
-        if self._terminal_jobs < len(self.jobs):
-            self._schedule_next_failure()
+        if not candidates:
+            return
+        index = int(self._failure_rng.integers(len(candidates)))  # type: ignore[attr-defined]
+        self._fail_nodes([candidates[index]], kind="node")
 
-    def _requeue_job(self, job: Job) -> None:
-        """Evict a running job (node failure) and requeue it."""
+    def _inject_rack_failure(self) -> None:
+        assert self._rack_rng is not None
+        real_ids = set(self.jobs)
+        racks = eligible_racks(self.cluster, real_ids)
+        if not racks:
+            return
+        index = int(self._rack_rng.integers(len(racks)))  # type: ignore[attr-defined]
+        nodes = eligible_rack_nodes(self.cluster, racks[index], real_ids)
+        self._fail_nodes(nodes, kind="rack")
+
+    def _fail_nodes(self, nodes: list, kind: str) -> None:
+        """Take *nodes* down together: evict victims, start repairs."""
+        from repro.metrics.resilience import FailureRecord
+
+        now = self.sim.now
+        self.failures_injected += 1
+        if kind == "rack":
+            self.rack_failures_injected += 1
+        victim_ids: list[int] = []
+        seen: set[int] = set()
+        for node in nodes:
+            for job_id in node.occupant_ids:
+                if job_id not in seen:
+                    seen.add(job_id)
+                    victim_ids.append(job_id)
+        lost_node_seconds = 0.0
+        failed_ids: list[int] = []
+        for job_id in victim_ids:
+            lost_node_seconds += self._evict_for_failure(
+                self.jobs[job_id], failed_ids
+            )
+        repair = (
+            self.resilience.repair_seconds
+            if self.resilience is not None
+            else 0.0
+        )
+        for node in nodes:
+            node.mark_down()
+            node.mark_repairing()
+            if self.health is not None:
+                self.health.record_failure(node.node_id, now)
+            self.sim.schedule_in(repair, EventKind.NODE_REPAIR, node.node_id)
+        self.failure_log.append(
+            FailureRecord(
+                time=now,
+                kind=kind,
+                node_ids=tuple(node.node_id for node in nodes),
+                evicted_job_ids=tuple(victim_ids),
+                failed_job_ids=tuple(failed_ids),
+                lost_node_seconds=lost_node_seconds,
+            )
+        )
+        self._request_pass()
+
+    def _evict_for_failure(self, job: Job, failed_ids: list[int]) -> float:
+        """Evict a running job whose node failed.
+
+        Requeues it (resuming from its last checkpoint, if any) or —
+        once the requeue budget is exhausted — fails it terminally.
+        Returns the progress discarded, in node-seconds.
+        """
         now = self.sim.now
         job.integrate_progress(now, job.sharing_now)
         if job.finish_event is not None:
@@ -496,24 +642,71 @@ class WorkloadManager:
             self.sim.cancel(job.timeout_event)
         affected = self.cluster.jobs_sharing_with(job.job_id)
         self.cluster.release(job.job_id)
-        job.mark_requeued(now)
-        self.jobs_requeued += 1
-        self.queue.add(job)
+        # Refresh surviving co-runners before any collector callback
+        # samples the cluster: their shared lanes just emptied.
         for other_id in sorted(affected):
             if self.jobs[other_id].is_running:
                 self._refresh_rate(self.jobs[other_id])
+        max_requeues = (
+            self.resilience.max_requeues
+            if self.resilience is not None
+            else None
+        )
+        if max_requeues is not None and job.requeues >= max_requeues:
+            lost = job.progress
+            job.mark_failed(now)
+            failed_ids.append(job.job_id)
+            self.jobs_failed += 1
+            self._terminal_jobs += 1
+            self._maybe_disarm_failures()
+            record = JobRecord.from_job(job)
+            self.accounting.append(record)
+            self.priority.charge(job.spec.user, record.node_seconds_allocated)
+            self._release_dependents(job)
+            if self.collector is not None:
+                self.collector.on_job_end(now, record, self)
+        else:
+            saved = job.checkpointed_progress()
+            lost = job.progress - saved
+            job.mark_requeued(now, saved=saved)
+            self.jobs_requeued += 1
+            self.queue.add(job)
+        return lost * job.num_nodes
+
+    def _on_node_repair(self, sim: Simulator, event: Event) -> None:
+        node = self.cluster.node(event.payload)
+        if self.health is not None and self.health.should_drain(
+            node.node_id, sim.now
+        ):
+            node.mark_drained()
+            self.health.mark_drained(node.node_id)
+            self._cancel_unsatisfiable()
+        else:
+            node.mark_up()
+            self._request_pass()
+        if self.collector is not None:
+            self.collector.on_sample(sim.now, self)
+
+    def _cancel_unsatisfiable(self) -> None:
+        """Cancel pending jobs larger than the non-drained capacity.
+
+        Without this, draining nodes could deadlock the simulation: a
+        queued job needing more nodes than will ever return to service
+        would wait forever.
+        """
+        capacity = self.cluster.num_nodes - (
+            len(self.health.drained) if self.health is not None else 0
+        )
+        for job in [j for j in self.queue if j.num_nodes > capacity]:
+            self.queue.remove(job)
+            self._cancel_terminal(job)
+        for held in list(self._dependents.values()):
+            for job in list(held):
+                if job.num_nodes > capacity and not job.state.is_terminal:
+                    self._cancel_terminal(job)
 
     def _on_reservation_edge(self, sim: Simulator, event: Event) -> None:
         kind, reservation = event.payload
-        if kind == "node_fail":
-            self._on_node_fail(sim)
-            return
-        if kind == "node_repair":
-            self.cluster.node(reservation).mark_up()
-            self._request_pass()
-            if self.collector is not None:
-                self.collector.on_sample(sim.now, self)
-            return
         if kind == "res_start":
             idle = [n.node_id for n in self.cluster.idle_nodes()]
             granted = idle[: reservation.num_nodes]
@@ -594,6 +787,12 @@ class WorkloadManager:
             for job_id in self.cluster.running_job_ids()
             if job_id in self.jobs  # exclude reservation phantoms
         }
+        avoid: frozenset[int] = frozenset()
+        if (
+            self.health is not None
+            and self.health.blacklist_failures is not None
+        ):
+            avoid = self.health.suspect_nodes(sim.now)
         ctx = ScheduleContext(
             now=sim.now,
             cluster=self.cluster,
@@ -608,6 +807,7 @@ class WorkloadManager:
             predict_runtime=(
                 self.predictor.predict if self.predictor is not None else None
             ),
+            avoid_nodes=avoid,
         )
         placements = self.strategy.schedule(ctx)
         for placement in placements:
@@ -654,6 +854,8 @@ class WorkloadManager:
     # ------------------------------------------------------------------
     def run(self, until: float | None = None) -> SimulationResult:
         """Run the simulation to completion and summarise it."""
+        from repro.metrics.resilience import resilience_report
+
         started = _wallclock.perf_counter()
         self.sim.run(until=until)
         elapsed = _wallclock.perf_counter() - started
@@ -679,6 +881,9 @@ class WorkloadManager:
             placements_applied=self.placements_applied,
             wallclock_seconds=elapsed,
             collector=self.collector,
+            resilience=(
+                resilience_report(self) if self.resilience is not None else None
+            ),
         )
 
 
@@ -708,4 +913,6 @@ def run_simulation(
         cluster, config=config, strategy=strategy_obj, collector=collector
     )
     manager.load(trace)
+    if config.resilience is not None:
+        manager.enable_resilience(config.resilience)
     return manager.run()

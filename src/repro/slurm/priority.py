@@ -62,6 +62,10 @@ class MultifactorPriority:
         self.usage: dict[str, float] = {}
         #: Normalisation constant for the fairshare decay curve.
         self.share_norm: float = 50_000.0
+        #: Priority subtracted per requeue a job has suffered, so
+        #: repeatedly failing jobs back off instead of immediately
+        #: reclaiming the nodes that just failed under them (0 = off).
+        self.requeue_backoff: float = 0.0
         self.qos_levels = dict(
             DEFAULT_QOS_LEVELS if qos_levels is None else qos_levels
         )
@@ -101,6 +105,8 @@ class MultifactorPriority:
             + w.fairshare * self.fairshare_factor(job.spec.user)
             + w.qos * self.qos_factor(job.spec.qos)
         )
+        if self.requeue_backoff > 0.0 and job.requeues > 0:
+            value -= self.requeue_backoff * job.requeues
         return value
 
     def refresh(self, jobs: list[Job], now: float) -> None:

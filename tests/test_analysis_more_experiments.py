@@ -1,4 +1,4 @@
-"""Smoke tests for the extended experiment drivers (E13–E22).
+"""Smoke tests for the extended experiment drivers (E13–E24).
 
 The benchmarks run these at evaluation scale; here they run at toy
 scale so the plain test suite covers their code paths too.
@@ -15,8 +15,10 @@ from repro.analysis import (
     e18_diurnal_workload,
     e19_replicated_headline,
     e20_failure_resilience,
-    e21_walltime_prediction,
-    e22_sharing_mode_comparison,
+    e21_checkpoint_rescue,
+    e22_correlated_failures,
+    e23_walltime_prediction,
+    e24_sharing_mode_comparison,
 )
 
 NODES = 24
@@ -76,12 +78,42 @@ class TestExtendedDrivers:
         assert harsh["failures"] >= 0
 
     def test_e21(self):
-        out = e21_walltime_prediction(num_jobs=JOBS, num_nodes=NODES)
+        out = e21_checkpoint_rescue(
+            policies=("none", "daly"),
+            num_jobs=JOBS,
+            num_nodes=NODES,
+            mtbf_hours=120.0,
+        )
+        assert len(out.rows) == 4
+        by_cell = {(r["strategy"], r["checkpoint"]): r for r in out.rows}
+        for strategy in ("easy_backfill", "shared_backfill"):
+            bare = by_cell[(strategy, "none")]
+            ckpt = by_cell[(strategy, "daly")]
+            # Same seeded failure trace; checkpointing must not lose
+            # MORE work than running bare.
+            assert ckpt["wasted_nh"] <= bare["wasted_nh"] + 1e-9
+            if bare["wasted_nh"] > 0:
+                assert ckpt["goodput_frac"] >= bare["goodput_frac"] - 0.05
+
+    def test_e22(self):
+        out = e22_correlated_failures(
+            share_fractions=(0.0, 1.0),
+            num_jobs=JOBS,
+            num_nodes=NODES,
+            rack_mtbf_hours=30.0,
+        )
+        assert len(out.rows) == 2
+        for row in out.rows:
+            assert row["max_blast_jobs"] >= row["mean_blast_jobs"]
+            assert 0.0 <= row["goodput_frac"] <= 1.0
+
+    def test_e23(self):
+        out = e23_walltime_prediction(num_jobs=JOBS, num_nodes=NODES)
         assert len(out.rows) == 4
         assert all(row["timeouts"] == 0 for row in out.rows)
 
-    def test_e22(self):
-        out = e22_sharing_mode_comparison(num_jobs=JOBS, num_nodes=NODES)
+    def test_e24(self):
+        out = e24_sharing_mode_comparison(num_jobs=JOBS, num_nodes=NODES)
         rows = {row["mode"]: row for row in out.rows}
         assert rows["time_sliced"]["comp_eff"] <= 1.0 + 1e-9
         assert rows["smt_sharing"]["comp_eff"] >= rows["time_sliced"]["comp_eff"]

@@ -119,12 +119,12 @@ class TestExperimentList:
             assert eid in out
         assert "supports --workers" in out
 
-    def test_registry_covers_e1_to_e22(self):
+    def test_registry_covers_e1_to_e24(self):
         from repro.analysis.experiments import EXPERIMENT_REGISTRY
 
         # e11 is the scheduler-cost microbenchmark (benchmarks/), every
         # other paper experiment is runnable from the CLI.
-        expected = {f"e{i}" for i in range(1, 23)} - {"e11"}
+        expected = {f"e{i}" for i in range(1, 25)} - {"e11"}
         assert set(EXPERIMENT_REGISTRY) == expected
 
 
