@@ -19,17 +19,16 @@ from repro.campaign.spec import (
     campaign_workload,
     inline_workload,
     simulate_params,
-    trinity_workload,
 )
 from repro.core.strategy import all_strategy_names
 from repro.interference.matrix import PairingMatrix
 from repro.interference.model import InterferenceModel, ModelParams
 from repro.metrics.report import format_comparison, format_table
-from repro.metrics.summary import ScheduleSummary, summarize, wait_by_size_class
+from repro.metrics.summary import summarize, wait_by_size_class
 from repro.miniapps.scaling import strong_scaling_efficiency
 from repro.miniapps.suite import TRINITY_SUITE, suite_profiles
 from repro.slurm.config import SchedulerConfig
-from repro.slurm.manager import SimulationResult, run_simulation
+from repro.slurm.manager import run_simulation
 from repro.workload.spec import JobSpec
 from repro.workload.swf import read_swf, read_swf_header_apps, write_swf
 from repro.workload.trace import WorkloadTrace

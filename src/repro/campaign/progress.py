@@ -21,6 +21,7 @@ COMPLETED = "completed"
 FAILED = "failed"
 CACHED = "cached"
 RETRY = "retry"
+QUARANTINED = "quarantined"
 
 
 @dataclass(frozen=True)
@@ -30,7 +31,7 @@ class ProgressEvent:
     kind: str
     run_id: str
     label: str
-    #: Runs finished so far (completed + failed + cached).
+    #: Runs finished so far (completed + failed + cached + quarantined).
     done: int
     total: int
     completed: int
@@ -44,9 +45,16 @@ class ProgressEvent:
     eta_s: float
     attempt: int = 1
     error: str | None = None
+    #: Poison runs isolated so far (see repro.diagnostics.quarantine).
+    quarantined: int = 0
 
     def as_dict(self) -> dict[str, object]:
-        return asdict(self)
+        data = asdict(self)
+        if not data["quarantined"]:
+            # Quarantine-free campaigns keep the pre-diagnostics JSONL
+            # schema byte for byte.
+            del data["quarantined"]
+        return data
 
     def render(self) -> str:
         """One-line human-readable form for terminal progress."""
@@ -62,6 +70,8 @@ class ProgressEvent:
         counters = (
             f"ok={self.completed} cached={self.cached} failed={self.failed}"
         )
+        if self.quarantined:
+            counters += f" quarantined={self.quarantined}"
         timing = f"{self.elapsed_s:6.1f}s"
         if self.throughput_rps > 0:
             timing += f" {self.throughput_rps:.2f} runs/s"
@@ -84,6 +94,7 @@ class ProgressTracker:
         self.failed = 0
         self.cached = 0
         self.retries = 0
+        self.quarantined = 0
         self._clock = clock
         self._t0 = clock()
         self._sink = sink
@@ -91,7 +102,7 @@ class ProgressTracker:
 
     @property
     def done(self) -> int:
-        return self.completed + self.failed + self.cached
+        return self.completed + self.failed + self.cached + self.quarantined
 
     def emit(
         self,
@@ -109,6 +120,8 @@ class ProgressTracker:
             self.cached += 1
         elif kind == RETRY:
             self.retries += 1
+        elif kind == QUARANTINED:
+            self.quarantined += 1
         elapsed = self._clock() - self._t0
         executed = self.completed + self.failed
         throughput = executed / elapsed if elapsed > 0 and executed else 0.0
@@ -128,6 +141,7 @@ class ProgressTracker:
             eta_s=eta,
             attempt=attempt,
             error=error,
+            quarantined=self.quarantined,
         )
         self.events.append(event)
         if self._sink is not None:

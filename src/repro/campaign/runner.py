@@ -17,12 +17,16 @@ Failure semantics:
 * a run exceeding ``timeout`` seconds is abandoned, costs one
   attempt, and forces a pool rebuild (a running task cannot be
   killed otherwise); collateral in-flight runs are re-queued without
-  an attempt penalty.
+  an attempt penalty;
+* a *poison run* — one that crashes its worker or trips a watchdog
+  ``quarantine_after`` times — is isolated immediately (even with
+  attempts remaining): it lands in :attr:`CampaignResult.quarantined`
+  with its replay bundle and the rest of the campaign completes.
 
 Completed runs are persisted through :class:`~repro.campaign.store.
 ResultStore` as they finish, so an interrupted campaign resumes from
-its last completed run.  Failed runs are *not* persisted: a re-run
-retries exactly the missing and failed work.
+its last completed run.  Failed and quarantined runs are *not*
+persisted: a re-run retries exactly the missing and failed work.
 """
 
 from __future__ import annotations
@@ -32,12 +36,15 @@ from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from functools import partial
+from pathlib import Path
 from typing import Callable, Mapping, Sequence
 
 from repro.campaign.progress import (
     CACHED,
     COMPLETED,
     FAILED,
+    QUARANTINED,
     RETRY,
     STARTED,
     ProgressEvent,
@@ -45,15 +52,20 @@ from repro.campaign.progress import (
 )
 from repro.campaign.spec import RunSpec
 from repro.campaign.store import ResultStore
-from repro.errors import ConfigError
+from repro.diagnostics.bundle import bundle_path_for
+from repro.diagnostics.quarantine import QuarantinedRun
+from repro.errors import ConfigError, WatchdogError
 
 Entry = Callable[[Mapping[str, object]], dict[str, object]]
 
 
-def _default_entry() -> Entry:
+def _default_entry(bundle_dir: Path | None) -> Entry:
     from repro.slurm.entry import execute_run
 
-    return execute_run
+    if bundle_dir is None:
+        return execute_run
+    # partial of a module-level function stays picklable for the pool.
+    return partial(execute_run, bundle_dir=str(bundle_dir))
 
 
 @dataclass(frozen=True)
@@ -73,6 +85,7 @@ class CampaignResult:
     order: list[str]
     results: dict[str, dict[str, object]]
     failures: list[RunFailure] = field(default_factory=list)
+    quarantined: list[QuarantinedRun] = field(default_factory=list)
     completed: int = 0
     cached: int = 0
     elapsed_s: float = 0.0
@@ -83,7 +96,7 @@ class CampaignResult:
 
     @property
     def ok(self) -> bool:
-        return not self.failures
+        return not self.failures and not self.quarantined
 
     def records(self) -> list[dict[str, object]]:
         """Successful result records, in campaign order."""
@@ -122,6 +135,14 @@ class CampaignRunner:
         The run entry function; must be picklable for ``workers > 1``.
     progress:
         Optional sink receiving every :class:`ProgressEvent`.
+    quarantine_after:
+        Poison incidents (worker crashes, timeouts, watchdog trips) a
+        single run may cause before it is quarantined instead of
+        retried; ``None`` disables poison isolation entirely.
+    bundle_dir:
+        Directory where workers drop replay bundles for crashing runs
+        (see :func:`repro.slurm.entry.execute_run`); ``None`` disables
+        bundle capture.  Only applies to the default entry function.
     """
 
     def __init__(
@@ -135,6 +156,8 @@ class CampaignRunner:
         progress: Callable[[ProgressEvent], None] | None = None,
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
+        quarantine_after: int | None = 2,
+        bundle_dir: str | Path | None = None,
     ) -> None:
         if workers < 1:
             raise ConfigError(f"workers must be >= 1, got {workers}")
@@ -144,20 +167,31 @@ class CampaignRunner:
             raise ConfigError(f"timeout must be positive, got {timeout}")
         if backoff < 0:
             raise ConfigError(f"backoff must be >= 0, got {backoff}")
+        if quarantine_after is not None and quarantine_after < 1:
+            raise ConfigError(
+                f"quarantine_after must be >= 1 or None, got {quarantine_after}"
+            )
         self.store = store
         self.workers = workers
         self.timeout = timeout
         self.max_attempts = retries + 1
         self.backoff = backoff
-        self.entry = entry if entry is not None else _default_entry()
+        self.quarantine_after = quarantine_after
+        self.bundle_dir = Path(bundle_dir) if bundle_dir is not None else None
+        self.entry = (
+            entry if entry is not None else _default_entry(self.bundle_dir)
+        )
         self.progress = progress
         self._clock = clock
         self._sleep = sleep
+        #: Poison incidents per run_id, reset per campaign execution.
+        self._poison_counts: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     def run(self, runs: Sequence[RunSpec]) -> CampaignResult:
         """Execute *runs*, skipping any already present in the store."""
         started = self._clock()
+        self._poison_counts = {}
         tracker = ProgressTracker(
             total=len(runs), clock=self._clock, sink=self.progress
         )
@@ -200,6 +234,41 @@ class CampaignRunner:
     def _backoff_delay(self, attempt: int) -> float:
         return self.backoff * (2.0 ** (attempt - 1))
 
+    def _poison_exhausted(self, run_id: str) -> bool:
+        """Count one poison incident; True when the run must be isolated."""
+        if self.quarantine_after is None:
+            return False
+        count = self._poison_counts.get(run_id, 0) + 1
+        self._poison_counts[run_id] = count
+        return count >= self.quarantine_after
+
+    def _quarantine(
+        self,
+        run: RunSpec,
+        error: str,
+        tracker: ProgressTracker,
+        result: CampaignResult,
+    ) -> None:
+        bundle: str | None = None
+        if self.bundle_dir is not None:
+            candidate = bundle_path_for(self.bundle_dir, run.run_id)
+            if candidate.is_file():
+                bundle = str(candidate)
+        result.quarantined.append(
+            QuarantinedRun(
+                run_id=run.run_id,
+                label=run.label,
+                incidents=self._poison_counts.get(run.run_id, 0),
+                error=error,
+                params=dict(run.params),
+                bundle=bundle,
+            )
+        )
+        tracker.emit(
+            QUARANTINED, run.run_id, run.label,
+            attempt=self._poison_counts.get(run.run_id, 0), error=error,
+        )
+
     # ------------------------------------------------------------------
     # Serial fallback
     # ------------------------------------------------------------------
@@ -218,6 +287,11 @@ class CampaignRunner:
                     payload = self.entry(run.params)
                 except Exception as exc:  # noqa: BLE001 - retry boundary
                     error = f"{type(exc).__name__}: {exc}"
+                    if isinstance(exc, WatchdogError) and self._poison_exhausted(
+                        run.run_id
+                    ):
+                        self._quarantine(run, error, tracker, result)
+                        break
                     if attempt >= self.max_attempts:
                         tracker.emit(
                             FAILED, run.run_id, run.label,
@@ -308,12 +382,13 @@ class CampaignRunner:
                         self._retry_or_fail(
                             run, attempt,
                             f"worker crashed ({type(exc).__name__})",
-                            queue, tracker, result,
+                            queue, tracker, result, poison=True,
                         )
                     except Exception as exc:  # noqa: BLE001 - retry boundary
                         self._retry_or_fail(
                             run, attempt, f"{type(exc).__name__}: {exc}",
                             queue, tracker, result,
+                            poison=isinstance(exc, WatchdogError),
                         )
                     else:
                         result.results[run.run_id] = self._record(
@@ -336,7 +411,7 @@ class CampaignRunner:
                         self._retry_or_fail(
                             run, attempt,
                             f"timed out after {self.timeout:.1f}s",
-                            queue, tracker, result,
+                            queue, tracker, result, poison=True,
                         )
                     # The expired task is still running inside a worker;
                     # only a pool teardown reclaims the slot.  Collateral
@@ -392,7 +467,11 @@ class CampaignRunner:
         queue: deque,
         tracker: ProgressTracker,
         result: CampaignResult,
+        poison: bool = False,
     ) -> None:
+        if poison and self._poison_exhausted(run.run_id):
+            self._quarantine(run, error, tracker, result)
+            return
         if attempt >= self.max_attempts:
             tracker.emit(
                 FAILED, run.run_id, run.label, attempt=attempt, error=error

@@ -20,13 +20,28 @@ Commands
     into content-addressed runs and execute them on a process pool
     with caching, retry and checkpoint/resume; results land in an
     artifact store plus a JSONL file.
+``replay``
+    Re-execute a crash replay bundle (written automatically when a
+    run fails under ``campaign --bundle-dir``, or by any crash with
+    diagnostics armed) and verify the recorded failure reproduces.
 ``matrix``
     Print the mini-app pairwise co-run matrix.
+
+Exit codes
+----------
+== ==========================================================
+0  success (for ``replay``: the recorded crash reproduced)
+1  error — a run/replay failed; structured JSON on stderr
+2  usage or configuration error
+3  campaign partial success: some runs completed, others
+   failed or were quarantined (details on stderr)
+== ==========================================================
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from pathlib import Path
@@ -101,6 +116,43 @@ def _add_resilience_args(parser: argparse.ArgumentParser) -> None:
                        help="failure-injection RNG seed")
 
 
+#: Campaign exit status when some runs succeeded and others failed or
+#: were quarantined (documented in the module docstring).
+EXIT_PARTIAL = 3
+
+
+def _add_diagnostics_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group(
+        "diagnostics", "crash diagnostics and watchdogs (inert by default)"
+    )
+    group.add_argument("--wall-clock-limit", type=float, default=0.0,
+                       help="abort when one run() call exceeds this many "
+                            "real seconds (0 = no watchdog)")
+    group.add_argument("--stall-limit", type=int, default=0,
+                       help="abort after N events without simulated time "
+                            "advancing (0 = no watchdog)")
+    group.add_argument("--max-events", type=int, default=0,
+                       help="override the event dispatch ceiling (0 = default)")
+    group.add_argument("--no-flight-recorder", action="store_true",
+                       help="disable the crash flight recorder")
+    group.add_argument("--ring-size", type=int, default=256,
+                       help="flight recorder ring buffer capacity")
+
+
+def _diagnostics_from_args(args: argparse.Namespace):
+    from repro.diagnostics import DiagnosticsConfig
+
+    return DiagnosticsConfig(
+        flight_recorder=not args.no_flight_recorder,
+        ring_size=args.ring_size,
+        wall_clock_limit_s=(
+            args.wall_clock_limit if args.wall_clock_limit > 0 else None
+        ),
+        stall_event_limit=args.stall_limit if args.stall_limit > 0 else None,
+        max_events=args.max_events if args.max_events > 0 else None,
+    )
+
+
 def _resilience_from_args(args: argparse.Namespace):
     """Build a ResilienceConfig from CLI flags, or None when inert."""
     if (
@@ -134,6 +186,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         strategy=args.strategy,
         share_threshold=args.threshold,
         resilience=_resilience_from_args(args),
+        diagnostics=_diagnostics_from_args(args),
     )
     result = run_simulation(
         trace, num_nodes=args.nodes, strategy=args.strategy, config=config
@@ -300,6 +353,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         return 2
     store_dir = Path(args.store) if args.store else Path("campaign_runs") / spec.name
     store = ResultStore(store_dir)
+    bundle_dir = Path(args.bundle_dir) if args.bundle_dir else store_dir / "bundles"
     sinks = []
     if not args.quiet:
         sinks.append(lambda event: print(event.render(), file=sys.stderr))
@@ -313,6 +367,10 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             retries=args.retries,
             backoff=args.backoff,
             progress=tee(*sinks) if sinks else None,
+            quarantine_after=(
+                args.quarantine_after if args.quarantine_after > 0 else None
+            ),
+            bundle_dir=bundle_dir,
         )
     except ReproError as exc:
         print(f"campaign error: {exc}", file=sys.stderr)
@@ -362,9 +420,14 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         print(format_table(grid_rows, title=f"campaign: {spec.name}"))
     for line in experiment_lines:
         print(line)
-    status = (
+    counts = (
         f"{outcome.completed} executed, {outcome.cached} cached, "
-        f"{outcome.failed} failed of {len(runs)} runs "
+        f"{outcome.failed} failed"
+    )
+    if outcome.quarantined:
+        counts += f", {len(outcome.quarantined)} quarantined"
+    status = (
+        f"{counts} of {len(runs)} runs "
         f"in {outcome.elapsed_s:.1f}s (workers={args.workers}, "
         f"store={store_dir})"
     )
@@ -376,8 +439,41 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 f"{failure.attempts} attempts: {failure.error}",
                 file=sys.stderr,
             )
+        if outcome.quarantined:
+            from repro.diagnostics import write_quarantine_manifest
+
+            manifest = write_quarantine_manifest(
+                store_dir / "quarantine.json", spec.name, outcome.quarantined
+            )
+            for poisoned in outcome.quarantined:
+                bundle_note = (
+                    f" (bundle: {poisoned.bundle})" if poisoned.bundle else ""
+                )
+                print(
+                    f"QUARANTINED {poisoned.run_id} ({poisoned.label}) "
+                    f"after {poisoned.incidents} incidents: "
+                    f"{poisoned.error}{bundle_note}",
+                    file=sys.stderr,
+                )
+            print(f"quarantine manifest: {manifest}", file=sys.stderr)
+        # Partial success (some results, some casualties) is
+        # distinguishable from total failure for calling scripts.
+        if outcome.completed or outcome.cached:
+            return EXIT_PARTIAL
         return 1
     return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.diagnostics import load_bundle, replay_bundle
+
+    bundle = load_bundle(args.bundle)
+    report = replay_bundle(bundle)
+    if args.json:
+        print(format_json(report.as_dict()))
+    else:
+        print(report.render())
+    return 0 if report.reproduced else 1
 
 
 def _cmd_matrix(args: argparse.Namespace) -> int:
@@ -406,6 +502,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="render an ASCII gantt chart over ROWS nodes")
     p_run.add_argument("--json", action="store_true",
                        help="machine-readable JSON instead of tables")
+    _add_diagnostics_args(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_inspect = sub.add_parser(
@@ -476,16 +573,49 @@ def build_parser() -> argparse.ArgumentParser:
                         help="append progress events as JSONL to this file")
     p_camp.add_argument("--quiet", action="store_true",
                         help="suppress per-run progress lines")
+    p_camp.add_argument("--quarantine-after", type=int, default=2,
+                        help="isolate a run after N worker crashes / "
+                             "watchdog trips (0 = never quarantine)")
+    p_camp.add_argument("--bundle-dir", default="",
+                        help="replay bundle directory "
+                             "(default <store>/bundles)")
     p_camp.set_defaults(func=_cmd_campaign)
+
+    p_replay = sub.add_parser(
+        "replay", help="re-execute a crash replay bundle deterministically"
+    )
+    p_replay.add_argument("bundle", help="path to a <run_id>.bundle.json file")
+    p_replay.add_argument("--json", action="store_true",
+                          help="machine-readable replay report")
+    p_replay.set_defaults(func=_cmd_replay)
 
     p_mat = sub.add_parser("matrix", help="print the pairing matrix")
     p_mat.set_defaults(func=_cmd_matrix)
     return parser
 
 
+def _structured_error(exc: ReproError) -> str:
+    """One JSON line describing an escaped error, for scripted callers."""
+    payload: dict[str, object] = {
+        "error": type(exc).__name__,
+        "message": str(exc),
+    }
+    info = getattr(exc, "crash_info", None)
+    if info is not None and hasattr(info, "replay_signature"):
+        payload["crash"] = info.replay_signature()
+    bundle = getattr(exc, "bundle_path", None)
+    if bundle:
+        payload["bundle"] = str(bundle)
+    return json.dumps(payload, sort_keys=True)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(_structured_error(exc), file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Iterable, Iterator
 
 from repro.cluster.allocation import Allocation, AllocationKind
-from repro.cluster.node import Node, NodeMode
+from repro.cluster.node import Node
 from repro.cluster.topology import Topology
 from repro.errors import AllocationError
 

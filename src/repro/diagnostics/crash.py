@@ -1,0 +1,83 @@
+"""Crash reports: what the flight recorder saw when an error escaped.
+
+When any :class:`~repro.errors.ReproError` escapes the event loop, the
+workload manager calls :func:`attach_crash_info` to pin a
+:class:`CrashInfo` onto the exception instance before re-raising.  The
+attachment survives process boundaries (``BaseException.__reduce__``
+preserves ``__dict__``), so campaign workers can serialise replay
+bundles from it and the parent still sees the structured report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Mapping
+
+from repro.diagnostics.recorder import snapshot_manager
+
+
+@dataclass(frozen=True)
+class CrashInfo:
+    """Structured post-mortem of one simulation error."""
+
+    error_type: str
+    error_message: str
+    sim_time: float | None = None
+    events_dispatched: int | None = None
+    #: The event being dispatched when the error surfaced.
+    last_event: dict[str, object] | None = None
+    #: Flight-recorder tail, oldest first.
+    flight_events: list[dict[str, object]] = field(default_factory=list)
+    #: Events that had already fallen off the ring.
+    flight_dropped: int = 0
+    #: Cluster/queue/job state at the moment of the crash.
+    snapshot: dict[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, object]:
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(data: Mapping[str, object]) -> "CrashInfo":
+        known = set(CrashInfo.__dataclass_fields__)
+        return CrashInfo(**{k: v for k, v in data.items() if k in known})  # type: ignore[arg-type]
+
+    #: Fields a deterministic replay must reproduce exactly.
+    REPLAY_KEYS = ("error_type", "error_message", "sim_time",
+                   "events_dispatched", "last_event")
+
+    def replay_signature(self) -> dict[str, object]:
+        """The deterministically reproducible subset of this report."""
+        data = self.as_dict()
+        return {key: data[key] for key in self.REPLAY_KEYS}
+
+
+def crash_info_from(exc: BaseException, manager: object = None) -> CrashInfo:
+    """Build a :class:`CrashInfo` for *exc* in the context of *manager*."""
+    recorder = getattr(manager, "recorder", None)
+    sim = getattr(manager, "sim", None)
+    return CrashInfo(
+        error_type=type(exc).__name__,
+        error_message=str(exc),
+        sim_time=sim.now if sim is not None else None,
+        events_dispatched=(
+            sim.events_dispatched if sim is not None else None
+        ),
+        last_event=recorder.last() if recorder is not None else None,
+        flight_events=recorder.tail() if recorder is not None else [],
+        flight_dropped=recorder.dropped if recorder is not None else 0,
+        snapshot=snapshot_manager(manager) if manager is not None else {},
+    )
+
+
+def attach_crash_info(exc: BaseException, manager: object = None) -> CrashInfo:
+    """Attach a crash report to *exc* (idempotent: innermost wins).
+
+    Returns the attached report.  Errors raised deep inside nested
+    simulations keep the report closest to the failure.
+    """
+    existing = getattr(exc, "crash_info", None)
+    if isinstance(existing, CrashInfo):
+        return existing
+    info = crash_info_from(exc, manager)
+    exc.crash_info = info  # type: ignore[attr-defined]
+    return info

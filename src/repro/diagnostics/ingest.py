@@ -1,0 +1,109 @@
+"""Structured anomaly reporting for hardened trace ingestion.
+
+Foreign traces from the Parallel Workloads Archive contain malformed
+lines and physically impossible records.  Lenient ingestion quarantines
+each offending record here — with its line number, an anomaly category
+and the raw text — instead of aborting the replay, so a 100k-job trace
+with three garbage lines still loads and the three lines are fully
+accounted for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Maximum characters of the offending line kept per anomaly.
+_TEXT_LIMIT = 160
+
+#: Known anomaly categories, in reporting order.
+CATEGORIES = (
+    "field_count",        # not exactly 18 whitespace-separated fields
+    "parse",              # a field failed numeric conversion
+    "negative_submit",    # submit time < 0
+    "negative_runtime",   # runtime < 0 (0 = cancelled, silently skipped)
+    "nonpositive_procs",  # neither allocated nor requested procs usable
+    "oversized",          # procs exceed the target cluster's capacity
+    "non_monotone_submit",  # submit time went backwards
+    "duplicate_id",       # job number already admitted earlier
+    "invalid_spec",       # fields individually fine, JobSpec rejected them
+)
+
+
+@dataclass(frozen=True)
+class IngestAnomaly:
+    """One quarantined record."""
+
+    line_no: int
+    category: str
+    reason: str
+    text: str
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "line_no": self.line_no,
+            "category": self.category,
+            "reason": self.reason,
+            "text": self.text,
+        }
+
+
+class AnomalyReport:
+    """Accumulates quarantined records during one ingestion.
+
+    Per-category counts are always exact; the per-record detail list is
+    bounded by *max_records* so a pathological file cannot balloon
+    memory (the overflow is still counted).
+    """
+
+    def __init__(self, max_records: int = 1000) -> None:
+        self.max_records = int(max_records)
+        self.records: list[IngestAnomaly] = []
+        self._counts: dict[str, int] = {}
+
+    def add(self, line_no: int, category: str, reason: str, text: str) -> None:
+        """Quarantine one record."""
+        self._counts[category] = self._counts.get(category, 0) + 1
+        if len(self.records) < self.max_records:
+            self.records.append(
+                IngestAnomaly(
+                    line_no=line_no,
+                    category=category,
+                    reason=reason,
+                    text=text[:_TEXT_LIMIT],
+                )
+            )
+
+    @property
+    def quarantined(self) -> int:
+        """Total records excluded from the trace."""
+        return sum(self._counts.values())
+
+    def counts(self) -> dict[str, int]:
+        """Per-category quarantine counts (reporting order first)."""
+        ordered = {c: self._counts[c] for c in CATEGORIES if c in self._counts}
+        for category in sorted(set(self._counts) - set(ordered)):
+            ordered[category] = self._counts[category]
+        return ordered
+
+    def __len__(self) -> int:
+        return self.quarantined
+
+    def __bool__(self) -> bool:
+        return self.quarantined > 0
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "quarantined": self.quarantined,
+            "counts": self.counts(),
+            "records": [r.as_dict() for r in self.records],
+            "records_truncated": self.quarantined - len(self.records),
+        }
+
+    def summary(self) -> str:
+        """One line per category, for stderr reporting."""
+        if not self:
+            return "ingestion clean: 0 records quarantined"
+        parts = ", ".join(
+            f"{category}={count}" for category, count in self.counts().items()
+        )
+        return f"ingestion quarantined {self.quarantined} records ({parts})"

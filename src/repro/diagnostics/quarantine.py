@@ -1,0 +1,85 @@
+"""Poison-run quarantine records and the on-disk manifest.
+
+A *poison run* is one that repeatedly kills its campaign worker
+(process crash) or trips a watchdog — retrying it only destroys more
+pool state and delays blameless runs.  The campaign runner isolates
+such a run after K incidents; this module defines the record it keeps
+and the manifest written next to the campaign's artifact store so the
+poison runs (and their replay bundles) are auditable afterwards.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.errors import ReplayError
+
+#: Manifest schema identifier.
+QUARANTINE_FORMAT = "repro-quarantine/v1"
+
+
+@dataclass(frozen=True)
+class QuarantinedRun:
+    """One run isolated by the campaign runner."""
+
+    run_id: str
+    label: str
+    #: Worker crashes / watchdog trips observed before isolation.
+    incidents: int
+    #: The last observed error, as a string.
+    error: str
+    params: dict[str, object] = field(default_factory=dict)
+    #: Path of the replay bundle captured in the worker, if any.
+    bundle: str | None = None
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "run_id": self.run_id,
+            "label": self.label,
+            "incidents": self.incidents,
+            "error": self.error,
+            "params": self.params,
+            "bundle": self.bundle,
+        }
+
+
+def write_quarantine_manifest(
+    path: str | Path,
+    campaign: str,
+    runs: Sequence[QuarantinedRun],
+) -> Path:
+    """Write the quarantine manifest for *campaign* (canonical JSON)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    document = {
+        "format": QUARANTINE_FORMAT,
+        "campaign": campaign,
+        "quarantined": len(runs),
+        "runs": [run.as_dict() for run in runs],
+    }
+    path.write_text(
+        json.dumps(document, sort_keys=True, indent=1) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def load_quarantine_manifest(path: str | Path) -> dict[str, object]:
+    """Read and validate a manifest written by
+    :func:`write_quarantine_manifest`."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ReplayError(f"cannot read manifest {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ReplayError(f"{path}: invalid JSON: {exc}") from exc
+    if not isinstance(data, Mapping) or data.get("format") != QUARANTINE_FORMAT:
+        raise ReplayError(
+            f"{path}: not a quarantine manifest (expected format "
+            f"{QUARANTINE_FORMAT!r})"
+        )
+    return dict(data)

@@ -4,18 +4,35 @@
 events to handlers registered per :class:`~repro.engine.events.EventKind`.
 It is intentionally minimal — all batch-system semantics live in
 :mod:`repro.slurm.manager`, which is just another handler client.
+
+Diagnostics hooks (all inert unless armed):
+
+* an optional flight ``recorder`` receives every dispatched event
+  (one bounded-deque append), so crashes carry the recent history;
+* a wall-clock watchdog bounds the real time one :meth:`run` call may
+  consume before raising :class:`~repro.errors.WatchdogError`;
+* a simulated-time progress guard bounds how many events may dispatch
+  at a single timestamp, catching zero-delay livelocks long before the
+  lifetime ``max_events`` backstop would.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable
+import time as _wallclock
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.engine.events import Event, EventKind
 from repro.engine.heap import EventHeap
 from repro.engine.trace import EventTrace
-from repro.errors import SimulationError
+from repro.errors import MaxEventsError, SimulationError, WatchdogError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.diagnostics.recorder import FlightRecorder
 
 Handler = Callable[["Simulator", Event], None]
+
+#: Default lifetime dispatch budget (livelock backstop).
+DEFAULT_MAX_EVENTS = 50_000_000
 
 
 class Simulator:
@@ -27,20 +44,42 @@ class Simulator:
         Optional :class:`~repro.engine.trace.EventTrace` that records
         every dispatched event for post-mortem inspection.
     max_events:
-        Safety valve: raise :class:`~repro.errors.SimulationError` after
+        Safety valve: raise :class:`~repro.errors.MaxEventsError` after
         this many dispatches (guards against livelock in faulty
         strategies).
+    recorder:
+        Optional :class:`~repro.diagnostics.FlightRecorder` fed every
+        dispatched event for crash reports.
+    wall_clock_limit_s:
+        Real-time budget for one :meth:`run` call; ``None`` disables
+        the wall-clock watchdog.
+    stall_event_limit:
+        Maximum dispatches at one simulated timestamp before the
+        progress guard fires; ``None`` disables it.
     """
 
-    def __init__(self, trace: EventTrace | None = None, max_events: int = 50_000_000):
+    def __init__(
+        self,
+        trace: EventTrace | None = None,
+        max_events: int = DEFAULT_MAX_EVENTS,
+        recorder: "FlightRecorder | None" = None,
+        wall_clock_limit_s: float | None = None,
+        stall_event_limit: int | None = None,
+    ):
         self.now: float = 0.0
         self.heap = EventHeap()
         self.trace = trace
         self.max_events = int(max_events)
+        self.recorder = recorder
+        self.wall_clock_limit_s = wall_clock_limit_s
+        self.stall_event_limit = stall_event_limit
         self.events_dispatched = 0
         self._handlers: dict[EventKind, list[Handler]] = {}
         self._running = False
         self._stop_requested = False
+        self._wall_deadline: float | None = None
+        self._stall_anchor: float = -1.0
+        self._stall_count = 0
 
     # ------------------------------------------------------------------
     # Registration and scheduling
@@ -74,6 +113,39 @@ class Simulator:
         self._stop_requested = True
 
     # ------------------------------------------------------------------
+    # Watchdogs
+    # ------------------------------------------------------------------
+    def _check_progress_guard(self) -> None:
+        """Simulated-time progress guard (called with ``now`` updated)."""
+        if self.now != self._stall_anchor:
+            self._stall_anchor = self.now
+            self._stall_count = 1
+            return
+        self._stall_count += 1
+        if self._stall_count > self.stall_event_limit:  # type: ignore[operator]
+            raise WatchdogError(
+                f"progress watchdog: {self._stall_count} events dispatched "
+                f"at t={self.now:.6f} without the clock advancing "
+                f"(stall_event_limit={self.stall_event_limit}); "
+                f"likely a zero-delay event loop",
+                kind="sim_progress",
+                sim_time=self.now,
+                events_dispatched=self.events_dispatched,
+            )
+
+    def _check_wall_clock(self) -> None:
+        """Wall-clock watchdog (called from the run loop when armed)."""
+        if _wallclock.perf_counter() >= self._wall_deadline:  # type: ignore[operator]
+            raise WatchdogError(
+                f"wall-clock watchdog: run() exceeded "
+                f"{self.wall_clock_limit_s:.3f}s after "
+                f"{self.events_dispatched} events at t={self.now:.6f}",
+                kind="wall_clock",
+                sim_time=self.now,
+                events_dispatched=self.events_dispatched,
+            )
+
+    # ------------------------------------------------------------------
     # Run loop
     # ------------------------------------------------------------------
     def step(self) -> Event:
@@ -86,11 +158,23 @@ class Simulator:
         self.now = event.time
         self.events_dispatched += 1
         if self.events_dispatched > self.max_events:
-            raise SimulationError(
-                f"exceeded max_events={self.max_events}; likely a scheduling livelock"
+            raise MaxEventsError(
+                f"exceeded max_events={self.max_events} at t={self.now:.6f} "
+                f"({self.events_dispatched} dispatched, "
+                f"{len(self.heap)} queued); likely a scheduling livelock",
+                sim_time=self.now,
+                events_dispatched=self.events_dispatched,
+                max_events=self.max_events,
+                flight_tail=(
+                    self.recorder.tail(32) if self.recorder is not None else None
+                ),
             )
+        if self.stall_event_limit is not None:
+            self._check_progress_guard()
         if self.trace is not None:
             self.trace.record(event)
+        if self.recorder is not None:
+            self.recorder.record(event)
         for handler in self._handlers.get(event.kind, ()):
             handler(self, event)
         return event
@@ -104,8 +188,14 @@ class Simulator:
             raise SimulationError("run() re-entered; the simulator is not reentrant")
         self._running = True
         self._stop_requested = False
+        if self.wall_clock_limit_s is not None:
+            self._wall_deadline = (
+                _wallclock.perf_counter() + self.wall_clock_limit_s
+            )
         try:
             while self.heap:
+                if self._wall_deadline is not None:
+                    self._check_wall_clock()
                 next_time = self.heap.peek_time()
                 if until is not None and next_time is not None and next_time > until:
                     self.now = until
@@ -118,6 +208,7 @@ class Simulator:
                     self.now = until
         finally:
             self._running = False
+            self._wall_deadline = None
         return self.now
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

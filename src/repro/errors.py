@@ -27,6 +27,55 @@ class SimulationError(ReproError):
     """The discrete-event engine reached an inconsistent state."""
 
 
+class MaxEventsError(SimulationError):
+    """The engine's ``max_events`` backstop fired (likely a livelock).
+
+    Carries the simulated time, the dispatch counters and — when a
+    flight recorder was installed — the tail of recently dispatched
+    events, so a livelock is debuggable from the exception alone.
+    Only ``message`` participates in ``args`` so instances survive
+    pickling across campaign worker processes.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        sim_time: float | None = None,
+        events_dispatched: int | None = None,
+        max_events: int | None = None,
+        flight_tail: "list[dict] | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.sim_time = sim_time
+        self.events_dispatched = events_dispatched
+        self.max_events = max_events
+        self.flight_tail = flight_tail or []
+
+
+class WatchdogError(SimulationError):
+    """A watchdog tripped: the run stalled in wall-clock or simulated
+    time (see :mod:`repro.diagnostics`).
+
+    ``kind`` is ``"wall_clock"`` (the run loop exceeded its real-time
+    budget) or ``"sim_progress"`` (too many events dispatched without
+    the simulated clock advancing).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        kind: str = "",
+        sim_time: float | None = None,
+        events_dispatched: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.sim_time = sim_time
+        self.events_dispatched = events_dispatched
+
+
 class WorkloadError(ReproError):
     """A workload trace or job specification is invalid."""
 
@@ -41,3 +90,7 @@ class JobStateError(ReproError):
 
 class CampaignError(ReproError):
     """A campaign execution finished with failed runs."""
+
+
+class ReplayError(ReproError):
+    """A crash replay bundle is missing, malformed, or unreadable."""

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.diagnostics.config import DiagnosticsConfig
 from repro.errors import ConfigError
 from repro.interference.model import ModelParams
 from repro.interference.profile import ResourceProfile
@@ -90,10 +91,17 @@ class SchedulerConfig:
     #: resilience layer entirely.  A plain dict (e.g. from a campaign
     #: params payload) is converted via ResilienceConfig.from_dict.
     resilience: ResilienceConfig | None = None
+    #: Crash-diagnostics settings (flight recorder on, watchdogs off
+    #: by default — inert on the happy path).  A plain dict (e.g. from
+    #: a campaign params payload) is converted via
+    #: DiagnosticsConfig.from_dict.
+    diagnostics: DiagnosticsConfig = field(default_factory=DiagnosticsConfig)
 
     def __post_init__(self) -> None:
         if isinstance(self.resilience, dict):
             self.resilience = ResilienceConfig.from_dict(self.resilience)
+        if isinstance(self.diagnostics, dict):
+            self.diagnostics = DiagnosticsConfig.from_dict(self.diagnostics)
         if self.backfill_interval < 0:
             raise ConfigError("backfill_interval must be >= 0")
         if self.walltime_grace < 1.0:

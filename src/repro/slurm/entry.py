@@ -19,7 +19,7 @@ from typing import Mapping
 
 import numpy as np
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, ReproError
 from repro.slurm.config import SchedulerConfig
 from repro.workload.trace import WorkloadTrace
 
@@ -72,10 +72,13 @@ def _build_trace(workload: Mapping[str, object]) -> WorkloadTrace:
 
         path = str(workload["path"])
         apps = read_swf_header_apps(path)
+        max_procs = workload.get("max_procs")
         return read_swf(
             path,
             cores_per_node=int(workload.get("cores_per_node", 32)),  # type: ignore[arg-type]
             app_names=apps,
+            mode=str(workload.get("mode", "strict")),
+            max_procs=int(max_procs) if max_procs is not None else None,  # type: ignore[arg-type]
         )
     raise ConfigError(f"unknown workload kind {kind!r}")
 
@@ -136,15 +139,34 @@ def _execute_experiment(params: Mapping[str, object]) -> dict[str, object]:
     }
 
 
-def execute_run(params: Mapping[str, object]) -> dict[str, object]:
+def execute_run(
+    params: Mapping[str, object], bundle_dir: str | None = None
+) -> dict[str, object]:
     """Execute one campaign run; returns a deterministic result dict.
 
     This is the function campaign workers unpickle and call; keep it
-    importable as ``repro.slurm.entry.execute_run``.
+    importable as ``repro.slurm.entry.execute_run``.  The campaign
+    runner partials in *bundle_dir*: when set, any
+    :class:`~repro.errors.ReproError` raised by the run is serialised
+    as a replay bundle at ``<bundle_dir>/<run_id>.bundle.json``
+    (best-effort) before the error propagates to the pool, so the
+    crash is reproducible even though the worker process is gone.
     """
     kind = params.get("kind")
-    if kind == "simulate":
-        return _execute_simulate(params)
-    if kind == "experiment":
+    if kind not in ("simulate", "experiment"):
+        raise ConfigError(f"unknown run kind {kind!r}")
+    try:
+        if kind == "simulate":
+            return _execute_simulate(params)
         return _execute_experiment(params)
-    raise ConfigError(f"unknown run kind {kind!r}")
+    except ReproError as exc:
+        if bundle_dir is not None:
+            from repro.diagnostics.bundle import capture_bundle
+
+            try:
+                path = capture_bundle(dict(params), exc, bundle_dir)
+            except OSError:
+                pass  # a full disk must not mask the original error
+            else:
+                exc.bundle_path = str(path)  # type: ignore[attr-defined]
+        raise

@@ -23,10 +23,13 @@ from repro.cluster.machine import Cluster
 from repro.cluster.partition import Partition
 from repro.core.pairing import PairingPolicy
 from repro.core.strategy import Placement, ScheduleContext, Strategy, make_strategy
+from repro.diagnostics.crash import attach_crash_info
+from repro.diagnostics.recorder import FlightRecorder
 from repro.engine.events import Event, EventKind
 from repro.engine.simulator import Simulator
 from repro.errors import (
     ConfigError,
+    ReproError,
     SchedulingError,
     SimulationError,
     WorkloadError,
@@ -132,7 +135,18 @@ class WorkloadManager:
         self.queue = PendingQueue(self.priority)
         self.jobs: dict[int, Job] = {}
         self.accounting = AccountingLog()
-        self.sim = Simulator()
+        diag = self.config.diagnostics
+        self.recorder: FlightRecorder | None = (
+            FlightRecorder(diag.ring_size) if diag.flight_recorder else None
+        )
+        sim_kwargs: dict = {
+            "recorder": self.recorder,
+            "wall_clock_limit_s": diag.wall_clock_limit_s,
+            "stall_event_limit": diag.stall_event_limit,
+        }
+        if diag.max_events is not None:
+            sim_kwargs["max_events"] = diag.max_events
+        self.sim = Simulator(**sim_kwargs)
         self.scheduler_passes = 0
         self.placements_applied = 0
         self._terminal_jobs = 0
@@ -857,14 +871,21 @@ class WorkloadManager:
         from repro.metrics.resilience import resilience_report
 
         started = _wallclock.perf_counter()
-        self.sim.run(until=until)
+        try:
+            self.sim.run(until=until)
+            unfinished = len(self.jobs) - self._terminal_jobs
+            if unfinished and until is None:
+                raise SimulationError(
+                    f"simulation drained its event heap with {unfinished} "
+                    f"jobs unfinished — scheduling deadlock"
+                )
+        except ReproError as exc:
+            # Pin the flight-recorder dump and a state snapshot onto
+            # the escaping error so callers can serialise a replay
+            # bundle (see repro.diagnostics).
+            attach_crash_info(exc, manager=self)
+            raise
         elapsed = _wallclock.perf_counter() - started
-        unfinished = len(self.jobs) - self._terminal_jobs
-        if unfinished and until is None:
-            raise SimulationError(
-                f"simulation drained its event heap with {unfinished} "
-                f"jobs unfinished — scheduling deadlock"
-            )
         ends = [r.end_time for r in self.accounting]
         submits = [j.spec.submit_time for j in self.jobs.values()]
         makespan = (max(ends) - min(submits)) if ends else 0.0

@@ -34,6 +34,20 @@ archive's convention of overloading the *queue number*: queue 1 is the
 exclusive queue, queue 2 the shareable queue.  Files written and read
 by this module round-trip losslessly; foreign files simply land in the
 exclusive queue.
+
+Ingestion modes
+---------------
+``mode="strict"`` (default) keeps the historical fail-fast behaviour:
+any malformed line aborts the whole read with
+:class:`~repro.errors.TraceFormatError`.  ``mode="lenient"`` instead
+*quarantines* malformed or physically impossible records — wrong field
+counts, unparsable numbers, negative runtimes or submit times, procs
+exceeding the target cluster, submit times running backwards,
+duplicate job numbers — into a
+structured :class:`~repro.diagnostics.AnomalyReport` and keeps
+loading, which is what replaying foreign Parallel Workloads Archive
+traces needs.  In both modes, zero-runtime records (cancelled archive
+submissions) are skipped silently, as is conventional.
 """
 
 from __future__ import annotations
@@ -42,13 +56,15 @@ import io
 from pathlib import Path
 from typing import Sequence, TextIO
 
-from repro.errors import TraceFormatError
+from repro.diagnostics.ingest import AnomalyReport
+from repro.errors import TraceFormatError, WorkloadError
 from repro.workload.spec import JobSpec
 from repro.workload.trace import WorkloadTrace
 
 _NUM_FIELDS = 18
 _SHAREABLE_QUEUE = 2
 _EXCLUSIVE_QUEUE = 1
+_MODES = ("strict", "lenient")
 
 
 def _open_for_read(source: str | Path | TextIO) -> tuple[TextIO, bool]:
@@ -63,6 +79,9 @@ def read_swf(
     app_names: Sequence[str] = (),
     name: str | None = None,
     max_jobs: int | None = None,
+    mode: str = "strict",
+    max_procs: int | None = None,
+    anomalies: AnomalyReport | None = None,
 ) -> WorkloadTrace:
     """Parse an SWF file into a :class:`WorkloadTrace`.
 
@@ -75,14 +94,33 @@ def read_swf(
         Optional mapping from executable number (1-based) to app name.
     max_jobs:
         Stop after this many parsed jobs (long archive traces).
+    mode:
+        ``"strict"`` aborts on the first malformed line (the historical
+        behaviour); ``"lenient"`` quarantines malformed and physically
+        impossible records into *anomalies* and keeps loading.
+    max_procs:
+        Physical processor capacity of the target cluster; lenient
+        mode quarantines records requesting more (strict mode leaves
+        oversized jobs to the scheduler's admission policy).
+    anomalies:
+        Quarantine ledger for lenient mode; a fresh
+        :class:`~repro.diagnostics.AnomalyReport` is created when not
+        supplied.  Ignored in strict mode.
 
-    Jobs with non-positive runtime or processor counts — cancelled
-    submissions in archive traces — are skipped, as is conventional.
+    Jobs with zero runtime or non-positive processor counts —
+    cancelled submissions in archive traces — are skipped, as is
+    conventional.
     """
     if cores_per_node < 1:
         raise TraceFormatError(f"cores_per_node must be >= 1, got {cores_per_node}")
+    if mode not in _MODES:
+        raise TraceFormatError(f"mode must be one of {_MODES}, got {mode!r}")
+    lenient = mode == "lenient"
+    report = anomalies if anomalies is not None else AnomalyReport()
     stream, owned = _open_for_read(source)
     jobs: list[JobSpec] = []
+    last_submit: float | None = None
+    seen_ids: set[int] = set()
     try:
         for line_no, line in enumerate(stream, start=1):
             text = line.strip()
@@ -90,6 +128,13 @@ def read_swf(
                 continue
             fields = text.split()
             if len(fields) != _NUM_FIELDS:
+                if lenient:
+                    report.add(
+                        line_no, "field_count",
+                        f"expected {_NUM_FIELDS} fields, got {len(fields)}",
+                        text,
+                    )
+                    continue
                 raise TraceFormatError(
                     f"line {line_no}: expected {_NUM_FIELDS} fields, "
                     f"got {len(fields)}"
@@ -97,13 +142,51 @@ def read_swf(
             try:
                 values = [float(f) for f in fields]
             except ValueError as exc:
+                if lenient:
+                    report.add(line_no, "parse", str(exc), text)
+                    continue
                 raise TraceFormatError(f"line {line_no}: {exc}") from exc
             job_id = int(values[0])
             submit = values[1]
             runtime = values[3]
             procs = int(values[4]) if values[4] > 0 else int(values[7])
             requested_time = values[8] if values[8] > 0 else runtime
-            if runtime <= 0 or procs <= 0 or submit < 0:
+            if lenient:
+                if submit < 0:
+                    report.add(line_no, "negative_submit",
+                               f"submit time {submit:g} < 0", text)
+                    continue
+                if runtime < 0:
+                    report.add(line_no, "negative_runtime",
+                               f"runtime {runtime:g} < 0", text)
+                    continue
+                if runtime == 0:
+                    continue  # cancelled archive record, skipped silently
+                if procs <= 0:
+                    report.add(line_no, "nonpositive_procs",
+                               f"processor count {procs} <= 0", text)
+                    continue
+                if max_procs is not None and procs > max_procs:
+                    report.add(
+                        line_no, "oversized",
+                        f"{procs} procs exceed cluster capacity {max_procs}",
+                        text,
+                    )
+                    continue
+                if last_submit is not None and submit < last_submit:
+                    report.add(
+                        line_no, "non_monotone_submit",
+                        f"submit time {submit:g} < previous {last_submit:g}",
+                        text,
+                    )
+                    continue
+                if job_id in seen_ids:
+                    # WorkloadTrace rejects duplicate ids; quarantining
+                    # here keeps lenient ingestion from ever raising.
+                    report.add(line_no, "duplicate_id",
+                               f"job number {job_id} already admitted", text)
+                    continue
+            elif runtime <= 0 or procs <= 0 or submit < 0:
                 continue  # cancelled or malformed archive record
             exe = int(values[13])
             app = ""
@@ -112,8 +195,8 @@ def read_swf(
             queue = int(values[14])
             num_nodes = max(1, -(-procs // cores_per_node))
             memory = values[9] if values[9] > 0 else 0.0
-            jobs.append(
-                JobSpec(
+            try:
+                spec = JobSpec(
                     job_id=job_id,
                     submit_time=submit,
                     num_nodes=num_nodes,
@@ -125,7 +208,14 @@ def read_swf(
                     memory_mb_per_node=memory,
                     depends_on=int(values[16]) if values[16] >= 0 else -1,
                 )
-            )
+            except WorkloadError as exc:
+                if lenient:
+                    report.add(line_no, "invalid_spec", str(exc), text)
+                    continue
+                raise
+            jobs.append(spec)
+            last_submit = submit
+            seen_ids.add(job_id)
             if max_jobs is not None and len(jobs) >= max_jobs:
                 break
     finally:

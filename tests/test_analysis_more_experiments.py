@@ -4,7 +4,6 @@ The benchmarks run these at evaluation scale; here they run at toy
 scale so the plain test suite covers their code paths too.
 """
 
-import pytest
 
 from repro.analysis import (
     e13_cluster_scaling,

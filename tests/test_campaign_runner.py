@@ -14,7 +14,6 @@ import pytest
 from repro.campaign.progress import (
     CACHED,
     COMPLETED,
-    FAILED,
     RETRY,
     STARTED,
 )
@@ -72,6 +71,13 @@ def crash_always_entry(params):
 def sleepy_entry(params):
     time.sleep(params["sleep_s"])
     return {"value": "slept"}
+
+
+def watchdog_entry(params):
+    from repro.errors import WatchdogError
+
+    raise WatchdogError("wall-clock watchdog: synthetic trip",
+                        kind="wall_clock")
 
 
 def runs_of(values):
@@ -255,12 +261,61 @@ class TestParallel:
 
     def test_worker_crash_exhausts_attempts(self, tmp_path):
         runner = CampaignRunner(
-            workers=2, entry=crash_always_entry, retries=1, backoff=0.0
+            workers=2, entry=crash_always_entry, retries=1, backoff=0.0,
+            quarantine_after=None,
         )
         result = runner.run(runs_of([1]))
         assert not result.ok
         assert result.failures[0].attempts == 2
         assert "worker crashed" in result.failures[0].error
+
+    def test_serial_watchdog_trips_quarantine(self, tmp_path):
+        """The serial path quarantines a watchdog-tripping run too —
+        after ``quarantine_after`` trips, with attempts remaining."""
+        store = ResultStore(tmp_path / "s")
+        poisoned = runs_of([1])[0]
+        clean = runs_of([2])[0]
+        runner = CampaignRunner(
+            store=store, workers=1,
+            entry=lambda p: watchdog_entry(p) if p["value"] == 1
+            else double_entry(p),
+            retries=9, backoff=0.0, quarantine_after=3,
+        )
+        result = runner.run([poisoned, clean])
+        assert len(result.quarantined) == 1
+        assert result.quarantined[0].incidents == 3
+        assert not result.failures
+        assert result.completed == 1
+        assert not store.has(poisoned.run_id)
+
+    def test_quarantine_disabled_falls_back_to_retry(self, tmp_path):
+        runner = CampaignRunner(
+            workers=1, entry=watchdog_entry, retries=1, backoff=0.0,
+            quarantine_after=None,
+        )
+        result = runner.run(runs_of([1]))
+        assert not result.quarantined
+        assert result.failures[0].attempts == 2
+
+    def test_bad_quarantine_after_rejected(self):
+        with pytest.raises(ConfigError, match="quarantine_after"):
+            CampaignRunner(quarantine_after=0)
+
+    def test_worker_crash_quarantines_poison_run(self, tmp_path):
+        """A run that keeps killing its worker is isolated after
+        ``quarantine_after`` crashes, even with attempts remaining."""
+        runner = CampaignRunner(
+            workers=2, entry=crash_always_entry, retries=5, backoff=0.0,
+            quarantine_after=2,
+        )
+        result = runner.run(runs_of([1]))
+        assert not result.ok
+        assert not result.failures
+        assert len(result.quarantined) == 1
+        poisoned = result.quarantined[0]
+        assert poisoned.incidents == 2
+        assert "worker crashed" in poisoned.error
+        assert poisoned.bundle is None  # no bundle_dir configured
 
     def test_timeout_abandons_run_spares_the_rest(self, tmp_path):
         """One run exceeding the per-run budget fails with a timeout

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.cluster.machine import Cluster
 from repro.core.pairing import PairingPolicy
 from repro.core.selector import AvailabilityView
 from repro.core.strategy import ScheduleContext

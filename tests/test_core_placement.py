@@ -1,6 +1,5 @@
 """Unit tests for placement helpers (exclusive, join, open-shared)."""
 
-import pytest
 
 from repro.cluster.allocation import AllocationKind
 from repro.core.placement import (
@@ -11,8 +10,6 @@ from repro.core.placement import (
     place_open_shared,
 )
 from repro.core.selector import AvailabilityView, ResidentGroup
-from repro.interference.model import InterferenceModel
-from repro.core.pairing import PairingPolicy
 from repro.miniapps.suite import TRINITY_SUITE
 from tests.conftest import make_job
 from tests.test_core_pairing_selector import make_ctx, start_shared

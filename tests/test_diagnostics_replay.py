@@ -1,0 +1,246 @@
+"""Crash-replay determinism: bundle capture, replay, CLI exit codes.
+
+The central claim under test: because simulations are driven entirely
+by params-keyed RNG streams, re-executing a crashed run's params
+reproduces the *identical* failing event — same error type, message,
+simulated time and event count.  Faults are injected deterministically
+through the diagnostics config (a tiny ``max_events`` ceiling or a
+zero wall-clock budget) rather than through any test-only hook.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.diagnostics import (
+    bundle_path_for,
+    capture_bundle,
+    load_bundle,
+    load_quarantine_manifest,
+    replay_bundle,
+)
+from repro.errors import MaxEventsError, ReplayError
+from repro.slurm.entry import execute_run
+
+
+def crashing_params(max_events=40):
+    """Params whose simulation deterministically dies at event N+1."""
+    return {
+        "kind": "simulate",
+        "strategy": "easy_backfill",
+        "num_nodes": 16,
+        "config": {"diagnostics": {"max_events": max_events}},
+        "workload": {
+            "kind": "trinity", "jobs": 50, "nodes": 16, "seed": 3,
+            "share_fraction": 0.85, "offered_load": 1.5,
+        },
+    }
+
+
+def healthy_params():
+    return {
+        "kind": "simulate",
+        "strategy": "easy_backfill",
+        "num_nodes": 16,
+        "workload": {
+            "kind": "trinity", "jobs": 30, "nodes": 16, "seed": 4,
+            "share_fraction": 0.85, "offered_load": 1.5,
+        },
+    }
+
+
+def capture(tmp_path, params=None):
+    params = params or crashing_params()
+    with pytest.raises(MaxEventsError) as info:
+        execute_run(params, bundle_dir=str(tmp_path))
+    return info.value, load_bundle(info.value.bundle_path)
+
+
+class TestBundleCapture:
+    def test_worker_writes_bundle_on_crash(self, tmp_path):
+        err, bundle = capture(tmp_path)
+        assert bundle["format"] == "repro-replay-bundle/v1"
+        assert bundle["crash"]["error_type"] == "MaxEventsError"
+        assert bundle["crash"]["error_message"] == str(err)
+        assert bundle["crash"]["flight_events"]
+        assert bundle["params"] == crashing_params()
+
+    def test_bundle_path_is_content_addressed(self, tmp_path):
+        err, bundle = capture(tmp_path)
+        expected = bundle_path_for(tmp_path, bundle["run_id"])
+        assert str(expected) == err.bundle_path
+
+    def test_no_bundle_without_directory(self):
+        with pytest.raises(MaxEventsError) as info:
+            execute_run(crashing_params())
+        assert not hasattr(info.value, "bundle_path")
+
+    def test_minimal_bundle_for_contextless_error(self, tmp_path):
+        path = capture_bundle(
+            healthy_params(), ValueError("pre-sim failure"), tmp_path
+        )
+        crash = load_bundle(path)["crash"]
+        assert crash["error_type"] == "ValueError"
+        assert crash["sim_time"] is None
+
+    def test_load_rejects_garbage(self, tmp_path):
+        bad = tmp_path / "x.bundle.json"
+        bad.write_text("{not json")
+        with pytest.raises(ReplayError, match="invalid JSON"):
+            load_bundle(bad)
+        bad.write_text('{"format": "other/v9"}')
+        with pytest.raises(ReplayError, match="not a replay bundle"):
+            load_bundle(bad)
+        with pytest.raises(ReplayError, match="cannot read"):
+            load_bundle(tmp_path / "absent.json")
+
+
+class TestReplayDeterminism:
+    def test_replay_reproduces_exact_crash(self, tmp_path):
+        err, bundle = capture(tmp_path)
+        report = replay_bundle(bundle)
+        assert report.reproduced
+        assert report.mismatches == []
+        assert report.observed["error_message"] == str(err)
+        assert report.observed["sim_time"] == err.crash_info.sim_time
+        assert (
+            report.observed["events_dispatched"]
+            == err.crash_info.events_dispatched
+        )
+        assert "REPRODUCED" in report.render()
+
+    def test_tampered_recording_diverges(self, tmp_path):
+        _, bundle = capture(tmp_path)
+        bundle["crash"]["sim_time"] = 123.456
+        report = replay_bundle(bundle)
+        assert not report.reproduced
+        assert [m[0] for m in report.mismatches] == ["sim_time"]
+        assert "DIVERGED" in report.render()
+
+    def test_healthy_params_do_not_reproduce(self, tmp_path):
+        _, bundle = capture(tmp_path)
+        bundle["params"] = healthy_params()
+        report = replay_bundle(bundle)
+        assert not report.reproduced
+        assert report.observed is None
+        assert "NOT REPRODUCED" in report.render()
+
+
+class TestReplayCli:
+    def test_replay_command_exit_zero(self, tmp_path, capsys):
+        err, bundle = capture(tmp_path)
+        assert main(["replay", err.bundle_path]) == 0
+        out = capsys.readouterr().out
+        assert "REPRODUCED" in out
+
+    def test_replay_command_json(self, tmp_path, capsys):
+        err, _ = capture(tmp_path)
+        assert main(["replay", err.bundle_path, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["reproduced"] is True
+        assert payload["expected"] == payload["observed"]
+
+    def test_replay_divergence_exits_one(self, tmp_path, capsys):
+        err, bundle = capture(tmp_path)
+        bundle["crash"]["events_dispatched"] = 1
+        tampered = tmp_path / "tampered.bundle.json"
+        tampered.write_text(json.dumps(bundle))
+        assert main(["replay", str(tampered)]) == 1
+        assert "DIVERGED" in capsys.readouterr().out
+
+    def test_replay_bad_file_structured_error(self, tmp_path, capsys):
+        missing = tmp_path / "absent.bundle.json"
+        assert main(["replay", str(missing)]) == 1
+        err = json.loads(capsys.readouterr().err)
+        assert err["error"] == "ReplayError"
+
+
+class TestRunCliErrors:
+    RUN = ["run", "--jobs", "40", "--nodes", "16", "--seed", "3"]
+
+    def test_crash_emits_structured_json_on_stderr(self, capsys):
+        code = main([*self.RUN, "--max-events", "25"])
+        assert code == 1
+        captured = capsys.readouterr()
+        payload = json.loads(captured.err)
+        assert payload["error"] == "MaxEventsError"
+        assert "max_events=25" in payload["message"]
+        assert payload["crash"]["events_dispatched"] == 26
+
+    def test_watchdog_flag_reaches_engine(self, capsys):
+        code = main([*self.RUN, "--wall-clock-limit", "0.000001"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().err)
+        assert payload["error"] == "WatchdogError"
+
+    def test_healthy_run_unaffected(self, capsys):
+        assert main([*self.RUN, "--json"]) == 0
+
+
+class TestCampaignQuarantineCli:
+    def poison_spec(self, tmp_path):
+        spec = {
+            "name": "poisoned",
+            "jobs": 30,
+            "strategies": ["easy_backfill"],
+            "seeds": [3],
+            "cluster_sizes": [16],
+            # Every grid run trips the wall-clock watchdog immediately
+            # and deterministically; the experiment run is unaffected.
+            "config": {"diagnostics": {"wall_clock_limit_s": 0.0}},
+            "experiments": ["e1"],
+        }
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec))
+        return path
+
+    def test_partial_success_exit_code_and_manifest(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        code = main([
+            "campaign", "--spec", str(self.poison_spec(tmp_path)),
+            "--store", str(store), "--workers", "2",
+            "--retries", "5", "--backoff", "0.0", "--quiet",
+        ])
+        assert code == 3  # partial success: e1 completed, grid run poisoned
+        captured = capsys.readouterr()
+        assert "1 executed" in captured.out
+        assert "1 quarantined" in captured.out
+        assert "QUARANTINED" in captured.err
+        manifest = load_quarantine_manifest(store / "quarantine.json")
+        assert manifest["quarantined"] == 1
+        poisoned = manifest["runs"][0]
+        assert poisoned["incidents"] == 2  # the default --quarantine-after
+        assert "WatchdogError" in poisoned["error"]
+        bundle = load_bundle(poisoned["bundle"])
+        assert bundle["run_id"] == poisoned["run_id"]
+        assert bundle["crash"]["error_type"] == "WatchdogError"
+
+    def test_all_failed_exits_one(self, tmp_path, capsys):
+        spec = {
+            "name": "allpoison", "jobs": 30,
+            "strategies": ["easy_backfill"], "seeds": [3],
+            "cluster_sizes": [16],
+            "config": {"diagnostics": {"wall_clock_limit_s": 0.0}},
+        }
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec))
+        code = main([
+            "campaign", "--spec", str(path),
+            "--store", str(tmp_path / "store"), "--workers", "1",
+            "--retries", "0", "--backoff", "0.0", "--quiet",
+            "--quarantine-after", "0",  # disabled: plain failure path
+        ])
+        assert code == 1
+        assert "FAILED" in capsys.readouterr().err
+
+    def test_quarantined_run_not_cached(self, tmp_path):
+        store = tmp_path / "store"
+        main([
+            "campaign", "--spec", str(self.poison_spec(tmp_path)),
+            "--store", str(store), "--workers", "2",
+            "--retries", "5", "--backoff", "0.0", "--quiet",
+        ])
+        manifest = load_quarantine_manifest(store / "quarantine.json")
+        poisoned_id = manifest["runs"][0]["run_id"]
+        assert not (store / f"{poisoned_id}.json").exists()

@@ -1,6 +1,5 @@
 """Unit tests for step-function timelines."""
 
-import numpy as np
 import pytest
 
 from repro.errors import SimulationError

@@ -1,0 +1,270 @@
+"""Hardened SWF ingestion: lenient quarantine, fuzzing, round-trips.
+
+Two layers of assurance for :func:`repro.workload.swf.read_swf`:
+
+* directed tests that each anomaly category quarantines exactly the
+  records it should, with strict mode preserving fail-fast behaviour;
+* a seeded fuzz corpus (truncated lines, wrong field counts,
+  out-of-range integers, mixed line endings, interleaved comments)
+  asserting lenient mode *never* raises and never admits a physically
+  impossible job, plus a Hypothesis round-trip property over random
+  JobSpec grids.
+"""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.diagnostics import AnomalyReport
+from repro.diagnostics.ingest import CATEGORIES
+from repro.errors import TraceFormatError, WorkloadError
+from repro.workload.spec import JobSpec
+from repro.workload.swf import dumps_swf, read_swf, roundtrip_equal
+from repro.workload.trace import WorkloadTrace
+
+APPS = ("AMG", "GTC", "MILC")
+
+
+def record(job_id=1, submit=10, runtime=500, procs=4, requested=600,
+           queue=1, exe=-1):
+    """One well-formed 18-field SWF line with chosen fields."""
+    fields = [job_id, submit, -1, runtime, procs, -1, -1, procs,
+              requested, -1, 1, 2, -1, exe, queue, 1, -1, -1]
+    return " ".join(str(f) for f in fields)
+
+
+def read_lenient(text, **kwargs):
+    report = AnomalyReport()
+    trace = read_swf(io.StringIO(text), mode="lenient",
+                     anomalies=report, **kwargs)
+    return trace, report
+
+
+class TestLenientCategories:
+    def test_field_count(self):
+        trace, report = read_lenient("1 2 3\n" + record() + "\n")
+        assert len(trace) == 1
+        assert report.counts() == {"field_count": 1}
+        assert report.records[0].line_no == 1
+
+    def test_parse_failure(self):
+        bad = record().replace("500", "5x0")
+        trace, report = read_lenient(bad + "\n" + record(job_id=2) + "\n")
+        assert len(trace) == 1
+        assert report.counts() == {"parse": 1}
+
+    def test_negative_submit(self):
+        _, report = read_lenient(record(submit=-5) + "\n")
+        assert report.counts() == {"negative_submit": 1}
+
+    def test_negative_runtime(self):
+        _, report = read_lenient(record(runtime=-7) + "\n")
+        assert report.counts() == {"negative_runtime": 1}
+
+    def test_zero_runtime_skipped_silently(self):
+        trace, report = read_lenient(record(runtime=0) + "\n")
+        assert len(trace) == 0
+        assert not report  # cancelled records are not anomalies
+
+    def test_nonpositive_procs(self):
+        _, report = read_lenient(record(procs=0) + "\n")
+        assert report.counts() == {"nonpositive_procs": 1}
+
+    def test_oversized_job(self):
+        text = record(procs=64) + "\n" + record(job_id=2, procs=8) + "\n"
+        trace, report = read_lenient(text, max_procs=32)
+        assert len(trace) == 1
+        assert report.counts() == {"oversized": 1}
+        assert "exceed cluster capacity 32" in report.records[0].reason
+
+    def test_strict_ignores_max_procs(self):
+        trace = read_swf(io.StringIO(record(procs=64) + "\n"),
+                         mode="strict", max_procs=32)
+        assert len(trace) == 1  # admission policy's problem, not ours
+
+    def test_non_monotone_submit(self):
+        text = (record(job_id=1, submit=100) + "\n"
+                + record(job_id=2, submit=50) + "\n"
+                + record(job_id=3, submit=100) + "\n")
+        trace, report = read_lenient(text)
+        assert [j.job_id for j in trace] == [1, 3]
+        assert report.counts() == {"non_monotone_submit": 1}
+
+    def test_monotonicity_checked_against_accepted_records(self):
+        # A quarantined record must not poison the monotonicity anchor.
+        text = (record(job_id=1, submit=100) + "\n"
+                + record(job_id=2, submit=500, runtime=-1) + "\n"
+                + record(job_id=3, submit=200) + "\n")
+        trace, report = read_lenient(text)
+        assert [j.job_id for j in trace] == [1, 3]
+        assert report.counts() == {"negative_runtime": 1}
+
+    def test_duplicate_job_id_quarantined(self):
+        text = (record(job_id=1, submit=10) + "\n"
+                + record(job_id=1, submit=20) + "\n"
+                + record(job_id=2, submit=30) + "\n")
+        trace, report = read_lenient(text)
+        assert [j.job_id for j in trace] == [1, 2]
+        assert report.counts() == {"duplicate_id": 1}
+        assert "already admitted" in report.records[0].reason
+
+    def test_duplicate_job_id_strict_fails_fast(self):
+        text = record(job_id=1) + "\n" + record(job_id=1, submit=20) + "\n"
+        with pytest.raises(WorkloadError, match="duplicate job_id"):
+            read_swf(io.StringIO(text), mode="strict")
+
+    def test_invalid_spec(self):
+        # Walltime/runtime pass the field checks but violate JobSpec's
+        # invariants (submit NaN is caught earlier; use huge procs that
+        # floor-divide to a valid node count but negative requested).
+        _, report = read_lenient(record(requested=-600, runtime=-1) + "\n")
+        assert "negative_runtime" in report.counts()
+
+    def test_report_summary_and_dict(self):
+        _, report = read_lenient("1 2 3\n" + record(submit=-1) + "\n")
+        assert report.quarantined == 2
+        summary = report.summary()
+        assert "field_count" in summary and "negative_submit" in summary
+        data = report.as_dict()
+        assert data["quarantined"] == 2
+        assert len(data["records"]) == 2
+
+    def test_detail_list_is_bounded(self):
+        lines = "\n".join("1 2 3" for _ in range(50)) + "\n"
+        report = AnomalyReport(max_records=10)
+        read_swf(io.StringIO(lines), mode="lenient", anomalies=report)
+        assert report.quarantined == 50  # counts stay exact
+        assert len(report.records) == 10  # details stay bounded
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(TraceFormatError, match="mode must be"):
+            read_swf(io.StringIO(""), mode="tolerant")
+
+    def test_strict_still_fails_fast(self):
+        with pytest.raises(TraceFormatError, match="expected 18 fields"):
+            read_swf(io.StringIO("1 2 3\n"), mode="strict")
+
+
+# ----------------------------------------------------------------------
+# Seeded fuzz corpus
+# ----------------------------------------------------------------------
+def fuzz_lines(rng):
+    """One randomized SWF document with valid and hostile lines mixed."""
+    lines = []
+    submit = 0
+    for _ in range(rng.integers(5, 60)):
+        roll = rng.random()
+        if roll < 0.35:  # valid record, advancing submit time
+            submit += int(rng.integers(0, 1000))
+            lines.append(record(
+                job_id=int(rng.integers(1, 10_000)), submit=submit,
+                runtime=int(rng.integers(1, 100_000)),
+                procs=int(rng.integers(1, 64)),
+                queue=int(rng.integers(1, 3)),
+            ))
+        elif roll < 0.45:  # truncated line
+            lines.append(record()[: rng.integers(1, 30)])
+        elif roll < 0.55:  # wrong field count
+            n = int(rng.integers(1, 40))
+            lines.append(" ".join("1" for _ in range(n)))
+        elif roll < 0.65:  # out-of-range integers
+            lines.append(record(
+                submit=int(rng.integers(-10**12, 10**12)),
+                runtime=int(rng.integers(-10**9, 10**9)),
+                procs=int(rng.integers(-1000, 1000)),
+            ))
+        elif roll < 0.75:  # non-numeric garbage
+            lines.append(" ".join("x%d" % i for i in range(18)))
+        elif roll < 0.85:  # interleaved comments / blanks
+            lines.append("; fuzz comment %d" % rng.integers(0, 100))
+            lines.append("")
+        else:  # huge fields
+            lines.append(record(procs=10**9, requested=10**15))
+    return lines
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_fuzz_lenient_never_raises(seed):
+    rng = np.random.default_rng(seed)
+    for _ in range(5):
+        lines = fuzz_lines(rng)
+        # Mixed line endings: \n, \r\n and a trailing unterminated line.
+        text = ""
+        for i, line in enumerate(lines):
+            text += line + ("\r\n" if i % 3 == 0 else "\n")
+        text += record(job_id=99_999, submit=10**10)
+        report = AnomalyReport()
+        trace = read_swf(io.StringIO(text), cores_per_node=4,
+                         mode="lenient", max_procs=256, anomalies=report)
+        # Everything admitted is physically plausible...
+        for job in trace:
+            assert job.submit_time >= 0
+            assert job.runtime_exclusive > 0
+            assert 1 <= job.num_nodes <= 64  # 256 procs / 4 per node
+        # ...in non-decreasing submit order...
+        submits = [j.submit_time for j in trace]
+        assert submits == sorted(submits)
+        # ...and every quarantined record is categorised.
+        assert set(report.counts()) <= set(CATEGORIES)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_fuzz_strict_raises_or_agrees(seed):
+    """Strict mode either rejects the document or (when it happens to
+    parse) admits a subset of what lenient admits."""
+    rng = np.random.default_rng(100 + seed)
+    text = "\n".join(fuzz_lines(rng)) + "\n"
+    lenient, _ = read_lenient(text)
+    try:
+        strict = read_swf(io.StringIO(text), mode="strict")
+    except WorkloadError:
+        # TraceFormatError on garbage, or WorkloadError on duplicate
+        # job numbers at trace construction — both are fail-fast.
+        return
+    lenient_ids = {(j.job_id, j.submit_time) for j in lenient}
+    # Strict keeps out-of-order and oversized records, so it can admit
+    # more — but every lenient admission must also be in strict.
+    strict_ids = {(j.job_id, j.submit_time) for j in strict}
+    assert lenient_ids <= strict_ids
+
+
+# ----------------------------------------------------------------------
+# Round-trip property over random JobSpec grids
+# ----------------------------------------------------------------------
+job_specs = st.builds(
+    JobSpec,
+    job_id=st.integers(min_value=1, max_value=10**6),
+    submit_time=st.integers(min_value=0, max_value=10**7).map(float),
+    num_nodes=st.integers(min_value=1, max_value=512),
+    walltime_req=st.integers(min_value=1, max_value=10**6).map(float),
+    runtime_exclusive=st.integers(min_value=1, max_value=10**6).map(float),
+    app=st.sampled_from(APPS),
+    shareable=st.booleans(),
+    user=st.integers(min_value=0, max_value=99).map(lambda i: f"user{i}"),
+    memory_mb_per_node=st.sampled_from([0.0, 1024.0, 48_000.0]),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(specs=st.lists(job_specs, min_size=1, max_size=20),
+       cores=st.sampled_from([1, 4, 32]))
+def test_roundtrip_property(specs, cores):
+    """write_swf → read_swf is lossless for any in-order JobSpec grid
+    (up to SWF's 1-second quantisation), in both ingestion modes."""
+    specs = sorted(specs, key=lambda s: s.submit_time)
+    specs = [s.with_(job_id=i + 1) for i, s in enumerate(specs)]
+    specs = [s.with_(walltime_req=max(s.walltime_req, s.runtime_exclusive))
+             for s in specs]
+    trace = WorkloadTrace(specs, name="prop")
+    text = dumps_swf(trace, cores_per_node=cores, app_names=APPS)
+    strict = read_swf(io.StringIO(text), cores_per_node=cores,
+                      app_names=APPS)
+    report = AnomalyReport()
+    lenient = read_swf(io.StringIO(text), cores_per_node=cores,
+                       app_names=APPS, mode="lenient", anomalies=report)
+    assert roundtrip_equal(trace, strict)
+    assert roundtrip_equal(trace, lenient)
+    assert not report  # clean documents quarantine nothing

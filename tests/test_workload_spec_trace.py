@@ -1,6 +1,5 @@
 """Unit tests for job specs and the trace container."""
 
-import numpy as np
 import pytest
 
 from repro.errors import WorkloadError
