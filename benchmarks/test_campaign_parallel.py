@@ -25,7 +25,7 @@ def _spec() -> CampaignSpec:
     )
 
 
-def test_campaign_parallel_speedup(benchmark, record_artifact, tmp_path):
+def test_campaign_parallel_speedup(benchmark, record_artifact, record_bench, tmp_path):
     runs = _spec().expand()
     assert len(runs) == 32
 
@@ -53,6 +53,16 @@ def test_campaign_parallel_speedup(benchmark, record_artifact, tmp_path):
         ), f"run {rid} differs between serial and parallel execution"
 
     speedup = serial.elapsed_s / parallel.elapsed_s
+    record_bench(
+        "campaign",
+        {
+            "runs": len(runs),
+            "workers": workers,
+            "serial_s": round(serial.elapsed_s, 3),
+            "parallel_s": round(parallel.elapsed_s, 3),
+            "speedup": round(speedup, 3),
+        },
+    )
     record_artifact(
         "campaign_parallel",
         format_table(

@@ -1,0 +1,100 @@
+"""Snapshot overhead — what periodic checkpointing costs an e3-sized run.
+
+Runs the canonical evaluation workload (400 jobs on 128 nodes,
+``shared_backfill``) three ways: without snapshotting, snapshotting
+roughly 4 times over the run, and roughly 16 times.  Records wall
+time, snapshot count/size, and per-write cost, so ``--snapshot-every``
+defaults can be chosen from data rather than vibes.
+
+Emits both the human table (``benchmarks/results/``) and the
+machine-readable ``BENCH_snapshot.json`` at the repo root.
+"""
+
+import time
+
+from repro.metrics.report import format_table
+from repro.slurm.manager import build_manager
+from repro.snapshot.auto import AutoSnapshotter
+from repro.snapshot.state import read_snapshot
+
+STRATEGY = "shared_backfill"
+
+
+def _timed_run(trace, eval_nodes, tmp_path, every_events=None):
+    manager = build_manager(trace, num_nodes=eval_nodes, strategy=STRATEGY)
+    snapper = None
+    path = tmp_path / f"every-{every_events or 'off'}.snap"
+    if every_events is not None:
+        snapper = AutoSnapshotter(
+            manager, path, spec_hash="bench", every_events=every_events
+        ).install()
+    start = time.perf_counter()
+    result = manager.run()
+    elapsed = time.perf_counter() - start
+    return result, elapsed, snapper, path
+
+
+def test_snapshot_overhead(benchmark, campaign, eval_nodes, record_artifact,
+                           record_bench, tmp_path):
+    baseline_result, baseline_s, _, _ = benchmark.pedantic(
+        _timed_run,
+        args=(campaign, eval_nodes, tmp_path),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = [{
+        "every_events": "off",
+        "elapsed_s": baseline_s,
+        "snapshots": 0,
+        "overhead_%": 0.0,
+        "write_ms": 0.0,
+        "size_mb": 0.0,
+    }]
+    bench = {
+        "events": baseline_result.events_dispatched,
+        "baseline_s": round(baseline_s, 3),
+        "intervals": {},
+    }
+    total_events = baseline_result.events_dispatched
+    for every in (max(total_events // 4, 1), max(total_events // 16, 1)):
+        result, elapsed, snapper, path = _timed_run(
+            campaign, eval_nodes, tmp_path, every_events=every
+        )
+        # Snapshotting must not perturb the simulation itself.
+        assert result.events_dispatched == baseline_result.events_dispatched
+        assert snapper.written > 0 and snapper.write_failures == 0
+        # The file left behind is a valid, restorable snapshot.
+        restored = read_snapshot(path, expect_spec_hash="bench")
+        assert restored.sim.events_dispatched <= result.events_dispatched
+
+        size_mb = path.stat().st_size / (1024.0 * 1024.0)
+        overhead_pct = 100.0 * (elapsed - baseline_s) / baseline_s
+        write_ms = 1000.0 * (elapsed - baseline_s) / snapper.written
+        rows.append({
+            "every_events": every,
+            "elapsed_s": elapsed,
+            "snapshots": snapper.written,
+            "overhead_%": overhead_pct,
+            "write_ms": write_ms,
+            "size_mb": size_mb,
+        })
+        bench["intervals"][str(every)] = {
+            "elapsed_s": round(elapsed, 3),
+            "snapshots": snapper.written,
+            "overhead_pct": round(overhead_pct, 1),
+            "write_ms": round(write_ms, 2),
+            "size_mb": round(size_mb, 3),
+        }
+
+    record_bench("snapshot", bench)
+    record_artifact(
+        "snapshot_overhead",
+        format_table(
+            rows,
+            title=(
+                f"snapshot overhead: e3-sized run "
+                f"({baseline_result.events_dispatched} events, {STRATEGY})"
+            ),
+        ),
+    )

@@ -22,6 +22,12 @@ FAILED = "failed"
 CACHED = "cached"
 RETRY = "retry"
 QUARANTINED = "quarantined"
+#: Run checkpointed and parked mid-flight (shutdown or guard shed);
+#: a later ``repro resume`` continues it from its snapshot.
+SUSPENDED = "suspended"
+#: A resource guard tripped (RSS budget, disk watermark) — campaign-
+#: level, so ``run_id`` may be empty.
+GUARD = "guard"
 
 
 @dataclass(frozen=True)
@@ -47,6 +53,8 @@ class ProgressEvent:
     error: str | None = None
     #: Poison runs isolated so far (see repro.diagnostics.quarantine).
     quarantined: int = 0
+    #: Runs parked mid-flight with a snapshot (see repro.snapshot).
+    suspended: int = 0
 
     def as_dict(self) -> dict[str, object]:
         data = asdict(self)
@@ -54,6 +62,10 @@ class ProgressEvent:
             # Quarantine-free campaigns keep the pre-diagnostics JSONL
             # schema byte for byte.
             del data["quarantined"]
+        if not data["suspended"]:
+            # Likewise uninterrupted campaigns keep the pre-snapshot
+            # schema.
+            del data["suspended"]
         return data
 
     def render(self) -> str:
@@ -72,6 +84,8 @@ class ProgressEvent:
         )
         if self.quarantined:
             counters += f" quarantined={self.quarantined}"
+        if self.suspended:
+            counters += f" suspended={self.suspended}"
         timing = f"{self.elapsed_s:6.1f}s"
         if self.throughput_rps > 0:
             timing += f" {self.throughput_rps:.2f} runs/s"
@@ -95,6 +109,7 @@ class ProgressTracker:
         self.cached = 0
         self.retries = 0
         self.quarantined = 0
+        self.suspended = 0
         self._clock = clock
         self._t0 = clock()
         self._sink = sink
@@ -122,6 +137,10 @@ class ProgressTracker:
             self.retries += 1
         elif kind == QUARANTINED:
             self.quarantined += 1
+        elif kind == SUSPENDED:
+            # Deliberately not part of done: a suspended run is parked,
+            # not finished, and resume will complete it.
+            self.suspended += 1
         elapsed = self._clock() - self._t0
         executed = self.completed + self.failed
         throughput = executed / elapsed if elapsed > 0 and executed else 0.0
@@ -142,6 +161,7 @@ class ProgressTracker:
             attempt=attempt,
             error=error,
             quarantined=self.quarantined,
+            suspended=self.suspended,
         )
         self.events.append(event)
         if self._sink is not None:

@@ -27,10 +27,25 @@ Completed runs are persisted through :class:`~repro.campaign.store.
 ResultStore` as they finish, so an interrupted campaign resumes from
 its last completed run.  Failed and quarantined runs are *not*
 persisted: a re-run retries exactly the missing and failed work.
+
+Preemption semantics (armed by ``snapshot_dir``, see
+:mod:`repro.snapshot`):
+
+* SIGTERM/SIGINT requests a *graceful shutdown*: in-flight workers
+  checkpoint their runs at the next event boundary, each parked run
+  lands in :attr:`CampaignResult.suspended` with its snapshot path,
+  and queued runs are simply left for ``repro resume``;
+* a worker whose RSS exceeds the guard budget is *shed*: SIGTERMed
+  individually, its run snapshots, re-queues with no attempt penalty,
+  and later resumes from the snapshot in a fresh-memory slot;
+* a disk watermark trip pauses dispatch (backpressure) until free
+  space recovers, without abandoning in-flight work.
 """
 
 from __future__ import annotations
 
+import os
+import signal
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
@@ -44,9 +59,11 @@ from repro.campaign.progress import (
     CACHED,
     COMPLETED,
     FAILED,
+    GUARD,
     QUARANTINED,
     RETRY,
     STARTED,
+    SUSPENDED,
     ProgressEvent,
     ProgressTracker,
 )
@@ -54,18 +71,32 @@ from repro.campaign.spec import RunSpec
 from repro.campaign.store import ResultStore
 from repro.diagnostics.bundle import bundle_path_for
 from repro.diagnostics.quarantine import QuarantinedRun
-from repro.errors import ConfigError, WatchdogError
+from repro.errors import ConfigError, SuspendRequested, WatchdogError
+from repro.snapshot import suspend as _suspend
+from repro.snapshot.guards import ResourceGuards
+from repro.snapshot.state import snapshot_path_for
 
 Entry = Callable[[Mapping[str, object]], dict[str, object]]
 
 
-def _default_entry(bundle_dir: Path | None) -> Entry:
+def _default_entry(
+    bundle_dir: Path | None,
+    snapshot_dir: Path | None = None,
+    snapshot_every: str | None = None,
+) -> Entry:
     from repro.slurm.entry import execute_run
 
-    if bundle_dir is None:
+    kwargs: dict[str, str] = {}
+    if bundle_dir is not None:
+        kwargs["bundle_dir"] = str(bundle_dir)
+    if snapshot_dir is not None:
+        kwargs["snapshot_dir"] = str(snapshot_dir)
+        if snapshot_every is not None:
+            kwargs["snapshot_every"] = snapshot_every
+    if not kwargs:
         return execute_run
     # partial of a module-level function stays picklable for the pool.
-    return partial(execute_run, bundle_dir=str(bundle_dir))
+    return partial(execute_run, **kwargs)
 
 
 @dataclass(frozen=True)
@@ -78,6 +109,20 @@ class RunFailure:
     error: str
 
 
+@dataclass(frozen=True)
+class SuspendedRun:
+    """A run parked mid-flight by a graceful shutdown.
+
+    ``snapshot`` is the on-disk state file a resume continues from;
+    ``None`` means the run restarts from scratch (still correct —
+    just slower — because runs are deterministic).
+    """
+
+    run_id: str
+    label: str
+    snapshot: str | None = None
+
+
 @dataclass
 class CampaignResult:
     """Outcome of one campaign execution."""
@@ -86,9 +131,13 @@ class CampaignResult:
     results: dict[str, dict[str, object]]
     failures: list[RunFailure] = field(default_factory=list)
     quarantined: list[QuarantinedRun] = field(default_factory=list)
+    suspended: list[SuspendedRun] = field(default_factory=list)
     completed: int = 0
     cached: int = 0
     elapsed_s: float = 0.0
+    #: True when a graceful shutdown cut the campaign short — even if
+    #: no run was mid-flight (e.g. everything left was still queued).
+    interrupted: bool = False
 
     @property
     def failed(self) -> int:
@@ -96,7 +145,12 @@ class CampaignResult:
 
     @property
     def ok(self) -> bool:
-        return not self.failures and not self.quarantined
+        return (
+            not self.failures
+            and not self.quarantined
+            and not self.interrupted
+            and not self.suspended
+        )
 
     def records(self) -> list[dict[str, object]]:
         """Successful result records, in campaign order."""
@@ -143,6 +197,30 @@ class CampaignRunner:
         Directory where workers drop replay bundles for crashing runs
         (see :func:`repro.slurm.entry.execute_run`); ``None`` disables
         bundle capture.  Only applies to the default entry function.
+    snapshot_dir:
+        Directory for per-run state snapshots; arms preemption-safe
+        execution (workers poll for suspension and checkpoint their
+        runs).  ``None`` disables snapshotting — SIGTERM then kills the
+        campaign the old-fashioned way.  Only applies to the default
+        entry function.
+    snapshot_every:
+        Periodic snapshot trigger forwarded to workers: seconds
+        (``"60"``, ``"2.5s"``) or an event count (``"5000e"``);
+        ``None``/``"0"`` means only suspension writes snapshots.
+    guards:
+        Optional :class:`~repro.snapshot.guards.ResourceGuards`
+        polled from the dispatch loop.
+    lock_store:
+        Acquire the store's advisory lock for the duration of
+        :meth:`run` (fail fast when another campaign shares the
+        store).  Ignored without a store.
+    install_signal_handlers:
+        Install SIGTERM/SIGINT → graceful-shutdown handlers for the
+        duration of :meth:`run` (the CLI enables this; library callers
+        usually trigger suspension programmatically).
+    suspend_grace:
+        Seconds to wait for in-flight workers to checkpoint during a
+        graceful shutdown before abandoning them.
     """
 
     def __init__(
@@ -158,6 +236,13 @@ class CampaignRunner:
         sleep: Callable[[float], None] = time.sleep,
         quarantine_after: int | None = 2,
         bundle_dir: str | Path | None = None,
+        snapshot_dir: str | Path | None = None,
+        snapshot_every: str | None = None,
+        guards: ResourceGuards | None = None,
+        lock_store: bool = True,
+        install_signal_handlers: bool = False,
+        suspend_grace: float = 30.0,
+        kill: Callable[[int, int], None] = os.kill,
     ) -> None:
         if workers < 1:
             raise ConfigError(f"workers must be >= 1, got {workers}")
@@ -171,6 +256,10 @@ class CampaignRunner:
             raise ConfigError(
                 f"quarantine_after must be >= 1 or None, got {quarantine_after}"
             )
+        if suspend_grace <= 0:
+            raise ConfigError(
+                f"suspend_grace must be positive, got {suspend_grace}"
+            )
         self.store = store
         self.workers = workers
         self.timeout = timeout
@@ -178,36 +267,72 @@ class CampaignRunner:
         self.backoff = backoff
         self.quarantine_after = quarantine_after
         self.bundle_dir = Path(bundle_dir) if bundle_dir is not None else None
+        self.snapshot_dir = (
+            Path(snapshot_dir) if snapshot_dir is not None else None
+        )
+        self.snapshot_every = snapshot_every
+        self.guards = guards
+        self.lock_store = lock_store
+        self.install_signal_handlers = install_signal_handlers
+        self.suspend_grace = suspend_grace
         self.entry = (
-            entry if entry is not None else _default_entry(self.bundle_dir)
+            entry
+            if entry is not None
+            else _default_entry(
+                self.bundle_dir, self.snapshot_dir, self.snapshot_every
+            )
         )
         self.progress = progress
         self._clock = clock
         self._sleep = sleep
+        self._kill = kill
         #: Poison incidents per run_id, reset per campaign execution.
         self._poison_counts: dict[str, int] = {}
+        #: Worker pids already SIGTERMed by the RSS guard this cycle.
+        self._shed_pids: set[int] = set()
 
     # ------------------------------------------------------------------
     def run(self, runs: Sequence[RunSpec]) -> CampaignResult:
         """Execute *runs*, skipping any already present in the store."""
         started = self._clock()
         self._poison_counts = {}
+        self._shed_pids = set()
+        if self.snapshot_dir is not None:
+            self.snapshot_dir.mkdir(parents=True, exist_ok=True)
         tracker = ProgressTracker(
             total=len(runs), clock=self._clock, sink=self.progress
         )
         result = CampaignResult(order=[r.run_id for r in runs], results={})
-        pending: list[RunSpec] = []
-        for run in runs:
-            if self.store is not None and self.store.has(run.run_id):
-                result.results[run.run_id] = self.store.load(run.run_id)
-                tracker.emit(CACHED, run.run_id, run.label)
-            else:
-                pending.append(run)
-        if pending:
-            if self.workers == 1:
-                self._run_serial(pending, tracker, result)
-            else:
-                self._run_parallel(pending, tracker, result)
+        lock = (
+            self.store.lock()
+            if self.store is not None and self.lock_store
+            else None
+        )
+        if lock is not None:
+            lock.acquire()
+        previous_handlers = (
+            _suspend.install_signal_handlers()
+            if self.install_signal_handlers
+            else None
+        )
+        try:
+            pending: list[RunSpec] = []
+            for run in runs:
+                if self.store is not None and self.store.has(run.run_id):
+                    result.results[run.run_id] = self.store.load(run.run_id)
+                    tracker.emit(CACHED, run.run_id, run.label)
+                else:
+                    pending.append(run)
+            if pending:
+                if self.workers == 1:
+                    self._run_serial(pending, tracker, result)
+                else:
+                    self._run_parallel(pending, tracker, result)
+        finally:
+            if previous_handlers is not None:
+                _suspend.restore_signal_handlers(previous_handlers)
+            if lock is not None:
+                lock.release()
         result.completed = tracker.completed
         result.cached = tracker.cached
         result.elapsed_s = self._clock() - started
@@ -270,6 +395,59 @@ class CampaignRunner:
         )
 
     # ------------------------------------------------------------------
+    # Suspension and guard bookkeeping
+    # ------------------------------------------------------------------
+    def _park(
+        self,
+        run: RunSpec,
+        tracker: ProgressTracker,
+        result: CampaignResult,
+        snapshot: str | None = None,
+        note: str | None = None,
+    ) -> None:
+        """Record *run* as suspended (shutdown path)."""
+        if snapshot is None and self.snapshot_dir is not None:
+            candidate = snapshot_path_for(self.snapshot_dir, run.run_id)
+            if candidate.is_file():
+                snapshot = str(candidate)  # a periodic snapshot exists
+        result.suspended.append(SuspendedRun(run.run_id, run.label, snapshot))
+        tracker.emit(SUSPENDED, run.run_id, run.label, error=note)
+
+    def _dispatch_paused(
+        self, tracker: ProgressTracker, pids: Sequence[int], paused: bool
+    ) -> bool:
+        """Poll the resource guards; returns the new pause state.
+
+        Disk trips pause dispatch (backpressure); RSS trips SIGTERM the
+        offending worker so its run sheds — snapshots, re-queues and
+        later resumes in a fresh-memory slot.  Every trip surfaces as a
+        ``guard`` progress event.
+        """
+        if self.guards is None or not self.guards.armed:
+            return False
+        trips = self.guards.check(pids)
+        if trips is None:
+            return paused  # rate-limited: keep the previous state
+        for trip in trips:
+            tracker.emit(GUARD, run_id="", label=trip.kind, error=trip.message)
+            if trip.kind == "rss" and trip.pid is not None:
+                if trip.pid in self._shed_pids:
+                    continue  # already asked; escalating would abort it
+                try:
+                    self._kill(trip.pid, signal.SIGTERM)
+                except (OSError, ProcessLookupError):
+                    continue  # worker already gone; pool layer handles it
+                self._shed_pids.add(trip.pid)
+        was_paused = paused
+        paused = any(trip.kind == "disk" for trip in trips)
+        if was_paused and not paused:
+            tracker.emit(
+                GUARD, run_id="", label="disk",
+                error="store disk recovered; resuming dispatch",
+            )
+        return paused
+
+    # ------------------------------------------------------------------
     # Serial fallback
     # ------------------------------------------------------------------
     def _run_serial(
@@ -278,13 +456,34 @@ class CampaignRunner:
         tracker: ProgressTracker,
         result: CampaignResult,
     ) -> None:
+        paused = False
         for run in pending:
+            # Backpressure: wait out a disk-watermark trip before
+            # starting more work (suspension still gets through).
+            while True:
+                if _suspend.suspend_requested():
+                    result.interrupted = True
+                    _suspend.reset()
+                    return
+                paused = self._dispatch_paused(tracker, (), paused)
+                if not paused:
+                    break
+                self._sleep(self.guards.poll_interval_s or 0.1)
             tracker.emit(STARTED, run.run_id, run.label)
             attempt = 0
             while True:
                 attempt += 1
                 try:
                     payload = self.entry(run.params)
+                except SuspendRequested as exc:
+                    # The entry already wrote the final snapshot (and
+                    # reset the flag); park the run and stop dispatching.
+                    result.interrupted = True
+                    self._park(
+                        run, tracker, result,
+                        snapshot=exc.snapshot_path, note=str(exc),
+                    )
+                    return
                 except Exception as exc:  # noqa: BLE001 - retry boundary
                     error = f"{type(exc).__name__}: {exc}"
                     if isinstance(exc, WatchdogError) and self._poison_exhausted(
@@ -325,15 +524,23 @@ class CampaignRunner:
             (run, 1, 0.0) for run in pending
         )
         inflight: dict[Future, tuple[RunSpec, int, float]] = {}
+        paused = False
         pool = ProcessPoolExecutor(max_workers=self.workers)
         try:
             while queue or inflight:
+                if _suspend.suspend_requested():
+                    self._shutdown_parallel(pool, inflight, tracker, result)
+                    _suspend.reset()
+                    return
                 now = self._clock()
+                paused = self._dispatch_paused(
+                    tracker, list(pool._processes or ()), paused
+                )
                 # Top up the pool: at most `workers` runs in flight so
                 # per-run deadlines start ticking at true start time.
                 requeued: list[tuple[RunSpec, int, float]] = []
                 submit_broken = False
-                while queue and len(inflight) < self.workers:
+                while queue and len(inflight) < self.workers and not paused:
                     run, attempt, ready_at = queue.popleft()
                     if ready_at > now:
                         requeued.append((run, attempt, ready_at))
@@ -363,6 +570,11 @@ class CampaignRunner:
                     pool = ProcessPoolExecutor(max_workers=self.workers)
                     continue
                 if not inflight:
+                    if paused:
+                        # Disk backpressure with nothing in flight: wait
+                        # a guard poll out (suspension checked on re-entry).
+                        self._sleep(self.guards.poll_interval_s or 0.1)
+                        continue
                     # Everything queued is backing off; sleep it out.
                     next_ready = min(ready for _, _, ready in queue)
                     self._sleep(max(next_ready - now, 0.0))
@@ -377,6 +589,18 @@ class CampaignRunner:
                     run, attempt, _ = inflight.pop(future)
                     try:
                         payload = future.result()
+                    except SuspendRequested as exc:
+                        # The parent's flag is clear (shutdown is handled
+                        # at the loop top), so this is a guard shed: the
+                        # worker checkpointed the run and stays in the
+                        # pool.  Re-queue with no attempt penalty; the
+                        # resubmission resumes from the snapshot.
+                        self._shed_pids.clear()
+                        tracker.emit(
+                            RETRY, run.run_id, run.label,
+                            attempt=attempt, error=f"shed: {exc}",
+                        )
+                        queue.append((run, attempt, 0.0))
                     except BrokenProcessPool as exc:
                         pool_broken = True
                         self._retry_or_fail(
@@ -443,6 +667,61 @@ class CampaignRunner:
         else:
             pool.shutdown(wait=True, cancel_futures=True)
 
+    def _shutdown_parallel(
+        self,
+        pool: ProcessPoolExecutor,
+        inflight: dict[Future, tuple[RunSpec, int, float]],
+        tracker: ProgressTracker,
+        result: CampaignResult,
+    ) -> None:
+        """Graceful shutdown: checkpoint in-flight workers, park runs.
+
+        Every worker is SIGTERMed (covering signals delivered only to
+        this process, not the group), then given ``suspend_grace``
+        seconds to finish or checkpoint.  Completed runs are recorded
+        normally; suspended and abandoned runs land in
+        :attr:`CampaignResult.suspended`.  Queued runs need no
+        bookkeeping — their results are simply missing, which is what
+        ``repro resume`` executes.
+        """
+        result.interrupted = True
+        for pid in list(pool._processes or ()):
+            try:
+                self._kill(pid, signal.SIGTERM)
+            except (OSError, ProcessLookupError):
+                pass
+        done, not_done = wait(set(inflight), timeout=self.suspend_grace)
+        for future in done:
+            run, attempt, _ = inflight.pop(future)
+            try:
+                payload = future.result()
+            except SuspendRequested as exc:
+                self._park(
+                    run, tracker, result,
+                    snapshot=exc.snapshot_path, note=str(exc),
+                )
+            except BaseException as exc:  # noqa: BLE001 - shutdown boundary
+                # A crash racing the shutdown; no retry machinery now —
+                # park it (resume restarts it, from a periodic snapshot
+                # if one exists).
+                self._park(
+                    run, tracker, result,
+                    note=f"{type(exc).__name__}: {exc}",
+                )
+            else:
+                result.results[run.run_id] = self._record(run, payload, attempt)
+                tracker.emit(COMPLETED, run.run_id, run.label, attempt=attempt)
+        for future in not_done:
+            run, _, _ = inflight.pop(future)
+            future.cancel()
+            self._park(
+                run, tracker, result,
+                note=f"did not checkpoint within {self.suspend_grace:.0f}s grace",
+            )
+        inflight.clear()
+        # Never block on workers that may be mid-snapshot or wedged.
+        pool.shutdown(wait=False, cancel_futures=True)
+
     def _wait_budget(
         self,
         inflight: Mapping[Future, tuple[RunSpec, int, float]],
@@ -455,6 +734,14 @@ class CampaignRunner:
             if deadline != float("inf")
         ]
         bounds.extend(ready for _, _, ready in queue if ready > now)
+        if (
+            self.snapshot_dir is not None
+            or self.guards is not None
+            or self.install_signal_handlers
+        ):
+            # Preemption armed: wake regularly so the suspend flag and
+            # the guards are polled even while every future is busy.
+            bounds.append(now + 0.25)
         if not bounds:
             return None
         return max(min(bounds) - now, 0.01)

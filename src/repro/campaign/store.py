@@ -9,6 +9,17 @@ That single invariant buys the two headline features for free:
   that contains the same run id;
 * **resume** — re-running an interrupted campaign executes only the
   runs whose files are missing.
+
+Two shared-store coordination pieces live here too:
+
+* :class:`StoreLock` — advisory ``flock`` on ``<store>/.lock`` so two
+  concurrent campaigns cannot interleave writes into one store (the
+  second fails fast with a clear error instead of corrupting caches);
+* a hidden ``.campaign.json`` **manifest** recording the spec and
+  settings of the campaign that owns the store, which is what lets
+  ``repro resume <store>`` restart a suspended campaign without the
+  original command line.  The leading dot keeps both files out of
+  :meth:`ResultStore.completed_ids`.
 """
 
 from __future__ import annotations
@@ -21,9 +32,95 @@ from typing import Iterator, Mapping, Sequence
 
 from repro.errors import ConfigError
 
+try:  # pragma: no cover - import guard exercised only off-POSIX
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None  # type: ignore[assignment]
+
 #: Schema version stamped into every result file, so a future format
 #: change can invalidate stale caches instead of misreading them.
 STORE_VERSION = 1
+
+#: Advisory lock file guarding a store against concurrent campaigns.
+LOCK_NAME = ".lock"
+
+#: Campaign manifest recorded next to the results (hidden, see above).
+MANIFEST_NAME = ".campaign.json"
+
+
+class StoreLock:
+    """Advisory exclusive lock on a result store directory.
+
+    Uses ``fcntl.flock(LOCK_EX | LOCK_NB)`` on ``<store>/.lock``: the
+    kernel releases the lock automatically when the holder exits, so a
+    SIGKILLed campaign never leaves a stale lock behind.  On platforms
+    without :mod:`fcntl` the lock degrades to a no-op (advisory
+    locking is a POSIX nicety, not a correctness requirement for
+    single-campaign use).
+
+    Usable as a context manager; :meth:`acquire` raises
+    :class:`~repro.errors.ConfigError` when another campaign holds the
+    lock, naming the holder's pid when readable.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.path = Path(root) / LOCK_NAME
+        self._handle = None
+
+    @property
+    def held(self) -> bool:
+        return self._handle is not None
+
+    def acquire(self) -> "StoreLock":
+        if self._handle is not None:
+            return self  # idempotent: one process, one lock
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            return self
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        handle = self.path.open("a+", encoding="ascii")
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            holder = ""
+            try:
+                handle.seek(0)
+                pid = handle.read(32).strip()
+                if pid:
+                    holder = f" (held by pid {pid})"
+            except OSError:
+                pass
+            handle.close()
+            raise ConfigError(
+                f"result store {str(self.path.parent)!r} is locked by "
+                f"another campaign{holder}; wait for it to finish or "
+                f"use a different --store"
+            ) from None
+        # Lock held: advertise ourselves for the error message above.
+        try:
+            handle.seek(0)
+            handle.truncate()
+            handle.write(f"{os.getpid()}\n")
+            handle.flush()
+        except OSError:
+            pass  # cosmetic only
+        self._handle = handle
+        return self
+
+    def release(self) -> None:
+        if self._handle is None:
+            return
+        try:
+            fcntl.flock(self._handle.fileno(), fcntl.LOCK_UN)
+        except OSError:
+            pass
+        self._handle.close()
+        self._handle = None
+
+    def __enter__(self) -> "StoreLock":
+        return self.acquire()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
 
 
 class ResultStore:
@@ -85,6 +182,52 @@ class ResultStore:
             return True
         except FileNotFoundError:
             return False
+
+    # ------------------------------------------------------------------
+    def lock(self) -> StoreLock:
+        """Advisory exclusive lock for this store (not yet acquired)."""
+        return StoreLock(self.root)
+
+    def write_manifest(self, manifest: Mapping[str, object]) -> Path:
+        """Atomically record the owning campaign's spec and settings
+        (hidden file, excluded from :meth:`completed_ids`)."""
+        path = self.root / MANIFEST_NAME
+        data = json.dumps(dict(manifest), sort_keys=True, indent=1)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=".manifest-", suffix=".tmp", dir=self.root
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(data)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def read_manifest(self) -> dict[str, object]:
+        """Load the campaign manifest; raises
+        :class:`~repro.errors.ConfigError` when the store has none
+        (e.g. it predates manifests or is not a campaign store)."""
+        path = self.root / MANIFEST_NAME
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except FileNotFoundError:
+            raise ConfigError(
+                f"store {str(self.root)!r} has no campaign manifest "
+                f"({MANIFEST_NAME}); run `repro campaign` against it "
+                f"once to create one"
+            ) from None
+        except json.JSONDecodeError as exc:
+            raise ConfigError(
+                f"store manifest {str(path)!r} is unreadable: {exc}"
+            ) from exc
 
     # ------------------------------------------------------------------
     def completed_ids(self) -> set[str]:

@@ -19,7 +19,13 @@ Commands
     Expand a declarative campaign (grid axes × named experiments)
     into content-addressed runs and execute them on a process pool
     with caching, retry and checkpoint/resume; results land in an
-    artifact store plus a JSONL file.
+    artifact store plus a JSONL file.  Campaigns are preemption-safe:
+    SIGTERM/SIGINT checkpoints in-flight runs and exits with status 4.
+``resume``
+    Restart a suspended (or otherwise interrupted) campaign from its
+    store: re-reads the recorded spec and settings, resumes each
+    checkpointed run from its snapshot and executes whatever else is
+    missing.
 ``replay``
     Re-execute a crash replay bundle (written automatically when a
     run fails under ``campaign --bundle-dir``, or by any crash with
@@ -29,13 +35,19 @@ Commands
 
 Exit codes
 ----------
-== ==========================================================
-0  success (for ``replay``: the recorded crash reproduced)
-1  error — a run/replay failed; structured JSON on stderr
-2  usage or configuration error
-3  campaign partial success: some runs completed, others
-   failed or were quarantined (details on stderr)
-== ==========================================================
+This table is the single authority for every ``repro`` command.
+
+=== ==========================================================
+0   success (for ``replay``: the recorded crash reproduced)
+1   error — a run/replay failed; structured JSON on stderr
+2   usage or configuration error
+3   campaign partial success: some runs completed, others
+    failed or were quarantined (details on stderr)
+4   campaign suspended: a graceful shutdown checkpointed the
+    in-flight runs; ``repro resume <store>`` continues them
+130 interrupted (the conventional 128+SIGINT status; raised by
+    a second/third Ctrl-C that escalates past graceful shutdown)
+=== ==========================================================
 """
 
 from __future__ import annotations
@@ -119,6 +131,13 @@ def _add_resilience_args(parser: argparse.ArgumentParser) -> None:
 #: Campaign exit status when some runs succeeded and others failed or
 #: were quarantined (documented in the module docstring).
 EXIT_PARTIAL = 3
+
+#: Campaign exit status after a graceful shutdown: in-flight runs were
+#: checkpointed and ``repro resume <store>`` continues the campaign.
+EXIT_SUSPENDED = 4
+
+#: Conventional 128+SIGINT exit status for a hard interrupt.
+EXIT_INTERRUPTED = 130
 
 
 def _add_diagnostics_args(parser: argparse.ArgumentParser) -> None:
@@ -327,9 +346,24 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _campaign_settings_from_args(args: argparse.Namespace) -> dict[str, object]:
+    """Execution settings in manifest form (what ``resume`` re-reads)."""
+    return {
+        "workers": args.workers,
+        "timeout": args.timeout,
+        "retries": args.retries,
+        "backoff": args.backoff,
+        "quarantine_after": args.quarantine_after,
+        "bundle_dir": args.bundle_dir,
+        "snapshot_dir": args.snapshot_dir,
+        "snapshot_every": args.snapshot_every,
+        "rss_budget_mb": args.rss_budget_mb,
+        "disk_min_free_mb": args.disk_min_free_mb,
+    }
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
-    from repro.campaign import CampaignRunner, CampaignSpec, ResultStore
-    from repro.campaign.progress import JsonlProgressLog, tee
+    from repro.campaign import CampaignSpec
 
     try:
         if args.spec:
@@ -347,46 +381,138 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 cluster_sizes=tuple(args.sizes),
                 experiments=tuple(args.experiments) if args.experiments else (),
             )
-        runs = spec.expand()
     except ReproError as exc:
         print(f"campaign error: {exc}", file=sys.stderr)
         return 2
     store_dir = Path(args.store) if args.store else Path("campaign_runs") / spec.name
-    store = ResultStore(store_dir)
-    bundle_dir = Path(args.bundle_dir) if args.bundle_dir else store_dir / "bundles"
-    sinks = []
-    if not args.quiet:
-        sinks.append(lambda event: print(event.render(), file=sys.stderr))
-    if args.progress_log:
-        sinks.append(JsonlProgressLog(args.progress_log))
+    return _execute_campaign(
+        spec,
+        store_dir,
+        _campaign_settings_from_args(args),
+        quiet=args.quiet,
+        progress_log=args.progress_log,
+        jsonl=args.jsonl,
+        no_jsonl=args.no_jsonl,
+    )
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    from repro.campaign import CampaignSpec, ResultStore
+
+    store_dir = Path(args.store)
+    if not store_dir.is_dir():
+        print(f"resume error: no such store {store_dir}", file=sys.stderr)
+        return 2
     try:
+        manifest = ResultStore(store_dir).read_manifest()
+        spec = CampaignSpec.from_dict(manifest["spec"])  # type: ignore[arg-type]
+    except (ReproError, KeyError, TypeError) as exc:
+        print(f"resume error: {exc}", file=sys.stderr)
+        return 2
+    settings = dict(manifest.get("settings", {}))  # type: ignore[arg-type]
+    if args.workers > 0:
+        settings["workers"] = args.workers
+    print(f"resuming campaign {spec.name!r} from {store_dir}", file=sys.stderr)
+    return _execute_campaign(
+        spec,
+        store_dir,
+        settings,
+        quiet=args.quiet,
+        progress_log=args.progress_log,
+        jsonl="",
+        no_jsonl=args.no_jsonl,
+    )
+
+
+def _execute_campaign(
+    spec,
+    store_dir: Path,
+    settings: dict[str, object],
+    *,
+    quiet: bool,
+    progress_log: str,
+    jsonl: str,
+    no_jsonl: bool,
+) -> int:
+    """Shared campaign executor behind ``campaign`` and ``resume``."""
+    from repro.campaign import CampaignRunner, ResultStore
+    from repro.campaign.progress import JsonlProgressLog, tee
+    from repro.errors import ConfigError
+    from repro.snapshot import ResourceGuards
+
+    try:
+        runs = spec.expand()
+    except ReproError as exc:
+        print(f"campaign error: {exc}", file=sys.stderr)
+        return 2
+    store = ResultStore(store_dir)
+    workers = int(settings.get("workers", 1) or 1)  # type: ignore[arg-type]
+    timeout = float(settings.get("timeout", 0.0) or 0.0)  # type: ignore[arg-type]
+    quarantine_after = int(settings.get("quarantine_after", 2) or 0)  # type: ignore[arg-type]
+    bundle_dir = Path(str(settings.get("bundle_dir") or store_dir / "bundles"))
+    snapshot_dir = Path(
+        str(settings.get("snapshot_dir") or store_dir / "snapshots")
+    )
+    snapshot_every = str(settings.get("snapshot_every") or "")
+    rss_budget = float(settings.get("rss_budget_mb", 0.0) or 0.0)  # type: ignore[arg-type]
+    disk_min_free = float(settings.get("disk_min_free_mb", 0.0) or 0.0)  # type: ignore[arg-type]
+    sinks = []
+    if not quiet:
+        sinks.append(lambda event: print(event.render(), file=sys.stderr))
+    if progress_log:
+        sinks.append(JsonlProgressLog(progress_log))
+    try:
+        guards = None
+        if rss_budget > 0 or disk_min_free > 0:
+            guards = ResourceGuards(
+                rss_budget_mb=rss_budget if rss_budget > 0 else None,
+                disk_min_free_mb=disk_min_free if disk_min_free > 0 else None,
+                watch_path=store_dir,
+            )
+        # The manifest is what `repro resume <store>` reconstructs the
+        # campaign from; refresh it before every execution.
+        store.write_manifest({
+            "manifest_version": 1,
+            "name": spec.name,
+            "spec": spec.to_dict(),
+            "settings": settings,
+        })
         runner = CampaignRunner(
             store=store,
-            workers=args.workers,
-            timeout=args.timeout if args.timeout > 0 else None,
-            retries=args.retries,
-            backoff=args.backoff,
+            workers=workers,
+            timeout=timeout if timeout > 0 else None,
+            retries=int(settings.get("retries", 2)),  # type: ignore[arg-type]
+            backoff=float(settings.get("backoff", 0.5)),  # type: ignore[arg-type]
             progress=tee(*sinks) if sinks else None,
             quarantine_after=(
-                args.quarantine_after if args.quarantine_after > 0 else None
+                quarantine_after if quarantine_after > 0 else None
             ),
             bundle_dir=bundle_dir,
+            snapshot_dir=snapshot_dir,
+            snapshot_every=snapshot_every or None,
+            guards=guards,
+            install_signal_handlers=True,
         )
     except ReproError as exc:
         print(f"campaign error: {exc}", file=sys.stderr)
         return 2
     try:
         outcome = runner.run(runs)
+    except ConfigError as exc:
+        # Most prominently: the store's advisory lock is held by a
+        # concurrent campaign.
+        print(f"campaign error: {exc}", file=sys.stderr)
+        return 2
     except KeyboardInterrupt:
         done = len(store.completed_ids() & {r.run_id for r in runs})
         print(
             f"\ninterrupted: {done} of {len(runs)} runs stored in "
-            f"{store_dir}; re-run the same command to resume",
+            f"{store_dir}; `repro resume {store_dir}` continues",
             file=sys.stderr,
         )
-        return 130
-    if not args.no_jsonl:
-        jsonl_path = Path(args.jsonl) if args.jsonl else store_dir / "results.jsonl"
+        return EXIT_INTERRUPTED
+    if not no_jsonl:
+        jsonl_path = Path(jsonl) if jsonl else store_dir / "results.jsonl"
         written = store.export_jsonl(jsonl_path, run_ids=[r.run_id for r in runs])
         print(f"results: {written} records -> {jsonl_path}", file=sys.stderr)
 
@@ -426,13 +552,15 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     )
     if outcome.quarantined:
         counts += f", {len(outcome.quarantined)} quarantined"
+    if outcome.suspended:
+        counts += f", {len(outcome.suspended)} suspended"
     status = (
         f"{counts} of {len(runs)} runs "
-        f"in {outcome.elapsed_s:.1f}s (workers={args.workers}, "
+        f"in {outcome.elapsed_s:.1f}s (workers={workers}, "
         f"store={store_dir})"
     )
     print(status)
-    if not outcome.ok:
+    if outcome.failures or outcome.quarantined:
         for failure in outcome.failures:
             print(
                 f"FAILED {failure.run_id} ({failure.label}) after "
@@ -456,6 +584,25 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                     file=sys.stderr,
                 )
             print(f"quarantine manifest: {manifest}", file=sys.stderr)
+    if outcome.interrupted or outcome.suspended:
+        for parked in outcome.suspended:
+            snap_note = (
+                f" (snapshot: {parked.snapshot})" if parked.snapshot else ""
+            )
+            print(
+                f"SUSPENDED {parked.run_id} ({parked.label}){snap_note}",
+                file=sys.stderr,
+            )
+        remaining = len(runs) - len(
+            store.completed_ids() & {r.run_id for r in runs}
+        )
+        print(
+            f"campaign suspended with {remaining} runs outstanding; "
+            f"`repro resume {store_dir}` continues it",
+            file=sys.stderr,
+        )
+        return EXIT_SUSPENDED
+    if outcome.failures or outcome.quarantined:
         # Partial success (some results, some casualties) is
         # distinguishable from total failure for calling scripts.
         if outcome.completed or outcome.cached:
@@ -579,7 +726,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_camp.add_argument("--bundle-dir", default="",
                         help="replay bundle directory "
                              "(default <store>/bundles)")
+    p_camp.add_argument("--snapshot-dir", default="",
+                        help="simulator snapshot directory "
+                             "(default <store>/snapshots)")
+    p_camp.add_argument("--snapshot-every", default="60",
+                        help="periodic snapshot trigger: seconds "
+                             "('60', '2.5s') or events ('5000e'); "
+                             "'0' leaves only suspension snapshots")
+    p_camp.add_argument("--rss-budget-mb", type=float, default=0.0,
+                        help="suspend a worker's run when its RSS "
+                             "exceeds this budget (0 = off)")
+    p_camp.add_argument("--disk-min-free-mb", type=float, default=0.0,
+                        help="pause dispatch while free space under "
+                             "the store is below this (0 = off)")
     p_camp.set_defaults(func=_cmd_campaign)
+
+    p_res = sub.add_parser(
+        "resume",
+        help="restart a suspended campaign from its result store",
+    )
+    p_res.add_argument("store", help="the campaign's --store directory")
+    p_res.add_argument("--workers", type=int, default=0,
+                       help="override the recorded worker count (0 = keep)")
+    p_res.add_argument("--progress-log", default="",
+                       help="append progress events as JSONL to this file")
+    p_res.add_argument("--quiet", action="store_true",
+                       help="suppress per-run progress lines")
+    p_res.add_argument("--no-jsonl", action="store_true",
+                       help="skip rewriting the results JSONL file")
+    p_res.set_defaults(func=_cmd_resume)
 
     p_replay = sub.add_parser(
         "replay", help="re-execute a crash replay bundle deterministically"
@@ -616,6 +791,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     except ReproError as exc:
         print(_structured_error(exc), file=sys.stderr)
         return 1
+    except KeyboardInterrupt:
+        # Every command, not just `campaign`, reports a clean
+        # conventional 128+SIGINT status instead of a traceback.
+        print("\ninterrupted", file=sys.stderr)
+        return EXIT_INTERRUPTED
 
 
 if __name__ == "__main__":  # pragma: no cover

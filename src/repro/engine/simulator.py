@@ -14,20 +14,39 @@ Diagnostics hooks (all inert unless armed):
 * a simulated-time progress guard bounds how many events may dispatch
   at a single timestamp, catching zero-delay livelocks long before the
   lifetime ``max_events`` backstop would.
+
+Preemption hooks (see :mod:`repro.snapshot`, both inert unless armed):
+
+* a *suspend poll* checked before every dispatch raises
+  :class:`~repro.errors.SuspendRequested` at a clean event boundary,
+  so SIGTERM/SIGINT can suspend a run without corrupting state;
+* an *auto-snapshotter* invoked after every dispatch periodically
+  serialises the complete simulation state to disk.
+
+Both hooks — and the transient run-loop fields — are excluded from
+pickling, so a :meth:`snapshot` taken mid-run restores to a clean,
+re-runnable simulator.
 """
 
 from __future__ import annotations
 
+import pickle
 import time as _wallclock
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.engine.events import Event, EventKind
 from repro.engine.heap import EventHeap
 from repro.engine.trace import EventTrace
-from repro.errors import MaxEventsError, SimulationError, WatchdogError
+from repro.errors import (
+    MaxEventsError,
+    SimulationError,
+    SuspendRequested,
+    WatchdogError,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.diagnostics.recorder import FlightRecorder
+    from repro.snapshot.auto import AutoSnapshotter
 
 Handler = Callable[["Simulator", Event], None]
 
@@ -80,6 +99,8 @@ class Simulator:
         self._wall_deadline: float | None = None
         self._stall_anchor: float = -1.0
         self._stall_count = 0
+        self._suspend_poll: Callable[[], bool] | None = None
+        self._autosnap: "AutoSnapshotter | None" = None
 
     # ------------------------------------------------------------------
     # Registration and scheduling
@@ -111,6 +132,56 @@ class Simulator:
     def stop(self) -> None:
         """Request the run loop to stop after the current event."""
         self._stop_requested = True
+
+    # ------------------------------------------------------------------
+    # Preemption hooks and snapshotting
+    # ------------------------------------------------------------------
+    def set_suspend_poll(self, poll: Callable[[], bool] | None) -> None:
+        """Arm (or disarm with ``None``) the cooperative suspend poll.
+
+        The poll is evaluated before each dispatch; returning True
+        raises :class:`~repro.errors.SuspendRequested` with the queue
+        intact, so a snapshot taken at that moment resumes exactly
+        where the run left off.
+        """
+        self._suspend_poll = poll
+
+    def set_autosnapshotter(self, snapshotter: "AutoSnapshotter | None") -> None:
+        """Arm (or disarm) the periodic state snapshotter."""
+        self._autosnap = snapshotter
+
+    def snapshot(self) -> bytes:
+        """Serialise the full event-loop world — heap, clock, counters
+        and every registered handler's object graph — to bytes.
+
+        Because handlers are bound methods, the owning manager (jobs,
+        cluster, queue, accounting, collectors, RNG streams) travels
+        with the simulator; :meth:`restore` brings the whole world
+        back with object identities preserved.
+        """
+        return pickle.dumps(self, protocol=4)
+
+    @classmethod
+    def restore(cls, blob: bytes) -> "Simulator":
+        """Rebuild a simulator from :meth:`snapshot` output."""
+        sim = pickle.loads(blob)
+        if not isinstance(sim, cls):
+            raise SimulationError(
+                f"snapshot does not contain a {cls.__name__} "
+                f"(got {type(sim).__name__})"
+            )
+        return sim
+
+    def __getstate__(self) -> dict:
+        """Pickle without the transient run-loop/hook state, so a
+        snapshot taken *inside* :meth:`run` restores re-runnable."""
+        state = self.__dict__.copy()
+        state["_running"] = False
+        state["_stop_requested"] = False
+        state["_wall_deadline"] = None
+        state["_suspend_poll"] = None
+        state["_autosnap"] = None
+        return state
 
     # ------------------------------------------------------------------
     # Watchdogs
@@ -194,6 +265,13 @@ class Simulator:
             )
         try:
             while self.heap:
+                if self._suspend_poll is not None and self._suspend_poll():
+                    raise SuspendRequested(
+                        f"suspend requested at t={self.now:.6f} after "
+                        f"{self.events_dispatched} events",
+                        sim_time=self.now,
+                        events_dispatched=self.events_dispatched,
+                    )
                 if self._wall_deadline is not None:
                     self._check_wall_clock()
                 next_time = self.heap.peek_time()
@@ -201,6 +279,8 @@ class Simulator:
                     self.now = until
                     break
                 self.step()
+                if self._autosnap is not None:
+                    self._autosnap.maybe_fire(self)
                 if self._stop_requested:
                     break
             else:

@@ -76,6 +76,50 @@ class WatchdogError(SimulationError):
         self.events_dispatched = events_dispatched
 
 
+class SnapshotError(ReproError):
+    """A simulator state snapshot is missing, stale, or corrupt.
+
+    ``reason`` categorises the failure (``"format"``, ``"version"``,
+    ``"checksum"``, ``"spec_hash"``, ``"unreadable"``) so callers can
+    distinguish "start fresh" situations (a stale or truncated file)
+    from programming errors.
+    """
+
+    def __init__(self, message: str, *, reason: str = "") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+class SuspendRequested(BaseException):
+    """Cooperative preemption: the run was asked to suspend.
+
+    Raised by the engine's run loop at an event boundary when a
+    suspend poll (armed by the campaign layer on SIGTERM/SIGINT or by
+    a resource guard) reports a pending request.  Deliberately *not* a
+    :class:`ReproError` — and not even an :class:`Exception` — so the
+    generic retry, crash-bundle, and quarantine handlers cannot
+    mistake a suspension for a failure.
+
+    ``snapshot_path`` is filled in by the worker entry once the
+    pre-suspension state snapshot has been written; attributes survive
+    pickling across ``ProcessPoolExecutor`` because
+    ``BaseException.__reduce__`` preserves ``__dict__``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        sim_time: float | None = None,
+        events_dispatched: int | None = None,
+        snapshot_path: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.sim_time = sim_time
+        self.events_dispatched = events_dispatched
+        self.snapshot_path = snapshot_path
+
+
 class WorkloadError(ReproError):
     """A workload trace or job specification is invalid."""
 

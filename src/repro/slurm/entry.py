@@ -10,16 +10,26 @@ modes — which is what makes their results bit-identical.
 The returned payload is deterministic for fixed params: anything
 wall-clock-dependent is stripped before returning, so result files
 can be compared across serial/parallel executions and across hosts.
+
+Preemption support (armed only when the campaign runner passes a
+``snapshot_dir``): the worker installs SIGTERM/SIGINT handlers, polls
+the suspension flag at every event boundary, periodically snapshots
+the full simulator state, and — on suspension — writes a final
+snapshot before raising :class:`~repro.errors.SuspendRequested` back
+to the pool.  A later execution of the same run id restores from the
+snapshot and continues; determinism makes the resumed payload
+byte-identical to an uninterrupted one.
 """
 
 from __future__ import annotations
 
 import math
+from pathlib import Path
 from typing import Mapping
 
 import numpy as np
 
-from repro.errors import ConfigError, ReproError
+from repro.errors import ConfigError, ReproError, SnapshotError, SuspendRequested
 from repro.slurm.config import SchedulerConfig
 from repro.workload.trace import WorkloadTrace
 
@@ -83,25 +93,82 @@ def _build_trace(workload: Mapping[str, object]) -> WorkloadTrace:
     raise ConfigError(f"unknown workload kind {kind!r}")
 
 
-def _execute_simulate(params: Mapping[str, object]) -> dict[str, object]:
+def _execute_simulate(
+    params: Mapping[str, object],
+    snapshot_dir: str | None = None,
+    snapshot_every: str | None = None,
+) -> dict[str, object]:
     from repro.metrics.summary import summarize
-    from repro.slurm.manager import run_simulation
+    from repro.slurm.manager import build_manager
 
     strategy = str(params["strategy"])
     num_nodes = int(params["num_nodes"])  # type: ignore[arg-type]
     config_kwargs = dict(params.get("config", {}))  # type: ignore[arg-type]
     config = SchedulerConfig(strategy=strategy, **config_kwargs)
-    trace = _build_trace(params["workload"])  # type: ignore[arg-type]
-    result = run_simulation(
-        trace, num_nodes=num_nodes, strategy=strategy, config=config
-    )
+
+    snap_path: Path | None = None
+    run_id: str | None = None
+    manager = None
+    if snapshot_dir is not None:
+        from repro.campaign.spec import run_id_of
+        from repro.snapshot.state import read_snapshot, snapshot_path_for
+
+        run_id = run_id_of(dict(params))
+        snap_path = snapshot_path_for(snapshot_dir, run_id)
+        if snap_path.is_file():
+            try:
+                manager = read_snapshot(snap_path, expect_spec_hash=run_id)
+            except SnapshotError:
+                manager = None  # stale or corrupt: start fresh
+    if manager is None:
+        trace = _build_trace(params["workload"])  # type: ignore[arg-type]
+        manager = build_manager(
+            trace, num_nodes=num_nodes, strategy=strategy, config=config
+        )
+    if snap_path is not None:
+        from repro.snapshot import suspend
+        from repro.snapshot.auto import AutoSnapshotter, parse_snapshot_every
+
+        manager.sim.set_suspend_poll(suspend.suspend_requested)
+        every_events, every_wall_s = parse_snapshot_every(snapshot_every)
+        if every_events is not None or every_wall_s is not None:
+            AutoSnapshotter(
+                manager,
+                snap_path,
+                spec_hash=run_id,
+                every_events=every_events,
+                every_wall_s=every_wall_s,
+            ).install()
+
+    try:
+        result = manager.run()
+    except SuspendRequested as exc:
+        from repro.snapshot import suspend
+        from repro.snapshot.state import write_snapshot
+
+        if snap_path is not None:
+            try:
+                written = write_snapshot(manager, snap_path, spec_hash=run_id)
+            except OSError:
+                pass  # a full disk must not mask the suspension
+            else:
+                exc.snapshot_path = str(written)
+        # The worker stays in the pool; clear the flag so a later
+        # (e.g. guard-shed, then re-dispatched) run isn't instantly
+        # re-suspended by this request.
+        suspend.reset()
+        raise
+    if snap_path is not None:
+        # The run completed: its snapshot is now stale state.
+        snap_path.unlink(missing_ok=True)
+
     summary = summarize(result)
     payload: dict[str, object] = {
         "kind": "simulate",
         "strategy": strategy,
         "num_nodes": num_nodes,
-        "workload_name": trace.name,
-        "jobs": len(trace),
+        "workload_name": manager.workload_name,
+        "jobs": manager.workload_jobs,
         "summary": _jsonable(summary.as_dict()),
         # Exact-seconds duplicates of the summary's hour-scaled fields,
         # so gain ratios computed from payloads match in-process maths
@@ -140,7 +207,10 @@ def _execute_experiment(params: Mapping[str, object]) -> dict[str, object]:
 
 
 def execute_run(
-    params: Mapping[str, object], bundle_dir: str | None = None
+    params: Mapping[str, object],
+    bundle_dir: str | None = None,
+    snapshot_dir: str | None = None,
+    snapshot_every: str | None = None,
 ) -> dict[str, object]:
     """Execute one campaign run; returns a deterministic result dict.
 
@@ -151,13 +221,29 @@ def execute_run(
     as a replay bundle at ``<bundle_dir>/<run_id>.bundle.json``
     (best-effort) before the error propagates to the pool, so the
     crash is reproducible even though the worker process is gone.
+
+    With *snapshot_dir* set, ``simulate`` runs become preemption-safe:
+    SIGTERM/SIGINT suspends the simulation at the next event boundary
+    with a final state snapshot at ``<snapshot_dir>/<run_id>.snap``
+    (*snapshot_every* additionally arms periodic snapshots — seconds,
+    or ``<N>e`` for an event count), and a later execution of the same
+    run resumes from that snapshot.  ``experiment`` runs have no
+    mid-run snapshot support: suspension simply leaves them
+    uncompleted and a resume re-executes them from scratch (they are
+    deterministic, so the result is unchanged).
     """
     kind = params.get("kind")
     if kind not in ("simulate", "experiment"):
         raise ConfigError(f"unknown run kind {kind!r}")
+    if snapshot_dir is not None:
+        from repro.snapshot import suspend
+
+        suspend.install_signal_handlers()
     try:
         if kind == "simulate":
-            return _execute_simulate(params)
+            return _execute_simulate(
+                params, snapshot_dir=snapshot_dir, snapshot_every=snapshot_every
+            )
         return _execute_experiment(params)
     except ReproError as exc:
         if bundle_dir is not None:

@@ -135,6 +135,11 @@ class WorkloadManager:
         self.queue = PendingQueue(self.priority)
         self.jobs: dict[int, Job] = {}
         self.accounting = AccountingLog()
+        #: Name and size of the loaded workload trace(s); carried in
+        #: the manager (and therefore in snapshots) so a restored run
+        #: can rebuild its result payload without the original trace.
+        self.workload_name: str = ""
+        self.workload_jobs: int = 0
         diag = self.config.diagnostics
         self.recorder: FlightRecorder | None = (
             FlightRecorder(diag.ring_size) if diag.flight_recorder else None
@@ -195,6 +200,8 @@ class WorkloadManager:
     # ------------------------------------------------------------------
     def load(self, trace: WorkloadTrace) -> None:
         """Register a workload trace; submissions become events."""
+        self.workload_name = trace.name
+        self.workload_jobs += len(trace)
         for spec in trace:
             if spec.job_id in self.jobs:
                 raise WorkloadError(f"job id {spec.job_id} already loaded")
@@ -864,6 +871,36 @@ class WorkloadManager:
             self.collector.on_start(now, job, self)
 
     # ------------------------------------------------------------------
+    # Snapshot / restore (see repro.snapshot)
+    # ------------------------------------------------------------------
+    def snapshot(self, path, spec_hash: str | None = None):
+        """Atomically persist this manager's complete state to *path*.
+
+        Captures the event heap, RNG bit-generator states, cluster and
+        allocation occupancy, queue/accounting/metric state — the
+        whole simulation world — so :meth:`restore` + :meth:`run`
+        continues byte-identically to an uninterrupted run.
+        """
+        from repro.snapshot.state import write_snapshot
+
+        return write_snapshot(self, path, spec_hash=spec_hash)
+
+    @classmethod
+    def restore(cls, path, expect_spec_hash: str | None = None):
+        """Rebuild a manager from a snapshot file (verified first)."""
+        from repro.errors import SnapshotError
+        from repro.snapshot.state import read_snapshot
+
+        manager = read_snapshot(path, expect_spec_hash=expect_spec_hash)
+        if not isinstance(manager, cls):
+            raise SnapshotError(
+                f"{path}: snapshot holds a {type(manager).__name__}, "
+                f"not a {cls.__name__}",
+                reason="format",
+            )
+        return manager
+
+    # ------------------------------------------------------------------
     # Running
     # ------------------------------------------------------------------
     def run(self, until: float | None = None) -> SimulationResult:
@@ -908,17 +945,16 @@ class WorkloadManager:
         )
 
 
-def run_simulation(
+def build_manager(
     trace: WorkloadTrace,
     num_nodes: int = 128,
     strategy: str | Strategy = "easy_backfill",
     config: SchedulerConfig | None = None,
     collect_metrics: bool = True,
-) -> SimulationResult:
-    """One-call convenience API: simulate *trace* under a strategy.
-
-    This is the function the examples and benchmarks build on.
-    """
+) -> WorkloadManager:
+    """Construct a ready-to-run manager exactly as :func:`run_simulation`
+    would — the shared build path that keeps direct runs, campaign
+    workers, and snapshot-resumed runs on identical state."""
     from repro.metrics.collector import MetricsCollector
 
     if config is None:
@@ -936,4 +972,24 @@ def run_simulation(
     manager.load(trace)
     if config.resilience is not None:
         manager.enable_resilience(config.resilience)
-    return manager.run()
+    return manager
+
+
+def run_simulation(
+    trace: WorkloadTrace,
+    num_nodes: int = 128,
+    strategy: str | Strategy = "easy_backfill",
+    config: SchedulerConfig | None = None,
+    collect_metrics: bool = True,
+) -> SimulationResult:
+    """One-call convenience API: simulate *trace* under a strategy.
+
+    This is the function the examples and benchmarks build on.
+    """
+    return build_manager(
+        trace,
+        num_nodes=num_nodes,
+        strategy=strategy,
+        config=config,
+        collect_metrics=collect_metrics,
+    ).run()

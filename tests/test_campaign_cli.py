@@ -28,7 +28,11 @@ class TestCampaignCommand:
     def test_store_and_jsonl_artifacts(self, tmp_path, capsys):
         assert campaign(tmp_path) == 0
         store = tmp_path / "store"
-        run_files = sorted(store.glob("*.json"))
+        # Hidden dotfiles (the .campaign.json manifest, the .lock) are
+        # store metadata, not result records.
+        run_files = sorted(
+            p for p in store.glob("*.json") if not p.name.startswith(".")
+        )
         assert len(run_files) == 2
         records = [json.loads(p.read_text()) for p in run_files]
         assert {r["params"]["strategy"] for r in records} == {

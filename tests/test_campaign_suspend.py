@@ -1,0 +1,463 @@
+"""Tests for graceful campaign shutdown, resource guards, store
+locking, and the ``repro resume`` command.
+
+The flagship test SIGTERMs a live multi-worker campaign subprocess
+(including a registry experiment) and asserts that ``repro resume``
+completes it with result files byte-identical to an uninterrupted
+baseline campaign.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.campaign.progress import ProgressTracker
+from repro.campaign.runner import CampaignRunner, SuspendedRun
+from repro.campaign.spec import RunSpec
+from repro.campaign.store import ResultStore, StoreLock
+from repro.cli import EXIT_INTERRUPTED, EXIT_SUSPENDED, main
+from repro.errors import ConfigError, SuspendRequested
+from repro.snapshot import suspend
+from repro.snapshot.guards import ResourceGuards
+
+
+@pytest.fixture(autouse=True)
+def _clean_suspend_state():
+    previous = {
+        sig: signal.getsignal(sig) for sig in (signal.SIGTERM, signal.SIGINT)
+    }
+    suspend.reset()
+    yield
+    suspend.reset()
+    for sig, handler in previous.items():
+        signal.signal(sig, handler)
+
+
+def runs_of(values):
+    return [
+        RunSpec.from_params({"kind": "test", "value": v}) for v in values
+    ]
+
+
+# Entry functions must be module-level so ProcessPoolExecutor can
+# pickle them.
+def double_entry(params):
+    return {"doubled": params["value"] * 2}
+
+
+def sleepy_entry(params):
+    time.sleep(params["sleep_s"])
+    return {"slept": params["sleep_s"]}
+
+
+def suspending_entry(params):
+    """Suspends on the first call (per marker file), succeeds after."""
+    marker = Path(params["marker"])
+    if not marker.exists():
+        marker.touch()
+        raise SuspendRequested(
+            "synthetic suspend", snapshot_path=params.get("snap")
+        )
+    return {"resumed": True}
+
+
+# ----------------------------------------------------------------------
+# Serial shutdown semantics
+# ----------------------------------------------------------------------
+class TestSerialSuspend:
+    def test_flag_set_before_dispatch_stops_cleanly(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        runner = CampaignRunner(store=store, workers=1, entry=double_entry)
+        suspend.request_suspend()
+        outcome = runner.run(runs_of([1, 2, 3]))
+        assert outcome.interrupted
+        assert not outcome.ok
+        assert outcome.results == {}
+        assert not suspend.suspend_requested(), "flag consumed by shutdown"
+
+    def test_entry_suspension_parks_the_run(self, tmp_path):
+        marker = tmp_path / "marker"
+        runs = [
+            RunSpec.from_params(
+                {"kind": "test", "marker": str(marker), "snap": "here.snap"}
+            ),
+            RunSpec.from_params({"kind": "test", "value": 9}),
+        ]
+        runner = CampaignRunner(workers=1, entry=suspending_entry)
+        outcome = runner.run(runs)
+        assert outcome.interrupted
+        assert outcome.suspended == [
+            SuspendedRun(runs[0].run_id, runs[0].label, "here.snap")
+        ]
+        # dispatch stopped: the second run never executed
+        assert outcome.results == {}
+
+    def test_rerun_after_suspension_completes(self, tmp_path):
+        marker = tmp_path / "marker"
+        store = ResultStore(tmp_path / "store")
+        runs = [
+            RunSpec.from_params({"kind": "test", "marker": str(marker)})
+        ]
+        first = CampaignRunner(
+            store=store, workers=1, entry=suspending_entry
+        ).run(runs)
+        assert first.interrupted and len(first.suspended) == 1
+        second = CampaignRunner(
+            store=store, workers=1, entry=suspending_entry
+        ).run(runs)
+        assert second.ok
+        assert second.payloads() == [{"resumed": True}]
+
+
+# ----------------------------------------------------------------------
+# Parallel shutdown and shed semantics
+# ----------------------------------------------------------------------
+class TestParallelSuspend:
+    def test_graceful_shutdown_drains_inflight_and_leaves_queue(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        runner = CampaignRunner(
+            store=store,
+            workers=2,
+            entry=sleepy_entry,
+            snapshot_dir=tmp_path / "snaps",  # arms the responsive wait
+            kill=lambda pid, sig: None,  # don't actually signal workers
+        )
+        runs = [
+            RunSpec.from_params({"kind": "test", "value": v, "sleep_s": 1.0})
+            for v in range(4)
+        ]
+        timer = threading.Timer(0.3, suspend.request_suspend)
+        timer.start()
+        try:
+            outcome = runner.run(runs)
+        finally:
+            timer.cancel()
+        assert outcome.interrupted
+        # The two in-flight runs finished within the grace window and
+        # were recorded; the two queued runs were simply left behind.
+        assert outcome.completed == 2
+        assert len(store.completed_ids()) == 2
+        assert outcome.suspended == []
+        assert not suspend.suspend_requested()
+
+        resumed = CampaignRunner(
+            store=store, workers=2, entry=sleepy_entry
+        ).run(runs)
+        assert resumed.ok
+        assert resumed.cached == 2 and resumed.completed == 2
+        assert len(store.completed_ids()) == 4
+
+    def test_shed_run_requeues_without_attempt_penalty(self, tmp_path):
+        # A worker that raises SuspendRequested while the parent's
+        # shutdown flag is clear models an RSS-guard shed: the run must
+        # re-queue and succeed on resubmission, with no failure.
+        marker = tmp_path / "shed-marker"
+        events = []
+        runner = CampaignRunner(
+            workers=2,
+            entry=suspending_entry,
+            retries=0,  # a shed must not consume an attempt
+            progress=events.append,
+        )
+        runs = [
+            RunSpec.from_params({"kind": "test", "marker": str(marker)}),
+            RunSpec.from_params({"kind": "test", "value": 5, "marker": str(tmp_path / "other")}),
+        ]
+        # Make the second run complete normally on its first call.
+        (tmp_path / "other").touch()
+        outcome = runner.run(runs)
+        assert outcome.ok
+        assert outcome.payloads()[0] == {"resumed": True}
+        sheds = [e for e in events if e.kind == "retry" and "shed" in (e.error or "")]
+        assert len(sheds) == 1
+
+
+# ----------------------------------------------------------------------
+# Resource-guard dispatch logic (white-box, fake probes)
+# ----------------------------------------------------------------------
+class TestGuardDispatch:
+    def _tracker(self, events):
+        return ProgressTracker(total=0, sink=events.append)
+
+    def test_rss_trip_sigterms_offender_once(self):
+        killed = []
+        events = []
+        runner = CampaignRunner(
+            entry=double_entry,
+            guards=ResourceGuards(
+                rss_budget_mb=100.0,
+                poll_interval_s=0.0,
+                rss_probe=lambda pid: 500.0 if pid == 42 else 10.0,
+            ),
+            kill=lambda pid, sig: killed.append((pid, sig)),
+        )
+        tracker = self._tracker(events)
+        paused = runner._dispatch_paused(tracker, [41, 42], False)
+        assert paused is False  # rss trips never pause dispatch
+        assert killed == [(42, signal.SIGTERM)]
+        assert [e.kind for e in events] == ["guard"]
+        # Second poll: the pid is already shed; no SIGTERM storm that
+        # would escalate the worker into a hard KeyboardInterrupt.
+        runner._dispatch_paused(tracker, [41, 42], False)
+        assert killed == [(42, signal.SIGTERM)]
+
+    def test_disk_trip_pauses_then_recovers(self, tmp_path):
+        frees = iter([5.0, 5000.0])
+        events = []
+        runner = CampaignRunner(
+            entry=double_entry,
+            guards=ResourceGuards(
+                disk_min_free_mb=100.0,
+                watch_path=tmp_path,
+                poll_interval_s=0.0,
+                disk_probe=lambda path: next(frees),
+            ),
+        )
+        tracker = self._tracker(events)
+        assert runner._dispatch_paused(tracker, [], False) is True
+        assert runner._dispatch_paused(tracker, [], True) is False
+        messages = [e.error for e in events]
+        assert any("disk low" in m for m in messages)
+        assert any("recovered" in m for m in messages)
+
+    def test_rate_limited_poll_keeps_previous_state(self, tmp_path):
+        ticks = iter([0.0, 1.0])
+        runner = CampaignRunner(
+            entry=double_entry,
+            guards=ResourceGuards(
+                disk_min_free_mb=100.0,
+                watch_path=tmp_path,
+                poll_interval_s=60.0,
+                clock=lambda: next(ticks),
+                disk_probe=lambda path: 5.0,
+            ),
+        )
+        tracker = self._tracker([])
+        assert runner._dispatch_paused(tracker, [], False) is True
+        # 1s later: rate-limited; the pause state must stick.
+        assert runner._dispatch_paused(tracker, [], True) is True
+
+    def test_no_guards_never_pauses(self):
+        runner = CampaignRunner(entry=double_entry)
+        assert runner._dispatch_paused(self._tracker([]), [1], True) is False
+
+
+# ----------------------------------------------------------------------
+# Store locking
+# ----------------------------------------------------------------------
+class TestStoreLock:
+    def test_second_acquire_fails_with_holder_pid(self, tmp_path):
+        first = StoreLock(tmp_path).acquire()
+        try:
+            with pytest.raises(ConfigError, match="locked by another campaign"):
+                StoreLock(tmp_path).acquire()
+            with pytest.raises(ConfigError, match=str(os.getpid())):
+                StoreLock(tmp_path).acquire()
+        finally:
+            first.release()
+
+    def test_release_allows_reacquire(self, tmp_path):
+        lock = StoreLock(tmp_path).acquire()
+        lock.release()
+        with StoreLock(tmp_path) as again:
+            assert again.held
+
+    def test_acquire_is_idempotent_within_holder(self, tmp_path):
+        lock = StoreLock(tmp_path).acquire()
+        assert lock.acquire() is lock
+        lock.release()
+
+    def test_runner_fails_fast_on_locked_store(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        holder = store.lock().acquire()
+        try:
+            runner = CampaignRunner(store=store, workers=1, entry=double_entry)
+            with pytest.raises(ConfigError, match="locked"):
+                runner.run(runs_of([1]))
+        finally:
+            holder.release()
+
+    def test_runner_releases_lock_after_run(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        CampaignRunner(store=store, workers=1, entry=double_entry).run(
+            runs_of([1])
+        )
+        with store.lock() as lock:
+            assert lock.held
+
+
+# ----------------------------------------------------------------------
+# Manifest read/write
+# ----------------------------------------------------------------------
+class TestManifest:
+    def test_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.write_manifest({"manifest_version": 1, "name": "x", "spec": {}})
+        assert store.read_manifest()["name"] == "x"
+        # hidden: not mistaken for a result record
+        assert store.completed_ids() == set()
+
+    def test_missing_manifest_is_config_error(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        with pytest.raises(ConfigError, match="no campaign manifest"):
+            store.read_manifest()
+
+    def test_corrupt_manifest_is_config_error(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        (store.root / ".campaign.json").write_text("{not json")
+        with pytest.raises(ConfigError, match="unreadable"):
+            store.read_manifest()
+
+
+# ----------------------------------------------------------------------
+# CLI: resume command and exit codes
+# ----------------------------------------------------------------------
+SMALL = [
+    "--jobs", "25", "--sizes", "16", "--seeds", "1",
+    "--strategies", "fcfs", "easy_backfill",
+]
+
+
+class TestResumeCommand:
+    def test_resume_missing_store_exits_2(self, tmp_path, capsys):
+        assert main(["resume", str(tmp_path / "nope")]) == 2
+        assert "resume error" in capsys.readouterr().err
+
+    def test_resume_store_without_manifest_exits_2(self, tmp_path, capsys):
+        (tmp_path / "store").mkdir()
+        assert main(["resume", str(tmp_path / "store")]) == 2
+        assert "manifest" in capsys.readouterr().err
+
+    def test_resume_completed_campaign_is_all_cached(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(
+            ["campaign", *SMALL, "--workers", "1", "--store", store, "--quiet"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["resume", store, "--quiet"]) == 0
+        captured = capsys.readouterr()
+        assert "resuming campaign" in captured.err
+        assert "0 executed, 2 cached" in captured.out
+
+    def test_resume_executes_missing_runs(self, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        assert main(
+            ["campaign", *SMALL, "--workers", "1",
+             "--store", str(store_dir), "--quiet"]
+        ) == 0
+        # Simulate an interrupted campaign: drop one result record.
+        victim = sorted(
+            p for p in store_dir.glob("*.json") if not p.name.startswith(".")
+        )[0]
+        victim.unlink()
+        capsys.readouterr()
+        assert main(["resume", str(store_dir), "--quiet"]) == 0
+        assert "1 executed, 1 cached" in capsys.readouterr().out
+
+
+class TestExitCodes:
+    def test_keyboard_interrupt_exits_130(self, monkeypatch, capsys):
+        import repro.cli as cli
+
+        def interrupted(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli, "_cmd_matrix", interrupted)
+        assert cli.main(["matrix"]) == EXIT_INTERRUPTED == 130
+        assert "interrupted" in capsys.readouterr().err
+
+    def test_exit_code_constants_documented(self):
+        import repro.cli as cli
+
+        assert EXIT_SUSPENDED == 4
+        # The module docstring is the single authority for the table.
+        for code in ("0", "1", "2", "3", "4", "130"):
+            assert code in cli.__doc__
+
+
+# ----------------------------------------------------------------------
+# Full-stack integration: SIGTERM a live campaign, resume it, and
+# demand byte-identical results (includes registry experiment e8).
+# ----------------------------------------------------------------------
+CAMPAIGN_ARGS = [
+    "--jobs", "700", "--sizes", "64", "--seeds", "1", "2",
+    "--strategies", "easy_backfill", "shared_backfill",
+    "--experiments", "e8",
+    "--workers", "2", "--quiet", "--name", "suspendit",
+]
+
+
+def _store_fingerprint(store: Path) -> dict[str, bytes]:
+    files = {
+        p.name: p.read_bytes()
+        for p in store.glob("*.json")
+        if not p.name.startswith(".")
+    }
+    files["results.jsonl"] = (store / "results.jsonl").read_bytes()
+    return files
+
+
+class TestSuspendResumeIntegration:
+    def _run_cli(self, *args, timeout=180):
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *args],
+            capture_output=True, text=True, timeout=timeout,
+            cwd="/root/repo", env={**os.environ, "PYTHONPATH": "src"},
+        )
+
+    def test_sigterm_then_resume_is_byte_identical(self, tmp_path):
+        baseline_store = tmp_path / "baseline"
+        proc = self._run_cli(
+            "campaign", *CAMPAIGN_ARGS, "--store", str(baseline_store)
+        )
+        assert proc.returncode == 0, proc.stderr
+
+        interrupted_store = tmp_path / "interrupted"
+        progress_log = tmp_path / "progress.jsonl"
+        child = subprocess.Popen(
+            [sys.executable, "-m", "repro", "campaign", *CAMPAIGN_ARGS,
+             "--store", str(interrupted_store),
+             "--progress-log", str(progress_log)],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+            cwd="/root/repo", env={**os.environ, "PYTHONPATH": "src"},
+        )
+        # Don't SIGTERM before the campaign's handlers are installed:
+        # wait until the progress log shows runs actually in flight.
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            if progress_log.exists() and "started" in progress_log.read_text():
+                break
+            time.sleep(0.05)
+        else:
+            pytest.fail("campaign never started dispatching")
+        time.sleep(1.0)  # let the in-flight runs do real work
+        child.send_signal(signal.SIGTERM)
+        out, err = child.communicate(timeout=120)
+        assert child.returncode == EXIT_SUSPENDED, (out, err)
+        assert "campaign suspended" in err
+        assert "repro resume" in err
+
+        done_before = len(
+            [p for p in interrupted_store.glob("*.json")
+             if not p.name.startswith(".")]
+        )
+        assert done_before < 5, "SIGTERM landed after the campaign finished"
+
+        proc = self._run_cli("resume", str(interrupted_store), "--quiet")
+        assert proc.returncode == 0, proc.stderr
+        assert "resuming campaign 'suspendit'" in proc.stderr
+
+        assert _store_fingerprint(interrupted_store) == _store_fingerprint(
+            baseline_store
+        )
+        # Completed stores keep no snapshots behind.
+        snaps = list((interrupted_store / "snapshots").glob("*.snap"))
+        assert snaps == []
