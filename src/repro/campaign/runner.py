@@ -83,6 +83,7 @@ def _default_entry(
     bundle_dir: Path | None,
     snapshot_dir: Path | None = None,
     snapshot_every: str | None = None,
+    telemetry_dir: Path | None = None,
 ) -> Entry:
     from repro.slurm.entry import execute_run
 
@@ -93,6 +94,8 @@ def _default_entry(
         kwargs["snapshot_dir"] = str(snapshot_dir)
         if snapshot_every is not None:
             kwargs["snapshot_every"] = snapshot_every
+    if telemetry_dir is not None:
+        kwargs["telemetry_dir"] = str(telemetry_dir)
     if not kwargs:
         return execute_run
     # partial of a module-level function stays picklable for the pool.
@@ -221,6 +224,12 @@ class CampaignRunner:
     suspend_grace:
         Seconds to wait for in-flight workers to checkpoint during a
         graceful shutdown before abandoning them.
+    telemetry_dir:
+        Directory for per-run telemetry sidecar files; arms the
+        telemetry subsystem in the workers (result payloads stay
+        byte-identical).  After the campaign, the sidecars are merged
+        into ``<store>/telemetry.json`` when a store is attached.
+        Only applies to the default entry function.
     """
 
     def __init__(
@@ -243,6 +252,7 @@ class CampaignRunner:
         install_signal_handlers: bool = False,
         suspend_grace: float = 30.0,
         kill: Callable[[int, int], None] = os.kill,
+        telemetry_dir: str | Path | None = None,
     ) -> None:
         if workers < 1:
             raise ConfigError(f"workers must be >= 1, got {workers}")
@@ -275,11 +285,17 @@ class CampaignRunner:
         self.lock_store = lock_store
         self.install_signal_handlers = install_signal_handlers
         self.suspend_grace = suspend_grace
+        self.telemetry_dir = (
+            Path(telemetry_dir) if telemetry_dir is not None else None
+        )
         self.entry = (
             entry
             if entry is not None
             else _default_entry(
-                self.bundle_dir, self.snapshot_dir, self.snapshot_every
+                self.bundle_dir,
+                self.snapshot_dir,
+                self.snapshot_every,
+                self.telemetry_dir,
             )
         )
         self.progress = progress
@@ -290,6 +306,10 @@ class CampaignRunner:
         self._poison_counts: dict[str, int] = {}
         #: Worker pids already SIGTERMed by the RSS guard this cycle.
         self._shed_pids: set[int] = set()
+        #: First-dispatch timestamp per run_id (quarantine provenance).
+        self._run_started: dict[str, float] = {}
+        #: Snapshot-resume re-dispatches per run_id (quarantine provenance).
+        self._resume_counts: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     def run(self, runs: Sequence[RunSpec]) -> CampaignResult:
@@ -297,6 +317,8 @@ class CampaignRunner:
         started = self._clock()
         self._poison_counts = {}
         self._shed_pids = set()
+        self._run_started = {}
+        self._resume_counts = {}
         if self.snapshot_dir is not None:
             self.snapshot_dir.mkdir(parents=True, exist_ok=True)
         tracker = ProgressTracker(
@@ -336,6 +358,12 @@ class CampaignRunner:
         result.completed = tracker.completed
         result.cached = tracker.cached
         result.elapsed_s = self._clock() - started
+        if self.telemetry_dir is not None and self.store is not None:
+            # Runner-side merge: fold every per-worker sidecar into
+            # one campaign-level telemetry document.
+            from repro.observability.stats import write_campaign_telemetry
+
+            write_campaign_telemetry(self.store.root, self.telemetry_dir)
         return result
 
     # ------------------------------------------------------------------
@@ -379,6 +407,12 @@ class CampaignRunner:
             candidate = bundle_path_for(self.bundle_dir, run.run_id)
             if candidate.is_file():
                 bundle = str(candidate)
+        snapshot: str | None = None
+        if self.snapshot_dir is not None:
+            candidate = snapshot_path_for(self.snapshot_dir, run.run_id)
+            if candidate.is_file():
+                snapshot = str(candidate)
+        started = self._run_started.get(run.run_id)
         result.quarantined.append(
             QuarantinedRun(
                 run_id=run.run_id,
@@ -387,6 +421,11 @@ class CampaignRunner:
                 error=error,
                 params=dict(run.params),
                 bundle=bundle,
+                elapsed_s=(
+                    self._clock() - started if started is not None else 0.0
+                ),
+                resumes=self._resume_counts.get(run.run_id, 0),
+                snapshot=snapshot,
             )
         )
         tracker.emit(
@@ -469,6 +508,7 @@ class CampaignRunner:
                 if not paused:
                     break
                 self._sleep(self.guards.poll_interval_s or 0.1)
+            self._run_started.setdefault(run.run_id, self._clock())
             tracker.emit(STARTED, run.run_id, run.label)
             attempt = 0
             while True:
@@ -560,6 +600,7 @@ class CampaignRunner:
                         else float("inf")
                     )
                     inflight[future] = (run, attempt, deadline)
+                    self._run_started.setdefault(run.run_id, now)
                     if attempt == 1:
                         tracker.emit(STARTED, run.run_id, run.label)
                 queue.extend(requeued)
@@ -596,6 +637,9 @@ class CampaignRunner:
                         # pool.  Re-queue with no attempt penalty; the
                         # resubmission resumes from the snapshot.
                         self._shed_pids.clear()
+                        self._resume_counts[run.run_id] = (
+                            self._resume_counts.get(run.run_id, 0) + 1
+                        )
                         tracker.emit(
                             RETRY, run.run_id, run.label,
                             attempt=attempt, error=f"shed: {exc}",
@@ -768,5 +812,12 @@ class CampaignRunner:
             )
             return
         tracker.emit(RETRY, run.run_id, run.label, attempt=attempt, error=error)
+        if self.snapshot_dir is not None and snapshot_path_for(
+            self.snapshot_dir, run.run_id
+        ).is_file():
+            # The retry will restore from this snapshot, not start over.
+            self._resume_counts[run.run_id] = (
+                self._resume_counts.get(run.run_id, 0) + 1
+            )
         ready_at = self._clock() + self._backoff_delay(attempt)
         queue.append((run, attempt + 1, ready_at))

@@ -30,6 +30,15 @@ Commands
     Re-execute a crash replay bundle (written automatically when a
     run fails under ``campaign --bundle-dir``, or by any crash with
     diagnostics armed) and verify the recorded failure reproduces.
+``trace``
+    Export a Chrome/Perfetto ``trace.json`` — either by re-executing
+    a stored campaign run record (deterministic, so the exported
+    schedule is exactly the one the campaign stored) or by simulating
+    a workload described by the usual flags.  Load the output at
+    https://ui.perfetto.dev or ``chrome://tracing``.
+``stats``
+    Aggregate a campaign store: per-strategy summary rows, folded-in
+    telemetry sidecars (wall-clock, resumes) and quarantine counts.
 ``matrix``
     Print the mini-app pairwise co-run matrix.
 
@@ -68,7 +77,7 @@ from repro.metrics.report import format_comparison, format_json, format_table
 from repro.metrics.summary import summarize
 from repro.slurm.config import SchedulerConfig
 from repro.slurm.formats import sacct
-from repro.slurm.manager import run_simulation
+from repro.slurm.manager import build_manager, run_simulation
 from repro.workload.swf import read_swf, read_swf_header_apps
 from repro.workload.trace import WorkloadTrace
 from repro.workload.trinity import TrinityWorkloadGenerator
@@ -172,6 +181,45 @@ def _diagnostics_from_args(args: argparse.Namespace):
     )
 
 
+def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group(
+        "telemetry",
+        "metrics, decision tracing and profiling (purely observational: "
+        "simulation results are byte-identical with telemetry on or off)",
+    )
+    group.add_argument("--telemetry", action="store_true",
+                       help="arm the metrics hub and decision trace")
+    group.add_argument("--profile", action="store_true",
+                       help="attribute wall-clock to event types and "
+                            "scheduler phases (implies --telemetry)")
+    group.add_argument("--trace-out", default="", metavar="PATH",
+                       help="write a Chrome/Perfetto trace JSON here "
+                            "(implies --telemetry)")
+    group.add_argument("--decisions-out", default="", metavar="PATH",
+                       help="append decision records as JSONL here "
+                            "(implies --telemetry)")
+
+
+def _telemetry_from_args(args: argparse.Namespace):
+    """Build a TelemetryConfig from CLI flags, or None when inert."""
+    armed = (
+        args.telemetry
+        or args.profile
+        or bool(args.trace_out)
+        or bool(args.decisions_out)
+    )
+    if not armed:
+        return None
+    from repro.observability import TelemetryConfig
+
+    return TelemetryConfig(
+        enabled=True,
+        decisions=True,
+        profile=args.profile,
+        decisions_path=args.decisions_out or None,
+    )
+
+
 def _resilience_from_args(args: argparse.Namespace):
     """Build a ResilienceConfig from CLI flags, or None when inert."""
     if (
@@ -207,10 +255,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
         resilience=_resilience_from_args(args),
         diagnostics=_diagnostics_from_args(args),
     )
-    result = run_simulation(
+    telemetry = _telemetry_from_args(args)
+    if telemetry is not None:
+        config.telemetry = telemetry
+    manager = build_manager(
         trace, num_nodes=args.nodes, strategy=args.strategy, config=config
     )
+    result = manager.run()
     summary = summarize(result)
+    if args.trace_out:
+        from repro.observability import write_perfetto
+
+        written = write_perfetto(args.trace_out, result, manager.decisions)
+        print(f"trace: {written}", file=sys.stderr)
     if args.json:
         payload = {
             "command": "run",
@@ -221,9 +278,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "summary": summary.as_dict(),
             "makespan_s": result.makespan,
             "mean_wait_s": summary.mean_wait,
+            # Wall-clock provenance: nondeterministic by nature, so it
+            # lives here in the CLI payload, never in store records.
+            "execution": {
+                "wall_clock_s": float(result.wallclock_seconds),
+                "resume_count": int(getattr(manager, "resume_count", 0)),
+                "restore_wall_s": float(
+                    getattr(manager, "restore_wall_s", 0.0)
+                ),
+            },
         }
         if result.resilience is not None:
             payload["resilience"] = result.resilience.as_dict()
+        telemetry_sections = manager.telemetry_summary()
+        if telemetry_sections is not None:
+            profile = telemetry_sections.pop("profile", None)
+            payload["telemetry"] = telemetry_sections
+            if profile is not None:
+                payload["profile"] = profile
         print(format_json(payload))
         return 0
     print(format_table([summary.as_dict()], title=f"strategy: {args.strategy}"))
@@ -232,6 +304,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(format_table(
             [result.resilience.as_dict()], title="resilience"
         ))
+    if manager.hot_profiler is not None:
+        prof = manager.hot_profiler.as_dict()
+        event_rows = [
+            {"event": name, **stats}
+            for name, stats in list(prof["events"].items())[:10]
+        ]
+        if event_rows:
+            print()
+            print(format_table(event_rows, title="hot events (wall-clock)"))
+        phase_rows = [
+            {"phase": name, **stats} for name, stats in prof["phases"].items()
+        ]
+        if phase_rows:
+            print()
+            print(format_table(phase_rows, title="scheduler phases"))
     if args.sacct:
         print()
         print(sacct(result.accounting, max_rows=args.sacct))
@@ -359,6 +446,7 @@ def _campaign_settings_from_args(args: argparse.Namespace) -> dict[str, object]:
         "snapshot_every": args.snapshot_every,
         "rss_budget_mb": args.rss_budget_mb,
         "disk_min_free_mb": args.disk_min_free_mb,
+        "telemetry": bool(args.telemetry),
     }
 
 
@@ -412,6 +500,8 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     settings = dict(manifest.get("settings", {}))  # type: ignore[arg-type]
     if args.workers > 0:
         settings["workers"] = args.workers
+    if args.telemetry:
+        settings["telemetry"] = True
     print(f"resuming campaign {spec.name!r} from {store_dir}", file=sys.stderr)
     return _execute_campaign(
         spec,
@@ -456,6 +546,9 @@ def _execute_campaign(
     snapshot_every = str(settings.get("snapshot_every") or "")
     rss_budget = float(settings.get("rss_budget_mb", 0.0) or 0.0)  # type: ignore[arg-type]
     disk_min_free = float(settings.get("disk_min_free_mb", 0.0) or 0.0)  # type: ignore[arg-type]
+    telemetry_dir = (
+        store_dir / "telemetry" if settings.get("telemetry") else None
+    )
     sinks = []
     if not quiet:
         sinks.append(lambda event: print(event.render(), file=sys.stderr))
@@ -490,6 +583,7 @@ def _execute_campaign(
             bundle_dir=bundle_dir,
             snapshot_dir=snapshot_dir,
             snapshot_every=snapshot_every or None,
+            telemetry_dir=telemetry_dir,
             guards=guards,
             install_signal_handlers=True,
         )
@@ -515,6 +609,12 @@ def _execute_campaign(
         jsonl_path = Path(jsonl) if jsonl else store_dir / "results.jsonl"
         written = store.export_jsonl(jsonl_path, run_ids=[r.run_id for r in runs])
         print(f"results: {written} records -> {jsonl_path}", file=sys.stderr)
+    if telemetry_dir is not None and (store_dir / "telemetry.json").is_file():
+        print(
+            f"telemetry: {store_dir / 'telemetry.json'} "
+            f"(`repro stats {store_dir}` aggregates)",
+            file=sys.stderr,
+        )
 
     grid_rows = []
     experiment_lines = []
@@ -623,6 +723,89 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0 if report.reproduced else 1
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.observability import TelemetryConfig, perfetto_trace
+
+    if args.record:
+        record_path = Path(args.record)
+        try:
+            record = json.loads(record_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"trace error: cannot read {record_path}: {exc}",
+                  file=sys.stderr)
+            return 2
+        params = record.get("params") if isinstance(record, dict) else None
+        if not isinstance(params, dict) or params.get("kind") != "simulate":
+            print(
+                f"trace error: {record_path} is not a campaign 'simulate' "
+                f"run record",
+                file=sys.stderr,
+            )
+            return 2
+        # Deterministic re-execution: same params -> the exact schedule
+        # the campaign stored, now with the decision trace armed.
+        from repro.slurm.entry import _build_trace as build_campaign_trace
+
+        strategy = str(params["strategy"])
+        num_nodes = int(params["num_nodes"])
+        config = SchedulerConfig(
+            strategy=strategy, **dict(params.get("config", {}))
+        )
+        trace = build_campaign_trace(params["workload"])
+    else:
+        strategy = args.strategy
+        num_nodes = args.nodes
+        config = SchedulerConfig(
+            strategy=strategy, share_threshold=args.threshold
+        )
+        trace = _build_trace(args)
+    config.telemetry = TelemetryConfig(enabled=True, decisions=True)
+    manager = build_manager(
+        trace, num_nodes=num_nodes, strategy=strategy, config=config
+    )
+    result = manager.run()
+    document = perfetto_trace(result, manager.decisions)
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(document, sort_keys=True), encoding="utf-8")
+    print(
+        f"trace: {len(document['traceEvents'])} events "
+        f"({strategy}, {num_nodes} nodes) -> {out}"
+    )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigError
+    from repro.observability import aggregate_store
+
+    try:
+        document = aggregate_store(args.store)
+    except ConfigError as exc:
+        print(f"stats error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(format_json(document))
+        return 0
+    rows = document["strategies"]
+    if rows:
+        print(format_table(rows, title=f"campaign store: {args.store}"))
+    counts = (
+        f"{document['runs']} runs ({document['experiments']} experiments), "
+        f"{document['quarantined']} quarantined"
+    )
+    telemetry = document.get("telemetry")
+    if isinstance(telemetry, dict):
+        exec_info = telemetry.get("exec", {})
+        counts += (
+            f"; telemetry: {telemetry.get('runs', 0)} sidecars, "
+            f"{float(exec_info.get('wall_clock_s', 0.0)):.1f}s wall-clock, "
+            f"{int(exec_info.get('resume_count', 0))} resumes"
+        )
+    print(counts)
+    return 0
+
+
 def _cmd_matrix(args: argparse.Namespace) -> int:
     print(exp.e2_pairing_matrix().text)
     return 0
@@ -650,6 +833,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--json", action="store_true",
                        help="machine-readable JSON instead of tables")
     _add_diagnostics_args(p_run)
+    _add_telemetry_args(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_inspect = sub.add_parser(
@@ -739,6 +923,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_camp.add_argument("--disk-min-free-mb", type=float, default=0.0,
                         help="pause dispatch while free space under "
                              "the store is below this (0 = off)")
+    p_camp.add_argument("--telemetry", action="store_true",
+                        help="write per-run telemetry sidecars under "
+                             "<store>/telemetry and merge them into "
+                             "<store>/telemetry.json (results stay "
+                             "byte-identical)")
     p_camp.set_defaults(func=_cmd_campaign)
 
     p_res = sub.add_parser(
@@ -754,6 +943,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="suppress per-run progress lines")
     p_res.add_argument("--no-jsonl", action="store_true",
                        help="skip rewriting the results JSONL file")
+    p_res.add_argument("--telemetry", action="store_true",
+                       help="arm telemetry sidecars even if the campaign "
+                            "was recorded without them")
     p_res.set_defaults(func=_cmd_resume)
 
     p_replay = sub.add_parser(
@@ -763,6 +955,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_replay.add_argument("--json", action="store_true",
                           help="machine-readable replay report")
     p_replay.set_defaults(func=_cmd_replay)
+
+    p_trace = sub.add_parser(
+        "trace", help="export a Chrome/Perfetto trace of one run"
+    )
+    p_trace.add_argument(
+        "record", nargs="?", default="",
+        help="a stored campaign run record (<store>/<run_id>.json) to "
+             "re-execute deterministically; omit to simulate the "
+             "workload flags below",
+    )
+    p_trace.add_argument("--out", default="trace.json",
+                         help="output path (default trace.json)")
+    _add_workload_args(p_trace)
+    p_trace.add_argument(
+        "--strategy", choices=all_strategy_names(), default="shared_backfill"
+    )
+    p_trace.add_argument("--threshold", type=float, default=1.1,
+                         help="pairing compatibility threshold")
+    p_trace.set_defaults(func=_cmd_trace)
+
+    p_stats = sub.add_parser(
+        "stats", help="aggregate a campaign store (results + telemetry)"
+    )
+    p_stats.add_argument("store", help="the campaign's --store directory")
+    p_stats.add_argument("--json", action="store_true",
+                         help="machine-readable JSON instead of tables")
+    p_stats.set_defaults(func=_cmd_stats)
 
     p_mat = sub.add_parser("matrix", help="print the pairing matrix")
     p_mat.set_defaults(func=_cmd_matrix)

@@ -107,12 +107,19 @@ class ConservativeBackfillStrategy(Strategy):
             start = profile.earliest_start(duration, job.num_nodes)
             profile.reserve(start, duration, job.num_nodes)
             reservations += 1
-            if start <= ctx.now:
-                placement = place_exclusive(job, view)
-                if placement is None:
-                    raise SchedulingError(
-                        f"profile admitted job {job.job_id} now but the view "
-                        f"has only {view.idle_count} idle nodes"
+            if start > ctx.now:
+                if ctx.decisions is not None:
+                    ctx.decisions.reject(
+                        ctx.now, "reserve", job.job_id,
+                        "deferred_reservation",
+                        start=start, need=job.num_nodes,
                     )
-                placements.append(placement)
+                continue
+            placement = place_exclusive(job, view)
+            if placement is None:
+                raise SchedulingError(
+                    f"profile admitted job {job.job_id} now but the view "
+                    f"has only {view.idle_count} idle nodes"
+                )
+            placements.append(placement)
         return placements

@@ -11,6 +11,18 @@ groups whose sizes sum *exactly* to its request — never a partial
 overlap, never a lanes-plus-idle mix.  A shareable job that cannot
 join opens idle nodes in shared mode instead (running at full speed,
 available for a future joiner of matching size).
+
+When the context carries a :class:`~repro.observability.DecisionTrace`
+each probe emits exactly one record — an accept, or a reject carrying
+one reason code from :data:`~repro.observability.REASON_CODES`.
+Classification runs only on the failure path with the trace armed, so
+the decision logic itself is untouched either way.
+
+These helpers run once per pending job per scheduler pass, so the
+rejection sites guard against streak-suppressed repeats *inline*
+(consulting ``DecisionTrace.streaks`` directly) rather than paying a
+method call plus keyword-argument construction twenty-odd thousand
+times per run just to have ``reject()`` discard the repeat.
 """
 
 from __future__ import annotations
@@ -26,12 +38,35 @@ def place_exclusive(
 ) -> Placement | None:
     """Place *job* on idle nodes exclusively, if enough are available
     within *idle_budget* (None = unlimited)."""
+    decisions = view.ctx.decisions
     need = job.num_nodes
     if need > view.idle_count:
+        if decisions is not None:
+            jid = job.spec.job_id
+            streak = decisions.streaks.get(jid)
+            if streak is not None and streak.get("exclusive") == "insufficient_idle":
+                decisions.suppressed += 1
+            else:
+                decisions.reject(
+                    view.ctx.now, "exclusive", jid, "insufficient_idle",
+                    need=need, idle=view.idle_count,
+                )
         return None
     if idle_budget is not None and need > idle_budget:
+        if decisions is not None:
+            jid = job.spec.job_id
+            streak = decisions.streaks.get(jid)
+            if streak is not None and streak.get("exclusive") == "reservation_collision":
+                decisions.suppressed += 1
+            else:
+                decisions.reject(
+                    view.ctx.now, "exclusive", jid, "reservation_collision",
+                    need=need, budget=idle_budget,
+                )
         return None
     node_ids = tuple(view.take_idle(need))
+    if decisions is not None:
+        decisions.accept(view.ctx.now, "exclusive", job.job_id, "exclusive", need)
     return Placement(job=job, node_ids=node_ids, kind=AllocationKind.EXCLUSIVE)
 
 
@@ -92,21 +127,51 @@ def place_join(
 ) -> Placement | None:
     """Co-allocate *job* onto compatible resident groups covering its
     request exactly.  Consumes no idle nodes."""
+    decisions = ctx.decisions
     if not job.spec.shareable:
+        if decisions is not None:
+            jid = job.spec.job_id
+            streak = decisions.streaks.get(jid)
+            if streak is not None and streak.get("join") == "not_shareable":
+                decisions.suppressed += 1
+            else:
+                decisions.reject(ctx.now, "join", jid, "not_shareable")
         return None
     profile = ctx.profile_of(job)
+    compatible = view.joinable_groups(profile)
     groups = [
-        group
-        for group in view.joinable_groups(profile)
-        if _memory_fits(job, group, ctx)
+        group for group in compatible if _memory_fits(job, group, ctx)
     ]
     fill = _exact_group_fill(groups, job.num_nodes)
     if fill is None:
+        if decisions is not None:
+            if not view.groups:
+                code = "no_resident_groups"
+            elif not compatible:
+                code = "interference_cap"
+            elif not groups:
+                code = "memory"
+            else:
+                code = "no_exact_cover"
+            jid = job.spec.job_id
+            streak = decisions.streaks.get(jid)
+            if streak is not None and streak.get("join") == code:
+                decisions.suppressed += 1
+            else:
+                decisions.reject(
+                    ctx.now, "join", jid, code,
+                    need=job.num_nodes, groups=len(groups),
+                )
         return None
     node_ids: list[int] = []
     for group in fill:
         view.take_group(group)
         node_ids.extend(group.node_ids)
+    if decisions is not None:
+        decisions.accept(
+            ctx.now, "join", job.job_id, "shared", job.num_nodes,
+            residents=[group.job.job_id for group in fill],
+        )
     return Placement(job=job, node_ids=tuple(node_ids), kind=AllocationKind.SHARED)
 
 
@@ -122,15 +187,56 @@ def place_open_shared(
     until a matching joiner arrives; its free lanes become joinable
     immediately, including later in this same pass.
     """
-    if not job.spec.shareable or not ctx.allow_open_shared:
+    decisions = ctx.decisions
+    if not job.spec.shareable:
+        if decisions is not None:
+            jid = job.spec.job_id
+            streak = decisions.streaks.get(jid)
+            if streak is not None and streak.get("open_shared") == "not_shareable":
+                decisions.suppressed += 1
+            else:
+                decisions.reject(ctx.now, "open_shared", jid, "not_shareable")
+        return None
+    if not ctx.allow_open_shared:
+        if decisions is not None:
+            jid = job.spec.job_id
+            streak = decisions.streaks.get(jid)
+            if streak is not None and streak.get("open_shared") == "open_shared_disabled":
+                decisions.suppressed += 1
+            else:
+                decisions.reject(
+                    ctx.now, "open_shared", jid, "open_shared_disabled"
+                )
         return None
     need = job.num_nodes
     if need > view.idle_count:
+        if decisions is not None:
+            jid = job.spec.job_id
+            streak = decisions.streaks.get(jid)
+            if streak is not None and streak.get("open_shared") == "insufficient_idle":
+                decisions.suppressed += 1
+            else:
+                decisions.reject(
+                    ctx.now, "open_shared", jid, "insufficient_idle",
+                    need=need, idle=view.idle_count,
+                )
         return None
     if idle_budget is not None and need > idle_budget:
+        if decisions is not None:
+            jid = job.spec.job_id
+            streak = decisions.streaks.get(jid)
+            if streak is not None and streak.get("open_shared") == "reservation_collision":
+                decisions.suppressed += 1
+            else:
+                decisions.reject(
+                    ctx.now, "open_shared", jid, "reservation_collision",
+                    need=need, budget=idle_budget,
+                )
         return None
     node_ids = view.take_idle(need)
     view.open_shared(node_ids, job, ctx.profile_of(job))
+    if decisions is not None:
+        decisions.accept(ctx.now, "open_shared", job.job_id, "shared", need)
     return Placement(job=job, node_ids=tuple(node_ids), kind=AllocationKind.SHARED)
 
 

@@ -76,6 +76,12 @@ class AvailabilityView:
     # Queries
     # ------------------------------------------------------------------
     @property
+    def ctx(self) -> "ScheduleContext":
+        """The owning context (placement helpers reach the decision
+        trace through this)."""
+        return self._ctx
+
+    @property
     def idle_count(self) -> int:
         return len(self.idle)
 

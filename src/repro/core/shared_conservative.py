@@ -70,6 +70,12 @@ class SharedConservativeStrategy(Strategy):
             profile.reserve(start, duration, job.num_nodes)
             reservations += 1
             if start > ctx.now:
+                if ctx.decisions is not None:
+                    ctx.decisions.reject(
+                        ctx.now, "reserve", job.job_id,
+                        "deferred_reservation",
+                        start=start, need=job.num_nodes,
+                    )
                 continue
             if kind is AllocationKind.SHARED:
                 placement = place_open_shared(job, ctx, view)

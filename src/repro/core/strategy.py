@@ -29,6 +29,7 @@ from repro.slurm.job import Job
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.pairing import PairingPolicy
     from repro.core.selector import AvailabilityView
+    from repro.observability.trace import DecisionTrace
 
 
 @dataclass(frozen=True)
@@ -82,6 +83,10 @@ class ScheduleContext:
     #: drained); the availability view orders them last so placements
     #: prefer clean nodes.  Empty unless blacklisting is configured.
     avoid_nodes: frozenset[int] = frozenset()
+    #: Optional decision trace; the placement helpers emit one coded
+    #: record per probe through it.  ``None`` when telemetry is off —
+    #: purely observational either way.
+    decisions: "DecisionTrace | None" = None
     #: Mutable availability the strategy consumes while placing.
     view: "AvailabilityView" = field(default=None)  # type: ignore[assignment]
 

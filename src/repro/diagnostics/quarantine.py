@@ -34,6 +34,14 @@ class QuarantinedRun:
     params: dict[str, object] = field(default_factory=dict)
     #: Path of the replay bundle captured in the worker, if any.
     bundle: str | None = None
+    #: Wall-clock seconds burned on this run before isolation (first
+    #: dispatch to quarantine, across all attempts).
+    elapsed_s: float = 0.0
+    #: Re-dispatches that resumed from a snapshot before isolation.
+    resumes: int = 0
+    #: The run's last snapshot file, if one survives on disk — a
+    #: post-mortem can restore it to inspect the poisoned state.
+    snapshot: str | None = None
 
     def as_dict(self) -> dict[str, object]:
         return {
@@ -43,6 +51,9 @@ class QuarantinedRun:
             "error": self.error,
             "params": self.params,
             "bundle": self.bundle,
+            "elapsed_s": self.elapsed_s,
+            "resumes": self.resumes,
+            "snapshot": self.snapshot,
         }
 
 

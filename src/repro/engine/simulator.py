@@ -46,6 +46,7 @@ from repro.errors import (
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.diagnostics.recorder import FlightRecorder
+    from repro.observability.profiler import HotLoopProfiler
     from repro.snapshot.auto import AutoSnapshotter
 
 Handler = Callable[["Simulator", Event], None]
@@ -75,6 +76,11 @@ class Simulator:
     stall_event_limit:
         Maximum dispatches at one simulated timestamp before the
         progress guard fires; ``None`` disables it.
+    profiler:
+        Optional :class:`~repro.observability.HotLoopProfiler` fed the
+        wall-clock cost of every handler dispatch, keyed by event
+        kind.  Inert when ``None`` (the default): the hot path then
+        pays one ``is not None`` test per event.
     """
 
     def __init__(
@@ -84,6 +90,7 @@ class Simulator:
         recorder: "FlightRecorder | None" = None,
         wall_clock_limit_s: float | None = None,
         stall_event_limit: int | None = None,
+        profiler: "HotLoopProfiler | None" = None,
     ):
         self.now: float = 0.0
         self.heap = EventHeap()
@@ -92,6 +99,7 @@ class Simulator:
         self.recorder = recorder
         self.wall_clock_limit_s = wall_clock_limit_s
         self.stall_event_limit = stall_event_limit
+        self.profiler = profiler
         self.events_dispatched = 0
         self._handlers: dict[EventKind, list[Handler]] = {}
         self._running = False
@@ -246,8 +254,17 @@ class Simulator:
             self.trace.record(event)
         if self.recorder is not None:
             self.recorder.record(event)
-        for handler in self._handlers.get(event.kind, ()):
-            handler(self, event)
+        if self.profiler is None:
+            for handler in self._handlers.get(event.kind, ()):
+                handler(self, event)
+        else:
+            started_ns = _wallclock.perf_counter_ns()
+            for handler in self._handlers.get(event.kind, ()):
+                handler(self, event)
+            self.profiler.record_event(
+                event.kind.name,
+                _wallclock.perf_counter_ns() - started_ns,
+            )
         return event
 
     def run(self, until: float | None = None) -> float:

@@ -1,5 +1,17 @@
 """Metrics: timelines, summaries and the paper's efficiency measures
-(substrate S9)."""
+(substrate S9).
+
+The histogram/binning primitives live in
+:mod:`repro.observability.histogram` (shared with the telemetry
+registry) and are re-exported here for metrics-layer callers.
+"""
+
+from repro.observability.histogram import (
+    Histogram,
+    count_histogram,
+    size_class_labels,
+    size_class_of,
+)
 
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.efficiency import (
@@ -25,6 +37,7 @@ from repro.metrics.validation import ValidatingCollector
 
 __all__ = [
     "FailureRecord",
+    "Histogram",
     "MetricsCollector",
     "NodePowerModel",
     "ResilienceReport",
@@ -37,9 +50,12 @@ __all__ = [
     "ScheduleSummary",
     "Timeline",
     "computational_efficiency",
+    "count_histogram",
     "format_comparison",
     "format_table",
     "scheduling_efficiency",
+    "size_class_labels",
+    "size_class_of",
     "summarize",
     "utilization",
 ]

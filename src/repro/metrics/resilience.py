@@ -15,6 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from repro.observability.histogram import count_histogram
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.slurm.manager import WorkloadManager
 
@@ -96,12 +98,11 @@ def resilience_report(manager: "WorkloadManager") -> ResilienceReport:
     goodput_ns = 0.0
     wasted_ns = 0.0
     overhead_ns = 0.0
-    histogram: dict[str, int] = {}
+    requeue_counts: list[int] = []
     for record in manager.accounting:
         goodput_ns += record.work_done * record.num_nodes
         wasted_ns += record.lost_work * record.num_nodes
-        key = str(record.requeues)
-        histogram[key] = histogram.get(key, 0) + 1
+        requeue_counts.append(record.requeues)
         job = manager.jobs.get(record.job_id)
         if job is not None and job.checkpoint_tau is not None:
             # Work computed at rate tau/(tau+C) spends C/tau of its
@@ -116,7 +117,7 @@ def resilience_report(manager: "WorkloadManager") -> ResilienceReport:
     log = manager.failure_log
     blast_jobs = [r.blast_jobs for r in log]
     blast_ns = [r.lost_node_seconds for r in log]
-    histogram = {k: histogram[k] for k in sorted(histogram, key=int)}
+    histogram = count_histogram(requeue_counts)
     return ResilienceReport(
         failures=manager.failures_injected,
         node_failures=manager.failures_injected

@@ -6,6 +6,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.observability.histogram import size_class_labels, size_class_of
 from repro.metrics.efficiency import (
     computational_efficiency,
     mean_shared_occupancy,
@@ -90,18 +91,12 @@ def wait_by_size_class(
 
     ``boundaries=(2, 8)`` yields classes 1–2, 3–8, and 9+ nodes.
     """
-    edges = (0,) + tuple(boundaries) + (10**9,)
-    labels = []
-    for lo, hi in zip(edges[:-1], edges[1:]):
-        labels.append(f"{lo + 1}-{hi}" if hi < 10**9 else f"{lo + 1}+")
+    labels = size_class_labels(boundaries)
     sums = {label: [0.0, 0] for label in labels}
     for record in result.accounting:
-        for label, lo, hi in zip(labels, edges[:-1], edges[1:]):
-            if lo < record.num_nodes <= hi:
-                entry = sums[label]
-                entry[0] += record.wait_time
-                entry[1] += 1
-                break
+        entry = sums[size_class_of(record.num_nodes, boundaries)]
+        entry[0] += record.wait_time
+        entry[1] += 1
     return {
         label: (total / count if count else 0.0)
         for label, (total, count) in sums.items()

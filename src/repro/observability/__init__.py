@@ -1,0 +1,62 @@
+"""Telemetry subsystem: metrics registry, decision tracing, hot-loop
+profiling and Perfetto export.
+
+Everything here is *purely observational*: armed or disarmed, the
+simulation's results are byte-identical.  Disarmed (the default), the
+scheduler holds ``None`` in place of every telemetry object and pays
+one ``is not None`` test per instrumented site.
+"""
+
+from repro.observability.config import TelemetryConfig
+from repro.observability.histogram import (
+    DEFAULT_SECONDS_EDGES,
+    Histogram,
+    count_histogram,
+    size_class_labels,
+    size_class_of,
+)
+from repro.observability.hub import TelemetryHub, merge_hub_dicts
+from repro.observability.perfetto import (
+    CLUSTER_PID,
+    SCHEDULER_PID,
+    perfetto_trace,
+    validate_trace,
+    write_perfetto,
+)
+from repro.observability.profiler import HotLoopProfiler
+from repro.observability.stats import (
+    aggregate_store,
+    merge_campaign_telemetry,
+    read_telemetry_sidecars,
+    telemetry_dir_for,
+    telemetry_path_for,
+    write_campaign_telemetry,
+    write_telemetry_sidecar,
+)
+from repro.observability.trace import REASON_CODES, DecisionTrace
+
+__all__ = [
+    "CLUSTER_PID",
+    "DEFAULT_SECONDS_EDGES",
+    "DecisionTrace",
+    "SCHEDULER_PID",
+    "Histogram",
+    "HotLoopProfiler",
+    "REASON_CODES",
+    "TelemetryConfig",
+    "TelemetryHub",
+    "aggregate_store",
+    "count_histogram",
+    "merge_campaign_telemetry",
+    "merge_hub_dicts",
+    "perfetto_trace",
+    "read_telemetry_sidecars",
+    "size_class_labels",
+    "size_class_of",
+    "telemetry_dir_for",
+    "telemetry_path_for",
+    "validate_trace",
+    "write_campaign_telemetry",
+    "write_perfetto",
+    "write_telemetry_sidecar",
+]

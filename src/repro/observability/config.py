@@ -1,0 +1,114 @@
+"""Declarative configuration of the telemetry layer.
+
+Mirrors :class:`~repro.diagnostics.config.DiagnosticsConfig`: one
+frozen, JSON-round-trippable object that travels inside
+:class:`~repro.slurm.config.SchedulerConfig` (and therefore inside
+campaign ``params`` dicts), so a traced run re-executes with exactly
+the telemetry that produced the original records.
+
+Telemetry is strictly observational and **off by default**: with
+``enabled=False`` the manager allocates no hub, no decision trace and
+no profiler, and every telemetry check in the hot path is a single
+``x is not None`` test — the same inert-unless-armed contract the
+diagnostics hooks follow.  Enabled or not, simulation *results* are
+byte-identical (the test suite asserts this property).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Mapping
+
+from repro.errors import ConfigError
+
+#: Default in-memory decision-record ring capacity — large enough to
+#: hold every record of an evaluation-sized run, bounded so a runaway
+#: simulation cannot exhaust memory.
+DEFAULT_RING = 65_536
+
+#: Default JSONL flush batch (records buffered before an append).
+DEFAULT_FLUSH_EVERY = 256
+
+#: Default size at which the decision JSONL rotates (bytes).
+DEFAULT_ROTATE_BYTES = 64 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """All tunables of the observability machinery.
+
+    Attributes
+    ----------
+    enabled:
+        Master switch: arms the metrics hub and the decision trace.
+        Off (the default) means zero allocation and near-zero overhead.
+    decisions:
+        Keep structured decision records (scheduler passes, placement
+        accept/reject with reason codes, lifecycle transitions,
+        failures).  Only meaningful with ``enabled=True``.
+    profile:
+        Arm the hot-loop profiler attributing wall-clock to event
+        kinds and scheduler phases.  Only meaningful with
+        ``enabled=True``.
+    ring:
+        In-memory decision records retained (older records drop but
+        stay counted; the JSONL stream, when armed, keeps everything).
+    decisions_path:
+        Append decision records as JSONL to this file (with size-based
+        rotation); ``None`` keeps records in memory only.
+    flush_every:
+        Records buffered before each JSONL append.
+    rotate_bytes:
+        Rotate the JSONL file once it exceeds this size.
+    keep:
+        Rotated files retained (``decisions.jsonl.1`` ... ``.keep``).
+    """
+
+    enabled: bool = False
+    decisions: bool = True
+    profile: bool = False
+    ring: int = DEFAULT_RING
+    decisions_path: str | None = None
+    flush_every: int = DEFAULT_FLUSH_EVERY
+    rotate_bytes: int = DEFAULT_ROTATE_BYTES
+    keep: int = 2
+
+    def __post_init__(self) -> None:
+        if self.ring < 1:
+            raise ConfigError(f"ring must be >= 1, got {self.ring}")
+        if self.flush_every < 1:
+            raise ConfigError(
+                f"flush_every must be >= 1, got {self.flush_every}"
+            )
+        if self.rotate_bytes < 1:
+            raise ConfigError(
+                f"rotate_bytes must be >= 1, got {self.rotate_bytes}"
+            )
+        if self.keep < 1:
+            raise ConfigError(f"keep must be >= 1, got {self.keep}")
+
+    # ------------------------------------------------------------------
+    # (De)serialisation — stable keys for campaign content hashing
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, object]:
+        return asdict(self)
+
+    def non_default_dict(self) -> dict[str, object]:
+        """Only the keys that differ from the defaults (compact params)."""
+        defaults = TelemetryConfig()
+        return {
+            key: value
+            for key, value in asdict(self).items()
+            if value != getattr(defaults, key)
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, object]) -> "TelemetryConfig":
+        known = set(TelemetryConfig.__dataclass_fields__)
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown telemetry config keys: {sorted(unknown)} "
+                f"(known: {sorted(known)})"
+            )
+        return TelemetryConfig(**dict(data))  # type: ignore[arg-type]

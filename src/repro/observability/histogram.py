@@ -1,0 +1,140 @@
+"""The single histogram/binning implementation for the whole repo.
+
+Both the metrics layer (requeue histograms, wait-by-size-class tables)
+and the telemetry registry (:mod:`repro.observability.hub`) need the
+same two primitives — a fixed-bucket histogram and integer size-class
+binning — and previously each grew its own inline copy.  This module
+is the one implementation; :mod:`repro.metrics` re-exports it.
+
+Everything here is pure data manipulation: no clocks, no I/O, no
+randomness, so histograms are safe to carry inside snapshots and to
+merge across campaign workers.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterable, Mapping
+
+from repro.errors import ConfigError
+
+#: Default bucket upper bounds for durations in seconds: sub-second,
+#: seconds, minutes, quarter/one/four hours, one day.  The last bucket
+#: is the implicit +inf overflow.
+DEFAULT_SECONDS_EDGES: tuple[float, ...] = (
+    1.0, 10.0, 60.0, 300.0, 900.0, 3600.0, 14_400.0, 86_400.0,
+)
+
+
+class Histogram:
+    """Fixed-bucket histogram with exact count/sum side channels.
+
+    ``edges`` are the *upper* bounds of the finite buckets (ascending);
+    an observation lands in the first bucket whose edge is >= value,
+    or in the trailing overflow bucket.  Merging requires identical
+    edges — merged histograms from campaign workers stay exact.
+    """
+
+    __slots__ = ("edges", "counts", "count", "total")
+
+    def __init__(self, edges: Iterable[float] = DEFAULT_SECONDS_EDGES) -> None:
+        self.edges: tuple[float, ...] = tuple(float(e) for e in edges)
+        if not self.edges:
+            raise ConfigError("histogram needs at least one bucket edge")
+        if list(self.edges) != sorted(set(self.edges)):
+            raise ConfigError(
+                f"histogram edges must be strictly ascending, got {self.edges}"
+            )
+        #: One count per finite bucket plus the overflow bucket.
+        self.counts: list[int] = [0] * (len(self.edges) + 1)
+        self.count: int = 0
+        self.total: float = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation (O(log buckets)).
+
+        ``bisect_left`` finds the first bucket whose upper edge is
+        >= value; values beyond the last edge land in the overflow
+        bucket at index ``len(edges)``.
+        """
+        self.counts[bisect_left(self.edges, value)] += 1
+        self.count += 1
+        self.total += value
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold *other* into this histogram (edges must match)."""
+        if other.edges != self.edges:
+            raise ConfigError(
+                f"cannot merge histograms with different edges: "
+                f"{self.edges} vs {other.edges}"
+            )
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        self.count += other.count
+        self.total += other.total
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready form (stable keys; lossless for :meth:`from_dict`)."""
+        return {
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.total,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "Histogram":
+        hist = cls(data["edges"])  # type: ignore[arg-type]
+        counts = list(data["counts"])  # type: ignore[call-overload]
+        if len(counts) != len(hist.counts):
+            raise ConfigError(
+                f"histogram payload has {len(counts)} counts for "
+                f"{len(hist.counts)} buckets"
+            )
+        hist.counts = [int(c) for c in counts]
+        hist.count = int(data.get("count", sum(hist.counts)))  # type: ignore[arg-type]
+        hist.total = float(data.get("sum", 0.0))  # type: ignore[arg-type]
+        return hist
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram(count={self.count}, mean={self.mean:.3f})"
+
+
+def count_histogram(values: Iterable[int]) -> dict[str, int]:
+    """Exact count-per-value histogram with JSON-safe string keys.
+
+    Keys are sorted numerically (``{"0": n0, "1": n1, ...}``) — the
+    shape the resilience report's requeue histogram has always used.
+    """
+    histogram: dict[str, int] = {}
+    for value in values:
+        key = str(value)
+        histogram[key] = histogram.get(key, 0) + 1
+    return {key: histogram[key] for key in sorted(histogram, key=int)}
+
+
+def size_class_labels(boundaries: tuple[int, ...]) -> list[str]:
+    """Human labels for integer size classes split at *boundaries*.
+
+    ``boundaries=(2, 8)`` yields ``["1-2", "3-8", "9+"]`` — the exact
+    labels the wait-by-size-class table (figure E6) has always printed.
+    """
+    edges = (0,) + tuple(boundaries) + (10**9,)
+    labels = []
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        labels.append(f"{lo + 1}-{hi}" if hi < 10**9 else f"{lo + 1}+")
+    return labels
+
+
+def size_class_of(value: int, boundaries: tuple[int, ...]) -> str:
+    """The size-class label *value* falls into."""
+    edges = (0,) + tuple(boundaries) + (10**9,)
+    labels = size_class_labels(boundaries)
+    for label, lo, hi in zip(labels, edges[:-1], edges[1:]):
+        if lo < value <= hi:
+            return label
+    raise ConfigError(f"value {value} outside every size class")

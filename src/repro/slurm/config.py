@@ -21,6 +21,7 @@ from repro.diagnostics.config import DiagnosticsConfig
 from repro.errors import ConfigError
 from repro.interference.model import ModelParams
 from repro.interference.profile import ResourceProfile
+from repro.observability.config import TelemetryConfig
 from repro.resilience.config import ResilienceConfig
 from repro.slurm.priority import PriorityWeights
 
@@ -96,12 +97,18 @@ class SchedulerConfig:
     #: a campaign params payload) is converted via
     #: DiagnosticsConfig.from_dict.
     diagnostics: DiagnosticsConfig = field(default_factory=DiagnosticsConfig)
+    #: Telemetry settings (off by default; purely observational — the
+    #: simulation's outputs are byte-identical either way).  A plain
+    #: dict is converted via TelemetryConfig.from_dict.
+    telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
 
     def __post_init__(self) -> None:
         if isinstance(self.resilience, dict):
             self.resilience = ResilienceConfig.from_dict(self.resilience)
         if isinstance(self.diagnostics, dict):
             self.diagnostics = DiagnosticsConfig.from_dict(self.diagnostics)
+        if isinstance(self.telemetry, dict):
+            self.telemetry = TelemetryConfig.from_dict(self.telemetry)
         if self.backfill_interval < 0:
             raise ConfigError("backfill_interval must be >= 0")
         if self.walltime_grace < 1.0:

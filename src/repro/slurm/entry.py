@@ -97,6 +97,7 @@ def _execute_simulate(
     params: Mapping[str, object],
     snapshot_dir: str | None = None,
     snapshot_every: str | None = None,
+    telemetry_dir: str | None = None,
 ) -> dict[str, object]:
     from repro.metrics.summary import summarize
     from repro.slurm.manager import build_manager
@@ -106,14 +107,31 @@ def _execute_simulate(
     config_kwargs = dict(params.get("config", {}))  # type: ignore[arg-type]
     config = SchedulerConfig(strategy=strategy, **config_kwargs)
 
-    snap_path: Path | None = None
     run_id: str | None = None
-    manager = None
-    if snapshot_dir is not None:
+    if snapshot_dir is not None or telemetry_dir is not None:
         from repro.campaign.spec import run_id_of
-        from repro.snapshot.state import read_snapshot, snapshot_path_for
 
         run_id = run_id_of(dict(params))
+    if telemetry_dir is not None:
+        # Out-of-band arming: telemetry is NOT part of the content-
+        # hashed params (run ids and result payloads are identical
+        # with or without it — the byte-identity contract).
+        from repro.observability.config import TelemetryConfig
+
+        config.telemetry = TelemetryConfig(
+            enabled=True,
+            decisions=True,
+            profile=True,
+            decisions_path=str(
+                Path(telemetry_dir) / f"{run_id}.decisions.jsonl"
+            ),
+        )
+
+    snap_path: Path | None = None
+    manager = None
+    if snapshot_dir is not None:
+        from repro.snapshot.state import read_snapshot, snapshot_path_for
+
         snap_path = snapshot_path_for(snapshot_dir, run_id)
         if snap_path.is_file():
             try:
@@ -161,6 +179,26 @@ def _execute_simulate(
     if snap_path is not None:
         # The run completed: its snapshot is now stale state.
         snap_path.unlink(missing_ok=True)
+    if telemetry_dir is not None:
+        # The execution provenance (all the nondeterministic facts)
+        # goes in a sidecar file, never in the result payload.
+        from repro.observability.stats import write_telemetry_sidecar
+
+        sidecar: dict[str, object] = {
+            "run_id": run_id,
+            "exec": {
+                "wall_clock_s": float(result.wallclock_seconds),
+                "resume_count": int(getattr(manager, "resume_count", 0)),
+                "restore_wall_s": float(
+                    getattr(manager, "restore_wall_s", 0.0)
+                ),
+                "events_dispatched": int(result.events_dispatched),
+            },
+        }
+        telemetry_summary = manager.telemetry_summary()
+        if telemetry_summary is not None:
+            sidecar.update(telemetry_summary)
+        write_telemetry_sidecar(telemetry_dir, run_id, sidecar)
 
     summary = summarize(result)
     payload: dict[str, object] = {
@@ -211,6 +249,7 @@ def execute_run(
     bundle_dir: str | None = None,
     snapshot_dir: str | None = None,
     snapshot_every: str | None = None,
+    telemetry_dir: str | None = None,
 ) -> dict[str, object]:
     """Execute one campaign run; returns a deterministic result dict.
 
@@ -231,6 +270,13 @@ def execute_run(
     mid-run snapshot support: suspension simply leaves them
     uncompleted and a resume re-executes them from scratch (they are
     deterministic, so the result is unchanged).
+
+    With *telemetry_dir* set, ``simulate`` runs arm the telemetry
+    subsystem and write a per-run sidecar file
+    ``<telemetry_dir>/<run_id>.telemetry.json`` holding the execution
+    provenance (wall-clock, resume count, restore time) plus the
+    merged metrics hub, decision-trace summary and hot-loop profile.
+    The result payload itself is byte-identical either way.
     """
     kind = params.get("kind")
     if kind not in ("simulate", "experiment"):
@@ -242,7 +288,10 @@ def execute_run(
     try:
         if kind == "simulate":
             return _execute_simulate(
-                params, snapshot_dir=snapshot_dir, snapshot_every=snapshot_every
+                params,
+                snapshot_dir=snapshot_dir,
+                snapshot_every=snapshot_every,
+                telemetry_dir=telemetry_dir,
             )
         return _execute_experiment(params)
     except ReproError as exc:

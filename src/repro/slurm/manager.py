@@ -37,6 +37,9 @@ from repro.errors import (
 from repro.interference.model import InterferenceModel
 from repro.interference.profile import ResourceProfile
 from repro.miniapps.suite import TRINITY_SUITE
+from repro.observability.hub import TelemetryHub
+from repro.observability.profiler import HotLoopProfiler
+from repro.observability.trace import DecisionTrace
 from repro.resilience import (
     NodeHealthTracker,
     ResilienceConfig,
@@ -144,10 +147,35 @@ class WorkloadManager:
         self.recorder: FlightRecorder | None = (
             FlightRecorder(diag.ring_size) if diag.flight_recorder else None
         )
+        # Telemetry (all None when off — the zero-overhead contract).
+        telemetry = self.config.telemetry
+        self.hub: TelemetryHub | None = (
+            TelemetryHub() if telemetry.enabled else None
+        )
+        self.decisions: DecisionTrace | None = (
+            DecisionTrace(
+                path=telemetry.decisions_path,
+                ring=telemetry.ring,
+                flush_every=telemetry.flush_every,
+                rotate_bytes=telemetry.rotate_bytes,
+                keep=telemetry.keep,
+                hub=self.hub,
+            )
+            if telemetry.enabled and telemetry.decisions
+            else None
+        )
+        self.hot_profiler: HotLoopProfiler | None = (
+            HotLoopProfiler() if telemetry.enabled and telemetry.profile else None
+        )
+        #: Resume provenance, stamped by snapshot restore (never part
+        #: of result payloads — wall-clock facts are not deterministic).
+        self.resume_count = 0
+        self.restore_wall_s = 0.0
         sim_kwargs: dict = {
             "recorder": self.recorder,
             "wall_clock_limit_s": diag.wall_clock_limit_s,
             "stall_event_limit": diag.stall_event_limit,
+            "profiler": self.hot_profiler,
         }
         if diag.max_events is not None:
             sim_kwargs["max_events"] = diag.max_events
@@ -315,6 +343,16 @@ class WorkloadManager:
 
     def _refresh_rate(self, job: Job) -> None:
         """Integrate progress, recompute the rate, reschedule finish."""
+        if self.hot_profiler is None:
+            self._refresh_rate_inner(job)
+        else:
+            started_ns = self.hot_profiler.now_ns()
+            self._refresh_rate_inner(job)
+            self.hot_profiler.record_phase(
+                "interference", self.hot_profiler.now_ns() - started_ns
+            )
+
+    def _refresh_rate_inner(self, job: Job) -> None:
         now = self.sim.now
         job.integrate_progress(now, job.sharing_now)
         co_runners = self.cluster.jobs_sharing_with(job.job_id)
@@ -341,8 +379,17 @@ class WorkloadManager:
         if denial is not None:
             # SLURM rejects at submission; we record the job CANCELLED
             # so every loaded job still has an accounting record.
+            if self.decisions is not None:
+                code, message = denial
+                self.decisions.reject(
+                    sim.now, "admission", job.job_id, code, detail=message
+                )
             self._cancel_terminal(job)
             return
+        if self.decisions is not None:
+            self.decisions.lifecycle(
+                sim.now, job.job_id, "submitted", nodes=job.num_nodes
+            )
         dep_id = job.spec.depends_on
         if dep_id >= 0 and dep_id in self.jobs:
             dependency = self.jobs[dep_id]
@@ -363,6 +410,8 @@ class WorkloadManager:
     def _cancel_terminal(self, job: Job) -> None:
         """Cancel a never-queued job and write its record."""
         job.mark_cancelled(self.sim.now)
+        if self.decisions is not None:
+            self.decisions.lifecycle(self.sim.now, job.job_id, "cancelled")
         self._terminal_jobs += 1
         self._maybe_disarm_failures()
         self.accounting.append(JobRecord.from_job(job))
@@ -377,9 +426,16 @@ class WorkloadManager:
         for dependent in held:
             if dependent.state.is_terminal:
                 continue  # e.g. scancelled while held
-            if satisfied and self._admission_denial(dependent) is not None:
+            denial = self._admission_denial(dependent) if satisfied else None
+            if denial is not None:
                 # Drains since submission may have shrunk the cluster
                 # below the dependent's footprint.
+                if self.decisions is not None:
+                    code, message = denial
+                    self.decisions.reject(
+                        self.sim.now, "admission", dependent.job_id, code,
+                        detail=message,
+                    )
                 self._cancel_terminal(dependent)
             elif satisfied:
                 self.queue.add(dependent)
@@ -390,26 +446,37 @@ class WorkloadManager:
         if satisfied:
             self._request_pass()
 
-    def _admission_denial(self, job: Job) -> str | None:
-        """Reason the job cannot be accepted, or None if admitted."""
+    def _admission_denial(self, job: Job) -> tuple[str, str] | None:
+        """Why the job cannot be accepted, or None if admitted.
+
+        Returns ``(reason_code, message)`` — the code is one of the
+        admission entries in
+        :data:`~repro.observability.REASON_CODES`, the message is the
+        human-readable detail.
+        """
         partition = self.partitions.get(job.spec.partition)
         if partition is None:
-            return f"unknown partition {job.spec.partition!r}"
+            return (
+                "unknown_partition",
+                f"unknown partition {job.spec.partition!r}",
+            )
         ok, reason = partition.admits(job.num_nodes, job.spec.walltime_req)
         if not ok:
-            return reason
+            return ("partition_limit", reason)
         smallest_node = min(node.memory_mb for node in self.cluster.nodes)
         if job.spec.memory_mb_per_node > smallest_node:
             return (
+                "node_memory",
                 f"requested {job.spec.memory_mb_per_node:.0f} MB/node "
-                f"exceeds node memory {smallest_node} MB"
+                f"exceeds node memory {smallest_node} MB",
             )
         if self.health is not None and self.health.drained:
             capacity = self.cluster.num_nodes - len(self.health.drained)
             if job.num_nodes > capacity:
                 return (
+                    "avoid_nodes",
                     f"needs {job.num_nodes} nodes but only {capacity} "
-                    f"remain in service after drains"
+                    f"remain in service after drains",
                 )
         return None
 
@@ -646,6 +713,13 @@ class WorkloadManager:
                 lost_node_seconds=lost_node_seconds,
             )
         )
+        if self.decisions is not None:
+            self.decisions.event(
+                now, f"{kind}_fail",
+                nodes=[node.node_id for node in nodes],
+                evicted=victim_ids, failed=failed_ids,
+                lost_node_s=lost_node_seconds,
+            )
         self._request_pass()
 
     def _evict_for_failure(self, job: Job, failed_ids: list[int]) -> float:
@@ -676,6 +750,10 @@ class WorkloadManager:
         if max_requeues is not None and job.requeues >= max_requeues:
             lost = job.progress
             job.mark_failed(now)
+            if self.decisions is not None:
+                self.decisions.lifecycle(
+                    now, job.job_id, "failed", requeues=job.requeues
+                )
             failed_ids.append(job.job_id)
             self.jobs_failed += 1
             self._terminal_jobs += 1
@@ -690,6 +768,10 @@ class WorkloadManager:
             saved = job.checkpointed_progress()
             lost = job.progress - saved
             job.mark_requeued(now, saved=saved)
+            if self.decisions is not None:
+                self.decisions.lifecycle(
+                    now, job.job_id, "requeued", saved_s=saved, lost_s=lost
+                )
             self.jobs_requeued += 1
             self.queue.add(job)
         return lost * job.num_nodes
@@ -701,9 +783,13 @@ class WorkloadManager:
         ):
             node.mark_drained()
             self.health.mark_drained(node.node_id)
+            if self.decisions is not None:
+                self.decisions.event(sim.now, "node_drain", node=node.node_id)
             self._cancel_unsatisfiable()
         else:
             node.mark_up()
+            if self.decisions is not None:
+                self.decisions.event(sim.now, "node_repair", node=node.node_id)
             self._request_pass()
         if self.collector is not None:
             self.collector.on_sample(sim.now, self)
@@ -728,6 +814,11 @@ class WorkloadManager:
 
     def _on_reservation_edge(self, sim: Simulator, event: Event) -> None:
         kind, reservation = event.payload
+        if self.decisions is not None:
+            self.decisions.event(
+                sim.now, kind, reservation=reservation.name,
+                nodes=reservation.num_nodes,
+            )
         if kind == "res_start":
             idle = [n.node_id for n in self.cluster.idle_nodes()]
             granted = idle[: reservation.num_nodes]
@@ -772,6 +863,14 @@ class WorkloadManager:
         self._maybe_disarm_failures()
         record = JobRecord.from_job(job)
         self.accounting.append(record)
+        if self.decisions is not None:
+            self.decisions.lifecycle(
+                now, job.job_id, final_state.name.lower(),
+                shared=record.was_shared,
+            )
+        if self.hub is not None:
+            self.hub.observe("job.wait_s", record.wait_time)
+            self.hub.observe("job.run_s", record.run_time)
         self.priority.charge(job.spec.user, record.node_seconds_allocated)
         if self.predictor is not None and final_state is JobState.COMPLETED:
             self.predictor.observe(
@@ -785,6 +884,8 @@ class WorkloadManager:
         self._request_pass()
 
     def _on_backfill_tick(self, sim: Simulator, event: Event) -> None:
+        if self.decisions is not None:
+            self.decisions.event(sim.now, "backfill_tick")
         self._request_pass()
         if self._terminal_jobs < len(self.jobs):
             sim.schedule_in(
@@ -802,6 +903,10 @@ class WorkloadManager:
         self._pass_requested_at = None
         self.scheduler_passes += 1
         if not self.queue:
+            if self.decisions is not None:
+                self.decisions.span(
+                    sim.now, "scheduler_pass", pending=0, placed=0
+                )
             return
         running = {
             job_id: self.jobs[job_id]
@@ -814,10 +919,11 @@ class WorkloadManager:
             and self.health.blacklist_failures is not None
         ):
             avoid = self.health.suspect_nodes(sim.now)
+        pending = self.queue.ordered(sim.now)
         ctx = ScheduleContext(
             now=sim.now,
             cluster=self.cluster,
-            pending=self.queue.ordered(sim.now),
+            pending=pending,
             running=running,
             profile_of=self.profile_of,
             predicted_end=self.predicted_end,
@@ -829,12 +935,36 @@ class WorkloadManager:
                 self.predictor.predict if self.predictor is not None else None
             ),
             avoid_nodes=avoid,
+            decisions=self.decisions,
         )
-        placements = self.strategy.schedule(ctx)
-        for placement in placements:
-            self._start_job(placement)
-        if placements and self.collector is not None:
-            self.collector.on_sample(sim.now, self)
+        profiler = self.hot_profiler
+        if profiler is None:
+            placements = self.strategy.schedule(ctx)
+            for placement in placements:
+                self._start_job(placement)
+            if placements and self.collector is not None:
+                self.collector.on_sample(sim.now, self)
+        else:
+            started_ns = profiler.now_ns()
+            placements = self.strategy.schedule(ctx)
+            placed_ns = profiler.now_ns()
+            profiler.record_phase("placement", placed_ns - started_ns)
+            for placement in placements:
+                self._start_job(placement)
+            applied_ns = profiler.now_ns()
+            profiler.record_phase("dispatch", applied_ns - placed_ns)
+            if placements and self.collector is not None:
+                self.collector.on_sample(sim.now, self)
+                profiler.record_phase("metrics", profiler.now_ns() - applied_ns)
+        if self.decisions is not None:
+            self.decisions.span(
+                sim.now, "scheduler_pass",
+                pending=len(pending), running=len(running),
+                placed=len(placements),
+            )
+        if self.hub is not None:
+            self.hub.set_gauge("queue.pending", float(len(self.queue)))
+            self.hub.set_gauge("cluster.running", float(len(running)))
 
     # ------------------------------------------------------------------
     # Starting jobs
@@ -867,8 +997,32 @@ class WorkloadManager:
         for other_id in sorted(co_runners):
             self._refresh_rate(self.jobs[other_id])
         self.placements_applied += 1
+        if self.decisions is not None:
+            self.decisions.lifecycle(
+                now, job.job_id, "started",
+                kind=placement.kind.name.lower(), nodes=len(placement.node_ids),
+            )
         if self.collector is not None:
             self.collector.on_start(now, job, self)
+
+    # ------------------------------------------------------------------
+    # Telemetry export
+    # ------------------------------------------------------------------
+    def telemetry_summary(self) -> dict[str, object] | None:
+        """JSON-ready telemetry sections, or None with telemetry off.
+
+        Nondeterministic by nature (the profile holds wall-clock);
+        callers must keep this OUT of result payloads and store
+        records — it belongs in ``--json`` extras and sidecar files.
+        """
+        if self.hub is None:
+            return None
+        summary: dict[str, object] = {"metrics": self.hub.as_dict()}
+        if self.decisions is not None:
+            summary["decisions"] = self.decisions.summary()
+        if self.hot_profiler is not None:
+            summary["profile"] = self.hot_profiler.as_dict()
+        return summary
 
     # ------------------------------------------------------------------
     # Snapshot / restore (see repro.snapshot)
@@ -923,6 +1077,16 @@ class WorkloadManager:
             attach_crash_info(exc, manager=self)
             raise
         elapsed = _wallclock.perf_counter() - started
+        if self.decisions is not None:
+            self.decisions.close()
+        if self.hub is not None:
+            self.hub.inc("sim.runs")
+            self.hub.set_gauge(
+                "sim.events_dispatched", float(self.sim.events_dispatched)
+            )
+            self.hub.set_gauge(
+                "sim.scheduler_passes", float(self.scheduler_passes)
+            )
         ends = [r.end_time for r in self.accounting]
         submits = [j.spec.submit_time for j in self.jobs.values()]
         makespan = (max(ends) - min(submits)) if ends else 0.0

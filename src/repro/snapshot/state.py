@@ -150,6 +150,9 @@ def read_snapshot(
     run params is rejected (``reason="spec_hash"``) — the caller
     should fall back to a fresh run.
     """
+    import time as _wallclock
+
+    restore_started = _wallclock.perf_counter()
     path = Path(path)
     header = read_snapshot_header(path)
     if (
@@ -181,4 +184,12 @@ def read_snapshot(
         raise SnapshotError(
             f"{path}: payload does not deserialise: {exc}", reason="format"
         ) from exc
+    # Stamp resume provenance so telemetry can report it.  Wall-clock
+    # facts never enter result payloads; getattr keeps snapshots from
+    # builds that predate these fields loadable.
+    manager.resume_count = getattr(manager, "resume_count", 0) + 1
+    manager.restore_wall_s = (
+        getattr(manager, "restore_wall_s", 0.0)
+        + (_wallclock.perf_counter() - restore_started)
+    )
     return manager
