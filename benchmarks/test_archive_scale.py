@@ -1,0 +1,95 @@
+"""Archive-scale macro-benchmark: ingest and replay throughput.
+
+Synthesises a 20k-job trace, ingests it into a windowed archive, then
+replays it as a snapshot-stitched chain — the exact pipeline ``repro
+synth`` / ``repro ingest`` / ``repro replay-trace`` runs — and records
+jobs/sec ingested, events/sec replayed, and peak RSS.  Emits the
+human-readable table to ``benchmarks/results/`` and the machine
+metrics to ``BENCH_archive.json``.
+"""
+
+import os
+import time
+
+from repro.archive import ingest_swf, replay_archive, synth_swf
+from repro.archive.columnar import ColumnarStore
+from repro.metrics.report import format_table
+from repro.snapshot.guards import rss_mb_of
+
+JOBS = 20_000
+NODES = 256
+WINDOW_JOBS = 4_000
+STRATEGY = "easy_backfill"
+
+
+def _pipeline(tmp_path):
+    swf = tmp_path / "bench.swf"
+    synth_start = time.perf_counter()
+    synth_swf(swf, jobs=JOBS, nodes=NODES, seed=1234, load=1.0)
+    synth_s = time.perf_counter() - synth_start
+
+    ingest_start = time.perf_counter()
+    ingest = ingest_swf(swf, tmp_path / "archive", window_jobs=WINDOW_JOBS)
+    ingest_s = time.perf_counter() - ingest_start
+
+    replay_start = time.perf_counter()
+    outcome = replay_archive(
+        tmp_path / "archive", tmp_path / "store",
+        strategy=STRATEGY, num_nodes=NODES,
+    )
+    replay_s = time.perf_counter() - replay_start
+    assert outcome.ok
+    return synth_s, ingest, ingest_s, outcome, replay_s
+
+
+def test_archive_scale(benchmark, record_artifact, record_bench, tmp_path):
+    synth_s, ingest, ingest_s, outcome, replay_s = benchmark.pedantic(
+        _pipeline, args=(tmp_path,), rounds=1, iterations=1
+    )
+
+    store = ColumnarStore(outcome.columnar)
+    windows = store.read("windows")
+    events = int(windows["events_dispatched"][-1])
+    swf_mb = (tmp_path / "bench.swf").stat().st_size / 2**20
+    rss = rss_mb_of(os.getpid())
+
+    rows = [
+        {
+            "stage": "synth",
+            "elapsed_s": round(synth_s, 2),
+            "throughput": f"{JOBS / synth_s:,.0f} jobs/s",
+        },
+        {
+            "stage": "ingest",
+            "elapsed_s": round(ingest_s, 2),
+            "throughput": f"{ingest.jobs / ingest_s:,.0f} jobs/s",
+        },
+        {
+            "stage": "replay",
+            "elapsed_s": round(replay_s, 2),
+            "throughput": f"{events / replay_s:,.0f} events/s",
+        },
+    ]
+    record_artifact(
+        "archive_scale",
+        f"Archive pipeline, {JOBS:,} jobs on {NODES} nodes "
+        f"({ingest.windows} windows of {WINDOW_JOBS:,}, {STRATEGY}; "
+        f"trace {swf_mb:.1f}MB, peak RSS "
+        f"{'n/a' if rss is None else f'{rss:.0f}MB'})\n\n"
+        + format_table(rows),
+    )
+    record_bench("archive", {
+        "jobs": JOBS,
+        "nodes": NODES,
+        "windows": ingest.windows,
+        "window_jobs": WINDOW_JOBS,
+        "strategy": STRATEGY,
+        "trace_mb": round(swf_mb, 2),
+        "synth_s": round(synth_s, 3),
+        "ingest_s": round(ingest_s, 3),
+        "ingest_jobs_per_s": round(ingest.jobs / ingest_s, 1),
+        "replay_s": round(replay_s, 3),
+        "replay_events": events,
+        "replay_events_per_s": round(events / replay_s, 1),
+        "peak_rss_mb": None if rss is None else round(rss, 1),
+    })

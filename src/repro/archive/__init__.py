@@ -1,0 +1,84 @@
+"""Archive-scale trace replay: streaming ingestion, sharded window
+execution, and a columnar result store.
+
+The paper's experiments run 10²–10³ jobs; the workload archives the
+node-sharing strategies target (CTC, SDSC, ANL Intrepid, KIT FH2)
+run 10⁵–10⁶.  This package is the constant-memory path between the
+two:
+
+* :mod:`repro.archive.stream` — chunked SWF reading via the shared
+  lenient-mode parser;
+* :mod:`repro.archive.windows` — splits a trace into replayable
+  windows, recording boundary and carried-set metadata;
+* :mod:`repro.archive.ingest` — SWF file → on-disk window archive
+  with a content-hashed manifest;
+* :mod:`repro.archive.synth` — seeded synthetic SWF traces for tests
+  and benchmarks;
+* :mod:`repro.archive.replay` — window-by-window execution with
+  snapshot-stitched boundaries, byte-identical to a monolithic run;
+* :mod:`repro.archive.columnar` — append-only numpy record store the
+  per-job results stream into (and ``repro stats`` streams out of).
+"""
+
+from repro.archive.columnar import (
+    JOB_STATE_CODES,
+    JOBS_DTYPE,
+    SPECS_DTYPE,
+    WINDOWS_DTYPE,
+    ColumnarStore,
+    array_to_specs,
+    job_records_to_array,
+    specs_to_array,
+)
+from repro.archive.ingest import (
+    Archive,
+    IngestResult,
+    ingest_swf,
+    load_archive,
+)
+from repro.archive.replay import (
+    ReplayOutcome,
+    chain_id_of,
+    execute_replay_window,
+    monolithic_jobs_array,
+    replay_archive,
+    replay_window_params,
+    stitched_summary,
+)
+from repro.archive.stream import iter_swf_chunks
+from repro.archive.synth import SynthResult, synth_swf
+from repro.archive.windows import (
+    PlannedWindow,
+    WindowPlanner,
+    brute_force_carried,
+    plan_windows,
+)
+
+__all__ = [
+    "Archive",
+    "ColumnarStore",
+    "IngestResult",
+    "JOBS_DTYPE",
+    "JOB_STATE_CODES",
+    "PlannedWindow",
+    "ReplayOutcome",
+    "SPECS_DTYPE",
+    "SynthResult",
+    "WINDOWS_DTYPE",
+    "WindowPlanner",
+    "array_to_specs",
+    "brute_force_carried",
+    "chain_id_of",
+    "execute_replay_window",
+    "ingest_swf",
+    "iter_swf_chunks",
+    "job_records_to_array",
+    "load_archive",
+    "monolithic_jobs_array",
+    "plan_windows",
+    "replay_archive",
+    "replay_window_params",
+    "specs_to_array",
+    "stitched_summary",
+    "synth_swf",
+]

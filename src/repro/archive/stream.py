@@ -1,0 +1,77 @@
+"""Constant-memory streaming SWF ingestion.
+
+:func:`read_swf` materialises every :class:`~repro.workload.spec.
+JobSpec` before returning — fine at 10³ jobs, fatal at 10⁶.
+:func:`iter_swf_chunks` yields the same admitted specs in bounded
+chunks instead, holding at most ``chunk_jobs`` specs plus one input
+line in memory at any time.
+
+Parsing is delegated to the shared :class:`~repro.workload.swf.
+SwfParser`, the *same* stateful per-line parser :func:`read_swf`
+uses, so the streaming path admits and quarantines exactly the
+records the whole-file path would: the cross-chunk state a correct
+lenient read needs (monotone-submit watermark, seen job ids) lives
+in the parser, not in the caller.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator, Sequence, TextIO
+
+from repro.diagnostics.ingest import AnomalyReport
+from repro.errors import TraceFormatError
+from repro.workload.spec import JobSpec
+from repro.workload.swf import SwfParser, _open_for_read
+
+#: Default specs per yielded chunk.
+DEFAULT_CHUNK_JOBS = 8192
+
+
+def iter_swf_chunks(
+    source: str | Path | TextIO,
+    chunk_jobs: int = DEFAULT_CHUNK_JOBS,
+    cores_per_node: int = 1,
+    app_names: Sequence[str] = (),
+    mode: str = "lenient",
+    max_procs: int | None = None,
+    max_jobs: int | None = None,
+    anomalies: AnomalyReport | None = None,
+) -> Iterator[list[JobSpec]]:
+    """Yield admitted job specs in chunks of up to *chunk_jobs*.
+
+    Defaults to ``mode="lenient"`` (quarantine into *anomalies* and
+    keep going) because streaming exists for foreign archive traces;
+    pass ``mode="strict"`` to fail fast like classic :func:`~repro.
+    workload.swf.read_swf`.  The final chunk may be short; no empty
+    chunk is ever yielded.  Concatenating every yielded chunk
+    reproduces ``read_swf(...).jobs`` for identical arguments —
+    tested in ``tests/test_archive_stream.py``.
+    """
+    if chunk_jobs < 1:
+        raise TraceFormatError(f"chunk_jobs must be >= 1, got {chunk_jobs}")
+    parser = SwfParser(
+        cores_per_node=cores_per_node,
+        app_names=app_names,
+        mode=mode,
+        max_procs=max_procs,
+        anomalies=anomalies,
+    )
+    stream, owned = _open_for_read(source)
+    chunk: list[JobSpec] = []
+    try:
+        for line_no, line in enumerate(stream, start=1):
+            spec = parser.parse_line(line_no, line)
+            if spec is None:
+                continue
+            chunk.append(spec)
+            if max_jobs is not None and parser.admitted >= max_jobs:
+                break
+            if len(chunk) >= chunk_jobs:
+                yield chunk
+                chunk = []
+        if chunk:
+            yield chunk
+    finally:
+        if owned:
+            stream.close()

@@ -1,0 +1,164 @@
+"""Trace-window planning: cut an archive into replayable shards.
+
+A *window* is a contiguous run of jobs in submit order.  Sharded
+replay executes window ``k``, snapshots the simulator at the
+*boundary* (the first submit time of window ``k+1``), then restores
+and extends with window ``k+1`` — so the only property the planner
+must guarantee for byte-identical stitching is that **no two jobs
+with equal submit times land in different windows**: the simulator
+is run ``until`` just below the boundary, and splitting a tied
+submit instant would make the boundary cut through events the
+monolithic run dispatches together.
+
+The planner also records, at each boundary, the *carried set*: job
+ids from earlier windows whose requested walltime could still have
+them running or queued at the boundary (``submit + walltime_req >
+boundary``).  This is a static upper bound — actual carried
+running/queued counts depend on queueing delay and are recorded per
+window at replay time — but it is exact for its own definition,
+cheap to compute streaming (a min-heap on ``submit + walltime``),
+and what the ingest manifest reports so a reader can bound shard
+coupling without replaying anything.
+
+Memory is O(window + carried), never O(trace).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.errors import TraceFormatError
+from repro.workload.spec import JobSpec
+
+#: Default jobs per window.
+DEFAULT_WINDOW_JOBS = 20000
+
+
+@dataclass
+class PlannedWindow:
+    """One closed window, ready to persist or replay."""
+
+    index: int
+    specs: list[JobSpec]
+    #: First submit time of the *next* window — the stitch point.
+    #: ``None`` for the final window.
+    boundary: float | None
+    #: Job ids from earlier windows with ``submit + walltime_req``
+    #: beyond this window's own start (possibly still active when
+    #: this window begins).  Empty for window 0.
+    carried_in: tuple[int, ...] = field(default_factory=tuple)
+
+    @property
+    def first_submit(self) -> float:
+        return self.specs[0].submit_time
+
+    @property
+    def last_submit(self) -> float:
+        return self.specs[-1].submit_time
+
+
+class WindowPlanner:
+    """Streaming splitter: feed specs in submit order, collect windows.
+
+    :meth:`push` returns the window it just closed (or ``None``);
+    :meth:`finish` flushes the final partial window.  A cut happens
+    when the current window holds at least *window_jobs* specs AND
+    the incoming spec's submit time strictly exceeds the window's
+    last — ties are never split, so windows can exceed
+    *window_jobs* when many jobs share a submit instant.
+    """
+
+    def __init__(self, window_jobs: int = DEFAULT_WINDOW_JOBS) -> None:
+        if window_jobs < 1:
+            raise TraceFormatError(
+                f"window_jobs must be >= 1, got {window_jobs}"
+            )
+        self.window_jobs = window_jobs
+        self._current: list[JobSpec] = []
+        self._index = 0
+        self._carried_in: tuple[int, ...] = ()
+        self._last_submit: float | None = None
+        #: (submit + walltime_req, job_id) for every spec seen, popped
+        #: as boundaries pass them — the streaming carried-set bound.
+        self._active_heap: list[tuple[float, int]] = []
+        self.total_jobs = 0
+
+    def push(self, spec: JobSpec) -> PlannedWindow | None:
+        if (
+            self._last_submit is not None
+            and spec.submit_time < self._last_submit
+        ):
+            raise TraceFormatError(
+                f"job {spec.job_id}: submit time {spec.submit_time:g} "
+                f"runs backwards (previous {self._last_submit:g}); "
+                f"streaming ingestion cannot sort — use lenient mode "
+                f"to quarantine, or sort the trace first"
+            )
+        closed: PlannedWindow | None = None
+        if (
+            len(self._current) >= self.window_jobs
+            and self._last_submit is not None
+            and spec.submit_time > self._last_submit
+        ):
+            closed = self._close(boundary=spec.submit_time)
+        self._current.append(spec)
+        self._last_submit = spec.submit_time
+        heapq.heappush(
+            self._active_heap,
+            (spec.submit_time + spec.walltime_req, spec.job_id),
+        )
+        self.total_jobs += 1
+        return closed
+
+    def _close(self, boundary: float | None) -> PlannedWindow:
+        window = PlannedWindow(
+            index=self._index,
+            specs=self._current,
+            boundary=boundary,
+            carried_in=self._carried_in,
+        )
+        self._index += 1
+        self._current = []
+        if boundary is not None:
+            # Jobs whose requested end has passed can no longer be
+            # active at the boundary; what remains is the carried set.
+            while self._active_heap and self._active_heap[0][0] <= boundary:
+                heapq.heappop(self._active_heap)
+            self._carried_in = tuple(
+                sorted(job_id for _, job_id in self._active_heap)
+            )
+        return window
+
+    def finish(self) -> PlannedWindow | None:
+        """Flush the final (possibly short) window, if any."""
+        if not self._current:
+            return None
+        return self._close(boundary=None)
+
+
+def plan_windows(
+    specs: Iterable[JobSpec], window_jobs: int = DEFAULT_WINDOW_JOBS
+) -> Iterator[PlannedWindow]:
+    """Convenience: run *specs* through a :class:`WindowPlanner`."""
+    planner = WindowPlanner(window_jobs)
+    for spec in specs:
+        window = planner.push(spec)
+        if window is not None:
+            yield window
+    final = planner.finish()
+    if final is not None:
+        yield final
+
+
+def brute_force_carried(
+    specs: list[JobSpec], boundary: float
+) -> tuple[int, ...]:
+    """O(n) reference for the carried set at *boundary* (tests)."""
+    return tuple(sorted(
+        s.job_id
+        for s in specs
+        if s.submit_time < boundary
+        and s.submit_time + s.walltime_req > boundary
+    ))

@@ -25,6 +25,12 @@ The picklable per-run entry point lives in :mod:`repro.slurm.entry`
 so worker processes import only what a run needs.
 """
 
+from repro.campaign.backend import (
+    ColumnarBackend,
+    JsonStoreBackend,
+    ResultBackend,
+    detect_backend,
+)
 from repro.campaign.progress import ProgressEvent, ProgressTracker
 from repro.campaign.runner import CampaignResult, CampaignRunner, RunFailure
 from repro.campaign.spec import (
@@ -42,6 +48,10 @@ __all__ = [
     "CampaignResult",
     "CampaignRunner",
     "CampaignSpec",
+    "ColumnarBackend",
+    "JsonStoreBackend",
+    "ResultBackend",
+    "detect_backend",
     "ProgressEvent",
     "ProgressTracker",
     "ResultStore",

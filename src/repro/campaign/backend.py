@@ -1,0 +1,142 @@
+"""Result-store backends behind ``repro stats``.
+
+Two storage shapes exist for campaign results:
+
+* the **JSON store** (:class:`~repro.campaign.store.ResultStore`) —
+  one JSON document per run, human-greppable, the right shape for
+  10¹–10³ runs;
+* the **columnar store** (:class:`~repro.archive.columnar.
+  ColumnarStore`) — fixed-dtype record batches, the right shape for
+  10⁵–10⁶ per-job records from archive replays, aggregated by
+  streaming mmapped batches without a single ``json.loads``.
+
+:func:`detect_backend` sniffs a directory and returns the matching
+:class:`ResultBackend`, so ``repro stats <dir>`` works identically
+on a classic campaign store, a replay store (JSON run records plus a
+``columnar/`` subdirectory — the columnar view wins, that is where
+the per-job truth lives), or a bare columnar root.
+"""
+
+from __future__ import annotations
+
+import json
+from abc import ABC, abstractmethod
+from pathlib import Path
+
+from repro.errors import ConfigError
+
+
+class ResultBackend(ABC):
+    """Uniform aggregation surface over one result-store shape."""
+
+    #: Short backend tag reported in aggregates (``json-store`` /
+    #: ``columnar``).
+    name: str = "?"
+
+    @abstractmethod
+    def aggregate(self) -> dict[str, object]:
+        """Full aggregate document (what ``--format json`` emits)."""
+
+    @abstractmethod
+    def summary_rows(self) -> list[dict[str, object]]:
+        """Flat table rows (what ``--format table|csv`` emit)."""
+
+
+class JsonStoreBackend(ResultBackend):
+    """Classic per-run JSON campaign store."""
+
+    name = "json-store"
+
+    def __init__(self, store_dir: str | Path) -> None:
+        self.store_dir = Path(store_dir)
+
+    def aggregate(self) -> dict[str, object]:
+        from repro.observability.stats import aggregate_store
+
+        document = aggregate_store(self.store_dir)
+        document["backend"] = self.name
+        return document
+
+    def summary_rows(self) -> list[dict[str, object]]:
+        rows = self.aggregate().get("strategies", [])
+        return list(rows)  # type: ignore[arg-type]
+
+
+class ColumnarBackend(ResultBackend):
+    """Columnar replay store: streamed, JSON-free aggregation.
+
+    *store_dir* (when the columnar root lives inside a replay store)
+    lets the aggregate pick up the chain-level ``stitched.json``
+    context — strategy, archive id — without touching run records.
+    """
+
+    name = "columnar"
+
+    def __init__(
+        self, columnar_dir: str | Path, store_dir: str | Path | None = None
+    ) -> None:
+        self.columnar_dir = Path(columnar_dir)
+        self.store_dir = Path(store_dir) if store_dir is not None else None
+
+    def aggregate(self) -> dict[str, object]:
+        from repro.archive.replay import STITCHED_NAME, stitched_summary
+
+        document: dict[str, object] = {
+            "store": str(self.store_dir or self.columnar_dir),
+            "backend": self.name,
+            "summary": stitched_summary(self.columnar_dir),
+            "windows": self.summary_rows(),
+        }
+        if self.store_dir is not None:
+            stitched_path = self.store_dir / STITCHED_NAME
+            if stitched_path.is_file():
+                try:
+                    stitched = json.loads(
+                        stitched_path.read_text(encoding="utf-8")
+                    )
+                except (OSError, json.JSONDecodeError):
+                    stitched = None
+                if isinstance(stitched, dict):
+                    for key in ("archive_id", "chain", "strategy",
+                                "num_nodes"):
+                        if key in stitched:
+                            document[key] = stitched[key]
+        return document
+
+    def summary_rows(self) -> list[dict[str, object]]:
+        from repro.archive.columnar import ColumnarStore
+
+        store = ColumnarStore(self.columnar_dir)
+        rows: list[dict[str, object]] = []
+        if "windows" not in store.families():
+            return rows
+        for batch in store.iter_batches("windows"):
+            for record in batch:
+                rows.append({
+                    "window": int(record["window"]),
+                    "jobs_loaded": int(record["jobs_loaded"]),
+                    "jobs_flushed": int(record["jobs_flushed"]),
+                    "events": int(record["events_dispatched"]),
+                    "passes": int(record["scheduler_passes"]),
+                    "boundary_t": float(record["boundary_time"]),
+                    "carried_run": int(record["carried_running"]),
+                    "carried_queue": int(record["carried_queued"]),
+                })
+        rows.sort(key=lambda r: r["window"])  # type: ignore[arg-type]
+        return rows
+
+
+def detect_backend(path: str | Path) -> ResultBackend:
+    """Pick the backend for *path* (see module docstring)."""
+    from repro.archive.columnar import ColumnarStore
+    from repro.archive.replay import COLUMNAR_DIR_NAME
+
+    root = Path(path)
+    if not root.is_dir():
+        raise ConfigError(f"no such campaign store: {root}")
+    nested = root / COLUMNAR_DIR_NAME
+    if ColumnarStore.is_store(nested):
+        return ColumnarBackend(nested, store_dir=root)
+    if ColumnarStore.is_store(root):
+        return ColumnarBackend(root)
+    return JsonStoreBackend(root)

@@ -39,6 +39,21 @@ Commands
 ``stats``
     Aggregate a campaign store: per-strategy summary rows, folded-in
     telemetry sidecars (wall-clock, resumes) and quarantine counts.
+    Detects columnar replay stores and streams them without loading
+    per-run JSON; ``--format csv|json`` for machine-readable output.
+``synth``
+    Write a seeded synthetic SWF trace (Poisson arrivals at a target
+    load, log-normal runtimes) — deterministic bytes per seed, for
+    archive-scale tests and benchmarks without shipping trace files.
+``ingest``
+    Stream an SWF trace (constant memory, lenient quarantine) into a
+    replayable window archive: per-window record files plus a
+    content-hashed manifest with boundary and carried-job metadata.
+``replay-trace``
+    Replay an ingested archive window by window: each window is a
+    cached campaign run stitched to the next through a boundary
+    snapshot, with per-job results streamed to a columnar store.
+    Byte-identical to a monolithic simulation of the same trace.
 ``matrix``
     Print the mini-app pairwise co-run matrix.
 
@@ -775,19 +790,186 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_stats(args: argparse.Namespace) -> int:
+def _cmd_synth(args: argparse.Namespace) -> int:
+    from repro.archive import synth_swf
     from repro.errors import ConfigError
-    from repro.observability import aggregate_store
 
     try:
-        document = aggregate_store(args.store)
+        result = synth_swf(
+            args.out,
+            jobs=args.jobs,
+            nodes=args.nodes,
+            seed=args.seed,
+            load=args.load,
+            share_fraction=args.share_fraction,
+            cores_per_node=args.cores,
+        )
+    except ConfigError as exc:
+        print(f"synth error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(format_json(result.as_dict()))
+    else:
+        print(
+            f"synthesised {result.jobs} jobs over {result.span_s / 3600:.1f}h "
+            f"({result.nodes} nodes, seed {result.seed}) -> {result.path}"
+        )
+    return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.archive import ingest_swf, load_archive
+
+    try:
+        result = ingest_swf(
+            args.swf,
+            args.out,
+            window_jobs=args.window_jobs,
+            chunk_jobs=args.chunk_jobs,
+            cores_per_node=args.cores,
+            mode=args.mode,
+            max_procs=args.max_procs if args.max_procs > 0 else None,
+            max_jobs=args.max_jobs if args.max_jobs > 0 else None,
+        )
+    except OSError as exc:
+        print(f"ingest error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        document = result.as_dict()
+        document["windows_detail"] = load_archive(args.out).windows
+        print(format_json(document))
+    else:
+        print(
+            f"ingested {result.jobs} jobs into {result.windows} windows "
+            f"({result.quarantined} quarantined) -> {result.out_dir} "
+            f"[archive {result.archive_id}]"
+        )
+    return 0
+
+
+def _cmd_replay_trace(args: argparse.Namespace) -> int:
+    from repro.archive import replay_archive
+    from repro.errors import ConfigError
+    from repro.snapshot import ResourceGuards
+
+    store_dir = Path(args.store)
+    guards = None
+    if args.rss_budget_mb > 0:
+        store_dir.mkdir(parents=True, exist_ok=True)
+        guards = ResourceGuards(
+            rss_budget_mb=args.rss_budget_mb,
+            watch_path=store_dir,
+        )
+    config: dict[str, object] = {}
+    if args.backfill_interval > 0:
+        config["backfill_interval"] = float(args.backfill_interval)
+    if args.threshold != 1.1:
+        config["share_threshold"] = float(args.threshold)
+    progress = (
+        None
+        if args.quiet
+        else (lambda event: print(event.render(), file=sys.stderr))
+    )
+    try:
+        outcome = replay_archive(
+            args.archive,
+            store_dir,
+            strategy=args.strategy,
+            num_nodes=args.nodes,
+            config=config or None,
+            guards=guards,
+            progress=progress,
+            telemetry_dir=(store_dir / "telemetry" if args.telemetry else None),
+            install_signal_handlers=True,
+        )
+    except ConfigError as exc:
+        print(f"replay-trace error: {exc}", file=sys.stderr)
+        return 2
+    campaign = outcome.campaign
+    if args.json:
+        print(format_json({
+            "chain": outcome.chain,
+            "columnar": str(outcome.columnar),
+            "windows": len(campaign.order),
+            "executed": campaign.completed,
+            "cached": campaign.cached,
+            "failed": campaign.failed,
+            "stitched": outcome.stitched,
+        }))
+    else:
+        print(
+            f"replayed {len(campaign.order)} windows "
+            f"({campaign.completed} executed, {campaign.cached} cached, "
+            f"{campaign.failed} failed) in {campaign.elapsed_s:.1f}s "
+            f"[chain {outcome.chain}]"
+        )
+        if outcome.stitched is not None:
+            s = outcome.stitched
+            print(
+                f"stitched: {s['jobs']} jobs, {s['completed']} completed, "
+                f"makespan {float(s['makespan_s']) / 3600:.1f}h, "
+                f"mean wait {float(s['mean_wait_s']) / 3600:.2f}h "
+                f"(`repro stats {store_dir}` for detail)"
+            )
+    for failure in campaign.failures:
+        print(
+            f"FAILED {failure.run_id} ({failure.label}): {failure.error}",
+            file=sys.stderr,
+        )
+    if campaign.interrupted or campaign.suspended:
+        print(
+            f"replay suspended; re-run the same command to continue "
+            f"(completed windows are cached in {store_dir})",
+            file=sys.stderr,
+        )
+        return EXIT_SUSPENDED
+    if campaign.failures:
+        return EXIT_PARTIAL if (campaign.completed or campaign.cached) else 1
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.campaign.backend import detect_backend
+    from repro.errors import ConfigError
+
+    fmt = "json" if args.json else args.format
+    try:
+        backend = detect_backend(args.store)
+        if fmt == "json":
+            print(format_json(backend.aggregate()))
+            return 0
+        rows = backend.summary_rows()
     except ConfigError as exc:
         print(f"stats error: {exc}", file=sys.stderr)
         return 2
-    if args.json:
-        print(format_json(document))
+    if fmt == "csv":
+        import csv
+
+        if rows:
+            writer = csv.DictWriter(sys.stdout, fieldnames=list(rows[0]))
+            writer.writeheader()
+            writer.writerows(rows)
         return 0
-    rows = document["strategies"]
+    # table
+    document = backend.aggregate()
+    if backend.name == "columnar":
+        if rows:
+            print(format_table(rows, title=f"replay store: {args.store}"))
+        summary = document.get("summary", {})
+        if isinstance(summary, dict):
+            line = (
+                f"{summary.get('jobs', 0)} jobs "
+                f"({summary.get('completed', 0)} completed, "
+                f"{summary.get('timeouts', 0)} timeouts) over "
+                f"{int(summary.get('windows', 0))} windows; "
+                f"makespan {float(summary.get('makespan_s', 0.0)) / 3600:.1f}h, "
+                f"mean wait {float(summary.get('mean_wait_s', 0.0)) / 3600:.2f}h"
+            )
+            strategy = document.get("strategy")
+            if strategy:
+                line += f" [{strategy}]"
+            print(line)
+        return 0
     if rows:
         print(format_table(rows, title=f"campaign store: {args.store}"))
     counts = (
@@ -980,8 +1162,83 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_stats.add_argument("store", help="the campaign's --store directory")
     p_stats.add_argument("--json", action="store_true",
-                         help="machine-readable JSON instead of tables")
+                         help="alias for --format json")
+    p_stats.add_argument("--format", choices=("table", "json", "csv"),
+                         default="table",
+                         help="output format (columnar stores stream; "
+                              "no per-run JSON is loaded)")
     p_stats.set_defaults(func=_cmd_stats)
+
+    p_synth = sub.add_parser(
+        "synth", help="write a seeded synthetic SWF trace"
+    )
+    p_synth.add_argument("out", help="output .swf path")
+    p_synth.add_argument("--jobs", type=int, default=10000,
+                         help="jobs to synthesise")
+    p_synth.add_argument("--nodes", type=int, default=128,
+                         help="cluster size the trace targets")
+    p_synth.add_argument("--seed", type=int, default=0,
+                         help="generator seed (same seed = same bytes)")
+    p_synth.add_argument("--load", type=float, default=0.9,
+                         help="offered utilisation the arrivals target")
+    p_synth.add_argument("--share-fraction", type=float, default=0.5,
+                         help="fraction of jobs in the shareable queue")
+    p_synth.add_argument("--cores", type=int, default=1,
+                         help="cores per node written to the trace")
+    p_synth.add_argument("--json", action="store_true",
+                         help="machine-readable JSON summary")
+    p_synth.set_defaults(func=_cmd_synth)
+
+    p_ing = sub.add_parser(
+        "ingest",
+        help="stream an SWF trace into a replayable window archive",
+    )
+    p_ing.add_argument("swf", help="source SWF file")
+    p_ing.add_argument("out", help="archive output directory")
+    p_ing.add_argument("--window-jobs", type=int, default=20000,
+                       help="target jobs per replay window")
+    p_ing.add_argument("--chunk-jobs", type=int, default=8192,
+                       help="parser chunk size (memory bound)")
+    p_ing.add_argument("--cores", type=int, default=1,
+                       help="cores per node (SWF processor conversion)")
+    p_ing.add_argument("--mode", choices=("strict", "lenient"),
+                       default="lenient",
+                       help="lenient quarantines malformed records")
+    p_ing.add_argument("--max-procs", type=int, default=0,
+                       help="quarantine jobs above this processor count "
+                            "(0 = no limit)")
+    p_ing.add_argument("--max-jobs", type=int, default=0,
+                       help="stop after this many admitted jobs (0 = all)")
+    p_ing.add_argument("--json", action="store_true",
+                       help="machine-readable JSON summary")
+    p_ing.set_defaults(func=_cmd_ingest)
+
+    p_rt = sub.add_parser(
+        "replay-trace",
+        help="replay an ingested archive window by window",
+    )
+    p_rt.add_argument("archive", help="ingested archive directory")
+    p_rt.add_argument("--store", required=True,
+                      help="replay store directory (results, columnar "
+                           "records, boundary snapshots)")
+    p_rt.add_argument(
+        "--strategy", choices=all_strategy_names(), default="easy_backfill"
+    )
+    p_rt.add_argument("--nodes", type=int, default=128, help="cluster size")
+    p_rt.add_argument("--backfill-interval", type=float, default=0.0,
+                      help="periodic backfill pass interval in seconds "
+                           "(0 = event-driven only)")
+    p_rt.add_argument("--threshold", type=float, default=1.1,
+                      help="pairing compatibility threshold")
+    p_rt.add_argument("--rss-budget-mb", type=float, default=0.0,
+                      help="arm the RSS resource guard (0 = off)")
+    p_rt.add_argument("--telemetry", action="store_true",
+                      help="write per-window telemetry sidecars")
+    p_rt.add_argument("--quiet", action="store_true",
+                      help="suppress per-window progress lines")
+    p_rt.add_argument("--json", action="store_true",
+                      help="machine-readable JSON summary")
+    p_rt.set_defaults(func=_cmd_replay_trace)
 
     p_mat = sub.add_parser("matrix", help="print the pairing matrix")
     p_mat.set_defaults(func=_cmd_matrix)
@@ -1007,6 +1264,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
+    except BrokenPipeError:
+        # Downstream closed early (`repro stats ... | head`): the
+        # conventional quiet exit, not a traceback.  Detach stdout so
+        # the interpreter's shutdown flush doesn't raise again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141  # 128 + SIGPIPE
     except ReproError as exc:
         print(_structured_error(exc), file=sys.stderr)
         return 1

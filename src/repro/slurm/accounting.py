@@ -156,6 +156,21 @@ class AccountingLog:
         except KeyError:
             raise JobStateError(f"no accounting record for job {job_id}") from None
 
+    def drain(self) -> list[JobRecord]:
+        """Hand over all records and reset to empty (append order kept).
+
+        Used by sharded replay's window compaction: records flushed to
+        the columnar store must leave the in-memory log, or a million-
+        job replay accumulates a million records anyway.  Draining
+        also clears the by-id index, so a drained id *could* be
+        appended again — the manager guarantees it never is (a job
+        terminates in exactly one window).
+        """
+        records = self._records
+        self._records = []
+        self._by_id = {}
+        return records
+
     def completed(self) -> list[JobRecord]:
         return [r for r in self._records if r.state is JobState.COMPLETED]
 

@@ -210,6 +210,16 @@ class WorkloadManager:
         #: Jobs held on an unfinished afterok dependency, keyed by the
         #: dependency's job id.
         self._dependents: dict[int, list[Job]] = {}
+        #: Sharded replay: True while later trace windows remain to be
+        #: registered via :meth:`extend`.  Keeps the periodic backfill
+        #: chain and failure processes armed across idle gaps where
+        #: every *currently loaded* job is terminal — exactly the
+        #: state a monolithic run (with all jobs loaded) never enters.
+        self.expect_more_work = False
+        #: Job ids evicted by :meth:`compact_terminated` in a terminal
+        #: non-COMPLETED state, so late afterok dependents still cancel
+        #: identically to a monolithic run.
+        self._evicted_failed: set[int] = set()
         self.predictor: WalltimePredictor | None = (
             WalltimePredictor() if self.config.use_walltime_prediction else None
         )
@@ -257,6 +267,64 @@ class WorkloadManager:
             self.sim.schedule(
                 self.config.backfill_interval, EventKind.BACKFILL_PASS, None
             )
+
+    def extend(self, trace: WorkloadTrace) -> int:
+        """Register additional jobs mid-run (sharded window replay).
+
+        Identical to :meth:`load`'s registration — same oversize
+        handling, same per-partition sharing override, same cycle
+        check — but never (re)kicks the periodic BACKFILL_PASS chain:
+        that chain was armed once by the first window's :meth:`load`
+        and must keep its original phase for sharded replay to stay
+        byte-identical to a monolithic run.  Returns the number of
+        jobs registered.
+        """
+        self.workload_jobs += len(trace)
+        added = 0
+        for spec in trace:
+            if spec.job_id in self.jobs:
+                raise WorkloadError(f"job id {spec.job_id} already loaded")
+            if spec.num_nodes > self.cluster.num_nodes:
+                if not self.config.reject_oversized:
+                    raise WorkloadError(
+                        f"job {spec.job_id} requests {spec.num_nodes} nodes; "
+                        f"cluster has {self.cluster.num_nodes} "
+                        f"(set reject_oversized to drop such jobs)"
+                    )
+                continue
+            partition = self.partitions.get(spec.partition)
+            if partition is not None and not partition.allow_sharing and spec.shareable:
+                spec = spec.with_(shareable=False)
+            job = Job(spec)
+            self.jobs[spec.job_id] = job
+            self.sim.schedule(spec.submit_time, EventKind.JOB_SUBMIT, job)
+            added += 1
+        self._check_dependency_cycles()
+        return added
+
+    def compact_terminated(self) -> "list[JobRecord]":
+        """Evict terminal jobs and drain their accounting records.
+
+        The constant-memory half of sharded replay: called at each
+        window boundary, it pops every terminal job from the live
+        tables (so the manager — and its snapshots — stay O(active),
+        not O(trace)) and hands back the drained records in
+        termination order for the caller to flush columnar.  Ids that
+        terminated in a non-COMPLETED state are remembered in
+        :attr:`_evicted_failed` so afterok dependents submitted in
+        later windows still cancel.
+        """
+        terminal_ids = [
+            job_id
+            for job_id, job in self.jobs.items()
+            if job.state.is_terminal
+        ]
+        for job_id in terminal_ids:
+            job = self.jobs.pop(job_id)
+            if job.state is not JobState.COMPLETED:
+                self._evicted_failed.add(job_id)
+        self._terminal_jobs -= len(terminal_ids)
+        return self.accounting.drain()
 
     def _check_dependency_cycles(self) -> None:
         """Reject dependency cycles, which could never be satisfied."""
@@ -391,16 +459,23 @@ class WorkloadManager:
                 sim.now, job.job_id, "submitted", nodes=job.num_nodes
             )
         dep_id = job.spec.depends_on
-        if dep_id >= 0 and dep_id in self.jobs:
-            dependency = self.jobs[dep_id]
-            if dependency.state is JobState.COMPLETED:
-                pass  # satisfied; fall through to queueing
-            elif dependency.state.is_terminal:
-                # afterok on a failed job can never be satisfied.
+        if dep_id >= 0:
+            if dep_id in self.jobs:
+                dependency = self.jobs[dep_id]
+                if dependency.state is JobState.COMPLETED:
+                    pass  # satisfied; fall through to queueing
+                elif dependency.state.is_terminal:
+                    # afterok on a failed job can never be satisfied.
+                    self._cancel_terminal(job)
+                    return
+                else:
+                    self._dependents.setdefault(dep_id, []).append(job)
+                    return
+            elif dep_id in self._evicted_failed:
+                # The dependency terminated non-COMPLETED and was
+                # compacted out of the live tables by a window
+                # boundary; afterok can still never be satisfied.
                 self._cancel_terminal(job)
-                return
-            else:
-                self._dependents.setdefault(dep_id, []).append(job)
                 return
         self.queue.add(job)
         if self.collector is not None:
@@ -620,7 +695,7 @@ class WorkloadManager:
     def _maybe_disarm_failures(self) -> None:
         """Cancel pending failures once no job can be affected, so the
         simulation clock is not dragged to a far-future event."""
-        if self._terminal_jobs < len(self.jobs):
+        if self._terminal_jobs < len(self.jobs) or self.expect_more_work:
             return
         if self._next_failure_event is not None:
             self.sim.cancel(self._next_failure_event)
@@ -635,13 +710,13 @@ class WorkloadManager:
             self._next_rack_failure_event = None
         else:
             self._next_failure_event = None
-        if self._terminal_jobs >= len(self.jobs):
+        if self._terminal_jobs >= len(self.jobs) and not self.expect_more_work:
             return  # nothing left to disturb
         if process == "rack":
             self._inject_rack_failure()
         else:
             self._inject_node_failure()
-        if self._terminal_jobs < len(self.jobs):
+        if self._terminal_jobs < len(self.jobs) or self.expect_more_work:
             if process == "rack":
                 self._schedule_next_rack_failure()
             else:
@@ -887,7 +962,7 @@ class WorkloadManager:
         if self.decisions is not None:
             self.decisions.event(sim.now, "backfill_tick")
         self._request_pass()
-        if self._terminal_jobs < len(self.jobs):
+        if self._terminal_jobs < len(self.jobs) or self.expect_more_work:
             sim.schedule_in(
                 self.config.backfill_interval, EventKind.BACKFILL_PASS, None
             )

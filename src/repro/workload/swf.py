@@ -73,6 +73,140 @@ def _open_for_read(source: str | Path | TextIO) -> tuple[TextIO, bool]:
     return source, False
 
 
+class SwfParser:
+    """Stateful per-line SWF record parser.
+
+    Owns the cross-line state an SWF read needs — the last admitted
+    submit time (monotonicity check) and the set of admitted job ids
+    (duplicate check) — so both the whole-file :func:`read_swf` and
+    the archive subsystem's chunked streaming reader
+    (:mod:`repro.archive.stream`) admit and quarantine *exactly* the
+    same records for the same input.  :meth:`parse_line` returns the
+    admitted :class:`~repro.workload.spec.JobSpec`, or ``None`` for
+    comment/blank lines and skipped or quarantined records.
+    """
+
+    def __init__(
+        self,
+        cores_per_node: int = 1,
+        app_names: Sequence[str] = (),
+        mode: str = "strict",
+        max_procs: int | None = None,
+        anomalies: AnomalyReport | None = None,
+    ) -> None:
+        if cores_per_node < 1:
+            raise TraceFormatError(
+                f"cores_per_node must be >= 1, got {cores_per_node}"
+            )
+        if mode not in _MODES:
+            raise TraceFormatError(f"mode must be one of {_MODES}, got {mode!r}")
+        self.cores_per_node = cores_per_node
+        self.app_names = tuple(app_names)
+        self.lenient = mode == "lenient"
+        self.max_procs = max_procs
+        self.report = anomalies if anomalies is not None else AnomalyReport()
+        self.last_submit: float | None = None
+        self.seen_ids: set[int] = set()
+        #: Records admitted so far (across every chunk/call).
+        self.admitted = 0
+
+    def parse_line(self, line_no: int, line: str) -> JobSpec | None:
+        text = line.strip()
+        if not text or text.startswith(";"):
+            return None
+        fields = text.split()
+        if len(fields) != _NUM_FIELDS:
+            if self.lenient:
+                self.report.add(
+                    line_no, "field_count",
+                    f"expected {_NUM_FIELDS} fields, got {len(fields)}",
+                    text,
+                )
+                return None
+            raise TraceFormatError(
+                f"line {line_no}: expected {_NUM_FIELDS} fields, "
+                f"got {len(fields)}"
+            )
+        try:
+            values = [float(f) for f in fields]
+        except ValueError as exc:
+            if self.lenient:
+                self.report.add(line_no, "parse", str(exc), text)
+                return None
+            raise TraceFormatError(f"line {line_no}: {exc}") from exc
+        job_id = int(values[0])
+        submit = values[1]
+        runtime = values[3]
+        procs = int(values[4]) if values[4] > 0 else int(values[7])
+        requested_time = values[8] if values[8] > 0 else runtime
+        if self.lenient:
+            if submit < 0:
+                self.report.add(line_no, "negative_submit",
+                                f"submit time {submit:g} < 0", text)
+                return None
+            if runtime < 0:
+                self.report.add(line_no, "negative_runtime",
+                                f"runtime {runtime:g} < 0", text)
+                return None
+            if runtime == 0:
+                return None  # cancelled archive record, skipped silently
+            if procs <= 0:
+                self.report.add(line_no, "nonpositive_procs",
+                                f"processor count {procs} <= 0", text)
+                return None
+            if self.max_procs is not None and procs > self.max_procs:
+                self.report.add(
+                    line_no, "oversized",
+                    f"{procs} procs exceed cluster capacity {self.max_procs}",
+                    text,
+                )
+                return None
+            if self.last_submit is not None and submit < self.last_submit:
+                self.report.add(
+                    line_no, "non_monotone_submit",
+                    f"submit time {submit:g} < previous {self.last_submit:g}",
+                    text,
+                )
+                return None
+            if job_id in self.seen_ids:
+                # WorkloadTrace rejects duplicate ids; quarantining
+                # here keeps lenient ingestion from ever raising.
+                self.report.add(line_no, "duplicate_id",
+                                f"job number {job_id} already admitted", text)
+                return None
+        elif runtime <= 0 or procs <= 0 or submit < 0:
+            return None  # cancelled or malformed archive record
+        exe = int(values[13])
+        app = ""
+        if self.app_names and 1 <= exe <= len(self.app_names):
+            app = self.app_names[exe - 1]
+        queue = int(values[14])
+        num_nodes = max(1, -(-procs // self.cores_per_node))
+        memory = values[9] if values[9] > 0 else 0.0
+        try:
+            spec = JobSpec(
+                job_id=job_id,
+                submit_time=submit,
+                num_nodes=num_nodes,
+                walltime_req=max(requested_time, runtime),
+                runtime_exclusive=runtime,
+                app=app,
+                shareable=(queue == _SHAREABLE_QUEUE),
+                user=f"user{int(values[11])}" if values[11] >= 0 else "user0",
+                memory_mb_per_node=memory,
+                depends_on=int(values[16]) if values[16] >= 0 else -1,
+            )
+        except WorkloadError as exc:
+            if self.lenient:
+                self.report.add(line_no, "invalid_spec", str(exc), text)
+                return None
+            raise
+        self.last_submit = submit
+        self.seen_ids.add(job_id)
+        self.admitted += 1
+        return spec
+
+
 def read_swf(
     source: str | Path | TextIO,
     cores_per_node: int = 1,
@@ -111,111 +245,21 @@ def read_swf(
     cancelled submissions in archive traces — are skipped, as is
     conventional.
     """
-    if cores_per_node < 1:
-        raise TraceFormatError(f"cores_per_node must be >= 1, got {cores_per_node}")
-    if mode not in _MODES:
-        raise TraceFormatError(f"mode must be one of {_MODES}, got {mode!r}")
-    lenient = mode == "lenient"
-    report = anomalies if anomalies is not None else AnomalyReport()
+    parser = SwfParser(
+        cores_per_node=cores_per_node,
+        app_names=app_names,
+        mode=mode,
+        max_procs=max_procs,
+        anomalies=anomalies,
+    )
     stream, owned = _open_for_read(source)
     jobs: list[JobSpec] = []
-    last_submit: float | None = None
-    seen_ids: set[int] = set()
     try:
         for line_no, line in enumerate(stream, start=1):
-            text = line.strip()
-            if not text or text.startswith(";"):
+            spec = parser.parse_line(line_no, line)
+            if spec is None:
                 continue
-            fields = text.split()
-            if len(fields) != _NUM_FIELDS:
-                if lenient:
-                    report.add(
-                        line_no, "field_count",
-                        f"expected {_NUM_FIELDS} fields, got {len(fields)}",
-                        text,
-                    )
-                    continue
-                raise TraceFormatError(
-                    f"line {line_no}: expected {_NUM_FIELDS} fields, "
-                    f"got {len(fields)}"
-                )
-            try:
-                values = [float(f) for f in fields]
-            except ValueError as exc:
-                if lenient:
-                    report.add(line_no, "parse", str(exc), text)
-                    continue
-                raise TraceFormatError(f"line {line_no}: {exc}") from exc
-            job_id = int(values[0])
-            submit = values[1]
-            runtime = values[3]
-            procs = int(values[4]) if values[4] > 0 else int(values[7])
-            requested_time = values[8] if values[8] > 0 else runtime
-            if lenient:
-                if submit < 0:
-                    report.add(line_no, "negative_submit",
-                               f"submit time {submit:g} < 0", text)
-                    continue
-                if runtime < 0:
-                    report.add(line_no, "negative_runtime",
-                               f"runtime {runtime:g} < 0", text)
-                    continue
-                if runtime == 0:
-                    continue  # cancelled archive record, skipped silently
-                if procs <= 0:
-                    report.add(line_no, "nonpositive_procs",
-                               f"processor count {procs} <= 0", text)
-                    continue
-                if max_procs is not None and procs > max_procs:
-                    report.add(
-                        line_no, "oversized",
-                        f"{procs} procs exceed cluster capacity {max_procs}",
-                        text,
-                    )
-                    continue
-                if last_submit is not None and submit < last_submit:
-                    report.add(
-                        line_no, "non_monotone_submit",
-                        f"submit time {submit:g} < previous {last_submit:g}",
-                        text,
-                    )
-                    continue
-                if job_id in seen_ids:
-                    # WorkloadTrace rejects duplicate ids; quarantining
-                    # here keeps lenient ingestion from ever raising.
-                    report.add(line_no, "duplicate_id",
-                               f"job number {job_id} already admitted", text)
-                    continue
-            elif runtime <= 0 or procs <= 0 or submit < 0:
-                continue  # cancelled or malformed archive record
-            exe = int(values[13])
-            app = ""
-            if app_names and 1 <= exe <= len(app_names):
-                app = app_names[exe - 1]
-            queue = int(values[14])
-            num_nodes = max(1, -(-procs // cores_per_node))
-            memory = values[9] if values[9] > 0 else 0.0
-            try:
-                spec = JobSpec(
-                    job_id=job_id,
-                    submit_time=submit,
-                    num_nodes=num_nodes,
-                    walltime_req=max(requested_time, runtime),
-                    runtime_exclusive=runtime,
-                    app=app,
-                    shareable=(queue == _SHAREABLE_QUEUE),
-                    user=f"user{int(values[11])}" if values[11] >= 0 else "user0",
-                    memory_mb_per_node=memory,
-                    depends_on=int(values[16]) if values[16] >= 0 else -1,
-                )
-            except WorkloadError as exc:
-                if lenient:
-                    report.add(line_no, "invalid_spec", str(exc), text)
-                    continue
-                raise
             jobs.append(spec)
-            last_submit = submit
-            seen_ids.add(job_id)
             if max_jobs is not None and len(jobs) >= max_jobs:
                 break
     finally:

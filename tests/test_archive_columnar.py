@@ -1,0 +1,169 @@
+"""Columnar store: append/read round-trips, idempotence, crash safety.
+
+The manifest is the source of truth for row counts; these tests
+exercise the two failure modes the design defends against — a torn
+tail from a crashed append (truncate-first recovery) and a re-
+executed producer (``append_once`` marks) — plus the converter
+round-trips between domain objects and the fixed dtypes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.archive.columnar import (
+    JOB_STATE_CODES,
+    JOBS_DTYPE,
+    SPECS_DTYPE,
+    ColumnarStore,
+    array_to_specs,
+    job_records_to_array,
+    specs_to_array,
+)
+from repro.errors import ConfigError
+from repro.slurm.accounting import JobRecord
+from repro.slurm.job import JobState
+from repro.workload.spec import JobSpec
+
+
+def jobs_batch(n, start=0):
+    out = np.zeros(n, dtype=JOBS_DTYPE)
+    out["job_id"] = np.arange(start, start + n)
+    out["submit_time"] = np.arange(n) * 10.0
+    out["end_time"] = np.arange(n) * 10.0 + 500.0
+    return out
+
+
+class TestAppendRead:
+    def test_roundtrip(self, tmp_path):
+        store = ColumnarStore(tmp_path)
+        batch = jobs_batch(10)
+        assert store.append("jobs", batch) == 0
+        got = np.asarray(store.read("jobs"))
+        assert got.tobytes() == batch.tobytes()
+        assert store.rows("jobs") == 10
+
+    def test_append_accumulates(self, tmp_path):
+        store = ColumnarStore(tmp_path)
+        store.append("jobs", jobs_batch(5))
+        assert store.append("jobs", jobs_batch(3, start=5)) == 5
+        assert store.rows("jobs") == 8
+        assert list(store.read("jobs")["job_id"]) == list(range(8))
+
+    def test_reopen_sees_data(self, tmp_path):
+        ColumnarStore(tmp_path).append("jobs", jobs_batch(4))
+        store = ColumnarStore(tmp_path)
+        assert store.rows("jobs") == 4
+        assert store.families() == ["jobs"]
+
+    def test_ranged_and_batched_reads(self, tmp_path):
+        store = ColumnarStore(tmp_path)
+        store.append("jobs", jobs_batch(100))
+        assert list(store.read("jobs", start=90, count=5)["job_id"]) == list(
+            range(90, 95)
+        )
+        batches = list(store.iter_batches("jobs", batch_rows=33))
+        assert [len(b) for b in batches] == [33, 33, 33, 1]
+        assert np.concatenate(batches)["job_id"].tolist() == list(range(100))
+
+    def test_dtype_mismatch_rejected(self, tmp_path):
+        store = ColumnarStore(tmp_path)
+        store.append("jobs", jobs_batch(2))
+        wrong = np.zeros(2, dtype=SPECS_DTYPE)
+        with pytest.raises(ConfigError):
+            store.append("jobs", wrong)
+
+    def test_unknown_family_read_rejected(self, tmp_path):
+        with pytest.raises(ConfigError):
+            ColumnarStore(tmp_path).read("nope")
+
+    def test_is_store_detection(self, tmp_path):
+        assert not ColumnarStore.is_store(tmp_path)
+        ColumnarStore(tmp_path).append("jobs", jobs_batch(1))
+        assert ColumnarStore.is_store(tmp_path)
+
+
+class TestIdempotenceAndCrashSafety:
+    def test_append_once_is_idempotent(self, tmp_path):
+        store = ColumnarStore(tmp_path)
+        batch = jobs_batch(6)
+        assert store.append_once("jobs", "w:0", batch) == 0
+        assert store.append_once("jobs", "w:0", batch) is None
+        assert store.rows("jobs") == 6
+
+    def test_append_once_idempotent_across_reopen(self, tmp_path):
+        ColumnarStore(tmp_path).append_once("jobs", "w:0", jobs_batch(6))
+        store = ColumnarStore(tmp_path)
+        assert store.append_once("jobs", "w:0", jobs_batch(6)) is None
+        assert store.marked("w:0")
+        assert store.rows("jobs") == 6
+
+    def test_torn_tail_is_overwritten(self, tmp_path):
+        store = ColumnarStore(tmp_path)
+        store.append("jobs", jobs_batch(4))
+        # Simulate a crash mid-append: bytes on disk past the
+        # manifest's row count, manifest never updated.
+        with open(store.path_for("jobs"), "ab") as handle:
+            handle.write(b"\x7f" * (JOBS_DTYPE.itemsize + 3))
+        reopened = ColumnarStore(tmp_path)
+        assert reopened.rows("jobs") == 4  # tail invisible
+        reopened.append("jobs", jobs_batch(2, start=4))
+        got = np.asarray(reopened.read("jobs"))
+        assert list(got["job_id"]) == [0, 1, 2, 3, 4, 5]
+        # The torn bytes are gone, not interleaved.
+        expected = JOBS_DTYPE.itemsize * 6
+        assert store.path_for("jobs").stat().st_size == expected
+
+    def test_corrupt_manifest_rejected(self, tmp_path):
+        ColumnarStore(tmp_path).append("jobs", jobs_batch(1))
+        (tmp_path / "manifest.json").write_text("{not json")
+        with pytest.raises(ConfigError):
+            ColumnarStore(tmp_path)
+
+
+class TestConverters:
+    def test_job_records_roundtrip_fields(self):
+        record = JobRecord(
+            job_id=42, app="cg", user="user7", partition="regular",
+            num_nodes=4, submit_time=100.0, start_time=160.0,
+            end_time=760.0, state=JobState.COMPLETED, was_shared=True,
+            shared_seconds=120.0, dilation=1.1, runtime_exclusive=580.0,
+            walltime_req=1200.0, work_done=580.0, requeues=1,
+            lost_work=33.0,
+        )
+        row = job_records_to_array([record])[0]
+        assert row["job_id"] == 42
+        assert row["state"] == JOB_STATE_CODES["COMPLETED"]
+        assert row["was_shared"] == 1
+        assert row["requeues"] == 1
+        assert row["end_time"] == 760.0
+        assert row["lost_work"] == 33.0
+
+    def test_order_preserved(self):
+        records = [
+            JobRecord(
+                job_id=i, app="", user="user0", partition="regular",
+                num_nodes=1, submit_time=0.0, start_time=0.0,
+                end_time=float(i), state=JobState.COMPLETED,
+                was_shared=False, shared_seconds=0.0, dilation=1.0,
+                runtime_exclusive=1.0, walltime_req=1.0, work_done=1.0,
+            )
+            for i in (5, 3, 9, 1)
+        ]
+        assert list(job_records_to_array(records)["job_id"]) == [5, 3, 9, 1]
+
+    def test_specs_roundtrip_exactly(self):
+        specs = [
+            JobSpec(
+                job_id=i, submit_time=i * 7.0, num_nodes=1 + i % 5,
+                walltime_req=900.0 + i, runtime_exclusive=450.0 + i,
+                app=("cg", "ft", "")[i % 3], shareable=i % 2 == 0,
+                user=f"user{i % 4}", memory_mb_per_node=float(i),
+                depends_on=i - 1 if i % 6 == 0 else -1,
+            )
+            for i in range(1, 30)
+        ]
+        app_index = {"cg": 1, "ft": 2}
+        back = array_to_specs(
+            specs_to_array(specs, app_index), ["cg", "ft"]
+        )
+        assert back == specs

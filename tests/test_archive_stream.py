@@ -1,0 +1,123 @@
+"""Streaming SWF ingestion: chunked reads equal whole-file reads.
+
+:func:`repro.archive.stream.iter_swf_chunks` must admit and
+quarantine *exactly* what :func:`repro.workload.swf.read_swf` does —
+both paths share one :class:`~repro.workload.swf.SwfParser`, and
+these tests pin that contract, including the cross-chunk state
+(monotone-submit watermark, duplicate ids) that a naive per-chunk
+parser would get wrong.
+"""
+
+import io
+
+import pytest
+
+from repro.archive.stream import iter_swf_chunks
+from repro.diagnostics import AnomalyReport
+from repro.errors import TraceFormatError
+from repro.workload.swf import read_swf
+
+
+def record(job_id=1, submit=10, runtime=500, procs=4, requested=600,
+           queue=1, exe=-1):
+    fields = [job_id, submit, -1, runtime, procs, -1, -1, procs,
+              requested, -1, 1, 2, -1, exe, queue, 1, -1, -1]
+    return " ".join(str(f) for f in fields)
+
+
+def clean_trace(n=100):
+    lines = ["; clean synthetic trace"]
+    for i in range(1, n + 1):
+        lines.append(record(job_id=i, submit=10 * i, runtime=100 + i,
+                            procs=1 + i % 8, queue=2 if i % 3 else 1))
+    return "\n".join(lines) + "\n"
+
+
+def dirty_trace():
+    lines = [
+        "; header",
+        record(job_id=1, submit=10),
+        "garbage line with nonsense",
+        record(job_id=2, submit=20),
+        record(job_id=2, submit=25),          # duplicate id
+        record(job_id=3, submit=5),           # submit runs backwards
+        record(job_id=4, submit=30, runtime=-4),  # negative runtime
+        record(job_id=5, submit=40),
+    ]
+    return "\n".join(lines) + "\n"
+
+
+class TestChunkedEqualsWholeFile:
+    @pytest.mark.parametrize("chunk_jobs", [1, 7, 32, 1000])
+    def test_clean_trace_all_chunk_sizes(self, chunk_jobs):
+        text = clean_trace(100)
+        whole = read_swf(io.StringIO(text), mode="lenient").jobs
+        chunked = [
+            spec
+            for chunk in iter_swf_chunks(
+                io.StringIO(text), chunk_jobs=chunk_jobs
+            )
+            for spec in chunk
+        ]
+        assert chunked == list(whole)
+
+    @pytest.mark.parametrize("chunk_jobs", [1, 2, 100])
+    def test_dirty_trace_same_admissions_and_quarantine(self, chunk_jobs):
+        text = dirty_trace()
+        whole_report = AnomalyReport()
+        whole = read_swf(
+            io.StringIO(text), mode="lenient", anomalies=whole_report
+        ).jobs
+        stream_report = AnomalyReport()
+        chunked = [
+            spec
+            for chunk in iter_swf_chunks(
+                io.StringIO(text), chunk_jobs=chunk_jobs,
+                anomalies=stream_report,
+            )
+            for spec in chunk
+        ]
+        assert chunked == list(whole)
+        assert [s.job_id for s in chunked] == [1, 2, 5]
+        assert stream_report.counts() == whole_report.counts()
+        assert stream_report.quarantined == 4
+
+    def test_chunk_sizes_are_respected(self):
+        chunks = list(
+            iter_swf_chunks(io.StringIO(clean_trace(10)), chunk_jobs=4)
+        )
+        assert [len(c) for c in chunks] == [4, 4, 2]
+
+    def test_no_empty_final_chunk(self):
+        chunks = list(
+            iter_swf_chunks(io.StringIO(clean_trace(8)), chunk_jobs=4)
+        )
+        assert [len(c) for c in chunks] == [4, 4]
+
+    def test_max_jobs_stops_early(self):
+        specs = [
+            s
+            for c in iter_swf_chunks(
+                io.StringIO(clean_trace(100)), chunk_jobs=8, max_jobs=11
+            )
+            for s in c
+        ]
+        assert [s.job_id for s in specs] == list(range(1, 12))
+
+    def test_strict_mode_raises_like_read_swf(self):
+        text = "\n".join([record(job_id=1), "garbage"]) + "\n"
+        with pytest.raises(TraceFormatError):
+            list(iter_swf_chunks(io.StringIO(text), mode="strict"))
+
+    def test_invalid_chunk_jobs_rejected(self):
+        with pytest.raises(TraceFormatError):
+            list(iter_swf_chunks(io.StringIO(""), chunk_jobs=0))
+
+    def test_app_names_resolved_across_chunks(self):
+        lines = [record(job_id=i, submit=i, exe=1 + i % 2) for i in (1, 2, 3)]
+        chunks = iter_swf_chunks(
+            io.StringIO("\n".join(lines) + "\n"),
+            chunk_jobs=1, app_names=("AMG", "GTC"),
+        )
+        apps = [s.app for c in chunks for s in c]
+        assert apps == ["GTC", "AMG", "GTC"]

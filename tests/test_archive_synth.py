@@ -1,0 +1,68 @@
+"""Synthetic SWF generator: determinism and parseability."""
+
+import pytest
+
+from repro.archive.synth import synth_swf
+from repro.errors import ConfigError
+from repro.workload.swf import read_swf, read_swf_header_apps
+
+
+class TestSynthSwf:
+    def test_same_seed_same_bytes(self, tmp_path):
+        a = synth_swf(tmp_path / "a.swf", jobs=500, seed=7)
+        b = synth_swf(tmp_path / "b.swf", jobs=500, seed=7)
+        assert a.jobs == b.jobs == 500
+        assert (tmp_path / "a.swf").read_bytes() == (
+            tmp_path / "b.swf"
+        ).read_bytes()
+
+    def test_different_seed_differs(self, tmp_path):
+        synth_swf(tmp_path / "a.swf", jobs=500, seed=7)
+        synth_swf(tmp_path / "b.swf", jobs=500, seed=8)
+        assert (tmp_path / "a.swf").read_bytes() != (
+            tmp_path / "b.swf"
+        ).read_bytes()
+
+    def test_read_swf_parses_cleanly(self, tmp_path):
+        result = synth_swf(
+            tmp_path / "t.swf", jobs=400, nodes=64, seed=3,
+            share_fraction=0.4,
+        )
+        apps = read_swf_header_apps(tmp_path / "t.swf")
+        trace = read_swf(tmp_path / "t.swf", mode="strict", app_names=apps)
+        specs = list(trace.jobs)
+        assert len(specs) == 400
+        assert result.span_s > 0
+        # Monotone submits, positive runtimes, bounded node counts.
+        submits = [s.submit_time for s in specs]
+        assert submits == sorted(submits)
+        assert all(s.runtime_exclusive > 0 for s in specs)
+        assert all(1 <= s.num_nodes <= 64 for s in specs)
+        assert all(s.walltime_req >= s.runtime_exclusive for s in specs)
+        # Both queues are in use and apps resolved from the header.
+        assert any(s.shareable for s in specs)
+        assert any(not s.shareable for s in specs)
+        assert all(s.app for s in specs)
+
+    def test_share_fraction_extremes(self, tmp_path):
+        synth_swf(tmp_path / "none.swf", jobs=200, seed=1, share_fraction=0.0)
+        none_shared = read_swf(tmp_path / "none.swf").jobs
+        assert not any(s.shareable for s in none_shared)
+        synth_swf(tmp_path / "all.swf", jobs=200, seed=1, share_fraction=1.0)
+        assert all(s.shareable for s in read_swf(tmp_path / "all.swf").jobs)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"jobs": 0},
+            {"jobs": 10, "nodes": 0},
+            {"jobs": 10, "load": 0.0},
+            {"jobs": 10, "load": 2.5},
+            {"jobs": 10, "share_fraction": -0.1},
+            {"jobs": 10, "share_fraction": 1.1},
+            {"jobs": 10, "cores_per_node": 0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, tmp_path, kwargs):
+        with pytest.raises(ConfigError):
+            synth_swf(tmp_path / "x.swf", **kwargs)

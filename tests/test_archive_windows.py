@@ -1,0 +1,141 @@
+"""Window planning: job conservation, tie-safety, carried sets.
+
+The properties sharded replay's correctness rests on:
+
+* every pushed job lands in exactly one window (counts conserved,
+  order preserved);
+* no two jobs with equal submit times are ever split across a
+  boundary (the stitching ``run(until=...)`` cut would dispatch
+  their events in the wrong segment otherwise);
+* the streaming carried-set computation matches the O(n·w) brute
+  force exactly.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.archive.windows import (
+    WindowPlanner,
+    brute_force_carried,
+    plan_windows,
+)
+from repro.errors import TraceFormatError
+from repro.workload.spec import JobSpec
+
+
+def spec(job_id, submit, walltime=600.0):
+    return JobSpec(
+        job_id=job_id,
+        submit_time=float(submit),
+        num_nodes=1,
+        walltime_req=float(walltime),
+        runtime_exclusive=min(float(walltime), 300.0),
+    )
+
+
+class TestWindowPlanner:
+    def test_jobs_conserved_and_ordered(self):
+        specs = [spec(i, 10 * i) for i in range(1, 101)]
+        windows = list(plan_windows(specs, window_jobs=17))
+        regathered = [s for w in windows for s in w.specs]
+        assert regathered == specs
+        assert [w.index for w in windows] == list(range(len(windows)))
+
+    def test_window_sizes_hit_target(self):
+        specs = [spec(i, 10 * i) for i in range(1, 101)]
+        windows = list(plan_windows(specs, window_jobs=30))
+        assert [len(w.specs) for w in windows] == [30, 30, 30, 10]
+
+    def test_equal_submit_times_never_split(self):
+        # 10 jobs all at t=100 starting at position 25 of a
+        # 30-per-window plan: the cut must wait until t advances.
+        specs = [spec(i, i) for i in range(1, 26)]
+        specs += [spec(25 + i, 100) for i in range(1, 11)]
+        specs += [spec(35 + i, 200 + i) for i in range(1, 11)]
+        windows = list(plan_windows(specs, window_jobs=30))
+        assert len(windows[0].specs) == 35  # overshoot, not a tie split
+        for window in windows:
+            if window.boundary is None:
+                continue
+            assert window.specs[-1].submit_time < window.boundary
+
+    def test_boundary_is_next_windows_first_submit(self):
+        specs = [spec(i, 10 * i) for i in range(1, 51)]
+        windows = list(plan_windows(specs, window_jobs=20))
+        for before, after in zip(windows, windows[1:]):
+            assert before.boundary == after.specs[0].submit_time
+        assert windows[-1].boundary is None
+
+    def test_carried_matches_brute_force(self):
+        # Varied walltimes so some jobs straddle several boundaries.
+        specs = [
+            spec(i, 7 * i, walltime=50 + (i * 37) % 900)
+            for i in range(1, 200)
+        ]
+        windows = list(plan_windows(specs, window_jobs=40))
+        for before, after in zip(windows, windows[1:]):
+            seen = [
+                s for w in windows if w.index <= before.index
+                for s in w.specs
+            ]
+            assert after.carried_in == brute_force_carried(
+                seen, before.boundary
+            )
+
+    def test_first_window_carries_nothing(self):
+        windows = list(
+            plan_windows([spec(i, i) for i in range(1, 10)], window_jobs=3)
+        )
+        assert windows[0].carried_in == ()
+
+    def test_backwards_submit_rejected(self):
+        planner = WindowPlanner(window_jobs=10)
+        planner.push(spec(1, 100))
+        with pytest.raises(TraceFormatError):
+            planner.push(spec(2, 50))
+
+    def test_invalid_window_jobs_rejected(self):
+        with pytest.raises(TraceFormatError):
+            WindowPlanner(window_jobs=0)
+
+    def test_empty_finish_returns_none(self):
+        assert WindowPlanner(window_jobs=5).finish() is None
+
+
+class TestWindowProperties:
+    @given(
+        submits=st.lists(
+            st.integers(min_value=0, max_value=5000), min_size=1, max_size=120
+        ),
+        walltimes=st.lists(
+            st.integers(min_value=60, max_value=4000), min_size=1, max_size=120
+        ),
+        window_jobs=st.integers(min_value=1, max_value=25),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_split_preserves_jobs_and_carried_exactly(
+        self, submits, walltimes, window_jobs
+    ):
+        submits = sorted(submits)
+        specs = [
+            spec(i + 1, s, walltime=walltimes[i % len(walltimes)])
+            for i, s in enumerate(submits)
+        ]
+        windows = list(plan_windows(specs, window_jobs=window_jobs))
+        # Conservation: every job in exactly one window, order kept.
+        assert [s.job_id for w in windows for s in w.specs] == [
+            s.job_id for s in specs
+        ]
+        for before, after in zip(windows, windows[1:]):
+            # Tie safety.
+            assert before.specs[-1].submit_time < before.boundary
+            assert after.specs[0].submit_time == before.boundary
+            # Carried set is exact.
+            seen = [
+                s for w in windows if w.index <= before.index
+                for s in w.specs
+            ]
+            assert after.carried_in == brute_force_carried(
+                seen, before.boundary
+            )
