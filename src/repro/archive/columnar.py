@@ -42,6 +42,7 @@ from typing import Iterable, Iterator, Sequence
 import numpy as np
 
 from repro.errors import ConfigError
+from repro.faultinject import failpoint, failpoint_write, with_io_retries
 from repro.slurm.accounting import JobRecord
 from repro.slurm.job import JobState
 from repro.workload.spec import JobSpec
@@ -160,22 +161,29 @@ class ColumnarStore:
 
     def _write_manifest(self) -> None:
         path = self.root / MANIFEST_NAME
-        data = json.dumps(self._manifest, sort_keys=True, indent=1)
-        fd, tmp_name = tempfile.mkstemp(
-            prefix=".manifest-", suffix=".tmp", dir=self.root
+        data = json.dumps(self._manifest, sort_keys=True, indent=1).encode(
+            "utf-8"
         )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(data)
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp_name, path)
-        except BaseException:
+
+        def _attempt() -> None:
+            fd, tmp_name = tempfile.mkstemp(
+                prefix=".manifest-", suffix=".tmp", dir=self.root
+            )
             try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "wb") as handle:
+                    failpoint_write("columnar.manifest.write", handle, data)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                failpoint("columnar.manifest.rename")
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+
+        with_io_retries(_attempt)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -264,12 +272,19 @@ class ColumnarStore:
             )
         start = int(entry["rows"])
         path = self.path_for(family)
-        with open(path, "a+b") as handle:
-            handle.seek(start * expected.itemsize)
-            handle.truncate()
-            handle.write(records.tobytes())
-            handle.flush()
-            os.fsync(handle.fileno())
+        data = records.tobytes()
+
+        def _attempt() -> None:
+            # Re-seeking + truncating per attempt makes a retry after a
+            # transient mid-write error start from a clean prefix.
+            with open(path, "a+b") as handle:
+                handle.seek(start * expected.itemsize)
+                handle.truncate()
+                failpoint_write("columnar.append.write", handle, data)
+                handle.flush()
+                os.fsync(handle.fileno())
+
+        with_io_retries(_attempt)
         entry["rows"] = start + len(records)
         if mark is not None:
             self._manifest["marks"][mark] = start

@@ -38,6 +38,7 @@ from repro.archive.stream import DEFAULT_CHUNK_JOBS, iter_swf_chunks
 from repro.archive.windows import DEFAULT_WINDOW_JOBS, WindowPlanner
 from repro.diagnostics.ingest import AnomalyReport
 from repro.errors import ConfigError, TraceFormatError
+from repro.faultinject import failpoint, failpoint_write
 from repro.workload.swf import read_swf_header_apps
 from repro.workload.trace import WorkloadTrace
 
@@ -52,16 +53,19 @@ QUARANTINE_NAME = "quarantine.json"
 WINDOWS_DIR = "windows"
 
 
-def _atomic_write_bytes(path: Path, data: bytes) -> None:
+def _atomic_write_bytes(
+    path: Path, data: bytes, fp_name: str = "archive.manifest"
+) -> None:
     path.parent.mkdir(parents=True, exist_ok=True)
     fd, tmp_name = tempfile.mkstemp(
         prefix=f".{path.stem}-", suffix=".tmp", dir=path.parent
     )
     try:
         with os.fdopen(fd, "wb") as handle:
-            handle.write(data)
+            failpoint_write(f"{fp_name}.write", handle, data)
             handle.flush()
             os.fsync(handle.fileno())
+        failpoint(f"{fp_name}.rename")
         os.replace(tmp_name, path)
     except BaseException:
         try:
@@ -141,7 +145,9 @@ def ingest_swf(
         data = array.tobytes()
         hasher.update(data)
         file_name = f"window-{window.index:05d}.col"
-        _atomic_write_bytes(windows_dir / file_name, data)
+        _atomic_write_bytes(
+            windows_dir / file_name, data, fp_name="archive.window"
+        )
         windows_meta.append({
             "index": window.index,
             "file": f"{WINDOWS_DIR}/{file_name}",

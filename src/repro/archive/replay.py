@@ -342,6 +342,9 @@ def replay_archive(
         stitched["num_nodes"] = num_nodes
         import json
 
+        from repro.faultinject import failpoint
+
+        failpoint("stitched.write")
         (store_dir / STITCHED_NAME).write_text(
             json.dumps(stitched, sort_keys=True, indent=1) + "\n",
             encoding="utf-8",

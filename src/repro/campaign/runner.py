@@ -79,6 +79,48 @@ from repro.snapshot.state import snapshot_path_for
 Entry = Callable[[Mapping[str, object]], dict[str, object]]
 
 
+def _worker_lifeline(parent_pid: int) -> None:
+    """Pool-worker initializer: die when the campaign parent does.
+
+    A hard-killed parent never shuts its pool down, and under the
+    ``fork`` start method every worker inherits the call-queue pipe's
+    *write* end too — so orphaned workers block on the queue forever
+    while holding every inherited descriptor, including the store's
+    advisory flock.  Linux delivers SIGTERM on parent death via
+    ``PR_SET_PDEATHSIG``; a daemon watchdog thread polling the parent
+    pid covers other platforms and the window before ``prctl`` runs.
+    """
+    try:
+        import ctypes
+
+        libc = ctypes.CDLL(None, use_errno=True)
+        libc.prctl(1, int(signal.SIGTERM), 0, 0, 0)  # PR_SET_PDEATHSIG
+    except Exception:  # pragma: no cover - non-Linux best effort
+        pass
+    import threading
+
+    def _watch() -> None:
+        while True:
+            if os.getppid() != parent_pid:
+                os._exit(1)
+            time.sleep(1.0)
+
+    threading.Thread(
+        target=_watch, daemon=True, name="parent-lifeline"
+    ).start()
+    if os.getppid() != parent_pid:  # parent died before we got here
+        os._exit(1)
+
+
+def _make_pool(workers: int) -> ProcessPoolExecutor:
+    """Worker pool whose processes exit when this process dies."""
+    return ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_worker_lifeline,
+        initargs=(os.getpid(),),
+    )
+
+
 def _default_entry(
     bundle_dir: Path | None,
     snapshot_dir: Path | None = None,
@@ -565,7 +607,7 @@ class CampaignRunner:
         )
         inflight: dict[Future, tuple[RunSpec, int, float]] = {}
         paused = False
-        pool = ProcessPoolExecutor(max_workers=self.workers)
+        pool = _make_pool(self.workers)
         try:
             while queue or inflight:
                 if _suspend.suspend_requested():
@@ -608,7 +650,7 @@ class CampaignRunner:
                     # Crash with nothing to harvest: rebuild right away
                     # (the dead pool joins quickly).
                     pool.shutdown(wait=True, cancel_futures=True)
-                    pool = ProcessPoolExecutor(max_workers=self.workers)
+                    pool = _make_pool(self.workers)
                     continue
                 if not inflight:
                     if paused:
@@ -704,7 +746,7 @@ class CampaignRunner:
                     # races); never join a pool whose worker is stuck in
                     # a timed-out task.
                     pool.shutdown(wait=not expired, cancel_futures=True)
-                    pool = ProcessPoolExecutor(max_workers=self.workers)
+                    pool = _make_pool(self.workers)
         except BaseException:
             pool.shutdown(wait=False, cancel_futures=True)
             raise

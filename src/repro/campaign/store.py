@@ -25,17 +25,22 @@ Two shared-store coordination pieces live here too:
 from __future__ import annotations
 
 import json
+import logging
 import os
 import tempfile
+import time
 from pathlib import Path
 from typing import Iterator, Mapping, Sequence
 
 from repro.errors import ConfigError
+from repro.faultinject import failpoint, failpoint_write, with_io_retries
 
 try:  # pragma: no cover - import guard exercised only off-POSIX
     import fcntl
 except ImportError:  # pragma: no cover
     fcntl = None  # type: ignore[assignment]
+
+log = logging.getLogger("repro.campaign.store")
 
 #: Schema version stamped into every result file, so a future format
 #: change can invalidate stale caches instead of misreading them.
@@ -47,16 +52,43 @@ LOCK_NAME = ".lock"
 #: Campaign manifest recorded next to the results (hidden, see above).
 MANIFEST_NAME = ".campaign.json"
 
+#: How long :meth:`StoreLock.acquire` keeps polling a lock whose
+#: recorded holder pid is dead.  flock is held by the *open-file
+#: description*, which a hard-killed campaign's forked pool workers
+#: share; they drop it within a moment of noticing the broken work
+#: queue, so a short grace window suffices.  A *live* holder never
+#: waits — only a dead one.
+STALE_LOCK_GRACE_S = 5.0
+
+#: Poll interval while waiting out a dead holder's descendants.
+STALE_LOCK_POLL_S = 0.1
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe; unknown states count as alive."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        return True  # e.g. EPERM: someone else's live process
+    return True
+
 
 class StoreLock:
     """Advisory exclusive lock on a result store directory.
 
     Uses ``fcntl.flock(LOCK_EX | LOCK_NB)`` on ``<store>/.lock``: the
     kernel releases the lock automatically when the holder exits, so a
-    SIGKILLed campaign never leaves a stale lock behind.  On platforms
-    without :mod:`fcntl` the lock degrades to a no-op (advisory
-    locking is a POSIX nicety, not a correctness requirement for
-    single-campaign use).
+    SIGKILLed campaign never leaves a stale lock behind.  When the
+    flock *is* still held but the recorded holder pid is dead, the
+    holder's descendants are keeping the shared open-file description
+    alive — a hard-killed campaign's pool workers do exactly this for
+    the moment it takes them to notice the broken queue — so the lock
+    is reclaimed by polling for a bounded grace period (with a warning
+    log line) before giving up; a *live* holder still fails fast.  On
+    platforms without :mod:`fcntl` the lock degrades to an ``O_EXCL``
+    pid file with the same dead-holder reclaim rule.
 
     Usable as a context manager; :meth:`acquire` raises
     :class:`~repro.errors.ConfigError` when another campaign holds the
@@ -66,35 +98,49 @@ class StoreLock:
     def __init__(self, root: str | Path) -> None:
         self.path = Path(root) / LOCK_NAME
         self._handle = None
+        self._pidfile_held = False
 
     @property
     def held(self) -> bool:
-        return self._handle is not None
+        return self._handle is not None or self._pidfile_held
 
     def acquire(self) -> "StoreLock":
-        if self._handle is not None:
+        if self.held:
             return self  # idempotent: one process, one lock
-        if fcntl is None:  # pragma: no cover - non-POSIX fallback
-            return self
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        handle = self.path.open("a+", encoding="ascii")
-        try:
-            fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
-        except OSError:
-            holder = ""
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            return self._acquire_pidfile()
+        deadline: float | None = None
+        while True:
+            handle = self.path.open("a+", encoding="ascii")
             try:
-                handle.seek(0)
-                pid = handle.read(32).strip()
-                if pid:
-                    holder = f" (held by pid {pid})"
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+                break
             except OSError:
-                pass
-            handle.close()
-            raise ConfigError(
-                f"result store {str(self.path.parent)!r} is locked by "
-                f"another campaign{holder}; wait for it to finish or "
-                f"use a different --store"
-            ) from None
+                pid = self._read_holder_pid(handle)
+                handle.close()
+                if pid is not None and not _pid_alive(pid):
+                    # The flock outlives a dead holder only while its
+                    # descendants keep the shared open-file description
+                    # alive (pool workers of a hard-killed campaign);
+                    # poll briefly for them to exit.
+                    now = time.monotonic()
+                    if deadline is None:
+                        log.warning(
+                            "store %s: lock holder pid %d is dead; "
+                            "reclaiming stale lock",
+                            self.path.parent, pid,
+                        )
+                        deadline = now + STALE_LOCK_GRACE_S
+                    if now < deadline:
+                        time.sleep(STALE_LOCK_POLL_S)
+                        continue
+                holder = f" (held by pid {pid})" if pid is not None else ""
+                raise ConfigError(
+                    f"result store {str(self.path.parent)!r} is locked by "
+                    f"another campaign{holder}; wait for it to finish or "
+                    f"use a different --store"
+                ) from None
         # Lock held: advertise ourselves for the error message above.
         try:
             handle.seek(0)
@@ -106,7 +152,63 @@ class StoreLock:
         self._handle = handle
         return self
 
+    def _read_holder_pid(self, handle) -> int | None:
+        try:
+            handle.seek(0)
+            text = handle.read(32).strip()
+        except OSError:
+            return None
+        try:
+            return int(text)
+        except ValueError:
+            return None
+
+    def _acquire_pidfile(self) -> "StoreLock":
+        """Fallback locking without flock: ``O_EXCL`` pid file."""
+        for attempt in (1, 2):
+            try:
+                fd = os.open(
+                    self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+                )
+            except FileExistsError:
+                pid: int | None = None
+                try:
+                    pid = int(self.path.read_text("ascii").strip())
+                except (OSError, ValueError):
+                    pass
+                if attempt == 1 and pid is not None and not _pid_alive(pid):
+                    log.warning(
+                        "store %s: lock holder pid %d is dead; "
+                        "reclaiming stale lock",
+                        self.path.parent, pid,
+                    )
+                    try:
+                        self.path.unlink()
+                    except FileNotFoundError:
+                        pass
+                    continue
+                holder = f" (held by pid {pid})" if pid is not None else ""
+                raise ConfigError(
+                    f"result store {str(self.path.parent)!r} is locked by "
+                    f"another campaign{holder}; wait for it to finish or "
+                    f"use a different --store"
+                ) from None
+            try:
+                os.write(fd, f"{os.getpid()}\n".encode("ascii"))
+            finally:
+                os.close(fd)
+            self._pidfile_held = True
+            return self
+        raise AssertionError("unreachable")  # pragma: no cover
+
     def release(self) -> None:
+        if self._pidfile_held:
+            try:
+                self.path.unlink()
+            except OSError:
+                pass
+            self._pidfile_held = False
+            return
         if self._handle is None:
             return
         try:
@@ -146,28 +248,35 @@ class ResultStore:
         directory (same filesystem, so the final rename is atomic),
         fsynced, then moved into place.  A crash at any point leaves
         either the old state or the complete new file — never a
-        truncated one.
+        truncated one.  Transient I/O errors (spurious EIO, ENOSPC
+        racing a cleanup) are retried with bounded backoff; each
+        attempt starts from a fresh temp file.
         """
         final = self.path_for(run_id)
         payload = dict(record)
         payload.setdefault("store_version", STORE_VERSION)
-        data = json.dumps(payload, sort_keys=True, indent=1)
-        fd, tmp_name = tempfile.mkstemp(
-            prefix=f".{run_id}-", suffix=".tmp", dir=self.root
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(data)
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp_name, final)
-        except BaseException:
+        data = json.dumps(payload, sort_keys=True, indent=1).encode("utf-8")
+
+        def _attempt() -> Path:
+            fd, tmp_name = tempfile.mkstemp(
+                prefix=f".{run_id}-", suffix=".tmp", dir=self.root
+            )
             try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
-        return final
+                with os.fdopen(fd, "wb") as handle:
+                    failpoint_write("store.result.write", handle, data)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                failpoint("store.result.rename")
+                os.replace(tmp_name, final)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+            return final
+
+        return with_io_retries(_attempt)
 
     def load(self, run_id: str) -> dict[str, object]:
         path = self.path_for(run_id)
@@ -192,23 +301,30 @@ class ResultStore:
         """Atomically record the owning campaign's spec and settings
         (hidden file, excluded from :meth:`completed_ids`)."""
         path = self.root / MANIFEST_NAME
-        data = json.dumps(dict(manifest), sort_keys=True, indent=1)
-        fd, tmp_name = tempfile.mkstemp(
-            prefix=".manifest-", suffix=".tmp", dir=self.root
+        data = json.dumps(dict(manifest), sort_keys=True, indent=1).encode(
+            "utf-8"
         )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(data)
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp_name, path)
-        except BaseException:
+
+        def _attempt() -> Path:
+            fd, tmp_name = tempfile.mkstemp(
+                prefix=".manifest-", suffix=".tmp", dir=self.root
+            )
             try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
-        return path
+                with os.fdopen(fd, "wb") as handle:
+                    failpoint_write("store.manifest.write", handle, data)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                failpoint("store.manifest.rename")
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+            return path
+
+        return with_io_retries(_attempt)
 
     def read_manifest(self) -> dict[str, object]:
         """Load the campaign manifest; raises
@@ -262,12 +378,13 @@ class ResultStore:
                 lines.append(json.dumps(record, sort_keys=True))
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
+        data = ("\n".join(lines) + ("\n" if lines else "")).encode("utf-8")
         fd, tmp_name = tempfile.mkstemp(
             prefix=".results-", suffix=".tmp", dir=path.parent
         )
         try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write("\n".join(lines) + ("\n" if lines else ""))
+            with os.fdopen(fd, "wb") as handle:
+                failpoint_write("store.jsonl.write", handle, data)
             os.replace(tmp_name, path)
         except BaseException:
             try:

@@ -54,6 +54,18 @@ Commands
     cached campaign run stitched to the next through a boundary
     snapshot, with per-job results streamed to a columnar store.
     Byte-identical to a monolithic simulation of the same trace.
+``fsck``
+    Check a campaign/replay store, columnar store or ingested
+    archive against its on-disk invariants: records match their
+    content hashes, the columnar manifest fits its column files,
+    idempotence marks cohere, snapshot checksums verify, and
+    ``stitched.json`` agrees with a fresh recompute.
+``chaos``
+    Crash-consistency torture sweep: run a small campaign and/or a
+    windowed synthetic replay in subprocesses, hard-kill each one at
+    every registered failpoint in turn, re-run it disarmed, and
+    require the recovered stores to pass ``fsck`` and be
+    byte-identical to a fault-free baseline.
 ``matrix``
     Print the mini-app pairwise co-run matrix.
 
@@ -62,21 +74,30 @@ Exit codes
 This table is the single authority for every ``repro`` command.
 
 === ==========================================================
-0   success (for ``replay``: the recorded crash reproduced)
-1   error — a run/replay failed; structured JSON on stderr
-2   usage or configuration error
+0   success (for ``replay``: the recorded crash reproduced; for
+    ``fsck``: every invariant holds; for ``chaos``: every
+    injected fault recovered or was not reachable)
+1   error — a run/replay failed, ``fsck`` found invariant
+    violations, or a ``chaos`` trial failed to recover;
+    structured JSON on stderr for escaped errors
+2   usage or configuration error (for ``fsck``: the path is not
+    a repro store or archive)
 3   campaign partial success: some runs completed, others
     failed or were quarantined (details on stderr)
 4   campaign suspended: a graceful shutdown checkpointed the
     in-flight runs; ``repro resume <store>`` continues them
 130 interrupted (the conventional 128+SIGINT status; raised by
     a second/third Ctrl-C that escalates past graceful shutdown)
+141 a downstream pipe closed early (the conventional 128+SIGPIPE
+    status, e.g. ``repro stats ... | head``); applies to every
+    command, ``fsck`` and ``chaos`` included
 === ==========================================================
 """
 
 from __future__ import annotations
 
 import argparse
+import io
 import json
 import os
 import sys
@@ -162,6 +183,10 @@ EXIT_SUSPENDED = 4
 
 #: Conventional 128+SIGINT exit status for a hard interrupt.
 EXIT_INTERRUPTED = 130
+
+#: Conventional 128+SIGPIPE status when a downstream pipe closes
+#: early; handled centrally in :func:`main` for every command.
+EXIT_SIGPIPE = 141
 
 
 def _add_diagnostics_args(parser: argparse.ArgumentParser) -> None:
@@ -988,6 +1013,64 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigError
+    from repro.faultinject.fsck import fsck_path
+
+    try:
+        report = fsck_path(args.store)
+    except ConfigError as exc:
+        print(f"fsck error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.as_dict(), sort_keys=True, indent=1))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigError
+    from repro.faultinject.chaos import default_chaos_dir, run_chaos
+
+    work_dir = args.dir or default_chaos_dir()
+    workloads = (
+        ["campaign", "replay"] if args.workload == "both" else [args.workload]
+    )
+    progress = None if args.quiet else (
+        lambda line: print(line, file=sys.stderr)
+    )
+    reports = []
+    try:
+        for workload in workloads:
+            reports.append(run_chaos(
+                work_dir,
+                workload=workload,
+                workers=args.workers,
+                failpoints=args.failpoints or None,
+                progress=progress,
+            ))
+    except ConfigError as exc:
+        print(f"chaos error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if not args.keep and not args.dir:
+            import shutil
+
+            shutil.rmtree(work_dir, ignore_errors=True)
+    if args.json:
+        print(json.dumps(
+            {"work_dir": work_dir, "sweeps": [r.as_dict() for r in reports]},
+            sort_keys=True, indent=1,
+        ))
+    else:
+        for report in reports:
+            print(report.render())
+        if args.keep or args.dir:
+            print(f"work dir kept: {work_dir}")
+    return 0 if all(r.ok for r in reports) else 1
+
+
 def _cmd_matrix(args: argparse.Namespace) -> int:
     print(exp.e2_pairing_matrix().text)
     return 0
@@ -1240,6 +1323,41 @@ def build_parser() -> argparse.ArgumentParser:
                       help="machine-readable JSON summary")
     p_rt.set_defaults(func=_cmd_replay_trace)
 
+    p_fsck = sub.add_parser(
+        "fsck",
+        help="check a store/archive against its durable-state invariants",
+    )
+    p_fsck.add_argument(
+        "store", help="campaign/replay store, columnar store or archive dir"
+    )
+    p_fsck.add_argument("--json", action="store_true",
+                        help="machine-readable findings")
+    p_fsck.set_defaults(func=_cmd_fsck)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="crash-consistency sweep: kill at every failpoint, "
+             "recover, fsck, compare to baseline",
+    )
+    p_chaos.add_argument("--workload", choices=("campaign", "replay", "both"),
+                         default="both",
+                         help="which pipeline(s) to torture (default both)")
+    p_chaos.add_argument("--dir", default="",
+                         help="work directory (kept; default: a fresh "
+                              "temp dir, removed unless --keep)")
+    p_chaos.add_argument("--workers", type=int, default=2,
+                         help="campaign worker processes (default 2)")
+    p_chaos.add_argument("--failpoints", nargs="*", default=[],
+                         help="sweep only these failpoints "
+                              "(default: the whole catalog)")
+    p_chaos.add_argument("--keep", action="store_true",
+                         help="keep the work directory for inspection")
+    p_chaos.add_argument("--quiet", action="store_true",
+                         help="suppress per-trial progress lines")
+    p_chaos.add_argument("--json", action="store_true",
+                         help="machine-readable sweep report")
+    p_chaos.set_defaults(func=_cmd_chaos)
+
     p_mat = sub.add_parser("matrix", help="print the pairing matrix")
     p_mat.set_defaults(func=_cmd_matrix)
     return parser
@@ -1267,10 +1385,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     except BrokenPipeError:
         # Downstream closed early (`repro stats ... | head`): the
         # conventional quiet exit, not a traceback.  Detach stdout so
-        # the interpreter's shutdown flush doesn't raise again.
-        devnull = os.open(os.devnull, os.O_WRONLY)
-        os.dup2(devnull, sys.stdout.fileno())
-        return 141  # 128 + SIGPIPE
+        # the interpreter's shutdown flush doesn't raise again (a
+        # captured/redirected stdout may have no fd — skip in that case).
+        try:
+            devnull = os.open(os.devnull, os.O_WRONLY)
+            os.dup2(devnull, sys.stdout.fileno())
+        except (OSError, ValueError, io.UnsupportedOperation):
+            pass
+        return EXIT_SIGPIPE
     except ReproError as exc:
         print(_structured_error(exc), file=sys.stderr)
         return 1

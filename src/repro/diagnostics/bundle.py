@@ -22,6 +22,7 @@ from typing import Mapping
 
 from repro.diagnostics.crash import CrashInfo, attach_crash_info
 from repro.errors import ReplayError, ReproError
+from repro.faultinject import failpoint
 
 #: Stamped into every bundle so a future format change can be detected
 #: instead of misread.
@@ -46,6 +47,7 @@ def write_bundle(bundle: Mapping[str, object], path: str | Path) -> Path:
     """Write *bundle* as canonical JSON (sorted keys, stable layout)."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    failpoint("bundle.write")
     path.write_text(
         json.dumps(bundle, sort_keys=True, indent=1) + "\n", encoding="utf-8"
     )

@@ -48,6 +48,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING
 
 from repro.errors import SnapshotError
+from repro.faultinject import failpoint, failpoint_write
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.slurm.manager import WorkloadManager
@@ -112,16 +113,18 @@ def write_snapshot(
         "payload_bytes": len(payload),
         "raw_bytes": len(raw),
     }
+    data = (
+        json.dumps(header, sort_keys=True).encode("utf-8") + b"\n" + payload
+    )
     fd, tmp_name = tempfile.mkstemp(
         prefix=f".{path.stem}-", suffix=".tmp", dir=path.parent
     )
     try:
         with os.fdopen(fd, "wb") as handle:
-            handle.write(json.dumps(header, sort_keys=True).encode("utf-8"))
-            handle.write(b"\n")
-            handle.write(payload)
+            failpoint_write("snapshot.write", handle, data)
             handle.flush()
             os.fsync(handle.fileno())
+        failpoint("snapshot.rename")
         os.replace(tmp_name, path)
     except BaseException:
         try:

@@ -275,6 +275,83 @@ class TestStoreLock:
         assert lock.acquire() is lock
         lock.release()
 
+    def _dead_pid(self):
+        proc = subprocess.Popen([sys.executable, "-c", "pass"])
+        proc.wait()
+        return proc.pid
+
+    def _flaky_flock(self, monkeypatch, failures):
+        """First *failures* LOCK_EX|LOCK_NB calls fail, then delegate.
+
+        Models a dead holder whose forked pool workers briefly keep
+        the shared open-file description (and thus the flock) alive.
+        """
+        import fcntl as fcntl_mod
+
+        import repro.campaign.store as store_mod
+
+        real = fcntl_mod.flock
+        state = {"left": failures}
+
+        def flock(fd, op):
+            if op == (fcntl_mod.LOCK_EX | fcntl_mod.LOCK_NB) and state["left"]:
+                state["left"] -= 1
+                raise OSError(11, "Resource temporarily unavailable")
+            return real(fd, op)
+
+        monkeypatch.setattr(store_mod.fcntl, "flock", flock)
+        monkeypatch.setattr(store_mod, "STALE_LOCK_POLL_S", 0.001)
+        return state
+
+    def test_stale_lock_from_dead_holder_is_reclaimed(
+        self, tmp_path, monkeypatch, caplog
+    ):
+        (tmp_path / ".lock").write_text(f"{self._dead_pid()}\n")
+        self._flaky_flock(monkeypatch, failures=3)
+        with caplog.at_level("WARNING", logger="repro.campaign.store"):
+            lock = StoreLock(tmp_path).acquire()
+        assert lock.held
+        lock.release()
+        assert any(
+            "reclaiming stale lock" in rec.message for rec in caplog.records
+        )
+
+    def test_dead_holder_that_never_unlocks_times_out(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.campaign.store as store_mod
+
+        (tmp_path / ".lock").write_text(f"{self._dead_pid()}\n")
+        self._flaky_flock(monkeypatch, failures=10_000)
+        monkeypatch.setattr(store_mod, "STALE_LOCK_GRACE_S", 0.05)
+        with pytest.raises(ConfigError, match="locked by another campaign"):
+            StoreLock(tmp_path).acquire()
+
+    def test_live_holder_fails_fast_without_polling(
+        self, tmp_path, monkeypatch
+    ):
+        # Our own (live) pid as holder: no grace period, no sleeps.
+        (tmp_path / ".lock").write_text(f"{os.getpid()}\n")
+        self._flaky_flock(monkeypatch, failures=10_000)
+        sleeps = []
+        monkeypatch.setattr(time, "sleep", sleeps.append)
+        with pytest.raises(ConfigError, match=str(os.getpid())):
+            StoreLock(tmp_path).acquire()
+        assert sleeps == []
+
+    def test_pidfile_fallback_reclaims_dead_holder(self, tmp_path):
+        lock = StoreLock(tmp_path)
+        (tmp_path / ".lock").write_text(f"{self._dead_pid()}\n")
+        assert lock._acquire_pidfile() is lock
+        assert lock.held
+        lock.release()
+        assert not (tmp_path / ".lock").exists()
+
+    def test_pidfile_fallback_fails_fast_on_live_holder(self, tmp_path):
+        (tmp_path / ".lock").write_text(f"{os.getpid()}\n")
+        with pytest.raises(ConfigError, match="locked by another campaign"):
+            StoreLock(tmp_path)._acquire_pidfile()
+
     def test_runner_fails_fast_on_locked_store(self, tmp_path):
         store = ResultStore(tmp_path / "store")
         holder = store.lock().acquire()
