@@ -7,6 +7,7 @@ multi-core hosts; on a single core the pool can only add overhead.
 """
 
 import os
+from pathlib import Path
 
 from repro.campaign.runner import CampaignRunner
 from repro.campaign.spec import CampaignSpec
@@ -81,3 +82,73 @@ def test_campaign_parallel_speedup(benchmark, record_artifact, record_bench, tmp
             f"no parallel speedup: serial {serial.elapsed_s:.2f}s vs "
             f"parallel {parallel.elapsed_s:.2f}s on {workers} workers"
         )
+
+
+def test_queue_lease_overhead(benchmark, record_artifact, record_bench, tmp_path):
+    """The durable queue's per-run lease path (enqueue, O_EXCL claim,
+    heartbeat renew, fenced complete) must stay under 1% of a real
+    run's wall time, so joining a campaign through the queue costs
+    effectively nothing next to the simulation itself."""
+    import json
+    import time
+
+    from repro.campaign.queue import WorkQueue, lease_cycle_once
+    from repro.campaign.runner import _default_entry
+    from repro.campaign.spec import RunSpec
+
+    # Reference run: the e8 share-fraction sweep, the same workload the
+    # paper-evaluation campaign leans on.
+    run = RunSpec.from_params({"kind": "experiment", "experiment": "e8"})
+    entry = _default_entry(None, None, None, None)
+    started = time.perf_counter()
+    entry(dict(run.params))
+    run_s = time.perf_counter() - started
+
+    queue = WorkQueue(tmp_path / "store")
+    cycles = 200
+
+    def lease_burst():
+        for i in range(cycles):
+            lease_cycle_once(
+                queue,
+                RunSpec.from_params(
+                    {"kind": "experiment", "experiment": f"lease-{i}"}
+                ),
+            )
+
+    started = time.perf_counter()
+    benchmark.pedantic(lease_burst, rounds=1, iterations=1)
+    lease_s = (time.perf_counter() - started) / cycles
+    overhead_pct = 100.0 * lease_s / run_s
+
+    # BENCH_campaign.json is shared with the parallel-speedup benchmark
+    # and record_bench overwrites: merge, never clobber.
+    bench_path = Path(__file__).parent.parent / "BENCH_campaign.json"
+    merged = {}
+    if bench_path.exists():
+        merged = json.loads(bench_path.read_text())
+        merged.pop("bench", None)
+    merged.update(
+        {
+            "lease_cycle_ms": round(lease_s * 1000, 3),
+            "lease_cycles": cycles,
+            "lease_overhead_pct": round(overhead_pct, 4),
+            "e8_run_s": round(run_s, 3),
+        }
+    )
+    record_bench("campaign", merged)
+    record_artifact(
+        "campaign_queue_lease",
+        format_table(
+            [{
+                "e8_run_s": run_s,
+                "lease_cycle_ms": lease_s * 1000,
+                "overhead_pct": overhead_pct,
+            }],
+            title="work queue: lease path overhead per run (e8 workload)",
+        ),
+    )
+    assert overhead_pct < 1.0, (
+        f"lease path costs {overhead_pct:.2f}% of an e8 run "
+        f"({lease_s * 1000:.1f}ms per cycle vs {run_s:.2f}s per run)"
+    )

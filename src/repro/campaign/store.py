@@ -75,28 +75,47 @@ def _pid_alive(pid: int) -> bool:
     return True
 
 
-class StoreLock:
-    """Advisory exclusive lock on a result store directory.
+def _local_host() -> str:
+    import socket
 
-    Uses ``fcntl.flock(LOCK_EX | LOCK_NB)`` on ``<store>/.lock``: the
-    kernel releases the lock automatically when the holder exits, so a
-    SIGKILLed campaign never leaves a stale lock behind.  When the
-    flock *is* still held but the recorded holder pid is dead, the
-    holder's descendants are keeping the shared open-file description
-    alive — a hard-killed campaign's pool workers do exactly this for
-    the moment it takes them to notice the broken queue — so the lock
-    is reclaimed by polling for a bounded grace period (with a warning
-    log line) before giving up; a *live* holder still fails fast.  On
-    platforms without :mod:`fcntl` the lock degrades to an ``O_EXCL``
-    pid file with the same dead-holder reclaim rule.
+    return socket.gethostname()
+
+
+class StoreLock:
+    """Advisory lock on a result store directory.
+
+    Uses ``fcntl.flock`` on ``<store>/.lock`` — exclusive
+    (``LOCK_EX``) for a campaign that owns the whole store, or shared
+    (``LOCK_SH``, ``shared=True``) for cooperating queue workers that
+    must exclude an exclusive campaign without excluding each other.
+    The kernel releases the lock automatically when the holder exits,
+    so a SIGKILLed campaign never leaves a stale lock behind.  When
+    the flock *is* still held but the recorded holder pid is dead,
+    the holder's descendants are keeping the shared open-file
+    description alive — a hard-killed campaign's pool workers do
+    exactly this for the moment it takes them to notice the broken
+    queue — so the lock is reclaimed by polling for a bounded grace
+    period (with a warning log line) before giving up; a *live*
+    holder still fails fast.
+
+    The lock file records ``"<pid> <host>"`` so a recycled pid on
+    *another* machine (a store on shared storage) is never mistaken
+    for a live local holder: the flock path only applies the
+    dead-holder reclaim when the recorded host is this machine, and
+    the ``O_EXCL`` pid-file fallback (platforms without :mod:`fcntl`)
+    treats a foreign-host record as stale outright — a local
+    ``os.kill(pid, 0)`` probe says nothing about a pid on another
+    host, and the pid file (unlike flock) has no kernel to clean it
+    up.  Pid-only lock files from older versions still parse.
 
     Usable as a context manager; :meth:`acquire` raises
-    :class:`~repro.errors.ConfigError` when another campaign holds the
-    lock, naming the holder's pid when readable.
+    :class:`~repro.errors.ConfigError` when another campaign holds
+    the lock, naming the holder's pid (and host) when readable.
     """
 
-    def __init__(self, root: str | Path) -> None:
+    def __init__(self, root: str | Path, *, shared: bool = False) -> None:
         self.path = Path(root) / LOCK_NAME
+        self.shared = shared
         self._handle = None
         self._pidfile_held = False
 
@@ -110,20 +129,24 @@ class StoreLock:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         if fcntl is None:  # pragma: no cover - non-POSIX fallback
             return self._acquire_pidfile()
+        mode = fcntl.LOCK_SH if self.shared else fcntl.LOCK_EX
         deadline: float | None = None
         while True:
             handle = self.path.open("a+", encoding="ascii")
             try:
-                fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+                fcntl.flock(handle.fileno(), mode | fcntl.LOCK_NB)
                 break
             except OSError:
-                pid = self._read_holder_pid(handle)
+                pid, host = self._read_holder(handle)
                 handle.close()
-                if pid is not None and not _pid_alive(pid):
+                local = host is None or host == _local_host()
+                if pid is not None and local and not _pid_alive(pid):
                     # The flock outlives a dead holder only while its
                     # descendants keep the shared open-file description
                     # alive (pool workers of a hard-killed campaign);
-                    # poll briefly for them to exit.
+                    # poll briefly for them to exit.  Only meaningful
+                    # when the recorded holder was on *this* host — a
+                    # local pid probe says nothing about a foreign one.
                     now = time.monotonic()
                     if deadline is None:
                         log.warning(
@@ -135,36 +158,57 @@ class StoreLock:
                     if now < deadline:
                         time.sleep(STALE_LOCK_POLL_S)
                         continue
-                holder = f" (held by pid {pid})" if pid is not None else ""
+                holder = ""
+                if pid is not None:
+                    at = f"@{host}" if host else ""
+                    holder = f" (held by pid {pid}{at})"
                 raise ConfigError(
                     f"result store {str(self.path.parent)!r} is locked by "
                     f"another campaign{holder}; wait for it to finish or "
                     f"use a different --store"
                 ) from None
+        if self.shared:
+            # Shared holders do not advertise: concurrent writers would
+            # race, and the pid recorded here is only an error-message
+            # hint about the (single) exclusive owner.
+            self._handle = handle
+            return self
         # Lock held: advertise ourselves for the error message above.
         try:
             handle.seek(0)
             handle.truncate()
-            handle.write(f"{os.getpid()}\n")
+            handle.write(f"{os.getpid()} {_local_host()}\n")
             handle.flush()
         except OSError:
             pass  # cosmetic only
         self._handle = handle
         return self
 
-    def _read_holder_pid(self, handle) -> int | None:
+    def _read_holder(self, handle) -> tuple[int | None, str | None]:
+        """Recorded ``(pid, host)``; host is ``None`` for pid-only
+        files written by older versions."""
         try:
             handle.seek(0)
-            text = handle.read(32).strip()
+            text = handle.read(256).strip()
         except OSError:
-            return None
+            return None, None
+        parts = text.split()
+        if not parts:
+            return None, None
         try:
-            return int(text)
+            pid = int(parts[0])
         except ValueError:
-            return None
+            return None, None
+        return pid, (parts[1] if len(parts) > 1 else None)
 
     def _acquire_pidfile(self) -> "StoreLock":
         """Fallback locking without flock: ``O_EXCL`` pid file."""
+        if self.shared:
+            # O_EXCL cannot express a shared claim; the fallback
+            # degrades to unlocked for cooperating queue workers (the
+            # per-run lease files still provide mutual exclusion).
+            self._pidfile_held = False
+            return self
         for attempt in (1, 2):
             try:
                 fd = os.open(
@@ -172,29 +216,49 @@ class StoreLock:
                 )
             except FileExistsError:
                 pid: int | None = None
+                host: str | None = None
                 try:
-                    pid = int(self.path.read_text("ascii").strip())
-                except (OSError, ValueError):
+                    parts = self.path.read_text("ascii").split()
+                    pid = int(parts[0])
+                    host = parts[1] if len(parts) > 1 else None
+                except (OSError, ValueError, IndexError):
                     pass
-                if attempt == 1 and pid is not None and not _pid_alive(pid):
+                foreign = host is not None and host != _local_host()
+                dead = (
+                    pid is not None and not foreign and not _pid_alive(pid)
+                )
+                if attempt == 1 and pid is not None and (dead or foreign):
+                    # A foreign-host record is stale by definition
+                    # here: without flock there is no kernel holding a
+                    # lease for it, and probing a *local* pid that
+                    # happens to be recycled must never resurrect it.
+                    why = (
+                        f"holder pid {pid} is dead"
+                        if dead
+                        else f"holder pid {pid} lives on {host!r}, not here"
+                    )
                     log.warning(
-                        "store %s: lock holder pid %d is dead; "
-                        "reclaiming stale lock",
-                        self.path.parent, pid,
+                        "store %s: lock %s; reclaiming stale lock",
+                        self.path.parent, why,
                     )
                     try:
                         self.path.unlink()
                     except FileNotFoundError:
                         pass
                     continue
-                holder = f" (held by pid {pid})" if pid is not None else ""
+                holder = ""
+                if pid is not None:
+                    at = f"@{host}" if host else ""
+                    holder = f" (held by pid {pid}{at})"
                 raise ConfigError(
                     f"result store {str(self.path.parent)!r} is locked by "
                     f"another campaign{holder}; wait for it to finish or "
                     f"use a different --store"
                 ) from None
             try:
-                os.write(fd, f"{os.getpid()}\n".encode("ascii"))
+                os.write(
+                    fd, f"{os.getpid()} {_local_host()}\n".encode("ascii")
+                )
             finally:
                 os.close(fd)
             self._pidfile_held = True
@@ -293,9 +357,10 @@ class ResultStore:
             return False
 
     # ------------------------------------------------------------------
-    def lock(self) -> StoreLock:
-        """Advisory exclusive lock for this store (not yet acquired)."""
-        return StoreLock(self.root)
+    def lock(self, *, shared: bool = False) -> StoreLock:
+        """Advisory lock for this store (not yet acquired); pass
+        ``shared=True`` for a cooperating queue worker's claim."""
+        return StoreLock(self.root, shared=shared)
 
     def write_manifest(self, manifest: Mapping[str, object]) -> Path:
         """Atomically record the owning campaign's spec and settings

@@ -21,11 +21,23 @@ Commands
     with caching, retry and checkpoint/resume; results land in an
     artifact store plus a JSONL file.  Campaigns are preemption-safe:
     SIGTERM/SIGINT checkpoints in-flight runs and exits with status 4.
+    With ``--join`` the runs become durable queue items under
+    ``<store>/.queue/`` drained by a cooperating worker fleet
+    (leases, heartbeats, fencing tokens; crashed workers' runs are
+    reclaimed automatically) — additional ``repro queue work``
+    processes may join the same store at any time.
 ``resume``
     Restart a suspended (or otherwise interrupted) campaign from its
     store: re-reads the recorded spec and settings, resumes each
     checkpointed run from its snapshot and executes whatever else is
-    missing.
+    missing.  A campaign recorded with ``--join`` resumes as a queue
+    drain.
+``queue``
+    Inspect or drain a store's durable work queue: ``queue status
+    <store>`` prints the item/lease census (``--json`` available);
+    ``queue work <store>`` runs one cooperative drain worker —
+    claim, heartbeat, execute, commit — until the queue is empty
+    (exit 0) or a SIGTERM/RSS trip parks its lease (exit 4).
 ``replay``
     Re-execute a crash replay bundle (written automatically when a
     run fails under ``campaign --bundle-dir``, or by any crash with
@@ -54,6 +66,8 @@ Commands
     cached campaign run stitched to the next through a boundary
     snapshot, with per-job results streamed to a columnar store.
     Byte-identical to a monolithic simulation of the same trace.
+    ``--strategies a b c`` fans the independent per-strategy window
+    chains out as queue items drained by ``--workers`` processes.
 ``fsck``
     Check a campaign/replay store, columnar store or ingested
     archive against its on-disk invariants: records match their
@@ -83,9 +97,14 @@ This table is the single authority for every ``repro`` command.
 2   usage or configuration error (for ``fsck``: the path is not
     a repro store or archive)
 3   campaign partial success: some runs completed, others
-    failed or were quarantined (details on stderr)
+    failed or were quarantined (details on stderr); also a
+    ``--join`` drain that finished with terminal ``failed/`` or
+    ``quarantined/`` queue items
 4   campaign suspended: a graceful shutdown checkpointed the
-    in-flight runs; ``repro resume <store>`` continues them
+    in-flight runs; ``repro resume <store>`` continues them.
+    For ``queue work``: this worker parked its lease (SIGTERM
+    drain or RSS shed) — the queue itself remains drainable and
+    any other worker (or ``repro resume``) picks the run back up
 130 interrupted (the conventional 128+SIGINT status; raised by
     a second/third Ctrl-C that escalates past graceful shutdown)
 141 a downstream pipe closed early (the conventional 128+SIGPIPE
@@ -513,6 +532,16 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         print(f"campaign error: {exc}", file=sys.stderr)
         return 2
     store_dir = Path(args.store) if args.store else Path("campaign_runs") / spec.name
+    if args.join:
+        return _execute_campaign_join(
+            spec,
+            store_dir,
+            _campaign_settings_from_args(args),
+            workers=args.workers,
+            quiet=args.quiet,
+            jsonl=args.jsonl,
+            no_jsonl=args.no_jsonl,
+        )
     return _execute_campaign(
         spec,
         store_dir,
@@ -533,16 +562,43 @@ def _cmd_resume(args: argparse.Namespace) -> int:
         return 2
     try:
         manifest = ResultStore(store_dir).read_manifest()
+    except ReproError as exc:
+        print(f"resume error: {exc}", file=sys.stderr)
+        return 2
+    settings = dict(manifest.get("settings", {}))  # type: ignore[arg-type]
+    if settings.get("queue") and not manifest.get("spec"):
+        # A replay fan-out store: the queue items carry absolute paths
+        # that only the original command knows how to regenerate.
+        print(
+            "resume error: this store is a replay fan-out; re-run the "
+            "original `repro replay-trace --strategies ...` command "
+            "(completed chains are cached)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
         spec = CampaignSpec.from_dict(manifest["spec"])  # type: ignore[arg-type]
     except (ReproError, KeyError, TypeError) as exc:
         print(f"resume error: {exc}", file=sys.stderr)
         return 2
-    settings = dict(manifest.get("settings", {}))  # type: ignore[arg-type]
     if args.workers > 0:
         settings["workers"] = args.workers
     if args.telemetry:
         settings["telemetry"] = True
     print(f"resuming campaign {spec.name!r} from {store_dir}", file=sys.stderr)
+    if settings.get("queue"):
+        workers = (
+            args.workers if args.workers > 0 else max(1, os.cpu_count() or 1)
+        )
+        return _execute_campaign_join(
+            spec,
+            store_dir,
+            settings,
+            workers=workers,
+            quiet=args.quiet,
+            jsonl="",
+            no_jsonl=args.no_jsonl,
+        )
     return _execute_campaign(
         spec,
         store_dir,
@@ -751,6 +807,269 @@ def _execute_campaign(
     return 0
 
 
+def _queue_config_from_settings(
+    settings: dict[str, object], store_dir: Path
+) -> dict[str, object]:
+    """Translate campaign manifest settings into the queue's
+    ``config.json`` so bare ``repro queue work <store>`` workers pick
+    up the same retry/deadline/guard/sidecar behaviour the join parent
+    was asked for."""
+    bundle_dir = Path(str(settings.get("bundle_dir") or store_dir / "bundles"))
+    snapshot_dir = Path(
+        str(settings.get("snapshot_dir") or store_dir / "snapshots")
+    )
+    telemetry_dir = (
+        store_dir / "telemetry" if settings.get("telemetry") else None
+    )
+    return {
+        "retries": int(settings.get("retries", 2) or 0),
+        "backoff": float(settings.get("backoff", 0.5) or 0.5),
+        # The campaign's per-run timeout becomes the queue's deadline
+        # budget: a run that exceeds it is quarantined, not retried.
+        "deadline_s": float(settings.get("timeout", 0.0) or 0.0),
+        "rss_budget_mb": float(settings.get("rss_budget_mb", 0.0) or 0.0),
+        "disk_min_free_mb": float(
+            settings.get("disk_min_free_mb", 0.0) or 0.0
+        ),
+        "bundle_dir": str(bundle_dir),
+        "snapshot_dir": str(snapshot_dir),
+        "snapshot_every": str(settings.get("snapshot_every") or "") or None,
+        "telemetry_dir": str(telemetry_dir) if telemetry_dir else None,
+    }
+
+
+def _execute_campaign_join(
+    spec,
+    store_dir: Path,
+    settings: dict[str, object],
+    *,
+    workers: int,
+    quiet: bool,
+    jsonl: str,
+    no_jsonl: bool,
+) -> int:
+    """Queue-backed campaign executor behind ``campaign --join`` and a
+    queue-recorded ``resume``: enqueue the runs as durable items, then
+    supervise a cooperative worker fleet draining them."""
+    from repro.campaign import ResultStore
+    from repro.campaign.queue import WorkQueue, drain_with_workers
+    from repro.snapshot import suspend as _suspend
+
+    try:
+        runs = spec.expand()
+    except ReproError as exc:
+        print(f"campaign error: {exc}", file=sys.stderr)
+        return 2
+    store = ResultStore(store_dir)
+    workers = max(1, int(workers))
+    # The manifest drops the worker count: the fleet size is a property
+    # of each invocation, not of the campaign, so joins with different
+    # fleet sizes leave byte-identical stores.
+    manifest_settings = {
+        key: value for key, value in settings.items() if key != "workers"
+    }
+    manifest_settings["queue"] = True
+    note = (
+        None if quiet else (lambda line: print(line, file=sys.stderr))
+    )
+    try:
+        store.write_manifest({
+            "manifest_version": 1,
+            "name": spec.name,
+            "spec": spec.to_dict(),
+            "settings": manifest_settings,
+        })
+        queue = WorkQueue(store_dir)
+        queue.write_config(_queue_config_from_settings(settings, store_dir))
+        pending = queue.enqueue(runs)
+    except ReproError as exc:
+        print(f"campaign error: {exc}", file=sys.stderr)
+        return 2
+    if note:
+        note(
+            f"queue: {pending} of {len(runs)} runs pending in "
+            f"{store_dir / '.queue'}"
+        )
+    previous = _suspend.install_signal_handlers()
+    try:
+        outcome = drain_with_workers(store_dir, workers, note=note)
+    except KeyboardInterrupt:
+        done = len(store.completed_ids() & {r.run_id for r in runs})
+        print(
+            f"\ninterrupted: {done} of {len(runs)} runs stored in "
+            f"{store_dir}; `repro resume {store_dir}` continues",
+            file=sys.stderr,
+        )
+        return EXIT_INTERRUPTED
+    finally:
+        if previous is not None:
+            _suspend.restore_signal_handlers(previous)
+    # Final supervisor pass: reap anything the fleet left leased.
+    queue.reclaim_stale()
+    return _report_join(
+        spec.name, store, queue, runs, outcome,
+        jsonl=jsonl, no_jsonl=no_jsonl,
+    )
+
+
+def _report_join(
+    name: str, store, queue, runs, outcome, *, jsonl: str, no_jsonl: bool
+) -> int:
+    """Render the post-drain report and map the queue's terminal state
+    onto the documented campaign exit codes."""
+    run_ids = [r.run_id for r in runs]
+    done = store.completed_ids() & set(run_ids)
+    if not no_jsonl:
+        jsonl_path = Path(jsonl) if jsonl else store.root / "results.jsonl"
+        written = store.export_jsonl(jsonl_path, run_ids=run_ids)
+        print(f"results: {written} records -> {jsonl_path}", file=sys.stderr)
+    grid_rows = []
+    experiment_lines = []
+    for run_id in run_ids:
+        if not store.has(run_id):
+            continue
+        record = store.load(run_id)
+        payload = record["result"]
+        params = record["params"]
+        if payload["kind"] == "simulate":
+            workload = params.get("workload", {})
+            config = params.get("config", {})
+            summary = payload["summary"]
+            grid_rows.append({
+                "run": record["run_id"][:8],
+                "strategy": payload["strategy"],
+                "nodes": payload["num_nodes"],
+                "seed": workload.get("seed", ""),
+                "load": workload.get("offered_load", ""),
+                "theta": config.get("share_threshold", ""),
+                "makespan_h": summary["makespan_h"],
+                "comp_eff": summary["comp_eff"],
+                "mean_wait_h": summary["mean_wait_h"],
+                "shared_nodes": summary["shared_nodes"],
+            })
+        elif payload["kind"] == "experiment":
+            experiment_lines.append(
+                f"{payload['experiment']}: {len(payload['rows'])} rows "
+                f"({record['run_id']}.json)"
+            )
+    if grid_rows:
+        print(format_table(grid_rows, title=f"campaign: {name}"))
+    for line in experiment_lines:
+        print(line)
+    failed = queue.terminal_ids("failed")
+    quarantined = queue.terminal_ids("quarantined")
+    counts = f"{len(done)} stored, {len(failed)} failed"
+    if quarantined:
+        counts += f", {len(quarantined)} quarantined"
+    print(
+        f"{counts} of {len(runs)} runs (queue drain, "
+        f"workers={outcome.workers}, respawns={outcome.respawns}, "
+        f"store={store.root})"
+    )
+    for run_id in failed:
+        doc = queue.read_terminal("failed", run_id)
+        print(
+            f"FAILED {run_id} ({doc.get('label', '')}) after "
+            f"{doc.get('deliveries', '?')} deliveries: "
+            f"{doc.get('error', '')}",
+            file=sys.stderr,
+        )
+    for run_id in quarantined:
+        doc = queue.read_terminal("quarantined", run_id)
+        print(
+            f"QUARANTINED {run_id} ({doc.get('label', '')}): "
+            f"{doc.get('reason', '')}",
+            file=sys.stderr,
+        )
+    if outcome.status == "suspended":
+        remaining = len(runs) - len(done)
+        print(
+            f"campaign suspended with {remaining} runs outstanding; "
+            f"`repro resume {store.root}` continues it",
+            file=sys.stderr,
+        )
+        return EXIT_SUSPENDED
+    if outcome.status == "stalled":
+        print(
+            f"queue drain stalled (respawn budget exhausted); "
+            f"`repro queue status {store.root}` for the census",
+            file=sys.stderr,
+        )
+        return 1
+    if failed or quarantined:
+        return EXIT_PARTIAL if done else 1
+    return 0
+
+
+def _cmd_queue_status(args: argparse.Namespace) -> int:
+    from repro.campaign.queue import WorkQueue, has_queue
+    from repro.errors import ConfigError
+
+    store_dir = Path(args.store)
+    if not has_queue(store_dir):
+        print(
+            f"queue error: {store_dir} has no work queue "
+            f"(`repro campaign --join` creates one)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        status = WorkQueue(store_dir).status()
+    except ConfigError as exc:
+        print(f"queue error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(format_json(status))
+        return 0
+    print(
+        f"queue {status['store']}: {status['pending']} pending "
+        f"({status['claimable']} claimable), {status['leased']} leased, "
+        f"{status['completed']} completed, {status['failed']} failed, "
+        f"{status['quarantined']} quarantined"
+    )
+    for lease in status["leases"]:
+        mark = " STALE" if lease["stale"] else ""
+        print(
+            f"  lease {lease['run_id']}: held by "
+            f"{lease['pid']}@{lease['host']} token {lease['token']} "
+            f"(heartbeat {lease['heartbeat_age_s']:.1f}s ago){mark}"
+        )
+    return 0
+
+
+def _cmd_queue_work(args: argparse.Namespace) -> int:
+    from repro.campaign.queue import QueueWorker, has_queue
+    from repro.errors import ConfigError
+
+    store_dir = Path(args.store)
+    if not has_queue(store_dir):
+        print(
+            f"queue error: {store_dir} has no work queue "
+            f"(`repro campaign --join` creates one)",
+            file=sys.stderr,
+        )
+        return 2
+    note = (
+        None if args.quiet else (lambda line: print(line, file=sys.stderr))
+    )
+    try:
+        worker = QueueWorker(
+            store_dir, install_signal_handlers=True, note=note
+        )
+        outcome = worker.drain()
+    except ConfigError as exc:
+        print(f"queue error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"worker {os.getpid()}: {outcome.completed} completed, "
+        f"{outcome.failed} failed, {outcome.quarantined} quarantined, "
+        f"{outcome.requeued} requeued, {outcome.fenced} fenced "
+        f"({outcome.status})",
+        file=sys.stderr,
+    )
+    return outcome.exit_code
+
+
 def _cmd_replay(args: argparse.Namespace) -> int:
     from repro.diagnostics import load_bundle, replay_bundle
 
@@ -872,11 +1191,158 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _replay_trace_fanout(args: argparse.Namespace) -> int:
+    """``replay-trace --strategies a b c``: each per-strategy window
+    chain becomes one durable queue item (the chain's windows stay
+    serial — a correctness requirement — while the independent
+    strategies drain in parallel across the worker fleet)."""
+    from repro.archive import load_archive
+    from repro.campaign import ResultStore
+    from repro.campaign.queue import WorkQueue, drain_with_workers
+    from repro.campaign.spec import RunSpec
+    from repro.errors import ConfigError
+    from repro.snapshot import suspend as _suspend
+
+    store_dir = Path(args.store)
+    try:
+        archive = load_archive(args.archive)
+    except ConfigError as exc:
+        print(f"replay-trace error: {exc}", file=sys.stderr)
+        return 2
+    config: dict[str, object] = {}
+    if args.backfill_interval > 0:
+        config["backfill_interval"] = float(args.backfill_interval)
+    if args.threshold != 1.1:
+        config["share_threshold"] = float(args.threshold)
+    strategies = list(dict.fromkeys(args.strategies))
+    runs = []
+    extras: dict[str, dict[str, object]] = {}
+    for strategy in strategies:
+        params: dict[str, object] = {
+            "kind": "replay_chain",
+            "archive_id": archive.archive_id,
+            "strategy": strategy,
+            "num_nodes": int(args.nodes),
+            "windows": len(archive),
+        }
+        if config:
+            params["config"] = dict(config)
+        run = RunSpec.from_params(params)
+        runs.append(run)
+        # Absolute paths ride outside the content hash: the chain's
+        # identity is the archive id + plan, not where it lives.
+        extras[run.run_id] = {
+            "archive_dir": str(Path(args.archive).resolve()),
+            "store_dir": str((store_dir / strategy).resolve()),
+        }
+    store = ResultStore(store_dir)
+    note = (
+        None if args.quiet else (lambda line: print(line, file=sys.stderr))
+    )
+    try:
+        store.write_manifest({
+            "manifest_version": 1,
+            "name": f"replay-fanout:{archive.name}",
+            "spec": None,
+            "settings": {"queue": True, "kind": "replay_fanout"},
+        })
+        queue = WorkQueue(store_dir)
+        queue.write_config({
+            "retries": 0,
+            "rss_budget_mb": float(args.rss_budget_mb or 0.0),
+            "telemetry_dir": (
+                str(store_dir / "telemetry") if args.telemetry else None
+            ),
+        })
+        pending = queue.enqueue(runs)
+    except ConfigError as exc:
+        print(f"replay-trace error: {exc}", file=sys.stderr)
+        return 2
+    workers = (
+        args.workers if args.workers > 0
+        else min(len(strategies), max(1, os.cpu_count() or 1))
+    )
+    if note:
+        note(
+            f"fanout: {pending} strategy chains pending "
+            f"({len(archive)} windows each), {workers} workers"
+        )
+    previous = _suspend.install_signal_handlers()
+    try:
+        outcome = drain_with_workers(store_dir, workers, note=note)
+    finally:
+        if previous is not None:
+            _suspend.restore_signal_handlers(previous)
+    queue.reclaim_stale()
+    rows = []
+    for run in runs:
+        if not store.has(run.run_id):
+            continue
+        payload = store.load(run.run_id)["result"]
+        stitched = payload.get("stitched", {})
+        rows.append({
+            "strategy": payload["strategy"],
+            "windows": payload["windows"],
+            "jobs": stitched.get("jobs", ""),
+            "completed": stitched.get("completed", ""),
+            "makespan_h": round(
+                float(stitched.get("makespan_s", 0.0)) / 3600, 2
+            ),
+            "mean_wait_h": round(
+                float(stitched.get("mean_wait_s", 0.0)) / 3600, 3
+            ),
+            "store": str(store_dir / str(payload["strategy"])),
+        })
+    if args.json:
+        print(format_json({
+            "archive": archive.archive_id,
+            "strategies": strategies,
+            "status": outcome.status,
+            "chains": rows,
+        }))
+    elif rows:
+        print(format_table(rows, title=f"replay fanout: {archive.name}"))
+    failed = queue.terminal_ids("failed")
+    quarantined = queue.terminal_ids("quarantined")
+    for run_id in failed:
+        doc = queue.read_terminal("failed", run_id)
+        print(
+            f"FAILED {run_id} ({doc.get('label', '')}): "
+            f"{doc.get('error', '')}",
+            file=sys.stderr,
+        )
+    for run_id in quarantined:
+        doc = queue.read_terminal("quarantined", run_id)
+        print(
+            f"QUARANTINED {run_id}: {doc.get('reason', '')}",
+            file=sys.stderr,
+        )
+    if outcome.status == "suspended":
+        print(
+            "fanout suspended; re-run the same command to continue "
+            "(completed windows stay cached per strategy)",
+            file=sys.stderr,
+        )
+        return EXIT_SUSPENDED
+    if outcome.status == "stalled":
+        print(
+            f"fanout stalled (respawn budget exhausted); "
+            f"`repro queue status {store_dir}` for the census",
+            file=sys.stderr,
+        )
+        return 1
+    if failed or quarantined:
+        return EXIT_PARTIAL if rows else 1
+    return 0
+
+
 def _cmd_replay_trace(args: argparse.Namespace) -> int:
     from repro.archive import replay_archive
     from repro.errors import ConfigError
     from repro.snapshot import ResourceGuards
 
+    if args.strategies:
+        return _replay_trace_fanout(args)
     store_dir = Path(args.store)
     guards = None
     if args.rss_budget_mb > 0:
@@ -1018,7 +1484,7 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
     from repro.faultinject.fsck import fsck_path
 
     try:
-        report = fsck_path(args.store)
+        report = fsck_path(args.store, repair=args.repair)
     except ConfigError as exc:
         print(f"fsck error: {exc}", file=sys.stderr)
         return 2
@@ -1034,9 +1500,12 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.faultinject.chaos import default_chaos_dir, run_chaos
 
     work_dir = args.dir or default_chaos_dir()
-    workloads = (
-        ["campaign", "replay"] if args.workload == "both" else [args.workload]
-    )
+    if args.workload == "both":
+        workloads = ["campaign", "replay"]
+    elif args.workload == "all":
+        workloads = ["campaign", "replay", "queue"]
+    else:
+        workloads = [args.workload]
     progress = None if args.quiet else (
         lambda line: print(line, file=sys.stderr)
     )
@@ -1193,7 +1662,33 @@ def build_parser() -> argparse.ArgumentParser:
                              "<store>/telemetry and merge them into "
                              "<store>/telemetry.json (results stay "
                              "byte-identical)")
+    p_camp.add_argument("--join", action="store_true",
+                        help="drain through the durable work queue under "
+                             "<store>/.queue: --workers cooperating "
+                             "processes claim per-run leases; extra "
+                             "`repro queue work <store>` workers may "
+                             "join at any time")
     p_camp.set_defaults(func=_cmd_campaign)
+
+    p_queue = sub.add_parser(
+        "queue",
+        help="inspect or drain a store's durable work queue",
+    )
+    queue_sub = p_queue.add_subparsers(dest="queue_command", required=True)
+    p_qstat = queue_sub.add_parser(
+        "status", help="print the queue's item/lease census"
+    )
+    p_qstat.add_argument("store", help="a --join campaign's store directory")
+    p_qstat.add_argument("--json", action="store_true",
+                         help="machine-readable census")
+    p_qstat.set_defaults(func=_cmd_queue_status)
+    p_qwork = queue_sub.add_parser(
+        "work", help="run one cooperative drain worker on a store"
+    )
+    p_qwork.add_argument("store", help="a --join campaign's store directory")
+    p_qwork.add_argument("--quiet", action="store_true",
+                         help="suppress per-run progress lines")
+    p_qwork.set_defaults(func=_cmd_queue_work)
 
     p_res = sub.add_parser(
         "resume",
@@ -1307,6 +1802,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_rt.add_argument(
         "--strategy", choices=all_strategy_names(), default="easy_backfill"
     )
+    p_rt.add_argument("--strategies", nargs="*",
+                      choices=all_strategy_names(), default=[],
+                      help="fan several strategies out as queue items "
+                           "(one window chain each, drained by "
+                           "--workers processes into per-strategy "
+                           "sub-stores); overrides --strategy")
+    p_rt.add_argument("--workers", type=int, default=0,
+                      help="fanout worker processes "
+                           "(0 = one per strategy, capped at CPU count)")
     p_rt.add_argument("--nodes", type=int, default=128, help="cluster size")
     p_rt.add_argument("--backfill-interval", type=float, default=0.0,
                       help="periodic backfill pass interval in seconds "
@@ -1332,6 +1836,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_fsck.add_argument("--json", action="store_true",
                         help="machine-readable findings")
+    p_fsck.add_argument("--repair", action="store_true",
+                        help="reap queue leases whose holder pid is "
+                             "dead and clear stale failpoint stamps / "
+                             ".tmp residue (safe: never touches records)")
     p_fsck.set_defaults(func=_cmd_fsck)
 
     p_chaos = sub.add_parser(
@@ -1339,9 +1847,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="crash-consistency sweep: kill at every failpoint, "
              "recover, fsck, compare to baseline",
     )
-    p_chaos.add_argument("--workload", choices=("campaign", "replay", "both"),
+    p_chaos.add_argument("--workload",
+                         choices=("campaign", "replay", "queue",
+                                  "both", "all"),
                          default="both",
-                         help="which pipeline(s) to torture (default both)")
+                         help="which pipeline(s) to torture: 'both' = "
+                              "campaign+replay (default), 'queue' = the "
+                              "two-worker cooperative drain, 'all' = "
+                              "everything")
     p_chaos.add_argument("--dir", default="",
                          help="work directory (kept; default: a fresh "
                               "temp dir, removed unless --keep)")

@@ -23,6 +23,7 @@ from repro.faultinject.registry import (
 )
 from repro.faultinject.retry import (
     TRANSIENT_ERRNOS,
+    backoff_delay,
     classify_io_error,
     with_io_retries,
 )
@@ -37,6 +38,7 @@ __all__ = [
     "TRANSIENT_ERRNOS",
     "arm",
     "armed",
+    "backoff_delay",
     "classify_io_error",
     "disarm",
     "failpoint",

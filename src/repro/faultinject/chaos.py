@@ -14,11 +14,14 @@ then demands two things of the survivor:
 
 The sweep walks the whole failpoint catalog, so adding a new durable
 write without registering (and surviving) its failpoint shows up as a
-hole in the report.  Two workloads cover the two durable-state
+hole in the report.  Three workloads cover the durable-state
 families: a multi-worker **campaign** (result records, store
-manifest, results.jsonl) and a windowed synthetic **replay**
+manifest, results.jsonl), a windowed synthetic **replay**
 (archive ingestion, boundary snapshots, columnar appends +
-idempotence marks, stitched summary).
+idempotence marks, stitched summary), and a two-worker **queue**
+drain (items, leases, fencing tokens) whose baseline is the
+single-worker join of the same campaign — byte-identity there
+proves a hard-killed worker's reclaimed work leaves no trace.
 
 Cross-process once-only firing (the ``REPRO_FAILPOINTS_STAMP``
 protocol) keeps a killed worker's replacement from re-tripping the
@@ -194,7 +197,59 @@ class _ReplayPipeline:
         return [root / "archive", root / "replay"]
 
 
-_PIPELINES = {"campaign": _CampaignPipeline, "replay": _ReplayPipeline}
+class _QueuePipeline:
+    """Two-worker cooperative queue drain of the campaign workload.
+
+    The trial commands drain through ``campaign --join`` with two
+    workers, so a hard kill lands inside one worker of a live fleet
+    (or inside the join parent's enqueue) while the survivor — plus
+    the parent's reclaim/respawn supervision — must finish the store.
+    The baseline is the *single*-worker join of the same campaign:
+    byte-identity against it proves leases, fencing and reclamation
+    leave no trace in the durable artifacts.
+    """
+
+    name = "queue"
+
+    def __init__(self, work: Path, workers: int, python: str) -> None:
+        self.work = work
+        self.workers = max(2, workers)
+        self.python = python
+
+    def prepare(self) -> None:
+        pass
+
+    def _join_command(self, root: Path, workers: int) -> list[str]:
+        return [
+            self.python, "-m", "repro.cli", "campaign", "--join",
+            "--name", "chaos-queue",
+            "--jobs", "40",
+            "--sizes", "32",
+            "--seeds", "7", "11",
+            "--strategies", "easy_backfill", "shared_backfill",
+            "--workers", str(workers),
+            "--store", str(root / "store"),
+            "--quiet",
+        ]
+
+    def baseline_commands(self, root: Path) -> list[list[str]]:
+        return [self._join_command(root, 1)]
+
+    def commands(self, root: Path) -> list[list[str]]:
+        return [self._join_command(root, self.workers)]
+
+    def fingerprint(self, root: Path) -> dict[str, str]:
+        return store_fingerprint(root / "store")
+
+    def fsck_roots(self, root: Path) -> list[Path]:
+        return [root / "store"]
+
+
+_PIPELINES = {
+    "campaign": _CampaignPipeline,
+    "replay": _ReplayPipeline,
+    "queue": _QueuePipeline,
+}
 
 
 def _clean_env() -> dict[str, str]:
@@ -400,8 +455,11 @@ def run_chaos(
 
 
 def _run_pipeline_clean(pipeline, root: Path) -> None:
+    """Fault-free run; pipelines may define a distinct baseline shape
+    (the queue pipeline's baseline is a single-worker drain)."""
+    commands = getattr(pipeline, "baseline_commands", pipeline.commands)
     root.mkdir(parents=True, exist_ok=True)
-    for stage, cmd in enumerate(pipeline.commands(root)):
+    for stage, cmd in enumerate(commands(root)):
         code, tail = _run_stage(
             cmd, _clean_env(), root / f"stage-{stage}.log"
         )

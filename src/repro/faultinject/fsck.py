@@ -19,6 +19,11 @@ verifies every invariant the crash-recovery design promises:
 * **archive integrity** — window files match the manifest's row
   counts and the ``archive_id`` content hash recomputes.
 
+* **work-queue hygiene** — orphaned or dead-holder lease files and
+  stale failpoint-stamp / temp residue under ``<store>/.queue/`` are
+  warnings (the queue supervisor recovers all of them); ``--repair``
+  reaps the provably-safe subset.
+
 Leftover ``.*.tmp`` files (a crash between ``mkstemp`` and
 ``os.replace``) are warnings: harmless garbage, never visible data.
 
@@ -120,13 +125,16 @@ class FsckReport:
 # ----------------------------------------------------------------------
 # Entry point and dispatch
 # ----------------------------------------------------------------------
-def fsck_path(root: str | Path) -> FsckReport:
+def fsck_path(root: str | Path, *, repair: bool = False) -> FsckReport:
     """Check whatever durable artifact lives at *root*.
 
     Dispatches on the on-disk markers: an archive manifest, a
     standalone columnar store, or a campaign/replay result store.
     Raises :class:`~repro.errors.ConfigError` when *root* is none of
-    those (CLI exit 2).
+    those (CLI exit 2).  With *repair*, queue leases whose holder pid
+    is provably dead are reaped, and stale failpoint stamps / temp
+    residue under ``.queue/`` is deleted — repair never touches
+    records, items, or any other visible data.
     """
     from repro.archive.columnar import COLUMNAR_MAGIC
     from repro.archive.ingest import ARCHIVE_MAGIC
@@ -156,13 +164,13 @@ def fsck_path(root: str | Path) -> FsckReport:
         raise ConfigError(
             f"{root}: not a repro result store, columnar store or archive"
         )
-    return fsck_store(root)
+    return fsck_store(root, repair=repair)
 
 
 # ----------------------------------------------------------------------
 # Campaign / replay result stores
 # ----------------------------------------------------------------------
-def fsck_store(root: str | Path) -> FsckReport:
+def fsck_store(root: str | Path, *, repair: bool = False) -> FsckReport:
     """Check a campaign (or replay) result store directory."""
     root = Path(root)
     report = FsckReport(root=str(root), kind="store")
@@ -170,6 +178,7 @@ def fsck_store(root: str | Path) -> FsckReport:
     _check_campaign_manifest(report, root)
     _check_results_jsonl(report, root, records)
     _check_tmp_residue(report, root)
+    _check_queue(report, root, records, repair=repair)
     for sub in ("snapshots", "boundaries"):
         directory = root / sub
         if directory.is_dir():
@@ -298,6 +307,102 @@ def _check_tmp_residue(report: FsckReport, root: Path) -> None:
                 "warning", "store.tmp-residue", tmp,
                 "leftover temp file from an interrupted atomic write "
                 "(harmless; safe to delete)",
+            )
+
+
+def _check_queue(
+    report: FsckReport, root: Path, records: dict[str, dict],
+    *, repair: bool = False,
+) -> None:
+    """Durable work-queue hygiene under ``<store>/.queue/``.
+
+    Leases are advisory claims, so problems here are *warnings*, not
+    errors: the queue's own supervisor pass recovers every one of
+    them.  fsck surfaces them (a human reading ``repro fsck`` output
+    should know a worker died holding a lease) and, with *repair*,
+    reaps the provably-safe subset — leases whose recorded holder pid
+    is dead on this host, stale failpoint stamps, and temp residue.
+    """
+    queue_root = root / ".queue"
+    if not queue_root.is_dir():
+        return
+    from repro.campaign.lease import (
+        LEASE_SUFFIX,
+        LeaseDir,
+        local_host,
+        pid_alive,
+    )
+
+    items_dir = queue_root / "items"
+    leases = LeaseDir(queue_root / "leases")
+    for run_id in leases.list():
+        report.count("queue-leases")
+        lease = leases.read(run_id)
+        if lease is None:
+            continue
+        path = leases.path_for(run_id)
+        has_item = (items_dir / f"{run_id}.json").is_file()
+        if not has_item:
+            report.add(
+                "warning", "queue.lease-orphan", path,
+                "lease without a queue item (holder crashed between "
+                "retiring the item and releasing the lease); the next "
+                "supervisor pass removes it",
+            )
+        if lease.pid == 0:
+            report.add(
+                "warning", "queue.lease-unreadable", path,
+                "empty or malformed lease (holder killed mid-claim); "
+                "ages out via the queue TTL",
+            )
+            continue
+        dead = lease.host == local_host() and not pid_alive(lease.pid)
+        if dead:
+            if repair:
+                path.unlink(missing_ok=True)
+                report.add(
+                    "warning", "queue.lease-repaired", path,
+                    f"reaped: holder pid {lease.pid} is dead "
+                    f"(token {lease.token})",
+                )
+            else:
+                report.add(
+                    "warning", "queue.lease-dead-holder", path,
+                    f"holder pid {lease.pid}@{lease.host} is dead "
+                    f"(token {lease.token}); --repair reaps it",
+                )
+    for item_path in sorted(items_dir.glob("*.json")):
+        if item_path.name.startswith("."):
+            continue
+        report.count("queue-items")
+        if item_path.stem in records:
+            report.add(
+                "warning", "queue.item-done", item_path,
+                "queue item for a run whose result is already stored "
+                "(crash between commit and retirement); the next "
+                "claimant retires it",
+            )
+    residue = []
+    for pattern in ("*.fired", "*.tmp", ".*.tmp"):
+        residue.extend(queue_root.rglob(pattern))
+    for stray in sorted(set(residue)):
+        if stray.suffix == ".tmp" and stray.name.endswith(LEASE_SUFFIX + ".tmp"):
+            kind = "lease rewrite"
+        elif stray.suffix == ".fired":
+            kind = "failpoint stamp"
+        else:
+            kind = "atomic write"
+        if repair:
+            stray.unlink(missing_ok=True)
+            report.add(
+                "warning", "queue.residue-repaired", stray,
+                f"deleted stale {kind} residue",
+            )
+        else:
+            report.add(
+                "warning", "queue.residue", stray,
+                f"leftover {kind} residue from an interrupted worker "
+                f"(harmless; --repair deletes it)",
             )
 
 

@@ -73,6 +73,10 @@ CATALOG: dict[str, str] = {
     "archive.manifest.rename": "archive manifest/quarantine: atomic rename",
     "stitched.write": "replay stitched.json summary: temp-file write",
     "bundle.write": "crash replay bundle: document write",
+    "queue.item.write": "campaign queue item: temp-file write + rename",
+    "queue.lease.create": "campaign queue lease: O_EXCL claim-file write",
+    "queue.lease.renew": "campaign queue lease: heartbeat refresh",
+    "queue.lease.release": "campaign queue lease: verified unlink",
 }
 
 _ACTIONS = ("eio", "enospc", "kill", "truncate")

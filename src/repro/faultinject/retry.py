@@ -61,6 +61,27 @@ def _jitter(attempt: int) -> float:
     return 1.0 + (zlib.crc32(key) % 1000) / 4000.0
 
 
+def backoff_delay(
+    attempt: int,
+    *,
+    base_delay_s: float = DEFAULT_BASE_DELAY_S,
+    max_delay_s: float = DEFAULT_MAX_DELAY_S,
+) -> float:
+    """Jittered exponential backoff for *attempt* (1-based).
+
+    The same schedule :func:`with_io_retries` sleeps between I/O
+    attempts, exposed so other requeue paths (the campaign work
+    queue's redelivery ``not_before`` stamps) share one deterministic
+    backoff authority instead of inventing their own.
+    """
+    if attempt < 1:
+        raise ValueError(f"attempt must be >= 1, got {attempt}")
+    return min(
+        base_delay_s * (2 ** (attempt - 1)) * _jitter(attempt),
+        max_delay_s,
+    )
+
+
 def with_io_retries(
     op: Callable[[], T],
     *,
@@ -86,9 +107,8 @@ def with_io_retries(
         except OSError as exc:
             if classify_io_error(exc) != "transient" or attempt == attempts:
                 raise
-            delay = min(
-                base_delay_s * (2 ** (attempt - 1)) * _jitter(attempt),
-                max_delay_s,
+            delay = backoff_delay(
+                attempt, base_delay_s=base_delay_s, max_delay_s=max_delay_s
             )
             if on_retry is not None:
                 on_retry(exc, attempt, delay)

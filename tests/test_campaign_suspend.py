@@ -370,6 +370,74 @@ class TestStoreLock:
         with store.lock() as lock:
             assert lock.held
 
+    # -- host identity -------------------------------------------------
+    def test_lock_records_pid_and_host(self, tmp_path):
+        from repro.campaign.store import _local_host
+
+        with StoreLock(tmp_path):
+            parts = (tmp_path / ".lock").read_text("ascii").split()
+            assert parts == [str(os.getpid()), _local_host()]
+
+    def test_foreign_host_record_is_never_probed_as_local(
+        self, tmp_path, monkeypatch
+    ):
+        # A recycled pid on ANOTHER host must not be treated as a live
+        # local holder: under flock, the holder error keeps the host;
+        # the pid probe only ever applies to local records.
+        self._flaky_flock(monkeypatch, failures=10_000)
+        sleeps = []
+        monkeypatch.setattr(time, "sleep", sleeps.append)
+        # Our own pid, which IS alive here — but recorded on elsewhere.
+        (tmp_path / ".lock").write_text(f"{os.getpid()} elsewhere\n")
+        with pytest.raises(ConfigError, match="elsewhere"):
+            StoreLock(tmp_path).acquire()
+        assert sleeps == []  # no dead-holder grace poll for foreign pids
+
+    def test_pidfile_fallback_reclaims_foreign_host_record(
+        self, tmp_path, caplog
+    ):
+        # Without flock there is no kernel lease, so a foreign-host
+        # record is stale by definition — even when its pid happens to
+        # be alive locally (pid recycling across hosts).
+        (tmp_path / ".lock").write_text(f"{os.getpid()} elsewhere\n")
+        with caplog.at_level("WARNING", logger="repro.campaign.store"):
+            lock = StoreLock(tmp_path)._acquire_pidfile()
+        assert lock.held
+        lock.release()
+        assert any(
+            "lives on 'elsewhere', not here" in rec.message
+            for rec in caplog.records
+        )
+
+    def test_pidfile_fallback_respects_local_live_holder(self, tmp_path):
+        from repro.campaign.store import _local_host
+
+        (tmp_path / ".lock").write_text(f"{os.getpid()} {_local_host()}\n")
+        with pytest.raises(ConfigError, match="locked by another campaign"):
+            StoreLock(tmp_path)._acquire_pidfile()
+
+    def test_pidfile_fallback_shared_mode_is_cooperative(self, tmp_path):
+        # Shared claims (queue workers) degrade to unlocked in the
+        # pidfile fallback; the per-run lease files still fence.
+        lock = StoreLock(tmp_path, shared=True)._acquire_pidfile()
+        assert not (tmp_path / ".lock").exists()
+        lock.release()
+
+    def test_shared_holders_coexist_and_block_exclusive(self, tmp_path):
+        a = StoreLock(tmp_path, shared=True).acquire()
+        b = StoreLock(tmp_path, shared=True).acquire()
+        try:
+            with pytest.raises(ConfigError, match="locked"):
+                StoreLock(tmp_path).acquire()
+        finally:
+            a.release()
+            b.release()
+
+    def test_exclusive_holder_blocks_shared(self, tmp_path):
+        with StoreLock(tmp_path):
+            with pytest.raises(ConfigError, match=str(os.getpid())):
+                StoreLock(tmp_path, shared=True).acquire()
+
 
 # ----------------------------------------------------------------------
 # Manifest read/write

@@ -80,6 +80,8 @@ class TestPlanLanguage:
         import repro.archive.columnar
         import repro.archive.ingest
         import repro.archive.replay
+        import repro.campaign.lease
+        import repro.campaign.queue
         import repro.campaign.store
         import repro.diagnostics.bundle
         import repro.snapshot.state
@@ -88,6 +90,8 @@ class TestPlanLanguage:
             inspect.getsource(mod)
             for mod in (
                 repro.campaign.store,
+                repro.campaign.queue,
+                repro.campaign.lease,
                 repro.snapshot.state,
                 repro.archive.columnar,
                 repro.archive.ingest,

@@ -268,3 +268,111 @@ class TestCliExitCodes:
         target.write_text("hello")
         with pytest.raises(ConfigError):
             fsck_path(target)
+
+
+# ----------------------------------------------------------------------
+# Work-queue hygiene (leases, items, residue)
+# ----------------------------------------------------------------------
+class TestQueueInvariants:
+    def _queued_store(self, root):
+        from repro.campaign.queue import WorkQueue
+        from repro.campaign.spec import RunSpec
+
+        store = make_store(root)
+        queue = WorkQueue(root)
+        run = RunSpec.from_params({"kind": "experiment", "experiment": "qx"})
+        queue.enqueue([run])
+        return store, queue, run
+
+    def test_clean_queue_passes(self, tmp_path):
+        self._queued_store(tmp_path / "store")
+        report = fsck_store(tmp_path / "store")
+        assert report.ok and not report.findings
+        assert report.checked["queue-items"] == 1
+
+    def test_orphan_lease_is_a_warning(self, tmp_path):
+        store, queue, run = self._queued_store(tmp_path / "store")
+        queue.leases.claim("no-such-item", 1)
+        report = fsck_store(store.root)
+        assert report.ok  # warnings, not errors: the supervisor recovers
+        assert "queue.lease-orphan" in codes(report, "warning")
+
+    def test_dead_holder_lease_flagged_and_repaired(self, tmp_path):
+        import subprocess
+        import sys
+
+        store, queue, run = self._queued_store(tmp_path / "store")
+        proc = subprocess.Popen([sys.executable, "-c", "pass"])
+        proc.wait()
+        queue.leases.claim(run.run_id, 1, pid=proc.pid)
+        report = fsck_store(store.root)
+        assert "queue.lease-dead-holder" in codes(report, "warning")
+
+        report = fsck_store(store.root, repair=True)
+        assert "queue.lease-repaired" in codes(report, "warning")
+        assert not queue.leases.path_for(run.run_id).exists()
+        assert report.ok
+
+    def test_live_holder_lease_is_not_reaped(self, tmp_path):
+        import os
+
+        store, queue, run = self._queued_store(tmp_path / "store")
+        queue.leases.claim(run.run_id, 1, pid=os.getpid())
+        report = fsck_store(store.root, repair=True)
+        assert "queue.lease-repaired" not in codes(report)
+        assert queue.leases.path_for(run.run_id).exists()
+
+    def test_empty_lease_file_is_unreadable_warning(self, tmp_path):
+        store, queue, run = self._queued_store(tmp_path / "store")
+        queue.leases.path_for(run.run_id).touch()
+        report = fsck_store(store.root)
+        assert "queue.lease-unreadable" in codes(report, "warning")
+
+    def test_item_for_stored_run_flagged(self, tmp_path):
+        store, queue, run = self._queued_store(tmp_path / "store")
+        store.save(run.run_id, {
+            "run_id": run.run_id,
+            "label": run.label,
+            "params": dict(run.params),
+            "result": {"ok": True},
+            "meta": {"attempts": 1},
+        })
+        store.export_jsonl(store.root / "results.jsonl")
+        report = fsck_store(store.root)
+        assert "queue.item-done" in codes(report, "warning")
+
+    def test_queue_residue_flagged_and_repaired(self, tmp_path):
+        store, queue, run = self._queued_store(tmp_path / "store")
+        stamp = queue.root / "queue.lease.create.fired"
+        stamp.touch()
+        tmp = queue.items_dir / ".half-item.tmp"
+        tmp.write_text("{")
+        report = fsck_store(store.root)
+        assert "queue.residue" in codes(report, "warning")
+
+        report = fsck_store(store.root, repair=True)
+        assert "queue.residue-repaired" in codes(report, "warning")
+        assert not stamp.exists() and not tmp.exists()
+
+    def test_repair_never_touches_items_or_records(self, tmp_path):
+        store, queue, run = self._queued_store(tmp_path / "store")
+        before = sorted(p.name for p in store.root.glob("*.json"))
+        items = sorted(p.name for p in queue.items_dir.glob("*.json"))
+        fsck_store(store.root, repair=True)
+        assert sorted(p.name for p in store.root.glob("*.json")) == before
+        assert sorted(
+            p.name for p in queue.items_dir.glob("*.json")
+        ) == items
+
+    def test_cli_repair_flag(self, tmp_path, capsys):
+        import subprocess
+        import sys
+
+        store, queue, run = self._queued_store(tmp_path / "store")
+        proc = subprocess.Popen([sys.executable, "-c", "pass"])
+        proc.wait()
+        queue.leases.claim(run.run_id, 1, pid=proc.pid)
+        assert main(["fsck", str(store.root), "--repair"]) == 0
+        out = capsys.readouterr().out
+        assert "queue.lease-repaired" in out
+        assert not queue.leases.path_for(run.run_id).exists()
