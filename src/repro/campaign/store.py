@@ -398,7 +398,7 @@ class ResultStore:
         path = self.root / MANIFEST_NAME
         try:
             with path.open("r", encoding="utf-8") as handle:
-                return json.load(handle)
+                manifest = json.load(handle)
         except FileNotFoundError:
             raise ConfigError(
                 f"store {str(self.root)!r} has no campaign manifest "
@@ -409,6 +409,19 @@ class ResultStore:
             raise ConfigError(
                 f"store manifest {str(path)!r} is unreadable: {exc}"
             ) from exc
+        except OSError as exc:
+            # Permission problems, I/O errors, a directory squatting on
+            # the manifest name — a clean ConfigError (and exit 2 from
+            # the CLI), never a traceback.
+            raise ConfigError(
+                f"store manifest {str(path)!r} is unreadable: {exc}"
+            ) from exc
+        if not isinstance(manifest, dict):
+            raise ConfigError(
+                f"store manifest {str(path)!r} is malformed: expected a "
+                f"JSON object, got {type(manifest).__name__}"
+            )
+        return manifest
 
     # ------------------------------------------------------------------
     def completed_ids(self) -> set[str]:

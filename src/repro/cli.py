@@ -34,10 +34,30 @@ Commands
     drain.
 ``queue``
     Inspect or drain a store's durable work queue: ``queue status
-    <store>`` prints the item/lease census (``--json`` available);
-    ``queue work <store>`` runs one cooperative drain worker —
-    claim, heartbeat, execute, commit — until the queue is empty
-    (exit 0) or a SIGTERM/RSS trip parks its lease (exit 4).
+    <store>`` prints the item/lease census (``--json`` available;
+    ``--watch SECONDS`` refreshes until the queue drains — the same
+    ``WorkQueue.status()`` codepath the service's ``/readyz``
+    aggregates); ``queue work <store>`` runs one cooperative drain
+    worker — claim, heartbeat, execute, commit — until the queue is
+    empty (exit 0) or a SIGTERM/RSS trip parks its lease (exit 4).
+``serve``
+    Serve campaign submissions over HTTP (stdlib asyncio; see
+    DESIGN.md §11): ``POST /v1/campaigns`` accepts a campaign spec
+    and enqueues it as durable queue items in a content-addressed
+    per-submission store (an ``Idempotency-Key`` header deduplicates
+    client retries at the commit boundary — one key, one executed
+    submission), ``GET /v1/campaigns/<id>`` polls progress,
+    ``.../events`` streams it as heartbeated server-sent events,
+    ``.../results`` returns the drained ``results.jsonl``;
+    ``/healthz``–``/readyz`` expose admission/shed accounting and
+    the aggregate queue census.  Overload beyond the bounded accept
+    queue is shed with ``429 Retry-After``; request deadlines answer
+    ``503`` without abandoning durable work; SIGTERM drains (stop
+    accepting → finish in-flight → park the worker fleet's leases →
+    exit 4).  The server is a thin front-end over the same stores
+    ``campaign --join`` writes — a server crash loses nothing that
+    was accepted, and the drained store is byte-identical to a
+    CLI-produced one.
 ``replay``
     Re-execute a crash replay bundle (written automatically when a
     run fails under ``campaign --bundle-dir``, or by any crash with
@@ -79,7 +99,10 @@ Commands
     windowed synthetic replay in subprocesses, hard-kill each one at
     every registered failpoint in turn, re-run it disarmed, and
     require the recovered stores to pass ``fsck`` and be
-    byte-identical to a fault-free baseline.
+    byte-identical to a fault-free baseline.  ``--workload serve``
+    drives the HTTP service the same way, killing it mid-submission
+    (``service.submit.write``, ``service.manifest.write``) and
+    mid-SSE-stream (``service.stream.write``).
 ``matrix``
     Print the mini-app pairwise co-run matrix.
 
@@ -95,7 +118,10 @@ This table is the single authority for every ``repro`` command.
     violations, or a ``chaos`` trial failed to recover;
     structured JSON on stderr for escaped errors
 2   usage or configuration error (for ``fsck``: the path is not
-    a repro store or archive)
+    a repro store or archive; for ``resume``: a missing or
+    unreadable store manifest, reported as structured JSON on
+    stderr; for ``serve``: a bind failure or stale/live
+    ``service.json``)
 3   campaign partial success: some runs completed, others
     failed or were quarantined (details on stderr); also a
     ``--join`` drain that finished with terminal ``failed/`` or
@@ -104,7 +130,12 @@ This table is the single authority for every ``repro`` command.
     in-flight runs; ``repro resume <store>`` continues them.
     For ``queue work``: this worker parked its lease (SIGTERM
     drain or RSS shed) — the queue itself remains drainable and
-    any other worker (or ``repro resume``) picks the run back up
+    any other worker (or ``repro resume``) picks the run back up.
+    For ``serve``: a SIGTERM/SIGINT drain completed (accepted
+    submissions stay durable; restart the server to continue)
+86  a ``chaos``-armed failpoint hard-killed the process at the
+    injected fault (``EXIT_FAILPOINT_KILL``; only ever seen
+    inside chaos trials or with ``REPRO_FAILPOINTS`` armed)
 130 interrupted (the conventional 128+SIGINT status; raised by
     a second/third Ctrl-C that escalates past graceful shutdown)
 141 a downstream pipe closed early (the conventional 128+SIGPIPE
@@ -553,34 +584,56 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     )
 
 
+def _usage_error(command: str, message: str, *, kind: str = "ConfigError") -> int:
+    """Structured one-line JSON usage/config error on stderr, exit 2.
+
+    The shape matches :func:`_structured_error` (plus the originating
+    command) so scripted callers parse one format for every failure.
+    """
+    print(
+        json.dumps(
+            {"command": command, "error": kind, "message": message},
+            sort_keys=True,
+        ),
+        file=sys.stderr,
+    )
+    return 2
+
+
 def _cmd_resume(args: argparse.Namespace) -> int:
+    from typing import Mapping as _Mapping
+
     from repro.campaign import CampaignSpec, ResultStore
 
     store_dir = Path(args.store)
     if not store_dir.is_dir():
-        print(f"resume error: no such store {store_dir}", file=sys.stderr)
-        return 2
+        return _usage_error("resume", f"no such store {store_dir}")
     try:
         manifest = ResultStore(store_dir).read_manifest()
     except ReproError as exc:
-        print(f"resume error: {exc}", file=sys.stderr)
-        return 2
-    settings = dict(manifest.get("settings", {}))  # type: ignore[arg-type]
+        return _usage_error("resume", str(exc), kind=type(exc).__name__)
+    settings_raw = manifest.get("settings", {})
+    if not isinstance(settings_raw, _Mapping):
+        return _usage_error(
+            "resume",
+            f"store manifest {store_dir / '.campaign.json'} has a "
+            f"malformed settings section "
+            f"({type(settings_raw).__name__}, expected object)",
+        )
+    settings = dict(settings_raw)
     if settings.get("queue") and not manifest.get("spec"):
         # A replay fan-out store: the queue items carry absolute paths
         # that only the original command knows how to regenerate.
-        print(
-            "resume error: this store is a replay fan-out; re-run the "
-            "original `repro replay-trace --strategies ...` command "
+        return _usage_error(
+            "resume",
+            "this store is a replay fan-out; re-run the original "
+            "`repro replay-trace --strategies ...` command "
             "(completed chains are cached)",
-            file=sys.stderr,
         )
-        return 2
     try:
         spec = CampaignSpec.from_dict(manifest["spec"])  # type: ignore[arg-type]
     except (ReproError, KeyError, TypeError) as exc:
-        print(f"resume error: {exc}", file=sys.stderr)
-        return 2
+        return _usage_error("resume", str(exc), kind=type(exc).__name__)
     if args.workers > 0:
         settings["workers"] = args.workers
     if args.telemetry:
@@ -1001,7 +1054,33 @@ def _report_join(
     return 0
 
 
+def _render_queue_status(status: dict, *, as_json: bool, watching: bool) -> None:
+    if as_json:
+        if watching:
+            # One compact JSON object per refresh — a parseable stream.
+            print(json.dumps(status, sort_keys=True), flush=True)
+        else:
+            print(format_json(status))
+        return
+    print(
+        f"queue {status['store']}: {status['pending']} pending "
+        f"({status['claimable']} claimable), {status['leased']} leased, "
+        f"{status['completed']} completed, {status['failed']} failed, "
+        f"{status['quarantined']} quarantined",
+        flush=True,
+    )
+    for lease in status["leases"]:
+        mark = " STALE" if lease["stale"] else ""
+        print(
+            f"  lease {lease['run_id']}: held by "
+            f"{lease['pid']}@{lease['host']} token {lease['token']} "
+            f"(heartbeat {lease['heartbeat_age_s']:.1f}s ago){mark}"
+        )
+
+
 def _cmd_queue_status(args: argparse.Namespace) -> int:
+    import time as _time
+
     from repro.campaign.queue import WorkQueue, has_queue
     from repro.errors import ConfigError
 
@@ -1013,28 +1092,22 @@ def _cmd_queue_status(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    try:
-        status = WorkQueue(store_dir).status()
-    except ConfigError as exc:
-        print(f"queue error: {exc}", file=sys.stderr)
-        return 2
-    if args.json:
-        print(format_json(status))
-        return 0
-    print(
-        f"queue {status['store']}: {status['pending']} pending "
-        f"({status['claimable']} claimable), {status['leased']} leased, "
-        f"{status['completed']} completed, {status['failed']} failed, "
-        f"{status['quarantined']} quarantined"
-    )
-    for lease in status["leases"]:
-        mark = " STALE" if lease["stale"] else ""
-        print(
-            f"  lease {lease['run_id']}: held by "
-            f"{lease['pid']}@{lease['host']} token {lease['token']} "
-            f"(heartbeat {lease['heartbeat_age_s']:.1f}s ago){mark}"
-        )
-    return 0
+    queue = WorkQueue(store_dir)
+    watching = args.watch > 0
+    while True:
+        try:
+            status = queue.status()
+        except ConfigError as exc:
+            print(f"queue error: {exc}", file=sys.stderr)
+            return 2
+        _render_queue_status(status, as_json=args.json, watching=watching)
+        # This census is the same WorkQueue.status() codepath the
+        # service's /readyz aggregates — one source of truth.
+        if not watching:
+            return 0
+        if not status["pending"] and not status["leased"]:
+            return 0
+        _time.sleep(args.watch)
 
 
 def _cmd_queue_work(args: argparse.Namespace) -> int:
@@ -1495,6 +1568,31 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.service import ServiceConfig
+    from repro.service.server import serve_main
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        max_inflight=args.max_inflight,
+        accept_backlog=args.accept_backlog,
+        deadline_s=args.deadline_s,
+        heartbeat_s=args.heartbeat_s,
+        retry_after_s=args.retry_after,
+        workers=args.workers,
+        drain_grace_s=args.drain_grace_s,
+    )
+    if args.drive and config.workers < 1:
+        # Drive mode streams to completion, which needs an executor.
+        config = dataclasses.replace(config, workers=1)
+    return serve_main(
+        Path(args.root), config, drive_spec=args.drive, quiet=args.quiet
+    )
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.errors import ConfigError
     from repro.faultinject.chaos import default_chaos_dir, run_chaos
@@ -1503,7 +1601,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     if args.workload == "both":
         workloads = ["campaign", "replay"]
     elif args.workload == "all":
-        workloads = ["campaign", "replay", "queue"]
+        workloads = ["campaign", "replay", "queue", "serve"]
     else:
         workloads = [args.workload]
     progress = None if args.quiet else (
@@ -1681,6 +1779,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_qstat.add_argument("store", help="a --join campaign's store directory")
     p_qstat.add_argument("--json", action="store_true",
                          help="machine-readable census")
+    p_qstat.add_argument("--watch", type=float, default=0.0,
+                         metavar="SECONDS",
+                         help="refresh the census every SECONDS until "
+                              "the queue drains (with --json: one "
+                              "compact JSON object per refresh)")
     p_qstat.set_defaults(func=_cmd_queue_status)
     p_qwork = queue_sub.add_parser(
         "work", help="run one cooperative drain worker on a store"
@@ -1689,6 +1792,54 @@ def build_parser() -> argparse.ArgumentParser:
     p_qwork.add_argument("--quiet", action="store_true",
                          help="suppress per-run progress lines")
     p_qwork.set_defaults(func=_cmd_queue_work)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve campaign submissions over HTTP (idempotent submit, "
+             "SSE progress, admission control)",
+    )
+    p_serve.add_argument("--root", default="service_runs",
+                         help="service root directory (submissions, "
+                              "idempotency keys, per-submission stores)")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address")
+    p_serve.add_argument("--port", type=int, default=8177,
+                         help="bind port (0 = ephemeral; the actual "
+                              "port lands in <root>/service.json)")
+    p_serve.add_argument("--workers", type=int, default=0,
+                         help="drain worker subprocesses to supervise "
+                              "across submission stores (0 = serve "
+                              "only; run `repro queue work` fleets "
+                              "yourself)")
+    p_serve.add_argument("--max-inflight", type=int, default=8,
+                         help="concurrent request handlers before "
+                              "admission queues")
+    p_serve.add_argument("--accept-backlog", type=int, default=16,
+                         help="requests allowed to wait for a handler "
+                              "slot; beyond this the server sheds "
+                              "with 429 + Retry-After")
+    p_serve.add_argument("--deadline-s", type=float, default=10.0,
+                         help="per-request handler deadline (503 on "
+                              "expiry; durable writes are idempotent, "
+                              "a retry resumes them)")
+    p_serve.add_argument("--heartbeat-s", type=float, default=5.0,
+                         help="SSE heartbeat interval — also the "
+                              "half-open connection detection bound")
+    p_serve.add_argument("--retry-after", type=float, default=1.0,
+                         help="Retry-After seconds handed to shed or "
+                              "draining clients")
+    p_serve.add_argument("--drain-grace-s", type=float, default=10.0,
+                         help="seconds granted to in-flight responses "
+                              "and the worker fleet on SIGTERM drain")
+    p_serve.add_argument("--drive", default="", metavar="SPEC",
+                         help="self-drive harness: submit SPEC (a "
+                              "campaign spec JSON file) to this server "
+                              "twice under one idempotency key, stream "
+                              "progress to completion, fetch results, "
+                              "then exit (chaos/CI)")
+    p_serve.add_argument("--quiet", action="store_true",
+                         help="suppress serve progress lines")
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_res = sub.add_parser(
         "resume",
@@ -1848,12 +1999,13 @@ def build_parser() -> argparse.ArgumentParser:
              "recover, fsck, compare to baseline",
     )
     p_chaos.add_argument("--workload",
-                         choices=("campaign", "replay", "queue",
+                         choices=("campaign", "replay", "queue", "serve",
                                   "both", "all"),
                          default="both",
                          help="which pipeline(s) to torture: 'both' = "
                               "campaign+replay (default), 'queue' = the "
-                              "two-worker cooperative drain, 'all' = "
+                              "two-worker cooperative drain, 'serve' = "
+                              "the HTTP service self-drive, 'all' = "
                               "everything")
     p_chaos.add_argument("--dir", default="",
                          help="work directory (kept; default: a fresh "

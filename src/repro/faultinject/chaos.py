@@ -14,14 +14,18 @@ then demands two things of the survivor:
 
 The sweep walks the whole failpoint catalog, so adding a new durable
 write without registering (and surviving) its failpoint shows up as a
-hole in the report.  Three workloads cover the durable-state
+hole in the report.  Four workloads cover the durable-state
 families: a multi-worker **campaign** (result records, store
 manifest, results.jsonl), a windowed synthetic **replay**
 (archive ingestion, boundary snapshots, columnar appends +
-idempotence marks, stitched summary), and a two-worker **queue**
+idempotence marks, stitched summary), a two-worker **queue**
 drain (items, leases, fencing tokens) whose baseline is the
 single-worker join of the same campaign — byte-identity there
-proves a hard-killed worker's reclaimed work leaves no trace.
+proves a hard-killed worker's reclaimed work leaves no trace —
+and a **serve** drive (``repro serve --drive``: HTTP submission,
+idempotency-key replay, SSE streaming, supervised drain) whose
+baseline is a CLI-only join of the same spec, proving the HTTP
+front-end changes nothing about the durable store.
 
 Cross-process once-only firing (the ``REPRO_FAILPOINTS_STAMP``
 protocol) keeps a killed worker's replacement from re-tripping the
@@ -245,10 +249,82 @@ class _QueuePipeline:
         return [root / "store"]
 
 
+class _ServePipeline:
+    """HTTP-served campaign: ``repro serve --drive`` submits a spec to
+    itself over the wire (twice, under one idempotency key — the
+    duplicate must replay), streams progress over SSE to completion,
+    and fetches results; a supervised worker drains the store.
+
+    A hard kill can land in the server process (submission record,
+    ``service.json``, an SSE frame) or inside its drain worker (any
+    store/queue failpoint) — either way the harness restarts the
+    pipeline disarmed and the drained store must be fsck-clean and
+    byte-identical to the baseline: a plain CLI ``campaign --join``
+    of the *same spec file*, proving the HTTP path adds nothing to
+    (and loses nothing from) the durable artifacts.
+    """
+
+    name = "serve"
+
+    def __init__(self, work: Path, workers: int, python: str) -> None:
+        self.work = work
+        self.workers = max(1, workers)
+        self.python = python
+        self.spec_file = work / "serve-spec.json"
+
+    def prepare(self) -> None:
+        self.spec_file.write_text(json.dumps({
+            "name": "chaos-serve",
+            "jobs": 40,
+            "cluster_sizes": [32],
+            "seeds": [7, 11],
+            "strategies": ["easy_backfill", "shared_backfill"],
+        }), encoding="utf-8")
+
+    def baseline_commands(self, root: Path) -> list[list[str]]:
+        return [[
+            self.python, "-m", "repro.cli", "campaign", "--join",
+            "--spec", str(self.spec_file),
+            "--workers", "1",
+            "--store", str(root / "stores" / "baseline"),
+            "--quiet",
+        ]]
+
+    def commands(self, root: Path) -> list[list[str]]:
+        return [[
+            self.python, "-m", "repro.cli", "serve",
+            "--root", str(root),
+            "--port", "0",
+            "--workers", str(self.workers),
+            "--heartbeat-s", "0.2",
+            "--drive", str(self.spec_file),
+            "--quiet",
+        ]]
+
+    def _store_dirs(self, root: Path) -> list[Path]:
+        stores = root / "stores"
+        if not stores.is_dir():
+            return []
+        return sorted(p for p in stores.iterdir() if p.is_dir())
+
+    def fingerprint(self, root: Path) -> dict[str, str]:
+        # Store directory *names* differ (baseline is hand-placed, the
+        # service derives a content hash) but the bytes inside must
+        # not: fingerprint the single store relative to itself.
+        dirs = self._store_dirs(root)
+        if len(dirs) != 1:
+            return {"store-count": str(len(dirs))}
+        return store_fingerprint(dirs[0])
+
+    def fsck_roots(self, root: Path) -> list[Path]:
+        return self._store_dirs(root)
+
+
 _PIPELINES = {
     "campaign": _CampaignPipeline,
     "replay": _ReplayPipeline,
     "queue": _QueuePipeline,
+    "serve": _ServePipeline,
 }
 
 

@@ -77,6 +77,9 @@ CATALOG: dict[str, str] = {
     "queue.lease.create": "campaign queue lease: O_EXCL claim-file write",
     "queue.lease.renew": "campaign queue lease: heartbeat refresh",
     "queue.lease.release": "campaign queue lease: verified unlink",
+    "service.submit.write": "service submission record: temp-file write",
+    "service.manifest.write": "service.json coordinates: temp-file write",
+    "service.stream.write": "service SSE frame: pre-write boundary",
 }
 
 _ACTIONS = ("eio", "enospc", "kill", "truncate")

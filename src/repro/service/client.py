@@ -1,0 +1,101 @@
+"""Tiny blocking HTTP client for the service (stdlib ``http.client``).
+
+Used by the server's ``--drive`` self-test, the test suite, and CI
+smoke scripts — anything that needs to talk to ``repro serve``
+without growing a dependency.  One request per connection, matching
+the server's ``Connection: close`` discipline.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from typing import Iterator, Mapping
+
+
+def request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: bytes | None = None,
+    headers: Mapping[str, str] | None = None,
+    timeout: float = 30.0,
+) -> tuple[int, dict[str, str], bytes]:
+    """One round trip; returns ``(status, headers, body)``."""
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        conn.request(method, path, body=body, headers=dict(headers or {}))
+        response = conn.getresponse()
+        payload = response.read()
+        return (
+            response.status,
+            {k.lower(): v for k, v in response.getheaders()},
+            payload,
+        )
+    finally:
+        conn.close()
+
+
+def get_json(
+    host: str, port: int, path: str, timeout: float = 30.0
+) -> tuple[int, object]:
+    status, _, body = request(host, port, "GET", path, timeout=timeout)
+    return status, json.loads(body.decode("utf-8")) if body else None
+
+
+def post_json(
+    host: str,
+    port: int,
+    path: str,
+    payload: object,
+    headers: Mapping[str, str] | None = None,
+    timeout: float = 30.0,
+) -> tuple[int, object]:
+    body = json.dumps(payload).encode("utf-8")
+    merged = {"Content-Type": "application/json", **(headers or {})}
+    status, _, data = request(
+        host, port, "POST", path, body=body, headers=merged, timeout=timeout
+    )
+    return status, json.loads(data.decode("utf-8")) if data else None
+
+
+def stream_sse(
+    host: str,
+    port: int,
+    path: str,
+    timeout: float = 60.0,
+) -> Iterator[tuple[str, str]]:
+    """Yield ``(event, data)`` SSE frames; heartbeats come through as
+    ``("heartbeat", "")``.  *timeout* bounds each read, so a silent
+    server surfaces as :class:`TimeoutError` instead of a hang."""
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        if response.status != 200:
+            body = response.read().decode("utf-8", "replace")
+            raise RuntimeError(f"SSE open failed: {response.status} {body}")
+        event, data = "", []
+        while True:
+            try:
+                raw = response.readline()
+            except socket.timeout:
+                raise TimeoutError(f"no SSE frame within {timeout}s")
+            if not raw:
+                return  # server closed the stream
+            line = raw.decode("utf-8", "replace").rstrip("\n").rstrip("\r")
+            if line.startswith(":"):
+                yield "heartbeat", ""
+                continue
+            if line.startswith("event:"):
+                event = line[len("event:"):].strip()
+            elif line.startswith("data:"):
+                data.append(line[len("data:"):].strip())
+            elif not line:
+                if event or data:
+                    yield event or "message", "\n".join(data)
+                event, data = "", []
+    finally:
+        conn.close()

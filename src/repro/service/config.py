@@ -1,0 +1,41 @@
+"""Service tuning knobs, collected in one frozen dataclass."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything ``repro serve`` lets an operator tune.
+
+    The admission numbers implement a two-tier gate: up to
+    ``max_inflight`` requests execute concurrently, up to
+    ``accept_backlog`` more wait for a slot, and everything beyond
+    that is shed immediately with ``429`` + ``Retry-After`` — the
+    server's latency under overload is bounded by construction
+    instead of degrading into an unbounded accept queue.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8177
+    #: Concurrent request handlers (health endpoints bypass the gate).
+    max_inflight: int = 8
+    #: Requests allowed to wait for an inflight slot before shedding.
+    accept_backlog: int = 16
+    #: Per-request handler deadline; a request that blows it gets 503
+    #: (its durable writes are idempotent, so a retry resumes them).
+    deadline_s: float = 10.0
+    #: SSE heartbeat interval — also the half-open detection bound.
+    heartbeat_s: float = 5.0
+    #: SSE queue-census poll interval.
+    poll_s: float = 0.25
+    #: Retry-After value handed to shed / draining clients.
+    retry_after_s: float = 1.0
+    #: Drain worker subprocesses to supervise (0 = serve only; use
+    #: external ``repro queue work`` fleets).
+    workers: int = 0
+    #: Submission body cap.
+    max_body_bytes: int = 4 * 1024 * 1024
+    #: Seconds granted to in-flight requests during SIGTERM drain.
+    drain_grace_s: float = 10.0

@@ -1,0 +1,184 @@
+"""Minimal HTTP/1.1 plumbing over asyncio streams (stdlib only).
+
+Just enough protocol for the service's API: request-line + headers +
+``Content-Length`` bodies in, fixed-length JSON responses and
+server-sent-event streams out.  Every connection carries exactly one
+request (``Connection: close``) — the API is submit/poll/stream, not
+a browser workload, and one-shot connections keep the admission
+accounting exact: one connection, one admission decision.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+#: Reason phrases for the statuses the service actually emits.
+REASONS = {
+    200: "OK",
+    201: "Created",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: Request line + headers cap (bodies have their own limit).
+MAX_HEADER_BYTES = 32 * 1024
+
+
+class ProtocolError(Exception):
+    """Malformed request; carries the HTTP status to answer with."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> object:
+        """Decode the body as JSON (400 on garbage)."""
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(400, f"request body is not JSON: {exc}")
+
+
+async def read_request(
+    reader: asyncio.StreamReader, *, max_body: int
+) -> Request | None:
+    """Parse one request; ``None`` on a clean EOF before any bytes."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError(400, "truncated request head")
+    except asyncio.LimitOverrunError:
+        raise ProtocolError(413, "request head too large")
+    if len(head) > MAX_HEADER_BYTES:
+        raise ProtocolError(413, "request head too large")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ProtocolError(400, f"malformed request line: {lines[0]!r}")
+    method, target = parts[0].upper(), parts[1]
+    split = urlsplit(target)
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise ProtocolError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    if headers.get("transfer-encoding"):
+        raise ProtocolError(400, "chunked request bodies are not supported")
+    try:
+        length = int(headers.get("content-length", "0") or "0")
+    except ValueError:
+        raise ProtocolError(400, "malformed Content-Length")
+    if length < 0:
+        raise ProtocolError(400, "malformed Content-Length")
+    if length > max_body:
+        raise ProtocolError(413, f"body exceeds {max_body} bytes")
+    body = b""
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise ProtocolError(400, "truncated request body")
+    return Request(
+        method=method,
+        path=unquote(split.path) or "/",
+        query=dict(parse_qsl(split.query)),
+        headers=headers,
+        body=body,
+    )
+
+
+def response_bytes(
+    status: int,
+    body: bytes = b"",
+    *,
+    content_type: str = "application/json",
+    extra_headers: dict[str, str] | None = None,
+) -> bytes:
+    """A complete fixed-length HTTP/1.1 response."""
+    reason = REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + body
+
+
+def json_response(
+    status: int,
+    payload: object,
+    *,
+    extra_headers: dict[str, str] | None = None,
+) -> bytes:
+    body = (
+        json.dumps(payload, sort_keys=True, indent=1) + "\n"
+    ).encode("utf-8")
+    return response_bytes(status, body, extra_headers=extra_headers)
+
+
+def error_response(
+    status: int,
+    error: str,
+    message: str,
+    *,
+    retry_after_s: float | None = None,
+) -> bytes:
+    """Structured JSON error, the HTTP twin of cli._structured_error."""
+    extra = None
+    if retry_after_s is not None:
+        extra = {"Retry-After": f"{max(0, round(retry_after_s)) or 1}"}
+    return json_response(
+        status,
+        {"error": error, "message": message, "status": status},
+        extra_headers=extra,
+    )
+
+
+def sse_head() -> bytes:
+    """Response head opening a server-sent-event stream."""
+    return (
+        "HTTP/1.1 200 OK\r\n"
+        "Content-Type: text/event-stream\r\n"
+        "Cache-Control: no-store\r\n"
+        "Connection: close\r\n\r\n"
+    ).encode("latin-1")
+
+
+def sse_event(event: str, payload: object) -> bytes:
+    data = json.dumps(payload, sort_keys=True)
+    return f"event: {event}\ndata: {data}\n\n".encode("utf-8")
+
+
+def sse_heartbeat() -> bytes:
+    """An SSE comment line — keeps half-open detection cheap."""
+    return b": hb\n\n"

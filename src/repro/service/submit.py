@@ -1,0 +1,351 @@
+"""Durable, idempotent submission registry behind ``repro serve``.
+
+A *submission* is a campaign spec accepted over HTTP.  Its identity is
+content-derived — :func:`submission_id_of` hashes the canonical spec
+document the same way run ids hash run params — so submitting the
+same spec twice (a client retry, a duplicate client, a server restart
+replaying a request) converges on the same per-submission store under
+``<root>/stores/<submission_id>/`` instead of forking state.
+
+Accepting a submission writes exactly what ``repro campaign --join``
+writes: the hidden ``.campaign.json`` manifest (with the CLI's
+default settings, so the drained store is *byte-identical* to a
+CLI-produced one — the chaos harness holds the service to this), the
+queue ``config.json``, and one durable queue item per run.  All of it
+is idempotent, which is what makes the commit protocol crash-safe:
+
+1. store manifest + queue config + queue items (all idempotent),
+2. the submission record ``submissions/<id>.json``
+   (atomic, guarded by the ``service.submit.write`` failpoint),
+3. the idempotency-key record (``O_EXCL`` — the commit point).
+
+A crash between any two steps leaves a prefix that the client's retry
+simply re-executes; the key record can only ever bind a key to a
+fully recorded submission.  Two different specs racing one key lose
+deterministically: whoever lands the ``O_EXCL`` create wins, the
+other gets :class:`IdempotencyConflict` (HTTP 409).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Mapping
+
+from repro.campaign.queue import WorkQueue, has_queue
+from repro.campaign.spec import CampaignSpec, run_id_of
+from repro.campaign.store import ResultStore
+from repro.errors import ConfigError
+from repro.faultinject import failpoint, failpoint_write, with_io_retries
+
+#: Name of the service's own manifest at the service root.
+SERVICE_MANIFEST = "service.json"
+
+
+class IdempotencyConflict(ConfigError):
+    """One idempotency key, two different submission bodies."""
+
+
+def default_submission_settings() -> dict[str, object]:
+    """The manifest settings a default ``repro campaign --join`` records.
+
+    Byte-identity with CLI-produced stores depends on this staying in
+    lockstep with the ``campaign`` parser defaults (the service test
+    suite cross-checks it against ``cli._campaign_settings_from_args``).
+    """
+    return {
+        "timeout": 0.0,
+        "retries": 2,
+        "backoff": 0.5,
+        "quarantine_after": 2,
+        "bundle_dir": "",
+        "snapshot_dir": "",
+        "snapshot_every": "60",
+        "rss_budget_mb": 0.0,
+        "disk_min_free_mb": 0.0,
+        "telemetry": False,
+        "queue": True,
+    }
+
+
+def submission_id_of(spec_dict: Mapping[str, object]) -> str:
+    """Content-derived submission identity (16 hex chars)."""
+    return run_id_of({"kind": "campaign", "spec": dict(spec_dict)})
+
+
+def _key_filename(key: str) -> str:
+    """Stable, filesystem-safe name for an arbitrary client key."""
+    return hashlib.sha256(key.encode("utf-8")).hexdigest()[:32] + ".json"
+
+
+def write_service_manifest(
+    root: str | Path, doc: Mapping[str, object]
+) -> Path:
+    """Atomically record the running server's coordinates
+    (``service.json``: host, port, pid, status) at the service root."""
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    path = root / SERVICE_MANIFEST
+    data = json.dumps(dict(doc), sort_keys=True, indent=1).encode("utf-8")
+
+    def _attempt() -> Path:
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=".service-", suffix=".tmp", dir=root
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                failpoint_write("service.manifest.write", handle, data)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    return with_io_retries(_attempt)
+
+
+def read_service_manifest(root: str | Path) -> dict[str, object] | None:
+    try:
+        doc = json.loads(
+            (Path(root) / SERVICE_MANIFEST).read_text(encoding="utf-8")
+        )
+    except (OSError, json.JSONDecodeError):
+        return None
+    return doc if isinstance(doc, dict) else None
+
+
+class SubmissionRegistry:
+    """Filesystem-backed registry of accepted submissions.
+
+    Layout under *root*::
+
+        service.json            server coordinates (who serves this root)
+        submissions/<id>.json   one record per accepted submission
+        idempotency/<h>.json    client key -> submission id bindings
+        stores/<id>/            the per-submission campaign store
+                                (manifest, .queue/, result records)
+
+    Everything is plain sync I/O: the registry is shared by the async
+    server (which calls it from executor threads), the chaos drive
+    pipeline, and tests.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.submissions = self.root / "submissions"
+        self.idempotency = self.root / "idempotency"
+        self.stores = self.root / "stores"
+        for directory in (self.submissions, self.idempotency, self.stores):
+            directory.mkdir(parents=True, exist_ok=True)
+
+    # -- submission ----------------------------------------------------
+    def submit(
+        self,
+        spec_data: Mapping[str, object],
+        idempotency_key: str | None = None,
+    ) -> tuple[dict[str, object], bool, bool]:
+        """Accept a campaign spec; returns ``(record, created, replayed)``.
+
+        Raises :class:`~repro.errors.ConfigError` on an invalid spec
+        and :class:`IdempotencyConflict` when *idempotency_key* is
+        already bound to a different spec.
+        """
+        if not isinstance(spec_data, Mapping):
+            raise ConfigError("campaign spec must be a JSON object")
+        spec = CampaignSpec.from_dict(spec_data)
+        spec_dict = spec.to_dict()
+        sub_id = submission_id_of(spec_dict)
+
+        bound = self._read_key(idempotency_key)
+        if bound is not None:
+            if bound != sub_id:
+                raise IdempotencyConflict(
+                    f"idempotency key {idempotency_key!r} is already bound "
+                    f"to submission {bound}; this body hashes to {sub_id}"
+                )
+            record = self.get(sub_id)
+            if record is not None:
+                return record, False, True
+            # Key landed but the record is gone (manual tampering or a
+            # pre-commit-order store): fall through and rebuild — every
+            # step below is idempotent.
+
+        created = not self._record_path(sub_id).is_file()
+        runs = spec.expand()
+        settings = default_submission_settings()
+        store_dir = self.stores / sub_id
+        store = ResultStore(store_dir)
+        store.write_manifest({
+            "manifest_version": 1,
+            "name": spec.name,
+            "spec": spec_dict,
+            "settings": settings,
+        })
+        queue = WorkQueue(store_dir)
+        from repro.cli import _queue_config_from_settings
+
+        queue.write_config(_queue_config_from_settings(settings, store_dir))
+        queue.enqueue(runs)
+
+        record = {
+            "submission": sub_id,
+            "name": spec.name,
+            "spec": spec_dict,
+            "store": f"stores/{sub_id}",
+            "runs": len(runs),
+        }
+        self._write_record(sub_id, record)
+        if idempotency_key is not None:
+            self._bind_key(idempotency_key, sub_id)
+        return record, created, False
+
+    # -- idempotency keys ----------------------------------------------
+    def _key_path(self, key: str) -> Path:
+        return self.idempotency / _key_filename(key)
+
+    def _read_key(self, key: str | None) -> str | None:
+        if key is None:
+            return None
+        try:
+            doc = json.loads(self._key_path(key).read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigError(
+                f"idempotency record for key {key!r} is unreadable: {exc}"
+            ) from exc
+        return str(doc.get("submission", ""))
+
+    def _bind_key(self, key: str, sub_id: str) -> None:
+        """Commit point: ``O_EXCL`` makes exactly one binding win."""
+        path = self._key_path(key)
+        data = json.dumps(
+            {"key": key, "submission": sub_id}, sort_keys=True
+        ).encode("utf-8")
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            bound = self._read_key(key)
+            if bound != sub_id:
+                raise IdempotencyConflict(
+                    f"idempotency key {key!r} was bound to submission "
+                    f"{bound} by a concurrent request"
+                ) from None
+            return
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+                handle.flush()
+                os.fsync(handle.fileno())
+        except BaseException:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            raise
+
+    # -- records -------------------------------------------------------
+    def _record_path(self, sub_id: str) -> Path:
+        return self.submissions / f"{sub_id}.json"
+
+    def _write_record(self, sub_id: str, record: dict[str, object]) -> None:
+        data = json.dumps(record, sort_keys=True, indent=1).encode("utf-8")
+        path = self._record_path(sub_id)
+
+        def _attempt() -> None:
+            fd, tmp_name = tempfile.mkstemp(
+                prefix=".submit-", suffix=".tmp", dir=self.submissions
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    failpoint_write("service.submit.write", handle, data)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+
+        with_io_retries(_attempt)
+
+    def get(self, sub_id: str) -> dict[str, object] | None:
+        try:
+            doc = json.loads(
+                self._record_path(sub_id).read_text(encoding="utf-8")
+            )
+        except (OSError, json.JSONDecodeError):
+            return None
+        return doc if isinstance(doc, dict) else None
+
+    def list_ids(self) -> list[str]:
+        return sorted(
+            path.stem
+            for path in self.submissions.glob("*.json")
+            if not path.name.startswith(".")
+        )
+
+    # -- status and results --------------------------------------------
+    def store_dir(self, sub_id: str) -> Path:
+        return self.stores / sub_id
+
+    def status(self, sub_id: str) -> dict[str, object] | None:
+        """Submission progress from the queue's own census.
+
+        This is the same :meth:`WorkQueue.status` codepath behind
+        ``repro queue status`` — operators and ``/readyz`` read one
+        source of truth.
+        """
+        record = self.get(sub_id)
+        if record is None:
+            return None
+        store_dir = self.store_dir(sub_id)
+        total = int(record.get("runs", 0))
+        out: dict[str, object] = {
+            "submission": sub_id,
+            "name": record.get("name", ""),
+            "runs": total,
+        }
+        if not has_queue(store_dir):
+            out.update({"state": "accepted", "done": 0})
+            return out
+        census = WorkQueue(store_dir).status()
+        done = int(census["completed"])
+        terminal = (
+            done + int(census["failed"]) + int(census["quarantined"])
+        )
+        out.update({
+            "pending": census["pending"],
+            "claimable": census["claimable"],
+            "leased": census["leased"],
+            "completed": done,
+            "failed": census["failed"],
+            "quarantined": census["quarantined"],
+            "done": terminal,
+            "state": "complete" if terminal >= total else (
+                "running" if census["leased"] else "queued"
+            ),
+        })
+        return out
+
+    def results_path(self, sub_id: str) -> Path | None:
+        """Materialise ``results.jsonl`` for a submission (idempotent,
+        campaign run order — the bytes ``campaign --join`` leaves)."""
+        record = self.get(sub_id)
+        if record is None:
+            return None
+        spec = CampaignSpec.from_dict(record["spec"])  # type: ignore[arg-type]
+        store = ResultStore(self.store_dir(sub_id))
+        path = store.root / "results.jsonl"
+        store.export_jsonl(path, run_ids=[r.run_id for r in spec.expand()])
+        return path

@@ -9,6 +9,7 @@ baseline campaign.
 
 from __future__ import annotations
 
+import json
 import os
 import signal
 import subprocess
@@ -474,12 +475,38 @@ SMALL = [
 class TestResumeCommand:
     def test_resume_missing_store_exits_2(self, tmp_path, capsys):
         assert main(["resume", str(tmp_path / "nope")]) == 2
-        assert "resume error" in capsys.readouterr().err
+        doc = json.loads(capsys.readouterr().err.strip())
+        assert doc["command"] == "resume"
+        assert "no such store" in doc["message"]
 
     def test_resume_store_without_manifest_exits_2(self, tmp_path, capsys):
         (tmp_path / "store").mkdir()
         assert main(["resume", str(tmp_path / "store")]) == 2
-        assert "manifest" in capsys.readouterr().err
+        doc = json.loads(capsys.readouterr().err.strip())
+        assert doc["error"] == "ConfigError"
+        assert "manifest" in doc["message"]
+
+    def test_resume_corrupt_manifest_is_structured_error(
+        self, tmp_path, capsys
+    ):
+        store = tmp_path / "store"
+        store.mkdir()
+        (store / ".campaign.json").write_text("{not json", encoding="utf-8")
+        assert main(["resume", str(store)]) == 2
+        doc = json.loads(capsys.readouterr().err.strip())
+        assert doc["command"] == "resume"
+        assert doc["error"] == "ConfigError"
+
+    def test_resume_non_object_manifest_is_structured_error(
+        self, tmp_path, capsys
+    ):
+        store = tmp_path / "store"
+        store.mkdir()
+        (store / ".campaign.json").write_text("[1, 2]", encoding="utf-8")
+        assert main(["resume", str(store)]) == 2
+        doc = json.loads(capsys.readouterr().err.strip())
+        assert doc["error"] == "ConfigError"
+        assert "JSON object" in doc["message"]
 
     def test_resume_completed_campaign_is_all_cached(self, tmp_path, capsys):
         store = str(tmp_path / "store")

@@ -84,6 +84,8 @@ class TestPlanLanguage:
         import repro.campaign.queue
         import repro.campaign.store
         import repro.diagnostics.bundle
+        import repro.service.server
+        import repro.service.submit
         import repro.snapshot.state
 
         sources = "".join(
@@ -97,6 +99,8 @@ class TestPlanLanguage:
                 repro.archive.ingest,
                 repro.archive.replay,
                 repro.diagnostics.bundle,
+                repro.service.server,
+                repro.service.submit,
             )
         )
         for name in CATALOG:

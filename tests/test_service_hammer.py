@@ -1,0 +1,184 @@
+"""Crash-tolerant serving under concurrent clients: N submitters with
+duplicate idempotency keys hammer a real ``repro serve`` subprocess,
+the server is SIGKILLed mid-flight and restarted, and every key must
+still resolve to exactly one executed submission over fsck-clean
+stores."""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro.faultinject.fsck import fsck_path
+from repro.service import client
+from repro.service.submit import submission_id_of
+from repro.campaign.spec import CampaignSpec
+
+SPEC_A = {
+    "name": "hammer-a", "jobs": 25, "cluster_sizes": [16],
+    "seeds": [1], "strategies": ["fcfs"],
+}
+SPEC_B = {
+    "name": "hammer-b", "jobs": 25, "cluster_sizes": [16],
+    "seeds": [1], "strategies": ["easy_backfill"],
+}
+#: key -> spec body; two keys share one body (duplicate submitters).
+KEYED = {"k0": SPEC_A, "k1": SPEC_A, "k2": SPEC_B}
+
+
+def _env() -> dict[str, str]:
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH") else src
+    )
+    return env
+
+
+def _spawn_server(root: Path) -> subprocess.Popen:
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--root", str(root), "--port", "0", "--workers", "2",
+         "--quiet"],
+        env=_env(),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def _wait_port(root: Path, proc: subprocess.Popen, timeout: float = 20.0) -> int:
+    """The server's advertised port, from its service.json manifest."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise AssertionError(
+                f"server died during startup: exit {proc.returncode}"
+            )
+        try:
+            doc = json.loads((root / "service.json").read_text())
+        except (OSError, json.JSONDecodeError):
+            doc = None
+        if doc and doc.get("status") == "running" and doc.get("pid") == proc.pid:
+            return int(doc["port"])
+        time.sleep(0.05)
+    raise AssertionError("server never published its port")
+
+
+class _Submitter(threading.Thread):
+    """Retries one keyed submission until a 2xx lands — across server
+    crashes, connection resets, and drain windows."""
+
+    def __init__(self, port_ref: list[int], key: str, spec: dict) -> None:
+        super().__init__(daemon=True)
+        self.port_ref = port_ref
+        self.key = key
+        self.spec = spec
+        self.doc: dict | None = None
+        self.statuses: list[int] = []
+
+    def run(self) -> None:
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            try:
+                status, doc = client.post_json(
+                    "127.0.0.1", self.port_ref[0], "/v1/campaigns",
+                    self.spec, headers={"Idempotency-Key": self.key},
+                    timeout=10,
+                )
+            except OSError:
+                time.sleep(0.1)
+                continue
+            self.statuses.append(status)
+            if status in (200, 201):
+                self.doc = doc
+                return
+            time.sleep(0.1)
+
+
+def test_hammer_with_midflight_sigkill(tmp_path):
+    root = tmp_path / "svc"
+    server = _spawn_server(root)
+    port_ref = [0]
+    restarted = None
+    try:
+        port_ref[0] = _wait_port(root, server)
+        # Two submitters per key: duplicates race each other AND the
+        # crash below — exactly-once is the registry's problem.
+        submitters = [
+            _Submitter(port_ref, key, spec)
+            for key, spec in KEYED.items()
+            for _ in range(2)
+        ]
+        for sub in submitters:
+            sub.start()
+        time.sleep(0.3)  # let some submissions be mid-flight
+        server.kill()    # SIGKILL: no drain, no goodbye
+        server.wait()
+
+        restarted = _spawn_server(root)
+        port_ref[0] = _wait_port(root, restarted)
+        for sub in submitters:
+            sub.join(timeout=120)
+            assert not sub.is_alive(), "submitter never got a 2xx"
+            assert sub.doc is not None, sub.statuses
+
+        # Exactly-once per key: all submitters of a key agree on one
+        # submission id, and it is the content-derived one.
+        for key, spec in KEYED.items():
+            expected = submission_id_of(
+                CampaignSpec.from_dict(spec).to_dict()
+            )
+            got = {
+                sub.doc["submission"] for sub in submitters
+                if sub.key == key
+            }
+            assert got == {expected}, (key, got)
+
+        # Two distinct bodies -> exactly two stores, three key bindings.
+        status, listing = client.get_json(
+            "127.0.0.1", port_ref[0], "/v1/campaigns"
+        )
+        assert status == 200 and len(listing["submissions"]) == 2
+        assert len(list((root / "idempotency").glob("*.json"))) == 3
+
+        # The restarted server's worker fleet drains both stores.
+        def _all_complete() -> bool:
+            for sub_id in listing["submissions"]:
+                _, doc = client.get_json(
+                    "127.0.0.1", port_ref[0], f"/v1/campaigns/{sub_id}"
+                )
+                if doc.get("state") != "complete":
+                    return False
+            return True
+
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline and not _all_complete():
+            time.sleep(0.3)
+        assert _all_complete(), "queues never drained after restart"
+
+        for sub_id in listing["submissions"]:
+            status, _, body = client.request(
+                "127.0.0.1", port_ref[0], "GET",
+                f"/v1/campaigns/{sub_id}/results",
+            )
+            assert status == 200 and body.strip()
+            report = fsck_path(root / "stores" / sub_id)
+            assert report.ok, report
+
+        # SIGTERM drain: the suspend ladder's exit status.
+        restarted.send_signal(signal.SIGTERM)
+        assert restarted.wait(timeout=30) == 4
+        manifest = json.loads((root / "service.json").read_text())
+        assert manifest["status"] == "stopped"
+    finally:
+        for proc in (server, restarted):
+            if proc is not None and proc.poll() is None:
+                proc.kill()
+                proc.wait()
