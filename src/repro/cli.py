@@ -101,7 +101,8 @@ Commands
     require the recovered stores to pass ``fsck`` and be
     byte-identical to a fault-free baseline.  ``--workload serve``
     drives the HTTP service the same way, killing it mid-submission
-    (``service.submit.write``, ``service.manifest.write``) and
+    (``service.submit.write``, ``service.manifest.write``), at the
+    idempotency-key commit point (``service.key.write``) and
     mid-SSE-stream (``service.stream.write``).
 ``matrix``
     Print the mini-app pairwise co-run matrix.
@@ -1579,6 +1580,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         port=args.port,
         max_inflight=args.max_inflight,
         accept_backlog=args.accept_backlog,
+        max_streams=args.max_streams,
         deadline_s=args.deadline_s,
         heartbeat_s=args.heartbeat_s,
         retry_after_s=args.retry_after,
@@ -1818,6 +1820,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="requests allowed to wait for a handler "
                               "slot; beyond this the server sheds "
                               "with 429 + Retry-After")
+    p_serve.add_argument("--max-streams", type=int, default=32,
+                         help="open SSE streams allowed at once "
+                              "(streams release their admission slot "
+                              "once established; this cap bounds them "
+                              "instead)")
     p_serve.add_argument("--deadline-s", type=float, default=10.0,
                          help="per-request handler deadline (503 on "
                               "expiry; durable writes are idempotent, "

@@ -79,6 +79,8 @@ CATALOG: dict[str, str] = {
     "queue.lease.release": "campaign queue lease: verified unlink",
     "service.submit.write": "service submission record: temp-file write",
     "service.manifest.write": "service.json coordinates: temp-file write",
+    "service.key.write": "service idempotency-key binding: temp-file "
+                         "write before the atomic link",
     "service.stream.write": "service SSE frame: pre-write boundary",
 }
 

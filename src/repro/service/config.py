@@ -28,6 +28,10 @@ class ServiceConfig:
     deadline_s: float = 10.0
     #: SSE heartbeat interval — also the half-open detection bound.
     heartbeat_s: float = 5.0
+    #: Open SSE streams allowed at once.  A stream hands its admission
+    #: slot back once established (so long-lived streams cannot starve
+    #: the request gate); this cap is what bounds them instead.
+    max_streams: int = 32
     #: SSE queue-census poll interval.
     poll_s: float = 0.25
     #: Retry-After value handed to shed / draining clients.

@@ -10,8 +10,13 @@ Design rules (DESIGN.md §11):
 * **Overload is shed, not queued.**  A two-tier admission gate
   (``max_inflight`` concurrent handlers + ``accept_backlog`` waiters)
   answers everything beyond its capacity with ``429 Retry-After``
-  immediately; the shed count is part of ``/healthz`` so load
-  shedding is observable, deterministic accounting, not silence.
+  immediately, and a backlog waiter that gets no slot within the
+  request deadline is shed late with ``503`` rather than parked
+  forever; the shed counts are part of ``/healthz`` so load shedding
+  is observable, deterministic accounting, not silence.  SSE streams
+  hand their admission slot back once established and are bounded by
+  their own ``max_streams`` cap, so long-lived streams cannot starve
+  the request gate.
 * **Deadlines cancel the response, never the work.**  A handler that
   outlives ``deadline_s`` answers ``503``; the durable writes it
   started are idempotent, so the client's retry resumes instead of
@@ -34,6 +39,7 @@ import os
 import signal
 import subprocess
 import sys
+import time
 from pathlib import Path
 
 from repro.campaign.queue import WorkQueue, has_queue
@@ -76,6 +82,7 @@ class ReproService:
         self._sem = asyncio.Semaphore(max(1, self.config.max_inflight))
         self._waiting = 0
         self._inflight = 0
+        self._streams = 0
         self._draining = False
         self._drain_reason = ""
         self._drain_event = asyncio.Event()
@@ -87,8 +94,10 @@ class ReproService:
             "requests": 0,
             "accepted": 0,
             "shed": 0,
+            "backlog_timeouts": 0,
             "rejected_draining": 0,
             "deadline_timeouts": 0,
+            "streams_shed": 0,
             "streams_opened": 0,
             "streams_completed": 0,
             "streams_reaped": 0,
@@ -201,7 +210,7 @@ class ReproService:
         if request.method == "GET" and request.path in (
             "/healthz", "/readyz"
         ):
-            writer.write(self._health_response(request.path))
+            writer.write(await self._health_response(request.path))
             await writer.drain()
             return
         self.metrics["requests"] += 1
@@ -228,20 +237,46 @@ class ReproService:
                 return
             self._waiting += 1
             try:
-                await self._sem.acquire()
+                # Bounded-latency promise: a waiter cannot sit in the
+                # backlog forever behind long-lived work — after the
+                # request deadline it is shed (late) with 503.
+                await asyncio.wait_for(
+                    self._sem.acquire(), timeout=self.config.deadline_s
+                )
+            except asyncio.TimeoutError:
+                self.metrics["shed"] += 1
+                self.metrics["backlog_timeouts"] += 1
+                writer.write(_http.error_response(
+                    503, "BacklogTimeout",
+                    f"no handler slot freed within "
+                    f"{self.config.deadline_s}s; shedding",
+                    retry_after_s=self.config.retry_after_s,
+                ))
+                await writer.drain()
+                return
             finally:
                 self._waiting -= 1
         else:
             await self._sem.acquire()
         self.metrics["accepted"] += 1
         self._inflight += 1
-        try:
-            await self._admitted(request, writer)
-        finally:
-            self._inflight -= 1
-            self._sem.release()
+        released = False
 
-    async def _admitted(self, request, writer) -> None:
+        def _release_slot() -> None:
+            # Idempotent so established SSE streams can hand their
+            # slot back early while the finally below stays correct.
+            nonlocal released
+            if not released:
+                released = True
+                self._inflight -= 1
+                self._sem.release()
+
+        try:
+            await self._admitted(request, writer, _release_slot)
+        finally:
+            _release_slot()
+
+    async def _admitted(self, request, writer, release_slot) -> None:
         segments = [s for s in request.path.split("/") if s]
         if (
             request.method == "GET"
@@ -249,8 +284,20 @@ class ReproService:
             and segments[:2] == ["v1", "campaigns"]
             and segments[3] == "events"
         ):
-            # SSE streams live past any reasonable deadline by design.
-            await self._handle_events(segments[2], writer)
+            # SSE streams live past any reasonable deadline by design;
+            # once established they release their admission slot and
+            # are bounded by their own cap instead.
+            if self._streams >= self.config.max_streams:
+                self.metrics["streams_shed"] += 1
+                writer.write(_http.error_response(
+                    429, "Overloaded",
+                    f"stream cap reached ({self.config.max_streams} "
+                    f"open SSE streams); retry or poll",
+                    retry_after_s=self.config.retry_after_s,
+                ))
+                await writer.drain()
+                return
+            await self._handle_events(segments[2], writer, release_slot)
             return
         try:
             response = await asyncio.wait_for(
@@ -267,6 +314,13 @@ class ReproService:
         writer.write(response)
         await writer.drain()
 
+    async def _offload(self, fn, *args):
+        """Run blocking registry/queue filesystem work in the executor
+        so slow disks never stall the event loop (and with it every
+        in-flight response and SSE heartbeat)."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, functools.partial(fn, *args))
+
     # -- routing -------------------------------------------------------
     async def _dispatch(self, request) -> bytes:
         segments = [s for s in request.path.split("/") if s]
@@ -276,12 +330,12 @@ class ReproService:
                     if request.method == "POST":
                         return await self._handle_submit(request)
                     if request.method == "GET":
-                        return self._handle_list()
+                        return await self._handle_list()
                     return _http.error_response(
                         405, "MethodNotAllowed", request.method
                     )
                 if len(segments) == 3 and request.method == "GET":
-                    return self._handle_status(segments[2])
+                    return await self._handle_status(segments[2])
                 if (
                     len(segments) == 4
                     and segments[3] == "results"
@@ -301,10 +355,8 @@ class ReproService:
     async def _handle_submit(self, request) -> bytes:
         spec_data = request.json()
         key = request.headers.get("idempotency-key")
-        loop = asyncio.get_running_loop()
-        record, created, replayed = await loop.run_in_executor(
-            None,
-            functools.partial(self.registry.submit, spec_data, key),
+        record, created, replayed = await self._offload(
+            self.registry.submit, spec_data, key
         )
         if replayed:
             self.metrics["submissions_replayed"] += 1
@@ -314,13 +366,13 @@ class ReproService:
         payload["replayed"] = replayed
         return _http.json_response(201 if created else 200, payload)
 
-    def _handle_list(self) -> bytes:
+    async def _handle_list(self) -> bytes:
         return _http.json_response(
-            200, {"submissions": self.registry.list_ids()}
+            200, {"submissions": await self._offload(self.registry.list_ids)}
         )
 
-    def _handle_status(self, sub_id: str) -> bytes:
-        status = self.registry.status(sub_id)
+    async def _handle_status(self, sub_id: str) -> bytes:
+        status = await self._offload(self.registry.status, sub_id)
         if status is None:
             return _http.error_response(
                 404, "NotFound", f"no submission {sub_id}"
@@ -328,7 +380,7 @@ class ReproService:
         return _http.json_response(200, status)
 
     async def _handle_results(self, sub_id: str) -> bytes:
-        status = self.registry.status(sub_id)
+        status = await self._offload(self.registry.status, sub_id)
         if status is None:
             return _http.error_response(
                 404, "NotFound", f"no submission {sub_id}"
@@ -339,10 +391,7 @@ class ReproService:
                 f"submission {sub_id} is {status.get('state')} "
                 f"({status.get('done')}/{status.get('runs')} runs done)",
             )
-        loop = asyncio.get_running_loop()
-        path = await loop.run_in_executor(
-            None, functools.partial(self.registry.results_path, sub_id)
-        )
+        path = await self._offload(self.registry.results_path, sub_id)
         data = path.read_bytes() if path is not None else b""
         return _http.response_bytes(
             200, data, content_type="application/x-ndjson"
@@ -350,9 +399,11 @@ class ReproService:
 
     # -- health --------------------------------------------------------
     def _health_payload(self) -> dict[str, object]:
+        """Blocking (reads the submissions directory) — call off-loop."""
         return {
             "status": "draining" if self._draining else "ok",
             "inflight": self._inflight,
+            "streams_active": self._streams,
             "admission": {
                 "capacity": self.config.max_inflight,
                 "backlog": self.config.accept_backlog,
@@ -370,12 +421,12 @@ class ReproService:
             },
         }
 
-    def _health_response(self, path: str) -> bytes:
+    def _readyz_payload(self) -> dict[str, object]:
+        """Health payload plus the aggregate queue census (the
+        `repro queue status` codepath).  Blocking — call off-loop:
+        a fast-probing orchestrator against a root with many
+        submissions must never stall the event loop."""
         payload = self._health_payload()
-        if path == "/healthz":
-            return _http.json_response(200, payload)
-        # /readyz: not-ready while draining or saturated, and carries
-        # the aggregate queue census (the `repro queue status` codepath).
         census = {
             "pending": 0, "claimable": 0, "leased": 0,
             "completed": 0, "failed": 0, "quarantined": 0,
@@ -388,6 +439,15 @@ class ReproService:
             for field in census:
                 census[field] += int(status[field])  # type: ignore[arg-type]
         payload["queues"] = census
+        return payload
+
+    async def _health_response(self, path: str) -> bytes:
+        if path == "/healthz":
+            return _http.json_response(
+                200, await self._offload(self._health_payload)
+            )
+        # /readyz: not-ready while draining or saturated.
+        payload = await self._offload(self._readyz_payload)
         saturated = (
             self._waiting >= self.config.accept_backlog
             and self._sem.locked()
@@ -397,14 +457,15 @@ class ReproService:
         return _http.json_response(200 if ready else 503, payload)
 
     # -- SSE progress streaming ----------------------------------------
-    async def _handle_events(self, sub_id: str, writer) -> None:
-        if self.registry.get(sub_id) is None:
+    async def _handle_events(self, sub_id: str, writer, release_slot) -> None:
+        if await self._offload(self.registry.get, sub_id) is None:
             writer.write(_http.error_response(
                 404, "NotFound", f"no submission {sub_id}"
             ))
             await writer.drain()
             return
         self.metrics["streams_opened"] += 1
+        self._streams += 1
         loop = asyncio.get_running_loop()
         heartbeat_s = max(0.01, self.config.heartbeat_s)
         poll_s = max(0.01, min(self.config.poll_s, heartbeat_s))
@@ -413,8 +474,12 @@ class ReproService:
         try:
             writer.write(_http.sse_head())
             await writer.drain()
+            # Established: hand the admission slot back so long-lived
+            # streams cannot starve the request gate (the max_streams
+            # cap, counted above, bounds them instead).
+            release_slot()
             while True:
-                status = self.registry.status(sub_id)
+                status = await self._offload(self.registry.status, sub_id)
                 if status is not None and status != last:
                     last = status
                     failpoint("service.stream.write")
@@ -447,6 +512,8 @@ class ReproService:
                 await asyncio.sleep(poll_s)
         except (ConnectionResetError, BrokenPipeError, OSError):
             self.metrics["streams_reaped"] += 1
+        finally:
+            self._streams -= 1
 
     # -- worker fleet supervision --------------------------------------
     def _worker_env(self) -> dict[str, str]:
@@ -509,20 +576,27 @@ class ReproService:
 
     def _stop_fleet(self) -> None:
         """SIGTERM the fleet (workers requeue their leases and exit 4),
-        escalating to SIGKILL after the grace window."""
+        escalating to SIGKILL when one absolute grace deadline —
+        shared by the whole fleet, not granted per worker — expires,
+        so total shutdown stays bounded by a single ``drain_grace_s``
+        however many workers are stuck."""
         for proc in self._fleet.values():
             if proc.poll() is None:
                 try:
                     proc.send_signal(signal.SIGTERM)
                 except OSError:
                     pass
-        deadline = self.config.drain_grace_s
+        deadline = time.monotonic() + max(0.1, self.config.drain_grace_s)
         for proc in self._fleet.values():
-            try:
-                proc.wait(timeout=max(0.1, deadline))
-            except subprocess.TimeoutExpired:
-                proc.kill()
-                proc.wait()
+            remaining = deadline - time.monotonic()
+            if remaining > 0:
+                try:
+                    proc.wait(timeout=remaining)
+                    continue
+                except subprocess.TimeoutExpired:
+                    pass
+            proc.kill()
+            proc.wait()
         self._fleet.clear()
 
 

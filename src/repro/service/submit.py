@@ -17,13 +17,18 @@ is idempotent, which is what makes the commit protocol crash-safe:
 1. store manifest + queue config + queue items (all idempotent),
 2. the submission record ``submissions/<id>.json``
    (atomic, guarded by the ``service.submit.write`` failpoint),
-3. the idempotency-key record (``O_EXCL`` — the commit point).
+3. the idempotency-key record — written to a tempfile, fsynced, then
+   ``os.link``-ed into place (the commit point, guarded by the
+   ``service.key.write`` failpoint).
 
 A crash between any two steps leaves a prefix that the client's retry
-simply re-executes; the key record can only ever bind a key to a
-fully recorded submission.  Two different specs racing one key lose
-deterministically: whoever lands the ``O_EXCL`` create wins, the
-other gets :class:`IdempotencyConflict` (HTTP 409).
+simply re-executes; because the key record becomes visible only via
+the atomic link of fully durable bytes, it can only ever bind a key
+to a fully recorded submission — a crash mid-key-write leaves at
+worst an invisible tempfile, never a torn record.  Two different
+specs racing one key lose deterministically: whoever lands the link
+wins (``EEXIST`` is the loser), the other gets
+:class:`IdempotencyConflict` (HTTP 409).
 """
 
 from __future__ import annotations
@@ -178,7 +183,6 @@ class SubmissionRegistry:
             # pre-commit-order store): fall through and rebuild — every
             # step below is idempotent.
 
-        created = not self._record_path(sub_id).is_file()
         runs = spec.expand()
         settings = default_submission_settings()
         store_dir = self.stores / sub_id
@@ -202,7 +206,7 @@ class SubmissionRegistry:
             "store": f"stores/{sub_id}",
             "runs": len(runs),
         }
-        self._write_record(sub_id, record)
+        created = self._write_record(sub_id, record)
         if idempotency_key is not None:
             self._bind_key(idempotency_key, sub_id)
         return record, created, False
@@ -215,52 +219,87 @@ class SubmissionRegistry:
         if key is None:
             return None
         try:
-            doc = json.loads(self._key_path(key).read_text(encoding="utf-8"))
+            raw = self._key_path(key).read_text(encoding="utf-8")
         except FileNotFoundError:
             return None
-        except (OSError, json.JSONDecodeError) as exc:
+        except OSError as exc:
             raise ConfigError(
                 f"idempotency record for key {key!r} is unreadable: {exc}"
             ) from exc
-        return str(doc.get("submission", ""))
+        try:
+            doc = json.loads(raw)
+        except json.JSONDecodeError:
+            # An empty or torn record (a crash between create and
+            # write in a pre-atomic-commit store): treat it as absent
+            # so the retry rebuilds the submission and rebinds,
+            # instead of poisoning the key with a permanent 400.
+            return None
+        if not isinstance(doc, dict):
+            return None
+        return str(doc.get("submission", "")) or None
 
     def _bind_key(self, key: str, sub_id: str) -> None:
-        """Commit point: ``O_EXCL`` makes exactly one binding win."""
+        """Commit point: the binding becomes visible only via an
+        atomic ``link`` of a fully written, fsynced tempfile — a
+        crash can never expose a half-written record, and ``EEXIST``
+        on the link is the deterministic loser of a race (the record
+        a loser then reads is always complete)."""
         path = self._key_path(key)
         data = json.dumps(
             {"key": key, "submission": sub_id}, sort_keys=True
         ).encode("utf-8")
-        try:
-            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
-        except FileExistsError:
-            bound = self._read_key(key)
-            if bound != sub_id:
-                raise IdempotencyConflict(
-                    f"idempotency key {key!r} was bound to submission "
-                    f"{bound} by a concurrent request"
-                ) from None
-            return
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=".key-", suffix=".tmp", dir=self.idempotency
+        )
         try:
             with os.fdopen(fd, "wb") as handle:
-                handle.write(data)
+                failpoint_write("service.key.write", handle, data)
                 handle.flush()
                 os.fsync(handle.fileno())
-        except BaseException:
+            for _ in range(8):
+                try:
+                    os.link(tmp_name, path)
+                    return
+                except FileExistsError:
+                    bound = self._read_key(key)
+                    if bound == sub_id:
+                        return
+                    if bound is not None:
+                        raise IdempotencyConflict(
+                            f"idempotency key {key!r} was bound to "
+                            f"submission {bound} by a concurrent request"
+                        ) from None
+                    # A record exists but reads as absent: a torn
+                    # leftover from a pre-atomic-commit crash.  Clear
+                    # it and retry the link; racing healers converge
+                    # because every linked record is complete.
+                    try:
+                        os.unlink(path)
+                    except FileNotFoundError:
+                        pass
+            raise ConfigError(
+                f"idempotency key {key!r} could not be bound: its "
+                f"record keeps reappearing unreadable"
+            )
+        finally:
             try:
-                os.unlink(path)
+                os.unlink(tmp_name)
             except OSError:
                 pass
-            raise
 
     # -- records -------------------------------------------------------
     def _record_path(self, sub_id: str) -> Path:
         return self.submissions / f"{sub_id}.json"
 
-    def _write_record(self, sub_id: str, record: dict[str, object]) -> None:
+    def _write_record(self, sub_id: str, record: dict[str, object]) -> bool:
+        """Atomically write the submission record; True when this call
+        created it (its link landed first).  Deriving the 201-vs-200
+        answer from the write itself means concurrent duplicates of
+        one spec cannot both report 201."""
         data = json.dumps(record, sort_keys=True, indent=1).encode("utf-8")
         path = self._record_path(sub_id)
 
-        def _attempt() -> None:
+        def _attempt() -> bool:
             fd, tmp_name = tempfile.mkstemp(
                 prefix=".submit-", suffix=".tmp", dir=self.submissions
             )
@@ -269,15 +308,20 @@ class SubmissionRegistry:
                     failpoint_write("service.submit.write", handle, data)
                     handle.flush()
                     os.fsync(handle.fileno())
-                os.replace(tmp_name, path)
-            except BaseException:
+                try:
+                    os.link(tmp_name, path)
+                    return True
+                except FileExistsError:
+                    # Same sub_id -> same bytes; refresh in place.
+                    os.replace(tmp_name, path)
+                    return False
+            finally:
                 try:
                     os.unlink(tmp_name)
                 except OSError:
                     pass
-                raise
 
-        with_io_retries(_attempt)
+        return with_io_retries(_attempt)
 
     def get(self, sub_id: str) -> dict[str, object] | None:
         try:

@@ -188,6 +188,61 @@ class TestSubmissionRegistry:
             registry.submit(["not", "an", "object"])
         assert registry.list_ids() == []
 
+    def test_torn_key_record_self_heals(self, tmp_path):
+        registry = SubmissionRegistry(tmp_path)
+        # A crash between create and write in a pre-atomic-commit
+        # store leaves an empty key record; it must read as absent
+        # and be rebound by the retry, not poison the key with a
+        # permanent ConfigError.
+        registry._key_path("k").write_bytes(b"")
+        record, created, replayed = registry.submit(SPEC_A, "k")
+        assert created and not replayed
+        bound = json.loads(registry._key_path("k").read_text())
+        assert bound["submission"] == record["submission"]
+        _, created2, replayed2 = registry.submit(SPEC_A, "k")
+        assert replayed2 and not created2
+
+    def test_key_commit_crash_window_leaves_no_torn_record(self, tmp_path):
+        from repro.faultinject import FailpointSpec, FaultPlan, armed
+
+        registry = SubmissionRegistry(tmp_path)
+        plan = FaultPlan([FailpointSpec(
+            name="service.key.write", action="eio", nth=1,
+        )])
+        with armed(plan):
+            with pytest.raises(OSError):
+                registry.submit(SPEC_A, "k")
+        # The failed commit is invisible: no torn record binds the
+        # key, and the retry binds it cleanly.
+        assert list((tmp_path / "idempotency").glob("*.json")) == []
+        record, _, _ = registry.submit(SPEC_A, "k")
+        bound = json.loads(registry._key_path("k").read_text())
+        assert bound["submission"] == record["submission"]
+
+    def test_concurrent_duplicates_report_exactly_one_created(self, tmp_path):
+        registry = SubmissionRegistry(tmp_path)
+        barrier = threading.Barrier(6)
+        results: list[tuple[dict, bool, bool]] = []
+        lock = threading.Lock()
+
+        def go():
+            barrier.wait()
+            out = registry.submit(SPEC_A)
+            with lock:
+                results.append(out)
+
+        threads = [threading.Thread(target=go) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert len(results) == 6
+        # `created` is derived from the record write itself, so one
+        # durable submission yields exactly one 201 however many
+        # clients race.
+        assert sum(1 for _, created, _ in results if created) == 1
+        assert registry.list_ids() == [results[0][0]["submission"]]
+
     def test_drained_store_matches_cli_campaign(self, tmp_path):
         registry = SubmissionRegistry(tmp_path / "svc")
         record, _, _ = registry.submit(SPEC_A)
@@ -431,23 +486,24 @@ class TestServerEndpoints:
 class TestAdmissionControl:
     def test_overload_sheds_429_with_retry_after(self, serve):
         handle = serve(ServiceConfig(
-            port=0, max_inflight=1, accept_backlog=0,
-            heartbeat_s=30.0, poll_s=0.02,
+            port=0, max_inflight=1, accept_backlog=0, deadline_s=30.0,
         ))
         port = handle.port
-        _, doc = client.post_json("127.0.0.1", port, "/v1/campaigns", SPEC_A)
-        sub_id = doc["submission"]
-        # An open SSE stream occupies the single inflight slot...
-        sock = socket.create_connection(("127.0.0.1", port), timeout=10)
+        release = threading.Event()
+        original = handle.service.registry.submit
+
+        def gated(spec_data, key=None):
+            release.wait(30)
+            return original(spec_data, key)
+
+        handle.service.registry.submit = gated
+        # A slow submission occupies the single inflight slot...
+        occupier = threading.Thread(
+            target=client.post_json,
+            args=("127.0.0.1", port, "/v1/campaigns", SPEC_A),
+        )
+        occupier.start()
         try:
-            sock.sendall(
-                f"GET /v1/campaigns/{sub_id}/events HTTP/1.1\r\n"
-                f"Host: x\r\n\r\n".encode()
-            )
-            head = b""
-            while b"\r\n\r\n" not in head:
-                head += sock.recv(1024)
-            assert b"200 OK" in head
             assert _wait_for(lambda: handle.service._sem.locked())
             # ...so the next request is shed immediately, not queued.
             status, headers, body = client.request(
@@ -462,7 +518,39 @@ class TestAdmissionControl:
             status, ready = client.get_json("127.0.0.1", port, "/readyz")
             assert status == 503 and ready["ready"] is False
         finally:
-            sock.close()
+            release.set()
+            occupier.join(timeout=10)
+
+    def test_backlog_waiter_is_shed_503_at_deadline(self, serve):
+        handle = serve(ServiceConfig(
+            port=0, max_inflight=1, accept_backlog=4, deadline_s=0.2,
+        ))
+        port = handle.port
+        # Wedge the only handler slot from outside the request path —
+        # a pathologically stuck handler that no per-request deadline
+        # will free.  Backlog waiters must not be parked forever
+        # behind it: they are shed late with 503 at the deadline.
+        asyncio.run_coroutine_threadsafe(
+            handle.service._sem.acquire(), handle.loop
+        ).result(10)
+        try:
+            status, headers, body = client.request(
+                "127.0.0.1", port, "GET", "/v1/campaigns"
+            )
+            assert status == 503
+            assert json.loads(body)["error"] == "BacklogTimeout"
+            assert "retry-after" in headers
+            assert handle.service.metrics["backlog_timeouts"] == 1
+            # Late sheds count as shed: the accounting still balances.
+            assert handle.service.metrics["shed"] == 1
+        finally:
+            handle.loop.call_soon_threadsafe(handle.service._sem.release)
+        _, health = client.get_json("127.0.0.1", port, "/healthz")
+        admission = health["admission"]
+        assert admission["requests"] == (
+            admission["accepted"] + admission["shed"]
+            + admission["rejected_draining"]
+        )
 
     def test_backlog_admits_after_slot_frees(self, serve):
         handle = serve(ServiceConfig(
@@ -588,6 +676,66 @@ class TestSSEStreams:
             lambda: handle.service.metrics["streams_reaped"] == 1
         ), "dead stream was never reaped"
 
+    def test_established_stream_releases_admission_slot(self, serve):
+        handle = serve(ServiceConfig(
+            port=0, max_inflight=1, accept_backlog=0,
+            heartbeat_s=30.0, poll_s=0.02,
+        ))
+        port = handle.port
+        _, doc = client.post_json("127.0.0.1", port, "/v1/campaigns", SPEC_A)
+        sock = socket.create_connection(("127.0.0.1", port), timeout=10)
+        try:
+            sock.sendall(
+                f"GET /v1/campaigns/{doc['submission']}/events HTTP/1.1\r\n"
+                f"Host: x\r\n\r\n".encode()
+            )
+            head = b""
+            while b"\r\n\r\n" not in head:
+                head += sock.recv(1024)
+            assert b"200 OK" in head
+            assert _wait_for(lambda: handle.service._streams == 1)
+            # The established stream has handed its slot back, so the
+            # gate (capacity 1, backlog 0) still admits plain requests
+            # — streams must not starve the request path.
+            assert _wait_for(lambda: not handle.service._sem.locked())
+            status, listing = client.get_json(
+                "127.0.0.1", port, "/v1/campaigns"
+            )
+            assert status == 200
+            assert listing["submissions"] == [doc["submission"]]
+            assert handle.service.metrics["shed"] == 0
+            _, health = client.get_json("127.0.0.1", port, "/healthz")
+            assert health["streams_active"] == 1
+        finally:
+            sock.close()
+
+    def test_stream_cap_sheds_429(self, serve):
+        handle = serve(ServiceConfig(
+            port=0, max_streams=1, heartbeat_s=30.0, poll_s=0.02,
+        ))
+        port = handle.port
+        _, doc = client.post_json("127.0.0.1", port, "/v1/campaigns", SPEC_A)
+        sock = socket.create_connection(("127.0.0.1", port), timeout=10)
+        try:
+            sock.sendall(
+                f"GET /v1/campaigns/{doc['submission']}/events HTTP/1.1\r\n"
+                f"Host: x\r\n\r\n".encode()
+            )
+            head = b""
+            while b"\r\n\r\n" not in head:
+                head += sock.recv(1024)
+            assert _wait_for(lambda: handle.service._streams == 1)
+            status, headers, body = client.request(
+                "127.0.0.1", port, "GET",
+                f"/v1/campaigns/{doc['submission']}/events",
+            )
+            assert status == 429
+            assert json.loads(body)["error"] == "Overloaded"
+            assert "retry-after" in headers
+            assert handle.service.metrics["streams_shed"] == 1
+        finally:
+            sock.close()
+
     def test_drain_notifies_open_streams(self, serve):
         handle = serve(ServiceConfig(
             port=0, heartbeat_s=30.0, poll_s=0.02,
@@ -614,6 +762,46 @@ class TestSSEStreams:
         assert seen[-1] == "drain"
 
 
+class TestFleetShutdown:
+    def test_stop_fleet_shares_one_grace_deadline(self, tmp_path):
+        import subprocess
+
+        class Stuck:
+            """A worker that ignores SIGTERM until SIGKILLed."""
+
+            def __init__(self) -> None:
+                self.killed = False
+
+            def poll(self):
+                return -9 if self.killed else None
+
+            def send_signal(self, signum) -> None:
+                pass
+
+            def wait(self, timeout=None):
+                if self.killed:
+                    return -9
+                time.sleep(timeout)
+                raise subprocess.TimeoutExpired("worker", timeout)
+
+            def kill(self) -> None:
+                self.killed = True
+
+        service = ReproService(
+            tmp_path, ServiceConfig(port=0, drain_grace_s=0.4)
+        )
+        workers = [Stuck() for _ in range(4)]
+        service._fleet = {f"s{i}": w for i, w in enumerate(workers)}
+        start = time.monotonic()
+        service._stop_fleet()
+        elapsed = time.monotonic() - start
+        # One absolute deadline across the fleet: four stuck workers
+        # must not stretch the drain to four grace windows.
+        assert elapsed < 1.2, elapsed
+        assert all(w.killed for w in workers)
+        assert service._fleet == {}
+
+
 # ----------------------------------------------------------------------
 # CLI surface
 # ----------------------------------------------------------------------
@@ -623,6 +811,7 @@ class TestServeCli:
         assert args.root == "service_runs"
         assert args.port == 8177 and args.workers == 0
         assert args.max_inflight == 8 and args.accept_backlog == 16
+        assert args.max_streams == 32
 
     def test_live_manifest_refuses_double_serve(self, tmp_path, capsys):
         from repro.service.submit import write_service_manifest
