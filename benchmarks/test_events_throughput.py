@@ -1,0 +1,94 @@
+"""Events/sec macro-benchmark — the scheduler-speed scoreboard.
+
+ROADMAP item 1 wants the event engine's raw dispatch rate on the e3
+headline workload (400 jobs, 128 nodes, ``shared_backfill``) tracked
+across commits, so any later PR that carves the inner loop has a
+number to beat.  This benchmark runs the canonical campaign with
+min-of-N CPU timing (the same interleaved-minimum estimator the
+telemetry-overhead benchmark settled on for shared container hosts)
+and emits ``BENCH_events.json`` at the repo root:
+
+* ``events_per_s`` — dispatched simulator events per CPU second, the
+  headline figure
+* ``cpu_s`` — the minimum run time it derives from
+* ``jobs_per_s`` / ``passes_per_s`` — companion rates, since an
+  "event" can be redefined by engine refactors but jobs cannot
+
+Determinism rides along: every timing round must dispatch the same
+event count and reach the same makespan, so a speedup bought by
+skipping work shows up as a failure here, not a win.
+"""
+
+import time
+
+from repro.metrics.report import format_table
+from repro.slurm.config import SchedulerConfig
+from repro.slurm.manager import build_manager
+
+STRATEGY = "shared_backfill"
+
+#: Timing rounds; the minimum is taken (noise on a shared host only
+#: ever adds time, so min-of-N converges on the true cost).
+ROUNDS = 5
+
+
+def _timed_run(trace, eval_nodes):
+    config = SchedulerConfig(strategy=STRATEGY)
+    manager = build_manager(
+        trace, num_nodes=eval_nodes, strategy=STRATEGY, config=config
+    )
+    start = time.process_time()
+    result = manager.run()
+    elapsed = time.process_time() - start
+    return result, elapsed
+
+
+def test_events_throughput(benchmark, campaign, eval_nodes,
+                           record_artifact, record_bench):
+    baseline, _ = benchmark.pedantic(
+        _timed_run, args=(campaign, eval_nodes), rounds=1, iterations=1
+    )
+    assert baseline.events_dispatched > 0
+
+    _timed_run(campaign, eval_nodes)  # warm-up, discarded
+
+    best_s = float("inf")
+    for _ in range(ROUNDS):
+        result, elapsed = _timed_run(campaign, eval_nodes)
+        assert result.events_dispatched == baseline.events_dispatched
+        assert result.makespan == baseline.makespan
+        best_s = min(best_s, elapsed)
+
+    events_per_s = baseline.events_dispatched / best_s
+    jobs_per_s = baseline.completed_jobs / best_s
+    passes_per_s = baseline.scheduler_passes / best_s
+
+    record_bench("events", {
+        "workload": "e3-headline",
+        "strategy": STRATEGY,
+        "jobs": baseline.completed_jobs,
+        "nodes": eval_nodes,
+        "rounds": ROUNDS,
+        "events": baseline.events_dispatched,
+        "scheduler_passes": baseline.scheduler_passes,
+        "cpu_s": round(best_s, 4),
+        "events_per_s": round(events_per_s, 1),
+        "jobs_per_s": round(jobs_per_s, 2),
+        "passes_per_s": round(passes_per_s, 1),
+    })
+    record_artifact(
+        "events_throughput",
+        format_table(
+            [{
+                "strategy": STRATEGY,
+                "events": baseline.events_dispatched,
+                "cpu_s": best_s,
+                "events_per_s": events_per_s,
+                "jobs_per_s": jobs_per_s,
+            }],
+            title=(
+                f"event-dispatch throughput: e3 headline workload "
+                f"(min of {ROUNDS} CPU-time rounds)"
+            ),
+        ),
+    )

@@ -178,6 +178,28 @@ class WorkQueue:
         self.leases = LeaseDir(
             self.root / LEASES_DIR, ttl_s=ttl_s, clock=clock, alive=alive
         )
+        #: Optional fleet event sidecar (:class:`~repro.observability.
+        #: events.EventLog`).  None by default — the bare queue used by
+        #: benchmarks and ad-hoc scripts pays one ``is not None`` test
+        #: per lifecycle boundary, nothing more.
+        self.events = None
+
+    def arm_events(self) -> None:
+        """Attach a per-process event sidecar under ``.queue/metrics/``.
+
+        Idempotent; the sidecar inherits this queue's clock so fake
+        -clock tests produce deterministic timelines.
+        """
+        if self.events is None:
+            from repro.observability.events import METRICS_DIR_NAME, EventLog
+
+            self.events = EventLog(
+                self.root / METRICS_DIR_NAME, clock=self._clock
+            )
+
+    def _emit(self, kind: str, run_id: str | None = None, **fields) -> None:
+        if self.events is not None:
+            self.events.emit(kind, run_id, **fields)
 
     # ------------------------------------------------------------------
     # Config
@@ -309,6 +331,9 @@ class WorkQueue:
                     extra=extra,
                 )
             )
+            self._emit(
+                "enqueue", run.run_id, seq=seq, trace=extra.get("trace")
+            )
         return pending
 
     # ------------------------------------------------------------------
@@ -363,6 +388,13 @@ class WorkQueue:
                 # with the authoritative token.  Safe: the lease is
                 # milliseconds old, far inside the reclaim TTL.
                 self.leases.rewrite(run_id, token)
+            self._emit(
+                "claim",
+                run_id,
+                token=token,
+                deliveries=claimed.deliveries,
+                trace=claimed.extra.get("trace"),
+            )
             return claimed, token
         return None
 
@@ -382,6 +414,10 @@ class WorkQueue:
         """
         item = self.read_item(run_id)
         if item is not None and item.token == token:
+            self._emit(
+                "complete", run_id, token=token,
+                trace=item.extra.get("trace"),
+            )
             self._remove_item(run_id)
         self.leases.release(run_id)
 
@@ -429,6 +465,13 @@ class WorkQueue:
                 extra=extra,
             )
         )
+        self._emit(
+            "requeue",
+            item.run_id,
+            token=token,
+            reason=reason or None,
+            trace=extra.get("trace"),
+        )
         self.leases.release(item.run_id)
         return True
 
@@ -451,6 +494,10 @@ class WorkQueue:
         doc["error"] = error
         doc["status"] = "failed"
         self._terminate(fresh, self.failed_dir, doc)
+        self._emit(
+            "failed", item.run_id, token=token,
+            trace=fresh.extra.get("trace"),
+        )
         self.leases.release(item.run_id)
         return True
 
@@ -471,6 +518,10 @@ class WorkQueue:
         doc["reason"] = reason
         doc["status"] = "quarantined"
         self._terminate(fresh, self.quarantined_dir, doc)
+        self._emit(
+            "quarantined", item.run_id, token=token, reason=reason,
+            trace=fresh.extra.get("trace"),
+        )
         if token is not None:
             self.leases.release(item.run_id)
         return True
@@ -514,6 +565,15 @@ class WorkQueue:
             )
             self.write_item(bumped)
             self.leases.force_remove(run_id)
+            self._emit(
+                "reclaim",
+                run_id,
+                token=item.token,
+                new_token=bumped.token,
+                holder_pid=lease.pid,
+                holder_host=lease.host or None,
+                trace=item.extra.get("trace"),
+            )
             log.warning(
                 "queue %s: reclaimed run %s from %s@%s (delivery %d, "
                 "token %d -> %d)",
@@ -551,29 +611,39 @@ class WorkQueue:
             return json.load(fh)
 
     def status(self) -> dict[str, object]:
-        """Point-in-time queue census for ``repro queue status``."""
+        """Point-in-time queue census for ``repro queue status``.
+
+        One pass over each directory: the lease scan below is the
+        *only* lease read, and the claimable count reuses it as a set
+        membership test instead of re-statting ``leases/`` once per
+        item (``--watch`` used to pay items × leases stats per tick).
+        """
         now = self._clock()
         items = self.iter_items()
         leases = []
+        leased_ids: set[str] = set()
+        stale = 0
+        oldest_heartbeat = 0.0
         for run_id in self.leases.list():
             lease = self.leases.read(run_id)
             if lease is None:
                 continue
+            leased_ids.add(run_id)
+            age = lease.age(now)
+            is_stale = self.leases.is_stale(lease, now)
+            stale += 1 if is_stale else 0
+            oldest_heartbeat = max(oldest_heartbeat, age)
             leases.append(
                 {
                     "run_id": run_id,
                     "pid": lease.pid,
                     "host": lease.host,
                     "token": lease.token,
-                    "heartbeat_age_s": round(lease.age(now), 3),
-                    "stale": self.leases.is_stale(lease, now),
+                    "heartbeat_age_s": round(age, 3),
+                    "stale": is_stale,
                 }
             )
-        backlog = sum(
-            1
-            for it in items
-            if not self.leases.path_for(it.run_id).exists()
-        )
+        backlog = sum(1 for it in items if it.run_id not in leased_ids)
         return {
             "store": str(self.store.root),
             "pending": len(items),
@@ -582,6 +652,8 @@ class WorkQueue:
             "failed": len(self.terminal_ids("failed")),
             "quarantined": len(self.terminal_ids("quarantined")),
             "completed": len(self.store),
+            "stale": stale,
+            "heartbeat_age_max_s": round(oldest_heartbeat, 3),
             "leases": leases,
         }
 
@@ -611,6 +683,10 @@ DEFAULT_WORKER_CONFIG: dict[str, object] = {
     "snapshot_dir": None,
     "snapshot_every": None,
     "telemetry_dir": None,
+    # Fleet event sidecars under .queue/metrics/ (the observability
+    # plane).  Always outside the store fingerprint, so leaving this
+    # on costs a few fsync'd appends per run and changes no result.
+    "metrics": True,
 }
 
 
@@ -666,6 +742,8 @@ class QueueWorker:
             clock=clock,
         )
         self.store = self.queue.store
+        if merged.get("metrics"):
+            self.queue.arm_events()
         self.install_signal_handlers = install_signal_handlers
         self._note = note or (lambda message: None)
         self._clock = clock
@@ -767,7 +845,9 @@ class QueueWorker:
         except LeaseLost:
             self._fenced = True
             outcome.fenced += 1
+            self.queue._emit("fenced", item.run_id, token=token)
             return
+        self.queue._emit("renew", item.run_id, token=token)
         self._keeper.watch(item.run_id)
         stop = threading.Event()
         monitor = threading.Thread(
@@ -835,6 +915,10 @@ class QueueWorker:
             # merged — the successor's (deterministic, identical)
             # result is the one that counts.
             outcome.fenced += 1
+            self.queue._emit(
+                "fenced", item.run_id, token=token,
+                trace=item.extra.get("trace"),
+            )
             self._note(f"run {item.run_id} fenced (token {token} stale)")
             return
         # Identical record shape to CampaignRunner._record, so a
@@ -864,6 +948,10 @@ class QueueWorker:
             # drop the claim state and keep draining.
             _suspend.reset()
             outcome.fenced += 1
+            self.queue._emit(
+                "fenced", item.run_id, token=token,
+                trace=item.extra.get("trace"),
+            )
             self._note(f"run {item.run_id} fenced mid-run; discarded")
             return
         if self._deadline_hit:
@@ -926,9 +1014,18 @@ class QueueWorker:
 
     # ------------------------------------------------------------------
     def _execute_item(self, item: QueueItem) -> dict[str, object]:
-        if item.params.get("kind") == "replay_chain":
-            return self._execute_replay_chain(item)
-        return self.entry(item.params)
+        # Install the submission's trace id as ambient context so the
+        # entry point's telemetry sidecar and decision trace can tag
+        # themselves without widening any signature.
+        from repro.observability.events import set_current_trace
+
+        previous = set_current_trace(item.extra.get("trace"))
+        try:
+            if item.params.get("kind") == "replay_chain":
+                return self._execute_replay_chain(item)
+            return self.entry(item.params)
+        finally:
+            set_current_trace(previous)
 
     def _execute_replay_chain(self, item: QueueItem) -> dict[str, object]:
         """One whole per-strategy replay window chain as a queue item.
@@ -1049,6 +1146,11 @@ def drain_with_workers(
     if workers < 1:
         raise ConfigError(f"workers must be >= 1, got {workers}")
     queue = WorkQueue(store_root)
+    if queue.read_config().get("metrics", True):
+        # The parent's reclaim pass is an observability actor too: its
+        # supersession events are what the trace stitcher marks zombie
+        # tenures with.
+        queue.arm_events()
     say = note or (lambda message: None)
     environment = dict(os.environ if env is None else env)
     budget = RESPAWN_BUDGET_PER_WORKER * workers + 8

@@ -34,12 +34,25 @@ Commands
     drain.
 ``queue``
     Inspect or drain a store's durable work queue: ``queue status
-    <store>`` prints the item/lease census (``--json`` available;
-    ``--watch SECONDS`` refreshes until the queue drains — the same
+    <store>`` prints the item/lease census with per-lease heartbeat
+    ages (``--json`` available; ``--watch SECONDS`` refreshes until
+    the queue drains — one census pass per tick, the same
     ``WorkQueue.status()`` codepath the service's ``/readyz``
     aggregates); ``queue work <store>`` runs one cooperative drain
     worker — claim, heartbeat, execute, commit — until the queue is
-    empty (exit 0) or a SIGTERM/RSS trip parks its lease (exit 4).
+    empty (exit 0) or a SIGTERM/RSS trip parks its lease (exit 4);
+    ``queue metrics <store>`` renders the fleet event sidecars
+    (``.queue/metrics/*.events.jsonl``, appended at every lifecycle
+    boundary through the ``queue.metrics.write`` failpoint) as
+    Prometheus text — the offline twin of the server's
+    ``GET /metrics`` (``--json`` for the raw aggregate document).
+``top``
+    Live fleet dashboard over one store (stdlib ANSI redraw, no
+    curses): queue census, per-worker throughput, lease heartbeat
+    ages, quarantine/shed counts and a drain ETA, refreshed from the
+    same event sidecars ``queue metrics`` reads.  ``--once`` prints
+    a single frame; ``--json`` emits the frame document for scripts.
+    Exits 0 when the queue drains.
 ``serve``
     Serve campaign submissions over HTTP (stdlib asyncio; see
     DESIGN.md §11): ``POST /v1/campaigns`` accepts a campaign spec
@@ -50,7 +63,10 @@ Commands
     ``.../events`` streams it as heartbeated server-sent events,
     ``.../results`` returns the drained ``results.jsonl``;
     ``/healthz``–``/readyz`` expose admission/shed accounting and
-    the aggregate queue census.  Overload beyond the bounded accept
+    the aggregate queue census; ``GET /metrics`` serves the same
+    accounting plus the fleet SLO histograms as Prometheus text
+    (scraped off-loop, past admission, so a poll is never shed and
+    never stalls an SSE stream).  Overload beyond the bounded accept
     queue is shed with ``429 Retry-After``; request deadlines answer
     ``503`` without abandoning durable work; SIGTERM drains (stop
     accepting → finish in-flight → park the worker fleet's leases →
@@ -66,7 +82,12 @@ Commands
     Export a Chrome/Perfetto ``trace.json`` — either by re-executing
     a stored campaign run record (deterministic, so the exported
     schedule is exactly the one the campaign stored) or by simulating
-    a workload described by the usual flags.  Load the output at
+    a workload described by the usual flags.  With ``--stitched`` the
+    positional argument is a *store* directory instead: the fleet
+    event sidecars are stitched into one distributed trace of the
+    whole campaign — submission spans (pid 3), lease tenures with
+    zombie claims marked superseded by their fencing token (pid 4),
+    and per-worker execution lanes (pid 5).  Load the output at
     https://ui.perfetto.dev or ``chrome://tracing``.
 ``stats``
     Aggregate a campaign store: per-strategy summary rows, folded-in
@@ -103,7 +124,10 @@ Commands
     drives the HTTP service the same way, killing it mid-submission
     (``service.submit.write``, ``service.manifest.write``), at the
     idempotency-key commit point (``service.key.write``) and
-    mid-SSE-stream (``service.stream.write``).
+    mid-SSE-stream (``service.stream.write``).  ``--workload queue``
+    also covers the observability plane: a kill mid-append at
+    ``queue.metrics.write`` must leave a store that recovers
+    fsck-clean (torn sidecar tail tolerated) and byte-identical.
 ``matrix``
     Print the mini-app pairwise co-run matrix.
 
@@ -114,7 +138,9 @@ This table is the single authority for every ``repro`` command.
 === ==========================================================
 0   success (for ``replay``: the recorded crash reproduced; for
     ``fsck``: every invariant holds; for ``chaos``: every
-    injected fault recovered or was not reachable)
+    injected fault recovered or was not reachable; for ``top``:
+    the watched queue drained — or the frame printed, with
+    ``--once``/``--json``)
 1   error — a run/replay failed, ``fsck`` found invariant
     violations, or a ``chaos`` trial failed to recover;
     structured JSON on stderr for escaped errors
@@ -889,6 +915,9 @@ def _queue_config_from_settings(
         "snapshot_dir": str(snapshot_dir),
         "snapshot_every": str(settings.get("snapshot_every") or "") or None,
         "telemetry_dir": str(telemetry_dir) if telemetry_dir else None,
+        # Fleet event sidecars (observability plane); always on — they
+        # live under .queue/, outside the byte-identity surface.
+        "metrics": True,
     }
 
 
@@ -935,7 +964,21 @@ def _execute_campaign_join(
         })
         queue = WorkQueue(store_dir)
         queue.write_config(_queue_config_from_settings(settings, store_dir))
-        pending = queue.enqueue(runs)
+        queue.arm_events()
+        # The trace id is the content hash of the campaign document —
+        # the exact value the HTTP service uses as its submission id,
+        # so a CLI join and a served submission of the same spec land
+        # in the same distributed trace.
+        from repro.campaign.spec import run_id_of
+
+        trace_id = run_id_of({"kind": "campaign", "spec": spec.to_dict()})
+        pending = queue.enqueue(
+            runs,
+            extras={run.run_id: {"trace": trace_id} for run in runs},
+        )
+        queue.events.emit(
+            "submit", trace=trace_id, runs=len(runs), source="cli"
+        )
     except ReproError as exc:
         print(f"campaign error: {exc}", file=sys.stderr)
         return 2
@@ -1063,11 +1106,17 @@ def _render_queue_status(status: dict, *, as_json: bool, watching: bool) -> None
         else:
             print(format_json(status))
         return
+    heartbeat = (
+        f", oldest heartbeat {status['heartbeat_age_max_s']:.1f}s"
+        f"{' (' + str(status['stale']) + ' stale)' if status['stale'] else ''}"
+        if status.get("leased")
+        else ""
+    )
     print(
         f"queue {status['store']}: {status['pending']} pending "
         f"({status['claimable']} claimable), {status['leased']} leased, "
         f"{status['completed']} completed, {status['failed']} failed, "
-        f"{status['quarantined']} quarantined",
+        f"{status['quarantined']} quarantined{heartbeat}",
         flush=True,
     )
     for lease in status["leases"]:
@@ -1144,6 +1193,109 @@ def _cmd_queue_work(args: argparse.Namespace) -> int:
     return outcome.exit_code
 
 
+def _require_queue(store_dir: Path) -> bool:
+    from repro.campaign.queue import has_queue
+
+    if has_queue(store_dir):
+        return True
+    print(
+        f"queue error: {store_dir} has no work queue "
+        f"(`repro campaign --join` creates one)",
+        file=sys.stderr,
+    )
+    return False
+
+
+def _cmd_queue_metrics(args: argparse.Namespace) -> int:
+    from repro.observability.events import fleet_metrics, render_prometheus
+
+    store_dir = Path(args.store)
+    if not _require_queue(store_dir):
+        return 2
+    doc = fleet_metrics(store_dir)
+    if args.json:
+        print(format_json(doc))
+    else:
+        sys.stdout.write(render_prometheus(doc))
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.campaign.queue import WorkQueue
+    from repro.observability.events import fleet_metrics
+    from repro.observability.top import ANSI_REDRAW, render_dashboard
+
+    store_dir = Path(args.store)
+    if not _require_queue(store_dir):
+        return 2
+    queue = WorkQueue(store_dir)
+    single = args.once or args.json
+    while True:
+        census = queue.status()
+        doc = fleet_metrics(store_dir, census=census)
+        if args.json:
+            print(format_json(doc))
+        else:
+            frame = render_dashboard(doc, title=f"repro top — {store_dir}")
+            if not single:
+                sys.stdout.write(ANSI_REDRAW)
+            sys.stdout.write(frame)
+            sys.stdout.flush()
+        drained = not census["pending"] and not census["leased"]
+        if single or drained:
+            return 0
+        _time.sleep(args.interval)
+
+
+def _cmd_trace_stitched(args: argparse.Namespace) -> int:
+    from repro.observability import stitch_store, validate_trace
+
+    if not args.record:
+        print(
+            "trace error: --stitched needs a store directory "
+            "(the positional argument)",
+            file=sys.stderr,
+        )
+        return 2
+    store_dir = Path(args.record)
+    if not _require_queue(store_dir):
+        return 2
+    document = stitch_store(store_dir)
+    spans = [
+        e for e in document["traceEvents"] if e.get("ph") == "X"
+    ]
+    if not spans:
+        print(
+            f"trace error: no fleet events recorded under "
+            f"{store_dir / '.queue' / 'metrics'} (was the queue drained "
+            f"with metrics disabled?)",
+            file=sys.stderr,
+        )
+        return 1
+    problems = validate_trace(document)
+    if problems:
+        print(
+            f"trace error: stitched document failed validation: "
+            f"{problems[:3]}",
+            file=sys.stderr,
+        )
+        return 1
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(document, sort_keys=True), encoding="utf-8")
+    superseded = sum(
+        1 for e in spans if e.get("args", {}).get("superseded")
+    )
+    print(
+        f"stitched trace: {len(spans)} spans ({superseded} superseded) "
+        f"across {len(document['otherData']['traces'])} submission "
+        f"trace(s) -> {out}"
+    )
+    return 0
+
+
 def _cmd_replay(args: argparse.Namespace) -> int:
     from repro.diagnostics import load_bundle, replay_bundle
 
@@ -1159,6 +1311,8 @@ def _cmd_replay(args: argparse.Namespace) -> int:
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.observability import TelemetryConfig, perfetto_trace
 
+    if args.stitched:
+        return _cmd_trace_stitched(args)
     if args.record:
         record_path = Path(args.record)
         try:
@@ -1794,6 +1948,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_qwork.add_argument("--quiet", action="store_true",
                          help="suppress per-run progress lines")
     p_qwork.set_defaults(func=_cmd_queue_work)
+    p_qmetrics = queue_sub.add_parser(
+        "metrics",
+        help="render the fleet event sidecars as Prometheus text "
+             "(the offline twin of the server's GET /metrics)",
+    )
+    p_qmetrics.add_argument("store",
+                            help="a --join campaign's store directory")
+    p_qmetrics.add_argument("--json", action="store_true",
+                            help="raw aggregate document instead of "
+                                 "Prometheus text")
+    p_qmetrics.set_defaults(func=_cmd_queue_metrics)
+
+    p_top = sub.add_parser(
+        "top",
+        help="live fleet dashboard over one store (workers, leases, "
+             "throughput, drain ETA)",
+    )
+    p_top.add_argument("store", help="a --join campaign's store directory")
+    p_top.add_argument("--interval", type=float, default=1.0,
+                       metavar="SECONDS",
+                       help="refresh period (default 1s); exits when "
+                            "the queue drains")
+    p_top.add_argument("--once", action="store_true",
+                       help="print a single frame and exit")
+    p_top.add_argument("--json", action="store_true",
+                       help="print one frame document as JSON and exit")
+    p_top.set_defaults(func=_cmd_top)
 
     p_serve = sub.add_parser(
         "serve",
@@ -1881,8 +2062,13 @@ def build_parser() -> argparse.ArgumentParser:
         "record", nargs="?", default="",
         help="a stored campaign run record (<store>/<run_id>.json) to "
              "re-execute deterministically; omit to simulate the "
-             "workload flags below",
+             "workload flags below; with --stitched: a store directory",
     )
+    p_trace.add_argument("--stitched", action="store_true",
+                         help="stitch the store's fleet event sidecars "
+                              "into one distributed campaign trace "
+                              "(server/lease/worker lanes) instead of "
+                              "re-executing a run")
     p_trace.add_argument("--out", default="trace.json",
                          help="output path (default trace.json)")
     _add_workload_args(p_trace)

@@ -404,6 +404,74 @@ def _check_queue(
                 f"leftover {kind} residue from an interrupted worker "
                 f"(harmless; --repair deletes it)",
             )
+    _check_metrics_sidecars(report, queue_root, repair=repair)
+
+
+def _check_metrics_sidecars(
+    report: FsckReport, queue_root: Path, *, repair: bool
+) -> None:
+    """Fleet event sidecars (``metrics/*.events.jsonl``) hygiene.
+
+    Appends are fsync'd but a hard kill mid-append (the
+    ``queue.metrics.write`` failpoint) leaves a torn final line.
+    Readers tolerate it; fsck names it, and --repair truncates the
+    file back to its last complete line.  A garbled line *before* the
+    tail cannot come from a crash (O_APPEND single-write lines), so
+    it is called out separately as likely tampering.
+    """
+    metrics_dir = queue_root / "metrics"
+    if not metrics_dir.is_dir():
+        return
+    for path in sorted(metrics_dir.glob("*.events.jsonl")):
+        report.count("queue-metrics-sidecars")
+        try:
+            raw = path.read_bytes()
+        except OSError as exc:
+            report.add(
+                "warning", "queue.metrics-unreadable", path,
+                f"unreadable event sidecar: {exc}",
+            )
+            continue
+        lines = raw.split(b"\n")
+        # 0-based index of each line's first byte in the file.
+        offsets = [0]
+        for line in lines[:-1]:
+            offsets.append(offsets[-1] + len(line) + 1)
+        bad: list[int] = []
+        last_nonempty = -1
+        for index, line in enumerate(lines):
+            if not line.strip():
+                continue
+            last_nonempty = index
+            try:
+                ok = isinstance(json.loads(line), dict)
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                ok = False
+            if not ok:
+                bad.append(index)
+        if not bad:
+            continue
+        if bad == [last_nonempty]:
+            if repair:
+                with path.open("r+b") as handle:
+                    handle.truncate(offsets[bad[0]])
+                report.add(
+                    "warning", "queue.metrics-repaired", path,
+                    f"truncated torn tail back to {offsets[bad[0]]} bytes",
+                )
+            else:
+                report.add(
+                    "warning", "queue.metrics-torn-tail", path,
+                    "torn final event line (holder killed mid-append); "
+                    "readers skip it; --repair truncates it",
+                )
+        else:
+            report.add(
+                "warning", "queue.metrics-garbled", path,
+                f"unparseable event lines {[i + 1 for i in bad]} before "
+                f"the tail — not a crash signature; inspect before "
+                f"trusting metrics",
+            )
 
 
 def _check_snapshot(report: FsckReport, path: Path) -> None:

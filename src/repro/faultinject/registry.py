@@ -77,6 +77,8 @@ CATALOG: dict[str, str] = {
     "queue.lease.create": "campaign queue lease: O_EXCL claim-file write",
     "queue.lease.renew": "campaign queue lease: heartbeat refresh",
     "queue.lease.release": "campaign queue lease: verified unlink",
+    "queue.metrics.write": "fleet observability event: per-process "
+                           "sidecar append",
     "service.submit.write": "service submission record: temp-file write",
     "service.manifest.write": "service.json coordinates: temp-file write",
     "service.key.write": "service idempotency-key binding: temp-file "

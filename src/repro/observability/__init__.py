@@ -8,6 +8,19 @@ one ``is not None`` test per instrumented site.
 """
 
 from repro.observability.config import TelemetryConfig
+from repro.observability.events import (
+    METRIC_NAMES,
+    PROMETHEUS_CONTENT_TYPE,
+    SLO_SECONDS_EDGES,
+    TRACE_KEY,
+    EventLog,
+    current_trace,
+    fleet_metrics,
+    merge_fleet_metrics,
+    read_fleet_events,
+    render_prometheus,
+    set_current_trace,
+)
 from repro.observability.histogram import (
     DEFAULT_SECONDS_EDGES,
     Histogram,
@@ -33,13 +46,27 @@ from repro.observability.stats import (
     write_campaign_telemetry,
     write_telemetry_sidecar,
 )
+from repro.observability.stitch import (
+    LEASE_PID,
+    SERVICE_PID,
+    WORKER_PID,
+    stitch_store,
+)
 from repro.observability.trace import REASON_CODES, DecisionTrace
 
 __all__ = [
     "CLUSTER_PID",
     "DEFAULT_SECONDS_EDGES",
     "DecisionTrace",
+    "EventLog",
+    "LEASE_PID",
+    "METRIC_NAMES",
+    "PROMETHEUS_CONTENT_TYPE",
     "SCHEDULER_PID",
+    "SERVICE_PID",
+    "SLO_SECONDS_EDGES",
+    "TRACE_KEY",
+    "WORKER_PID",
     "Histogram",
     "HotLoopProfiler",
     "REASON_CODES",
@@ -47,12 +74,19 @@ __all__ = [
     "TelemetryHub",
     "aggregate_store",
     "count_histogram",
+    "current_trace",
+    "fleet_metrics",
     "merge_campaign_telemetry",
+    "merge_fleet_metrics",
     "merge_hub_dicts",
     "perfetto_trace",
+    "read_fleet_events",
     "read_telemetry_sidecars",
+    "render_prometheus",
+    "set_current_trace",
     "size_class_labels",
     "size_class_of",
+    "stitch_store",
     "telemetry_dir_for",
     "telemetry_path_for",
     "validate_trace",

@@ -1,0 +1,345 @@
+"""Distributed-trace stitcher: one Perfetto document per campaign.
+
+The fleet event sidecars (:mod:`repro.observability.events`) record
+every lifecycle boundary a run crosses — submission, enqueue, lease
+claim/renew/reclaim, commit, fence-discard — each tagged with the
+submission's content-derived ``trace_id``.  This module folds them
+into a single Chrome-trace document with three process lanes, stacked
+below the in-simulator lanes PR 5 established (cluster pid 1,
+scheduler pid 2):
+
+* pid 3 — **service**: one span per HTTP submission (replays join the
+  original span's lane as instants, they do not re-execute).
+* pid 4 — **leases**: one thread per run; a span per lease *tenure*
+  (claim token k → the terminal event carrying token k).  A tenure
+  ended by a stale-lease reclaim stays on the timeline, marked
+  ``superseded: true`` with the fencing token that displaced it —
+  zombies are evidence, not noise.
+* pid 5 — **workers**: one thread per worker process; a span per run
+  execution attempt, so fleet utilisation is readable at a glance.
+
+The output passes the same :func:`~repro.observability.perfetto.
+validate_trace` contract as every other exporter in the repo:
+integer microseconds, non-overlapping X spans per lane.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.observability.events import TRACE_KEY, read_fleet_events
+
+#: Process lanes (pids 1 and 2 belong to the in-simulator exporter).
+SERVICE_PID = 3
+LEASE_PID = 4
+WORKER_PID = 5
+
+#: Floor for zero-duration tenures so spans stay visible (1 µs).
+_MIN_DUR_US = 1
+
+#: Events that end a lease tenure, with the span name suffix they earn.
+_TENURE_ENDERS = {
+    "complete": "ok",
+    "requeue": "requeued",
+    "failed": "failed",
+    "quarantined": "quarantined",
+    "fenced": "fenced",
+}
+
+
+def _meta(pid: int, name: str, tid: int = 0) -> dict:
+    event: dict = {
+        "name": "process_name" if tid == 0 else "thread_name",
+        "ph": "M",
+        "pid": pid,
+        "ts": 0,
+        "args": {"name": name},
+    }
+    if tid:
+        event["tid"] = tid
+    return event
+
+
+def _clip_lane_overlaps(spans: list[dict]) -> None:
+    """Clip X spans in one (pid, tid) lane so none overlap.
+
+    Fleet clocks are per-process ``time.time()`` readings; sub-ms skew
+    between a worker's commit stamp and the parent's reclaim stamp can
+    produce microsecond overlaps that would fail the validator.  The
+    earlier span wins; the later one is shifted to start at its end.
+    """
+    spans.sort(key=lambda e: (e["ts"], -e["dur"]))
+    horizon = 0
+    for span in spans:
+        if span["ts"] < horizon:
+            shift = horizon - span["ts"]
+            span["ts"] += shift
+            span["dur"] = max(_MIN_DUR_US, span["dur"] - shift)
+        horizon = span["ts"] + span["dur"]
+
+
+def stitch_store(store_root: str | Path) -> dict:
+    """Stitch one store's fleet events into a Perfetto document.
+
+    Raises nothing on sparse input: a store with no sidecars yields a
+    document with only metadata events (callers decide whether that is
+    an error — ``repro trace --stitched`` treats it as one).
+    """
+    store_root = Path(store_root)
+    events = read_fleet_events(store_root)
+    base = min((float(e["t"]) for e in events), default=0.0)
+
+    def usec(t: float) -> int:
+        return max(0, int(round((t - base) * 1e6)))
+
+    trace_events: list[dict] = [
+        _meta(SERVICE_PID, "service: submissions"),
+        _meta(LEASE_PID, "queue: lease tenures"),
+        _meta(WORKER_PID, "fleet: workers"),
+    ]
+    instants: list[dict] = []
+    lanes: dict[tuple[int, int], list[dict]] = {}
+
+    def add_span(pid: int, tid: int, span: dict) -> None:
+        span["pid"] = pid
+        span["tid"] = tid
+        lanes.setdefault((pid, tid), []).append(span)
+
+    # --- service lane: one span per submission -----------------------
+    submit_tid = 0
+    submit_lanes: dict[str, int] = {}
+    end_by_trace: dict[str, float] = {}
+    for event in events:
+        trace = event.get(TRACE_KEY)
+        if isinstance(trace, str) and event.get("kind") in (
+            "complete", "failed", "quarantined",
+        ):
+            end_by_trace[trace] = max(
+                end_by_trace.get(trace, 0.0), float(event["t"])
+            )
+    for event in events:
+        if event.get("kind") != "submit":
+            continue
+        trace = str(event.get(TRACE_KEY, ""))
+        if trace in submit_lanes:
+            # Idempotent replay: joins the original span as an instant.
+            instants.append({
+                "name": "submit replayed",
+                "ph": "i",
+                "s": "t",
+                "pid": SERVICE_PID,
+                "tid": submit_lanes[trace],
+                "ts": usec(float(event["t"])),
+                "args": {"trace": trace},
+            })
+            continue
+        submit_tid += 1
+        submit_lanes[trace] = submit_tid
+        trace_events.append(
+            _meta(SERVICE_PID, f"submission {trace[:12]}", submit_tid)
+        )
+        start = float(event["t"])
+        end = max(end_by_trace.get(trace, start), start)
+        add_span(SERVICE_PID, submit_tid, {
+            "name": f"campaign {trace[:12]}",
+            "cat": "service",
+            "ph": "X",
+            "ts": usec(start),
+            "dur": max(_MIN_DUR_US, usec(end) - usec(start)),
+            "args": {
+                "trace": trace,
+                "runs": int(event.get("runs", 0)),
+                "source": str(event.get("source", "")),
+            },
+        })
+
+    # --- lease lanes: one thread per run, one span per tenure --------
+    run_tids: dict[str, int] = {}
+
+    def lease_tid(run_id: str) -> int:
+        if run_id not in run_tids:
+            run_tids[run_id] = len(run_tids) + 1
+            trace_events.append(
+                _meta(LEASE_PID, f"run {run_id[:16]}", run_tids[run_id])
+            )
+        return run_tids[run_id]
+
+    open_tenures: dict[str, dict] = {}
+    for event in events:
+        kind = str(event.get("kind"))
+        run_id = event.get("run_id")
+        if not isinstance(run_id, str):
+            continue
+        t = float(event["t"])
+        trace = event.get(TRACE_KEY)
+        if kind == "enqueue":
+            instants.append({
+                "name": "enqueue",
+                "ph": "i",
+                "s": "t",
+                "pid": LEASE_PID,
+                "tid": lease_tid(run_id),
+                "ts": usec(t),
+                "args": {"run": run_id, "trace": trace},
+            })
+        elif kind == "claim":
+            open_tenures[run_id] = {
+                "start": t,
+                "token": int(event.get("token", 0)),
+                "pid": int(event.get("pid", 0)),
+                "trace": trace,
+                "renews": 0,
+            }
+        elif kind == "renew":
+            tenure = open_tenures.get(run_id)
+            if tenure is not None:
+                tenure["renews"] += 1
+        elif kind in _TENURE_ENDERS:
+            tenure = open_tenures.pop(run_id, None)
+            if tenure is None:
+                continue
+            add_span(LEASE_PID, lease_tid(run_id), {
+                "name": f"lease #{tenure['token']} ({_TENURE_ENDERS[kind]})",
+                "cat": "lease",
+                "ph": "X",
+                "ts": usec(tenure["start"]),
+                "dur": max(_MIN_DUR_US, usec(t) - usec(tenure["start"])),
+                "args": {
+                    "run": run_id,
+                    "token": tenure["token"],
+                    "holder_pid": tenure["pid"],
+                    "renews": tenure["renews"],
+                    "outcome": _TENURE_ENDERS[kind],
+                    "trace": tenure["trace"],
+                    "superseded": False,
+                },
+            })
+        elif kind == "reclaim":
+            # The zombie tenure: claim with token k, displaced by a
+            # fencing bump to new_token.  Marked superseded, kept.
+            tenure = open_tenures.pop(run_id, None)
+            new_token = int(event.get("new_token", 0))
+            if tenure is not None:
+                add_span(LEASE_PID, lease_tid(run_id), {
+                    "name": f"lease #{tenure['token']} (superseded)",
+                    "cat": "lease",
+                    "ph": "X",
+                    "ts": usec(tenure["start"]),
+                    "dur": max(
+                        _MIN_DUR_US, usec(t) - usec(tenure["start"])
+                    ),
+                    "args": {
+                        "run": run_id,
+                        "token": tenure["token"],
+                        "holder_pid": int(
+                            event.get("holder_pid", tenure["pid"])
+                        ),
+                        "renews": tenure["renews"],
+                        "outcome": "superseded",
+                        "trace": tenure["trace"] or trace,
+                        "superseded": True,
+                        "fenced_by": new_token,
+                    },
+                })
+            instants.append({
+                "name": f"reclaim -> #{new_token}",
+                "ph": "i",
+                "s": "t",
+                "pid": LEASE_PID,
+                "tid": lease_tid(run_id),
+                "ts": usec(t),
+                "args": {
+                    "run": run_id,
+                    "fenced_by": new_token,
+                    "trace": trace,
+                },
+            })
+
+    # A tenure still open at the end of the log (a live in-flight run,
+    # or a kill so hard no later event exists) closes at the log tail.
+    tail = max((float(e["t"]) for e in events), default=0.0)
+    for run_id, tenure in open_tenures.items():
+        add_span(LEASE_PID, lease_tid(run_id), {
+            "name": f"lease #{tenure['token']} (open)",
+            "cat": "lease",
+            "ph": "X",
+            "ts": usec(tenure["start"]),
+            "dur": max(_MIN_DUR_US, usec(tail) - usec(tenure["start"])),
+            "args": {
+                "run": run_id,
+                "token": tenure["token"],
+                "holder_pid": tenure["pid"],
+                "renews": tenure["renews"],
+                "outcome": "open",
+                "trace": tenure["trace"],
+                "superseded": False,
+            },
+        })
+
+    # --- worker lanes: one thread per pid, a span per attempt --------
+    worker_tids: dict[int, int] = {}
+
+    def worker_tid(pid: int) -> int:
+        if pid not in worker_tids:
+            worker_tids[pid] = len(worker_tids) + 1
+            trace_events.append(
+                _meta(WORKER_PID, f"worker pid {pid}", worker_tids[pid])
+            )
+        return worker_tids[pid]
+
+    open_attempts: dict[str, dict] = {}
+    for event in events:
+        kind = str(event.get("kind"))
+        run_id = event.get("run_id")
+        if not isinstance(run_id, str):
+            continue
+        t = float(event["t"])
+        if kind == "claim":
+            open_attempts[run_id] = {
+                "start": t,
+                "pid": int(event.get("pid", 0)),
+                "token": int(event.get("token", 0)),
+                "trace": event.get(TRACE_KEY),
+            }
+        elif kind in _TENURE_ENDERS or kind == "reclaim":
+            attempt = open_attempts.pop(run_id, None)
+            if attempt is None:
+                continue
+            outcome = (
+                "killed" if kind == "reclaim" else _TENURE_ENDERS[kind]
+            )
+            add_span(WORKER_PID, worker_tid(attempt["pid"]), {
+                "name": f"{run_id[:16]} ({outcome})",
+                "cat": "worker",
+                "ph": "X",
+                "ts": usec(attempt["start"]),
+                "dur": max(_MIN_DUR_US, usec(t) - usec(attempt["start"])),
+                "args": {
+                    "run": run_id,
+                    "token": attempt["token"],
+                    "outcome": outcome,
+                    "trace": attempt["trace"],
+                },
+            })
+
+    for lane in lanes.values():
+        _clip_lane_overlaps(lane)
+        trace_events.extend(lane)
+    trace_events.extend(instants)
+    traces = sorted(
+        {
+            e[TRACE_KEY]
+            for e in events
+            if isinstance(e.get(TRACE_KEY), str) and e[TRACE_KEY]
+        }
+    )
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "exporter": "repro.observability.stitch",
+            "store": str(store_root),
+            "traces": traces,
+            "events": len(events),
+        },
+    }

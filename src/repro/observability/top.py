@@ -1,0 +1,130 @@
+"""`repro top`: a stdlib, curses-free fleet dashboard.
+
+Renders one frame of fleet state — queue census, per-worker
+throughput, lease heartbeat ages, shed/quarantine counts, drain ETA —
+as plain text from the :func:`~repro.observability.events.
+fleet_metrics` document.  The CLI redraws it with a bare ANSI
+home+clear escape (``--once`` and ``--json`` skip the escapes
+entirely, so scripts and narrow terminals stay safe).
+
+Pure rendering: no clocks, no I/O — everything observable comes in
+through the document, which keeps frames unit-testable and the
+dashboard honest about its own staleness.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+#: Home the cursor and clear the screen (the whole "live" protocol).
+ANSI_REDRAW = "\x1b[H\x1b[J"
+
+
+def drain_eta_s(doc: Mapping[str, object]) -> float | None:
+    """Seconds until the backlog drains at the fleet's current pace.
+
+    None when unknowable: nothing pending (already drained — the ETA
+    is moot) or no worker has completed a run yet (zero observed
+    throughput; any number would be a guess).
+    """
+    census = doc.get("census", {})
+    pending = int(census.get("pending", 0))  # type: ignore[union-attr]
+    if pending <= 0:
+        return None
+    rate = sum(
+        float(row.get("runs_per_s", 0.0))
+        for row in doc.get("workers", [])  # type: ignore[union-attr]
+    )
+    if rate <= 0.0:
+        return None
+    return pending / rate
+
+
+def _fmt_eta(seconds: float | None) -> str:
+    if seconds is None:
+        return "--"
+    if seconds < 60:
+        return f"{seconds:.1f}s"
+    if seconds < 3600:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds / 3600:.1f}h"
+
+
+def render_dashboard(doc: Mapping[str, object], *, title: str = "") -> str:
+    """One dashboard frame (no trailing ANSI; caller owns the redraw)."""
+    census: Mapping = doc.get("census", {})  # type: ignore[assignment]
+    counters: Mapping = doc.get("counters", {})  # type: ignore[assignment]
+    reasons: Mapping = doc.get("requeue_reasons", {})  # type: ignore[assignment]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "queue   pending {pending:>4}  claimable {claimable:>4}  "
+        "leased {leased:>4}  done {completed:>4}  failed {failed:>3}  "
+        "quarantined {quarantined:>3}".format(
+            pending=int(census.get("pending", 0)),
+            claimable=int(census.get("claimable", 0)),
+            leased=int(census.get("leased", 0)),
+            completed=int(census.get("completed", 0)),
+            failed=int(census.get("failed", 0)),
+            quarantined=int(census.get("quarantined", 0)),
+        )
+    )
+    shed = int(reasons.get("rss-shed", 0))
+    lines.append(
+        "fleet   claims {claims:>5}  reclaims {reclaims:>3}  "
+        "fenced {fenced:>3}  shed {shed:>3}  requeued {requeued:>3}  "
+        "drain ETA {eta}".format(
+            claims=int(counters.get("claimed", 0)),
+            reclaims=int(counters.get("reclaimed", 0)),
+            fenced=int(counters.get("fenced", 0)),
+            shed=shed,
+            requeued=int(counters.get("requeued", 0)),
+            eta=_fmt_eta(drain_eta_s(doc)),
+        )
+    )
+    stale = int(census.get("stale", 0))
+    oldest = float(census.get("heartbeat_age_max_s", 0.0))
+    lines.append(
+        f"leases  live {len(census.get('leases', []))}  stale {stale}  "
+        f"oldest heartbeat {oldest:.1f}s"
+    )
+    workers = list(doc.get("workers", []))  # type: ignore[arg-type]
+    if workers:
+        lines.append("")
+        lines.append(
+            f"{'WORKER':<24} {'DONE':>5} {'CLAIMS':>6} {'REQ':>4} "
+            f"{'FEN':>4} {'RUNS/S':>8} {'IDLE':>7}"
+        )
+        for row in workers:
+            label = f"{row.get('host', '')}:{row.get('pid', 0)}"
+            lines.append(
+                f"{label:<24} {int(row.get('completed', 0)):>5} "
+                f"{int(row.get('claims', 0)):>6} "
+                f"{int(row.get('requeued', 0)):>4} "
+                f"{int(row.get('fenced', 0)):>4} "
+                f"{float(row.get('runs_per_s', 0.0)):>8.3f} "
+                f"{float(row.get('idle_s', 0.0)):>6.1f}s"
+            )
+    leases = list(census.get("leases", []))
+    if leases:
+        lines.append("")
+        lines.append(f"{'LEASED RUN':<44} {'HOLDER':<20} {'HEARTBEAT':>10}")
+        for lease in leases:
+            holder = f"{lease.get('host', '')}:{lease.get('pid', 0)}"
+            age = float(lease.get("heartbeat_age_s", 0.0))
+            flag = "  STALE" if lease.get("stale") else ""
+            lines.append(
+                f"{str(lease.get('run_id', ''))[:44]:<44} {holder:<20} "
+                f"{age:>9.1f}s{flag}"
+            )
+    slo = doc.get("slo", {})
+    wait = slo.get("queue_wait_seconds") if isinstance(slo, Mapping) else None
+    if wait and int(wait.get("count", 0)):
+        mean = float(wait.get("sum", 0.0)) / max(1, int(wait.get("count", 0)))
+        lines.append("")
+        lines.append(
+            f"slo     mean queue wait {mean:.3f}s over "
+            f"{int(wait.get('count', 0))} runs"
+        )
+    return "\n".join(lines) + "\n"

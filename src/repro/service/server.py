@@ -207,10 +207,18 @@ class ReproService:
             return
         # Health endpoints bypass both the drain gate and admission:
         # they are how orchestrators decide whether to keep routing.
+        # The scrape endpoint rides the same bypass — a Prometheus
+        # poll must neither be shed under load (that is exactly when
+        # the numbers matter) nor consume a handler slot an SSE
+        # stream could be holding.
         if request.method == "GET" and request.path in (
             "/healthz", "/readyz"
         ):
             writer.write(await self._health_response(request.path))
+            await writer.drain()
+            return
+        if request.method == "GET" and request.path == "/metrics":
+            writer.write(await self._metrics_response())
             await writer.drain()
             return
         self.metrics["requests"] += 1
@@ -440,6 +448,38 @@ class ReproService:
                 census[field] += int(status[field])  # type: ignore[arg-type]
         payload["queues"] = census
         return payload
+
+    def _metrics_text(self) -> str:
+        """Prometheus exposition for every served store.  Blocking
+        (reads event sidecars under each store) — call off-loop."""
+        from repro.observability.events import (
+            fleet_metrics,
+            merge_fleet_metrics,
+            render_prometheus,
+        )
+
+        docs = []
+        for sub_id in self.registry.list_ids():
+            store_dir = self.registry.store_dir(sub_id)
+            if has_queue(store_dir):
+                docs.append(fleet_metrics(store_dir))
+        merged = merge_fleet_metrics(docs)
+        admission = dict(self.metrics)
+        admission.update({
+            "inflight": self._inflight,
+            "waiting": self._waiting,
+            "streams_active": self._streams,
+            "draining": 1 if self._draining else 0,
+        })
+        return render_prometheus(merged, admission=admission)
+
+    async def _metrics_response(self) -> bytes:
+        from repro.observability.events import PROMETHEUS_CONTENT_TYPE
+
+        text = await self._offload(self._metrics_text)
+        return _http.response_bytes(
+            200, text.encode("utf-8"), content_type=PROMETHEUS_CONTENT_TYPE
+        )
 
     async def _health_response(self, path: str) -> bytes:
         if path == "/healthz":

@@ -178,6 +178,11 @@ class SubmissionRegistry:
                 )
             record = self.get(sub_id)
             if record is not None:
+                # The replay still leaves a mark on the timeline: the
+                # stitcher renders it as an instant joining the
+                # original submission span (same content-derived
+                # trace id), evidence the dedup fired.
+                self._emit_submit(sub_id, int(record.get("runs", 0)))
                 return record, False, True
             # Key landed but the record is gone (manual tampering or a
             # pre-commit-order store): fall through and rebuild — every
@@ -197,7 +202,17 @@ class SubmissionRegistry:
         from repro.cli import _queue_config_from_settings
 
         queue.write_config(_queue_config_from_settings(settings, store_dir))
-        queue.enqueue(runs)
+        queue.arm_events()
+        # The submission id *is* the trace id: both are the content
+        # hash of the spec, so an idempotent replay — or the same
+        # campaign joined from the CLI — lands in the same trace.
+        queue.enqueue(
+            runs,
+            extras={run.run_id: {"trace": sub_id} for run in runs},
+        )
+        queue.events.emit(
+            "submit", trace=sub_id, runs=len(runs), source="service"
+        )
 
         record = {
             "submission": sub_id,
@@ -210,6 +225,18 @@ class SubmissionRegistry:
         if idempotency_key is not None:
             self._bind_key(idempotency_key, sub_id)
         return record, created, False
+
+    def _emit_submit(self, sub_id: str, runs: int) -> None:
+        """Record a submission event on an already-built store."""
+        store_dir = self.stores / sub_id
+        if not store_dir.is_dir():
+            return
+        queue = WorkQueue(store_dir)
+        queue.arm_events()
+        queue.events.emit(
+            "submit", trace=sub_id, runs=runs, source="service",
+            replayed=True,
+        )
 
     # -- idempotency keys ----------------------------------------------
     def _key_path(self, key: str) -> Path:

@@ -158,6 +158,17 @@ def _execute_simulate(
                 every_wall_s=every_wall_s,
             ).install()
 
+    from repro.observability.events import current_trace
+
+    trace_id = current_trace()
+    if trace_id is not None:
+        # Distributed-trace stamp: the submission's content-derived
+        # trace id, as the first decision record, so a stitched fleet
+        # trace and this run's decision log can be joined offline.
+        decisions = getattr(manager, "decisions", None)
+        if decisions is not None:
+            decisions.emit("trace_context", 0.0, trace=trace_id, run=run_id)
+
     try:
         result = manager.run()
     except SuspendRequested as exc:
@@ -186,6 +197,7 @@ def _execute_simulate(
 
         sidecar: dict[str, object] = {
             "run_id": run_id,
+            **({"trace": trace_id} if trace_id is not None else {}),
             "exec": {
                 "wall_clock_s": float(result.wallclock_seconds),
                 "resume_count": int(getattr(manager, "resume_count", 0)),

@@ -84,6 +84,7 @@ class TestPlanLanguage:
         import repro.campaign.queue
         import repro.campaign.store
         import repro.diagnostics.bundle
+        import repro.observability.events
         import repro.service.server
         import repro.service.submit
         import repro.snapshot.state
@@ -99,6 +100,7 @@ class TestPlanLanguage:
                 repro.archive.ingest,
                 repro.archive.replay,
                 repro.diagnostics.bundle,
+                repro.observability.events,
                 repro.service.server,
                 repro.service.submit,
             )

@@ -1,0 +1,217 @@
+"""The distributed-trace stitcher: fleet event sidecars folded into
+one Perfetto document, including the zombie-supersession story — a
+SIGKILLed worker's lease tenure survives on the timeline, marked
+``superseded`` with the fencing token that displaced it."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.campaign.queue import QueueWorker, WorkQueue
+from repro.campaign.spec import RunSpec
+from repro.faultinject import EXIT_FAILPOINT_KILL
+from repro.observability.perfetto import validate_trace
+from repro.observability.stitch import (
+    LEASE_PID,
+    SERVICE_PID,
+    WORKER_PID,
+    stitch_store,
+)
+
+
+def _runs(n: int) -> list[RunSpec]:
+    return [
+        RunSpec.from_params({"kind": "experiment", "experiment": f"s{i}"})
+        for i in range(n)
+    ]
+
+
+def _spans(doc: dict, pid: int) -> list[dict]:
+    return [
+        e for e in doc["traceEvents"]
+        if e.get("ph") == "X" and e.get("pid") == pid
+    ]
+
+
+def _age_lease(queue: WorkQueue, run_id: str, by_s: float = 60.0) -> None:
+    """Staleness is judged from the lease file's mtime; back-date it
+    instead of sleeping through the TTL."""
+    aged = time.time() - by_s
+    os.utime(queue.leases.path_for(run_id), (aged, aged))
+
+
+class TestStitchLanes:
+    def _drained_store(self, tmp_path) -> WorkQueue:
+        queue = WorkQueue(tmp_path)
+        queue.arm_events()
+        runs = _runs(2)
+        queue.enqueue(
+            runs, extras={r.run_id: {"trace": "sub-1"} for r in runs}
+        )
+        queue.events.emit("submit", trace="sub-1", runs=2, source="cli")
+        for _ in runs:
+            item, token = queue.claim_next()
+            queue.store.save(item.run_id, {
+                "run_id": item.run_id, "params": dict(item.params),
+                "result": {"kind": "test"},
+            })
+            queue.complete(item.run_id, token)
+        return queue
+
+    def test_three_lanes_and_validator(self, tmp_path):
+        self._drained_store(tmp_path)
+        doc = stitch_store(tmp_path)
+        assert validate_trace(doc) == []
+        assert doc["otherData"]["traces"] == ["sub-1"]
+        assert len(_spans(doc, SERVICE_PID)) == 1
+        assert len(_spans(doc, LEASE_PID)) == 2
+        assert len(_spans(doc, WORKER_PID)) == 2
+        for span in _spans(doc, LEASE_PID):
+            assert span["args"]["outcome"] == "ok"
+            assert span["args"]["superseded"] is False
+            assert span["args"]["trace"] == "sub-1"
+
+    def test_replayed_submit_is_an_instant_not_a_span(self, tmp_path):
+        queue = self._drained_store(tmp_path)
+        queue.events.emit("submit", trace="sub-1", runs=2,
+                          source="service", replayed=True)
+        doc = stitch_store(tmp_path)
+        assert validate_trace(doc) == []
+        assert len(_spans(doc, SERVICE_PID)) == 1  # still one span
+        replays = [
+            e for e in doc["traceEvents"]
+            if e.get("ph") == "i" and e.get("name") == "submit replayed"
+        ]
+        assert len(replays) == 1
+        assert replays[0]["pid"] == SERVICE_PID
+
+    def test_empty_store_stitches_to_metadata_only(self, tmp_path):
+        WorkQueue(tmp_path)  # layout, no events
+        doc = stitch_store(tmp_path)
+        assert validate_trace(doc) == []
+        assert doc["otherData"]["events"] == 0
+        assert all(e.get("ph") == "M" for e in doc["traceEvents"])
+
+
+class TestSupersession:
+    def test_reclaimed_tenure_is_kept_and_marked(self, tmp_path):
+        """A stale-reclaimed lease must stay on the timeline as a
+        superseded span carrying the fencing token, followed by the
+        successor tenure that actually completed."""
+        queue = WorkQueue(tmp_path)
+        queue.arm_events()
+        runs = _runs(1)
+        queue.enqueue(
+            runs, extras={runs[0].run_id: {"trace": "sub-z"}}
+        )
+        item, token = queue.claim_next()
+        _age_lease(queue, item.run_id)
+        assert queue.reclaim_stale() == [item.run_id]
+        # Reclaim applies a redelivery backoff; poll through it.
+        deadline = time.time() + 10.0
+        claim = None
+        while claim is None and time.time() < deadline:
+            claim = queue.claim_next()
+            if claim is None:
+                time.sleep(0.05)
+        assert claim is not None
+        item2, token2 = claim
+        assert token2 > token  # monotonic fencing
+        queue.store.save(item2.run_id, {
+            "run_id": item2.run_id, "params": dict(item2.params),
+            "result": {"kind": "test"},
+        })
+        queue.complete(item2.run_id, token2)
+
+        doc = stitch_store(tmp_path)
+        assert validate_trace(doc) == []
+        lease_spans = _spans(doc, LEASE_PID)
+        zombies = [s for s in lease_spans if s["args"]["superseded"]]
+        assert len(zombies) == 1
+        assert zombies[0]["args"]["token"] == token
+        # The reclaim's fencing bump (token+1) displaces the zombie;
+        # the successor's own claim bumps once more on top of it.
+        assert zombies[0]["args"]["fenced_by"] == token + 1
+        assert token2 == token + 2
+        assert zombies[0]["args"]["outcome"] == "superseded"
+        survivors = [s for s in lease_spans if not s["args"]["superseded"]]
+        assert [s["args"]["outcome"] for s in survivors] == ["ok"]
+        assert survivors[0]["args"]["token"] == token2
+        # Both tenures sit on the same run's thread, zombie first.
+        assert zombies[0]["tid"] == survivors[0]["tid"]
+        assert zombies[0]["ts"] <= survivors[0]["ts"]
+        killed = [
+            s for s in _spans(doc, WORKER_PID)
+            if s["args"]["outcome"] == "killed"
+        ]
+        assert len(killed) == 1
+        assert killed[0]["args"]["token"] == token
+
+
+class TestSubprocessKill:
+    def test_sigkilled_worker_yields_superseded_span(self, tmp_path):
+        """End to end: a real ``repro queue work`` process is hard-
+        killed by the ``queue.lease.renew`` failpoint (the immediate
+        first heartbeat at claim time), leaving a live lease behind.
+        Reclaim fences it, a clean drain finishes the run, and the
+        stitched trace shows the zombie tenure superseded by the
+        fencing token."""
+        store = tmp_path / "store"
+        queue = WorkQueue(store)
+        queue.arm_events()
+        params = {
+            "kind": "simulate",
+            "strategy": "fcfs",
+            "num_nodes": 16,
+            "workload": {
+                "kind": "trinity", "jobs": 10, "nodes": 16, "seed": 3,
+                "share_fraction": 0.85, "offered_load": 1.5,
+            },
+        }
+        run = RunSpec.from_params(params)
+        queue.enqueue([run], extras={run.run_id: {"trace": "sub-kill"}})
+        queue.events.emit("submit", trace="sub-kill", runs=1, source="cli")
+
+        env = dict(os.environ)
+        env["REPRO_FAILPOINTS"] = "queue.lease.renew=kill:1"
+        env["PYTHONPATH"] = str(Path(__file__).resolve().parent.parent / "src")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "queue", "work",
+             str(store), "--quiet"],
+            env=env, capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == EXIT_FAILPOINT_KILL, proc.stderr
+        assert list(queue.leases.list()) == [run.run_id]  # zombie lease
+
+        _age_lease(queue, run.run_id)
+        assert queue.reclaim_stale() == [run.run_id]
+        worker = QueueWorker(store)
+        outcome = worker.drain()
+        assert outcome.completed == 1
+
+        doc = stitch_store(store)
+        assert validate_trace(doc) == []
+        zombies = [
+            s for s in _spans(doc, LEASE_PID) if s["args"]["superseded"]
+        ]
+        assert len(zombies) == 1
+        assert zombies[0]["args"]["token"] == 1
+        assert zombies[0]["args"]["fenced_by"] == 2
+        oks = [
+            s for s in _spans(doc, LEASE_PID)
+            if s["args"]["outcome"] == "ok"
+        ]
+        assert len(oks) == 1
+        assert oks[0]["args"]["token"] == 3  # reclaim bumped to 2, claim to 3
+        # The killed attempt and the finishing attempt ran in
+        # different OS processes: two distinct worker threads.
+        worker_spans = _spans(doc, WORKER_PID)
+        assert {s["args"]["outcome"] for s in worker_spans} == {
+            "killed", "ok",
+        }
+        assert len({s["tid"] for s in worker_spans}) == 2
+        assert doc["otherData"]["traces"] == ["sub-kill"]
